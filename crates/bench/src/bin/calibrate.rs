@@ -1,0 +1,40 @@
+//! Calibration utility: generates every paper profile at the given scale
+//! (argument 1, default `PARAFACTOR_SCALE`), runs the sequential
+//! baseline and prints size / quality / time — useful to choose a scale
+//! before running the table binaries.
+
+use pf_bench::env_scale;
+use pf_core::extract_kernels;
+use pf_workloads::{generate, paper_profiles, scale_profile};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(env_scale);
+    println!("calibration at scale {scale}");
+    println!(
+        "{:>8} {:>8} {:>8} {:>7} {:>6} {:>12} {:>12}",
+        "circuit", "LC", "LC(kx)", "ratio", "extr", "gen time", "kx time"
+    );
+    for p in paper_profiles() {
+        let sp = scale_profile(&p, scale);
+        let t = Instant::now();
+        let nw = generate(&sp);
+        let gen_t = t.elapsed();
+        let mut opt = nw.clone();
+        let t = Instant::now();
+        let r = extract_kernels(&mut opt, &[], &Default::default());
+        println!(
+            "{:>8} {:>8} {:>8} {:>7.3} {:>6} {:>12.3?} {:>12.3?}",
+            p.name,
+            r.lc_before,
+            r.lc_after,
+            r.quality_ratio(),
+            r.extractions,
+            gen_t,
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Table 1 — runtimes of several circuits and the time spent in the
+//! kernel extraction routine of a typical synthesis script.
+//!
+//! Paper columns: circuit, size (LC), factorizations invoked, total
+//! factorization time, total synthesis time. The paper's headline: on
+//! average 61.45% of synthesis time is factorization — which is why the
+//! rest of the paper parallelizes it.
+
+use pf_bench::{build_circuit, env_scale};
+use pf_core::script::{run_script, ScriptConfig};
+use pf_workloads::table1_profiles;
+
+fn main() {
+    let scale = env_scale();
+    println!("Table 1 — factorization share of synthesis time (scale {scale})");
+    let header = format!(
+        "{:>8} {:>9} {:>8} {:>12} {:>12} {:>8}",
+        "circuit", "size(LC)", "invoked", "fac time(s)", "syn time(s)", "fac %"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let mut total_fac = 0.0;
+    let mut total_syn = 0.0;
+    for profile in table1_profiles() {
+        let mut nw = build_circuit(&profile, scale);
+        let lc = nw.literal_count();
+        let report = run_script(&mut nw, &ScriptConfig::default());
+        let fac = report.factor_time.as_secs_f64();
+        let syn = report.total_time.as_secs_f64();
+        total_fac += fac;
+        total_syn += syn;
+        println!(
+            "{:>8} {:>9} {:>8} {:>12.3} {:>12.3} {:>7.1}%",
+            profile.name,
+            lc,
+            report.factor_invocations,
+            fac,
+            syn,
+            100.0 * report.factor_fraction()
+        );
+    }
+    println!(
+        "{:>8} {:>9} {:>8} {:>12.3} {:>12.3} {:>7.1}%",
+        "total",
+        "",
+        "",
+        total_fac,
+        total_syn,
+        100.0 * total_fac / total_syn.max(1e-9)
+    );
+    println!();
+    println!("paper: factorization takes 61.45% of total synthesis time on average");
+}

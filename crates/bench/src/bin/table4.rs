@@ -1,0 +1,67 @@
+//! Table 4 — kernel extraction using SIS and L-shaped partitioning on a
+//! single processor (§5.1).
+//!
+//! Paper columns: circuit, initial LC, SIS LC, then LC for 2-, 4- and
+//! 6-way L-shaped partitioning, all run sequentially. The point of the
+//! table: the L-shaped decomposition by itself costs almost no quality
+//! (average ratios 0.690 vs 0.691/0.692/0.691), which justifies using it
+//! as the parallel decomposition.
+
+use pf_bench::{build_circuit, env_procs, env_scale, geo_mean, sequential_baseline};
+use pf_core::{lshaped_extract, LShapedConfig};
+use pf_workloads::paper_profiles;
+
+fn main() {
+    let scale = env_scale();
+    let ways = env_procs();
+    println!("Table 4 — L-shaped partitioning, sequential (scale {scale})");
+    let mut header = format!("{:>8} {:>9} {:>8}", "circuit", "init LC", "SIS LC");
+    for w in &ways {
+        header += &format!(" {:>9}", format!("{w}-way LC"));
+    }
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let order = ["misex3", "dalu", "des", "seq", "spla"];
+    let mut sis_ratios = Vec::new();
+    let mut way_ratios: Vec<Vec<f64>> = vec![Vec::new(); ways.len()];
+    for name in order {
+        let profile = paper_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("known circuit");
+        let nw = build_circuit(&profile, scale);
+        let init_lc = nw.literal_count();
+        let (_, base) = sequential_baseline(&nw);
+        sis_ratios.push(base.lc_after as f64 / init_lc as f64);
+
+        let mut row = format!("{:>8} {:>9} {:>8}", name, init_lc, base.lc_after);
+        for (k, &w) in ways.iter().enumerate() {
+            let mut run_nw = nw.clone();
+            let report = lshaped_extract(
+                &mut run_nw,
+                &LShapedConfig {
+                    procs: w,
+                    sequential: true,
+                    ..LShapedConfig::default()
+                },
+            );
+            way_ratios[k].push(report.lc_after as f64 / init_lc as f64);
+            row += &format!(" {:>9}", report.lc_after);
+        }
+        println!("{row}");
+    }
+    let mut avg = format!(
+        "{:>8} {:>9} {:>8.3}",
+        "average",
+        "1.000",
+        geo_mean(&sis_ratios)
+    );
+    for ratios in &way_ratios {
+        avg += &format!(" {:>9.3}", geo_mean(ratios));
+    }
+    println!("{avg}  (ratios of initial LC)");
+    println!();
+    println!("paper: average 0.690 (SIS) vs 0.691 / 0.692 / 0.691 (2/4/6-way)");
+    println!("expected shape: k-way L-shaped quality within a whisker of SIS");
+}

@@ -1,0 +1,66 @@
+//! Table 5 — the states of a cube during extraction (§5.3).
+//!
+//! This table is definitional, not experimental: it specifies the
+//! FREE / COVERED / DIVIDED state machine with the `value` (V) and
+//! `trueval` (T) attributes. The binary prints the table exactly as the
+//! implementation behaves, then drives a live `CubeStates` instance
+//! through every transition as a demonstration (the same transitions are
+//! unit- and property-tested in `pf-kcmatrix`).
+
+use pf_kcmatrix::{CubeState, CubeStates};
+
+fn state_name(s: CubeState) -> &'static str {
+    match s {
+        CubeState::Free => "FREE",
+        CubeState::Covered(_) => "COVERED",
+        CubeState::Divided => "DIVIDED",
+    }
+}
+
+fn main() {
+    println!("Table 5 — states of a cube during extraction");
+    println!("{:>8} {:>3} {:>3}  meaning", "state", "V", "T");
+    println!("{}", "-".repeat(72));
+    println!(
+        "{:>8} {:>3} {:>3}  cube not covered by any best rectangle",
+        "FREE", "w", "x"
+    );
+    println!(
+        "{:>8} {:>3} {:>3}  cube covered (speculatively) but not divided; owner sees w",
+        "COVERED", "0", "w"
+    );
+    println!(
+        "{:>8} {:>3} {:>3}  covered by some rectangle and divided out",
+        "DIVIDED", "0", "0"
+    );
+    println!();
+
+    // Live demonstration with one cube of weight 5 and processors 0, 1.
+    let st = CubeStates::with_len(1);
+    let w = 5u32;
+    println!("transition trace (cube weight {w}, processors P0 and P1):");
+    let show = |st: &CubeStates, step: &str| {
+        println!(
+            "  {:<44} state={:<10} V(P0)={} V(P1)={}",
+            step,
+            state_name(st.state(0)),
+            st.value_for(0, w, 0),
+            st.value_for(0, w, 1)
+        );
+    };
+    show(&st, "initial");
+    assert!(st.claim(0, 0));
+    show(&st, "P0 puts the cube in its best rectangle");
+    assert!(!st.claim(0, 1));
+    show(&st, "P1 tries to claim it — rejected, sees V=0");
+    assert!(st.release(0, 0));
+    show(&st, "P0 finds a better rectangle — releases");
+    assert!(st.claim(0, 1));
+    show(&st, "P1 claims it now");
+    st.mark_divided(0);
+    show(&st, "P1 extracts its rectangle — divided");
+    assert!(!st.claim(0, 0));
+    show(&st, "P0 can never claim a divided cube");
+    println!();
+    println!("paper: Table 5 lists exactly these three states and attributes");
+}

@@ -1,0 +1,67 @@
+//! Table 6 — the parallel algorithm with L-shaped partitioning on a
+//! shared-memory multiprocessor (Algorithm L, §5.4).
+//!
+//! Paper columns: circuit, initial LC, then (LC, S) for 2, 4 and 6
+//! processors; S is the speedup over the sequential SIS kernel
+//! extraction (`gkx -bo1` there, our sequential baseline here).
+//! Headline: ex1010 runs 11.48× faster on 6 processors with < 0.2%
+//! quality degradation.
+
+use pf_bench::{build_circuit, env_procs, env_scale, geo_mean, sequential_baseline};
+use pf_core::{lshaped_extract, LShapedConfig};
+use pf_workloads::paper_profiles;
+
+fn main() {
+    let scale = env_scale();
+    let procs = env_procs();
+    println!("Table 6 — Algorithm L (L-shaped, threaded), scale {scale}");
+    let mut header = format!("{:>8} {:>9} {:>8}", "circuit", "init LC", "SIS LC");
+    for p in &procs {
+        header += &format!(" | {:>7} {:>6}", format!("LC(p{p})"), "S");
+    }
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let order = ["dalu", "des", "seq", "spla", "ex1010"];
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); procs.len()];
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); procs.len()];
+    for name in order {
+        let profile = paper_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("known circuit");
+        let nw = build_circuit(&profile, scale);
+        let init_lc = nw.literal_count();
+        let (_, base) = sequential_baseline(&nw);
+
+        let mut row = format!("{:>8} {:>9} {:>8}", name, init_lc, base.lc_after);
+        for (k, &p) in procs.iter().enumerate() {
+            let mut run_nw = nw.clone();
+            let report = lshaped_extract(
+                &mut run_nw,
+                &LShapedConfig {
+                    procs: p,
+                    sequential: false,
+                    ..LShapedConfig::default()
+                },
+            );
+            let s = pf_bench::speedup(base.elapsed, report.elapsed);
+            ratios[k].push(report.lc_after as f64 / base.lc_after.max(1) as f64);
+            speedups[k].push(s);
+            row += &format!(" | {:>7} {:>6.2}", report.lc_after, s);
+        }
+        println!("{row}");
+    }
+    let mut avg = format!("{:>8} {:>9} {:>8}", "average", "", "1.000");
+    for k in 0..procs.len() {
+        avg += &format!(
+            " | {:>7.3} {:>6.2}",
+            geo_mean(&ratios[k]),
+            geo_mean(&speedups[k])
+        );
+    }
+    println!("{avg}  (LC column = quality ratio vs sequential)");
+    println!();
+    println!("paper (6 procs): ex1010 11865/11.48, average quality ratio ~1.005 vs SIS, avg S 6.47");
+    println!("expected shape: speedups between Algorithms R and I; quality close to SIS");
+}

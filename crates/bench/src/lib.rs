@@ -1,0 +1,133 @@
+#![warn(missing_docs)]
+
+//! # pf-bench — the experiment harness
+//!
+//! One binary per table of the paper (`table1` … `table6`) plus the
+//! Equation 3 model check (`eq3`) and a `calibrate` utility. Each binary
+//! regenerates its table's rows: same circuits (synthetic analogues,
+//! see `pf-workloads`), same processor counts, same columns (literal
+//! count and speedup over the sequential run).
+//!
+//! Environment knobs, honored by every binary:
+//!
+//! * `PARAFACTOR_SCALE` — circuit scale factor in (0, 1], default 0.35.
+//!   1.0 reproduces the paper's literal counts exactly but makes the
+//!   spla/ex1010 rows take minutes.
+//! * `PARAFACTOR_PROCS` — comma-separated processor counts, default
+//!   `2,4,6` (the paper's).
+//! * `PARAFACTOR_DEADLINE_SECS` — per-run deadline for Algorithm R,
+//!   default 60; runs that exceed it print `-` like the paper's Table 2.
+
+use pf_core::{extract_kernels, ExtractConfig, ExtractReport};
+use pf_network::Network;
+use pf_workloads::{generate, scale_profile, CircuitProfile};
+use std::time::Duration;
+
+/// Scale factor from `PARAFACTOR_SCALE` (default 0.35).
+pub fn env_scale() -> f64 {
+    std::env::var("PARAFACTOR_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|f| *f > 0.0 && *f <= 1.0)
+        .unwrap_or(0.35)
+}
+
+/// Processor counts from `PARAFACTOR_PROCS` (default `2,4,6`).
+pub fn env_procs() -> Vec<usize> {
+    std::env::var("PARAFACTOR_PROCS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse::<usize>().ok())
+                .filter(|&p| p >= 1)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 4, 6])
+}
+
+/// Deadline from `PARAFACTOR_DEADLINE_SECS` (default 60 s).
+pub fn env_deadline() -> Duration {
+    Duration::from_secs(
+        std::env::var("PARAFACTOR_DEADLINE_SECS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(60),
+    )
+}
+
+/// Generates the scaled network of a paper profile.
+pub fn build_circuit(profile: &CircuitProfile, scale: f64) -> Network {
+    generate(&scale_profile(profile, scale))
+}
+
+/// Runs the sequential baseline (SIS-equivalent `gkx`) on a copy and
+/// returns the optimized network plus report.
+pub fn sequential_baseline(nw: &Network) -> (Network, ExtractReport) {
+    let mut copy = nw.clone();
+    let report = extract_kernels(&mut copy, &[], &ExtractConfig::default());
+    (copy, report)
+}
+
+/// Formats a speedup column: `-` when the run timed out.
+pub fn fmt_speedup(baseline: Duration, report: &ExtractReport) -> String {
+    if report.timed_out {
+        "-".to_string()
+    } else {
+        format!("{:.2}", speedup(baseline, report.elapsed))
+    }
+}
+
+/// Speedup of `t` over `baseline` (guards division by ~zero).
+pub fn speedup(baseline: Duration, t: Duration) -> f64 {
+    let b = baseline.as_secs_f64();
+    let x = t.as_secs_f64().max(1e-9);
+    b / x
+}
+
+/// Formats an LC column: `-` when timed out (matching Table 2).
+pub fn fmt_lc(report: &ExtractReport) -> String {
+    if report.timed_out {
+        "-".to_string()
+    } else {
+        report.lc_after.to_string()
+    }
+}
+
+/// Prints a horizontal rule sized to a header line.
+pub fn rule(header: &str) -> String {
+    "-".repeat(header.len())
+}
+
+/// Geometric-mean helper used for the tables' "average" rows.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_math() {
+        assert!((speedup(Duration::from_secs(10), Duration::from_secs(2)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Does not set the env vars — exercises the default paths.
+        assert!(env_scale() > 0.0);
+        assert_eq!(env_procs().len(), 3);
+        assert!(env_deadline().as_secs() >= 1);
+    }
+}

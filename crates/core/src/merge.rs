@@ -1,0 +1,200 @@
+//! Merging per-processor results back into the main network.
+//!
+//! Both partitioned algorithms (I and L) let each worker create new
+//! nodes under its own id space (a clone's tail ids for Algorithm I, a
+//! per-processor id block for Algorithm L). [`merge_worker_results`]
+//! folds everything back into one dense network: new nodes are added
+//! first with placeholder functions so the variable map is complete,
+//! then every function — new or rewritten — is remapped through that
+//! map. Order does not matter because the network allows forward
+//! references until validation.
+
+use pf_network::{Network, NetworkError, SignalId};
+use pf_sop::fx::FxHashMap;
+use pf_sop::{Cube, Lit, Sop, Var};
+
+/// A new node created by a worker, in the worker's id space.
+#[derive(Clone, Debug)]
+pub struct NewNode {
+    /// The id the worker used for this node's variable.
+    pub worker_id: u32,
+    /// Unique name (workers prefix with their processor id).
+    pub name: String,
+    /// Function, possibly referencing other worker ids.
+    pub func: Sop,
+}
+
+/// One worker's contribution: rewritten original nodes and new nodes.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerResult {
+    /// `(original node, its new function)` — may reference worker ids.
+    pub rewritten: Vec<(SignalId, Sop)>,
+    /// Nodes the worker created, any order.
+    pub new_nodes: Vec<NewNode>,
+}
+
+/// Rewrites a function through the worker-id → main-id map. Ids not in
+/// the map are passed through (original network signals).
+pub fn remap_sop(f: &Sop, map: &FxHashMap<u32, u32>) -> Sop {
+    Sop::from_cubes(f.iter().map(|cube| {
+        Cube::from_lits(cube.iter().map(|l| {
+            let idx = l.var().index();
+            let idx = map.get(&idx).copied().unwrap_or(idx);
+            Lit::new(Var::new(idx), l.is_negated())
+        }))
+    }))
+}
+
+/// Merges every worker's result into `nw`. Returns the ids of the newly
+/// created nodes.
+pub fn merge_worker_results(
+    nw: &mut Network,
+    results: Vec<WorkerResult>,
+) -> Result<Vec<SignalId>, NetworkError> {
+    let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut created = Vec::new();
+    // Pass 1: declare all new nodes so the id map is total.
+    for r in &results {
+        for n in &r.new_nodes {
+            let id = nw.add_node(n.name.clone(), Sop::zero())?;
+            map.insert(n.worker_id, id);
+            created.push(id);
+        }
+    }
+    // Pass 2: install remapped functions.
+    for r in &results {
+        for n in &r.new_nodes {
+            let id = map[&n.worker_id];
+            nw.set_func(id, remap_sop(&n.func, &map))?;
+        }
+        for (node, func) in &r.rewritten {
+            nw.set_func(*node, remap_sop(func, &map))?;
+        }
+    }
+    nw.validate()?;
+    Ok(created)
+}
+
+/// Zeroes out extracted nodes that ended up with no fanouts (a shipped
+/// partial rectangle whose receiver's division came up empty leaves its
+/// kernel node dead). Iterates to a fixpoint — a dead node's removal can
+/// orphan the nodes it referenced. Returns how many nodes were cleared.
+pub fn remove_dead_nodes(nw: &mut Network, candidates: &[SignalId]) -> usize {
+    let mut removed = 0usize;
+    loop {
+        let fo = nw.fanout_map();
+        let mut changed = false;
+        for &c in candidates {
+            if nw.outputs().contains(&c) || nw.func(c).is_zero() {
+                continue;
+            }
+            if fo[c as usize].iter().all(|&u| nw.func(u).is_zero()) {
+                nw.set_func(c, Sop::zero()).expect("candidate is a node");
+                removed += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sop_of(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_lits(c.iter().map(|&v| Lit::pos(v)))),
+        )
+    }
+
+    #[test]
+    fn remap_changes_only_mapped_vars() {
+        let mut map = FxHashMap::default();
+        map.insert(100u32, 3u32);
+        let f = sop_of(&[&[100, 1], &[2]]);
+        assert_eq!(remap_sop(&f, &map), sop_of(&[&[3, 1], &[2]]));
+    }
+
+    #[test]
+    fn remap_preserves_phase() {
+        let mut map = FxHashMap::default();
+        map.insert(50u32, 7u32);
+        let f = Sop::from_cube(Cube::from_lits([Lit::neg(50)]));
+        let r = remap_sop(&f, &map);
+        assert_eq!(r, Sop::from_cube(Cube::from_lits([Lit::neg(7)])));
+    }
+
+    #[test]
+    fn merge_two_workers_with_cross_references() {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let b = nw.add_input("b").unwrap();
+        let f = nw.add_node("f", sop_of(&[&[a, b]])).unwrap();
+        let g = nw.add_node("g", sop_of(&[&[a], &[b]])).unwrap();
+        nw.mark_output(f).unwrap();
+        nw.mark_output(g).unwrap();
+
+        // Worker 0 created node id 1000 (X = a + b) and rewrote f = X·?…
+        let w0 = WorkerResult {
+            rewritten: vec![(f, sop_of(&[&[1000]]))],
+            new_nodes: vec![NewNode {
+                worker_id: 1000,
+                name: "p0_x".into(),
+                func: sop_of(&[&[a, b]]),
+            }],
+        };
+        // Worker 1 created id 2000 referencing worker 0's id 1000.
+        let w1 = WorkerResult {
+            rewritten: vec![(g, sop_of(&[&[2000]]))],
+            new_nodes: vec![NewNode {
+                worker_id: 2000,
+                name: "p1_y".into(),
+                func: sop_of(&[&[1000], &[a]]),
+            }],
+        };
+        let created = merge_worker_results(&mut nw, vec![w0, w1]).unwrap();
+        assert_eq!(created.len(), 2);
+        assert!(nw.validate().is_ok());
+        let x = nw.find("p0_x").unwrap();
+        let y = nw.find("p1_y").unwrap();
+        assert!(nw.fanins(y).contains(&x), "cross-worker reference remapped");
+        assert_eq!(nw.fanins(f), vec![x]);
+        assert_eq!(nw.fanins(g), vec![y]);
+    }
+
+    #[test]
+    fn merge_empty_results_is_noop() {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let f = nw.add_node("f", sop_of(&[&[a]])).unwrap();
+        nw.mark_output(f).unwrap();
+        let lc = nw.literal_count();
+        let created = merge_worker_results(&mut nw, vec![WorkerResult::default()]).unwrap();
+        assert!(created.is_empty());
+        assert_eq!(nw.literal_count(), lc);
+    }
+
+    #[test]
+    fn duplicate_new_node_names_rejected() {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let f = nw.add_node("f", sop_of(&[&[a]])).unwrap();
+        nw.mark_output(f).unwrap();
+        let mk = |wid: u32| WorkerResult {
+            rewritten: vec![],
+            new_nodes: vec![NewNode {
+                worker_id: wid,
+                name: "dup".into(),
+                func: sop_of(&[&[a]]),
+            }],
+        };
+        assert!(merge_worker_results(&mut nw, vec![mk(1000), mk(2000)]).is_err());
+    }
+
+    use pf_network::Network;
+}

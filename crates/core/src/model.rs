@@ -1,0 +1,123 @@
+//! The analytic speedup model of Equation 3.
+//!
+//! The paper models the L-shaped algorithm's speedup as
+//!
+//! ```text
+//!                p²
+//! S(p) = ──────────────────────
+//!        (1 + γ(p−1) / (2αp))²
+//! ```
+//!
+//! where `p` is the number of partitions and `α`, `γ` are the sparsity
+//! factors (fraction of non-zero entries) of the initial KC matrix and of
+//! the L-shaped KC matrix respectively. Intuition: rectangle search cost
+//! grows roughly quadratically with the number of matrix entries; each
+//! L-matrix holds a `1/p` slab of the rows plus the `γ/(2α)`-weighted
+//! vertical leg.
+
+use pf_kcmatrix::KcMatrix;
+
+/// Sparsity factors feeding Equation 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SparsityFactors {
+    /// Sparsity (non-zero fraction) of the full KC matrix.
+    pub alpha: f64,
+    /// Sparsity of the L-shaped KC matrix.
+    pub gamma: f64,
+}
+
+impl SparsityFactors {
+    /// Measures the sparsity of a matrix: alive entries over the
+    /// `rows × cols` bounding box (0 when the matrix is degenerate).
+    pub fn measure(m: &KcMatrix) -> f64 {
+        let rows = m.num_alive_rows();
+        let cols = m.cols().len();
+        if rows == 0 || cols == 0 {
+            return 0.0;
+        }
+        m.num_entries() as f64 / (rows as f64 * cols as f64)
+    }
+}
+
+/// Equation 3: predicted speedup of the L-shaped algorithm on `p`
+/// partitions with sparsity factors `f`.
+///
+/// `p = 1` always predicts 1.0 regardless of the factors.
+pub fn predicted_speedup(p: usize, f: &SparsityFactors) -> f64 {
+    assert!(p >= 1, "at least one partition");
+    assert!(f.alpha > 0.0, "alpha must be positive");
+    let p_f = p as f64;
+    let denom = 1.0 + (f.gamma * (p_f - 1.0)) / (2.0 * f.alpha * p_f);
+    (p_f * p_f) / (denom * denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_partition_has_unit_speedup() {
+        let f = SparsityFactors {
+            alpha: 0.2,
+            gamma: 0.1,
+        };
+        assert!((predicted_speedup(1, &f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_overlap_gives_quadratic_speedup() {
+        // γ = 0: the model's super-linear regime (fewer rectangles
+        // searched), S = p².
+        let f = SparsityFactors {
+            alpha: 0.3,
+            gamma: 0.0,
+        };
+        assert!((predicted_speedup(4, &f) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_overlap_means_less_speedup() {
+        let a = SparsityFactors {
+            alpha: 0.25,
+            gamma: 0.05,
+        };
+        let b = SparsityFactors {
+            alpha: 0.25,
+            gamma: 0.25,
+        };
+        for p in [2usize, 4, 6] {
+            assert!(predicted_speedup(p, &a) > predicted_speedup(p, &b));
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_p_for_moderate_overlap() {
+        let f = SparsityFactors {
+            alpha: 0.25,
+            gamma: 0.1,
+        };
+        let s2 = predicted_speedup(2, &f);
+        let s4 = predicted_speedup(4, &f);
+        let s6 = predicted_speedup(6, &f);
+        assert!(s2 < s4 && s4 < s6);
+        assert!(s2 > 1.0);
+    }
+
+    #[test]
+    fn formula_spot_check() {
+        // p = 6, α = 0.25, γ = 0.25: denom = 1 + 0.25·5/(2·0.25·6) = 1 + 5/12
+        // S = 36 / (17/12)² = 36·144/289 ≈ 17.93…
+        let f = SparsityFactors {
+            alpha: 0.25,
+            gamma: 0.25,
+        };
+        let s = predicted_speedup(6, &f);
+        assert!((s - 36.0 * 144.0 / 289.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_rejected() {
+        predicted_speedup(2, &SparsityFactors { alpha: 0.0, gamma: 0.1 });
+    }
+}

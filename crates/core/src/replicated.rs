@@ -1,0 +1,261 @@
+//! Algorithm R — parallel kernel extraction with a replicated circuit
+//! (paper §3, after ProperMIS [4]).
+//!
+//! Every worker holds its own replica of the network and the full KC
+//! matrix. Concurrency comes only from subdividing the rectangle search:
+//! worker `p` of `n` explores the rectangles whose **leftmost column**
+//! falls in its stripe (Figure 1). Each iteration then reduces the
+//! per-worker candidates to one global best rectangle — picked
+//! deterministically so every replica follows the exact sequential
+//! search path — and every worker applies the same extraction to its own
+//! copy. The per-step barrier and the redundant replica maintenance are
+//! the paper's explanation for this algorithm's poor speedup; both are
+//! reproduced faithfully here.
+
+use crate::report::ExtractReport;
+use crate::seq::{Engine, ExtractConfig};
+use pf_kcmatrix::Rectangle;
+use pf_network::{Network, SignalId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Options for [`replicated_extract`].
+#[derive(Clone, Debug)]
+pub struct ReplicatedConfig {
+    /// Number of workers (replicas).
+    pub procs: usize,
+    /// Extraction options shared by every replica.
+    pub extract: ExtractConfig,
+    /// Wall-clock deadline; on expiry the run stops after the current
+    /// iteration and the report is flagged `timed_out` (the paper's
+    /// Table 2 marks such runs "-").
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ReplicatedConfig {
+    fn default() -> Self {
+        ReplicatedConfig {
+            procs: 2,
+            extract: ExtractConfig {
+                name_prefix: "rkx_".to_string(),
+                ..ExtractConfig::default()
+            },
+            deadline: None,
+        }
+    }
+}
+
+/// Deterministic choice among per-stripe candidates: maximum value, ties
+/// broken on the lexicographically smallest (cols, rows). Mirrors "the
+/// processor which owns the root of the search tree identifies the best
+/// rectangle and broadcasts it".
+fn pick_best(candidates: &[Option<Rectangle>]) -> Option<Rectangle> {
+    let mut best: Option<&Rectangle> = None;
+    for r in candidates.iter().flatten() {
+        best = Some(match best {
+            None => r,
+            Some(b) => {
+                if (r.value, &b.cols, &b.rows) > (b.value, &r.cols, &r.rows) {
+                    r
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best.cloned()
+}
+
+/// Runs Algorithm R on the network, in place. Returns the report.
+pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractReport {
+    let start = Instant::now();
+    let p = cfg.procs.max(1);
+    let lc_before = nw.literal_count();
+    let targets: Vec<SignalId> = nw.node_ids().collect();
+
+    let barrier = Barrier::new(p);
+    let candidates: Mutex<Vec<Option<Rectangle>>> = Mutex::new(vec![None; p]);
+    let decision: Mutex<Option<Rectangle>> = Mutex::new(None);
+    let timed_out = AtomicBool::new(false);
+    let exhausted_any = AtomicBool::new(false);
+    let outcome: Mutex<Option<(Network, usize, i64)>> = Mutex::new(None);
+    let nw_ref: &Network = nw;
+
+    std::thread::scope(|s| {
+        for pid in 0..p {
+            let barrier = &barrier;
+            let candidates = &candidates;
+            let decision = &decision;
+            let timed_out = &timed_out;
+            let exhausted_any = &exhausted_any;
+            let outcome = &outcome;
+            let targets = &targets;
+            let cfg = &cfg;
+            s.spawn(move || {
+                // The replica: full circuit and full matrix per worker.
+                // Matrix generation itself uses the §3 parallel scheme
+                // (processor-offset row labels merged in label order),
+                // so all replicas are bit-identical by construction.
+                let mut replica = nw_ref.clone();
+                let mut engine = Engine::new_parallel(&replica, targets, cfg.extract.clone(), p);
+                let mut extractions = 0usize;
+                let mut total_value = 0i64;
+                loop {
+                    let (rect, ex) = engine.search(Some((pid as u32, p as u32)));
+                    if ex {
+                        exhausted_any.store(true, Ordering::Relaxed);
+                    }
+                    candidates.lock().unwrap()[pid] = rect;
+                    barrier.wait();
+                    if pid == 0 {
+                        // Reduction at the root of the search tree.
+                        let mut d = pick_best(&candidates.lock().unwrap());
+                        if let Some(deadline) = cfg.deadline {
+                            if start.elapsed() > deadline {
+                                d = None;
+                                timed_out.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        *decision.lock().unwrap() = d;
+                    }
+                    barrier.wait();
+                    let chosen = decision.lock().unwrap().clone();
+                    match chosen {
+                        None => break,
+                        Some(rect) => {
+                            // Every replica applies the same extraction —
+                            // identical deterministic state on all workers.
+                            total_value += rect.value;
+                            engine.apply(&mut replica, &rect);
+                            extractions += 1;
+                        }
+                    }
+                    barrier.wait();
+                }
+                if pid == 0 {
+                    *outcome.lock().unwrap() = Some((replica, extractions, total_value));
+                }
+            });
+        }
+    });
+
+    let (result, extractions, total_value) = outcome
+        .into_inner()
+        .unwrap()
+        .expect("worker 0 publishes its replica");
+    *nw = result;
+    ExtractReport {
+        lc_before,
+        lc_after: nw.literal_count(),
+        extractions,
+        total_value,
+        elapsed: start.elapsed(),
+        budget_exhausted: exhausted_any.load(Ordering::Relaxed),
+        shipped_rectangles: 0,
+        timed_out: timed_out.load(Ordering::Relaxed),
+        setup: Duration::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::extract_kernels;
+    use pf_network::example::example_1_1;
+    use pf_network::sim::{equivalent_random, EquivConfig};
+
+    #[test]
+    fn matches_sequential_quality_on_example() {
+        // Same search path as sequential ⇒ identical result.
+        for procs in [1usize, 2, 3, 6] {
+            let (mut nw, _) = example_1_1();
+            let original = nw.clone();
+            let report = replicated_extract(
+                &mut nw,
+                &ReplicatedConfig {
+                    procs,
+                    ..ReplicatedConfig::default()
+                },
+            );
+            assert_eq!(report.lc_after, 21, "procs={procs}");
+            assert_eq!(report.extractions, 3);
+            assert!(!report.timed_out);
+            assert!(
+                equivalent_random(&original, &nw, &EquivConfig::default()).unwrap(),
+                "procs={procs}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_extraction_sequence_to_sequential() {
+        let (mut seq_nw, _) = example_1_1();
+        let seq_report = extract_kernels(&mut seq_nw, &[], &Default::default());
+        let (mut par_nw, _) = example_1_1();
+        let par_report = replicated_extract(
+            &mut par_nw,
+            &ReplicatedConfig {
+                procs: 4,
+                ..ReplicatedConfig::default()
+            },
+        );
+        assert_eq!(seq_report.lc_after, par_report.lc_after);
+        assert_eq!(seq_report.total_value, par_report.total_value);
+        assert_eq!(seq_report.extractions, par_report.extractions);
+    }
+
+    #[test]
+    fn deadline_flags_timeout() {
+        let (mut nw, _) = example_1_1();
+        let report = replicated_extract(
+            &mut nw,
+            &ReplicatedConfig {
+                procs: 2,
+                deadline: Some(Duration::ZERO),
+                ..ReplicatedConfig::default()
+            },
+        );
+        assert!(report.timed_out);
+        // Nothing extracted: the deadline fired before the first commit.
+        assert_eq!(report.extractions, 0);
+        assert_eq!(report.lc_after, report.lc_before);
+    }
+
+    #[test]
+    fn pick_best_is_deterministic_on_ties() {
+        let a = Rectangle {
+            rows: vec![1, 2],
+            cols: vec![0, 3],
+            value: 5,
+        };
+        let b = Rectangle {
+            rows: vec![0, 1],
+            cols: vec![1, 2],
+            value: 5,
+        };
+        let got1 = pick_best(&[Some(a.clone()), Some(b.clone())]).unwrap();
+        let got2 = pick_best(&[Some(b.clone()), Some(a.clone())]).unwrap();
+        assert_eq!(got1, got2);
+        assert_eq!(got1.cols, vec![0, 3]); // smaller cols wins the tie
+    }
+
+    #[test]
+    fn pick_best_prefers_value() {
+        let small = Rectangle {
+            rows: vec![0],
+            cols: vec![0, 1],
+            value: 2,
+        };
+        let big = Rectangle {
+            rows: vec![9],
+            cols: vec![8, 9],
+            value: 7,
+        };
+        assert_eq!(
+            pick_best(&[Some(small), Some(big.clone()), None]).unwrap(),
+            big
+        );
+        assert!(pick_best(&[None, None]).is_none());
+    }
+}

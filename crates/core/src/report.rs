@@ -1,0 +1,70 @@
+//! Result types shared by the extraction drivers.
+
+use std::time::Duration;
+
+/// What one extraction run did to a network.
+#[derive(Clone, Debug, Default)]
+pub struct ExtractReport {
+    /// Literal count before.
+    pub lc_before: usize,
+    /// Literal count after.
+    pub lc_after: usize,
+    /// Number of rectangles extracted (new nodes created).
+    pub extractions: usize,
+    /// Sum of rectangle values (expected literal savings).
+    pub total_value: i64,
+    /// Wall-clock time of the optimization itself.
+    pub elapsed: Duration,
+    /// Whether any rectangle search exhausted its budget and returned
+    /// the greedy fallback.
+    pub budget_exhausted: bool,
+    /// Number of cross-partition partial rectangles shipped between
+    /// processors (Algorithms L only; 0 elsewhere).
+    pub shipped_rectangles: usize,
+    /// Whether the run hit its wall-clock deadline and stopped early
+    /// (Table 2's "did not terminate" entries).
+    pub timed_out: bool,
+    /// Time spent before concurrent extraction began: partitioning,
+    /// matrix generation and the B_ij exchange (Algorithm L), or replica
+    /// construction (Algorithm R). Part of `elapsed`.
+    pub setup: Duration,
+}
+
+impl ExtractReport {
+    /// Literal-count reduction ratio (`lc_after / lc_before`).
+    pub fn quality_ratio(&self) -> f64 {
+        if self.lc_before == 0 {
+            1.0
+        } else {
+            self.lc_after as f64 / self.lc_before as f64
+        }
+    }
+
+    /// Literals saved.
+    pub fn saved(&self) -> isize {
+        self.lc_before as isize - self.lc_after as isize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_saved() {
+        let r = ExtractReport {
+            lc_before: 100,
+            lc_after: 70,
+            ..Default::default()
+        };
+        assert!((r.quality_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(r.saved(), 30);
+    }
+
+    #[test]
+    fn empty_network_ratio_is_one() {
+        let r = ExtractReport::default();
+        assert_eq!(r.quality_ratio(), 1.0);
+        assert_eq!(r.saved(), 0);
+    }
+}

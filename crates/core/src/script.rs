@@ -1,0 +1,190 @@
+//! A miniature synthesis script, for Table 1's measurement: how much of
+//! total synthesis time goes to algebraic factorization.
+//!
+//! SIS scripts (script / script.rugged) interleave sweeps, eliminates,
+//! simplification and repeated `gkx`/`gcx` factorization passes. This
+//! module reproduces that *structure* — per round: sweep → eliminate →
+//! kernel extraction → cube extraction — with per-phase timers, so the
+//! bench harness can report the factorization share exactly like the
+//! paper's Table 1 (61.45% on average there).
+
+use crate::report::ExtractReport;
+use crate::seq::{extract_kernels, ExtractConfig};
+use pf_kcmatrix::SearchConfig;
+use pf_network::resub::resubstitute;
+use pf_network::transform::{eliminate_node, eliminate_value, simplify_all, sweep};
+use pf_network::Network;
+use std::time::{Duration, Instant};
+
+/// Options for [`run_script`].
+#[derive(Clone, Debug)]
+pub struct ScriptConfig {
+    /// Number of sweep/eliminate/factor rounds.
+    pub rounds: usize,
+    /// Eliminate nodes whose literal-count increase is at most this
+    /// (SIS `eliminate` threshold; 0 collapses value-neutral nodes).
+    pub eliminate_threshold: isize,
+    /// Extraction options for the factorization passes.
+    pub extract: ExtractConfig,
+}
+
+impl Default for ScriptConfig {
+    fn default() -> Self {
+        // Elimination can merge nodes into large functions; cap the
+        // per-node kernel enumeration and the rectangle-search budget so
+        // script runs stay minutes, not hours (SIS caps its `gkx` effort
+        // the same way).
+        ScriptConfig {
+            rounds: 3,
+            eliminate_threshold: 0,
+            extract: ExtractConfig {
+                kernel: pf_sop::kernel::KernelConfig {
+                    max_pairs: 2048,
+                    ..Default::default()
+                },
+                search: SearchConfig {
+                    budget: 200_000,
+                    ..Default::default()
+                },
+                ..ExtractConfig::default()
+            },
+        }
+    }
+}
+
+/// Timing breakdown of one script run (the paper's Table 1 columns).
+#[derive(Clone, Debug, Default)]
+pub struct ScriptReport {
+    /// Literal count before the script.
+    pub lc_before: usize,
+    /// Literal count after.
+    pub lc_after: usize,
+    /// Number of times factorization was invoked.
+    pub factor_invocations: usize,
+    /// Total time inside factorization.
+    pub factor_time: Duration,
+    /// Total script wall-clock time.
+    pub total_time: Duration,
+    /// Reports of the individual factorization passes.
+    pub factor_reports: Vec<ExtractReport>,
+}
+
+impl ScriptReport {
+    /// The share of synthesis time spent factoring (Table 1's point).
+    pub fn factor_fraction(&self) -> f64 {
+        if self.total_time.is_zero() {
+            0.0
+        } else {
+            self.factor_time.as_secs_f64() / self.total_time.as_secs_f64()
+        }
+    }
+}
+
+/// Runs the mini script on the network, in place.
+pub fn run_script(nw: &mut Network, cfg: &ScriptConfig) -> ScriptReport {
+    let start = Instant::now();
+    let mut report = ScriptReport {
+        lc_before: nw.literal_count(),
+        ..Default::default()
+    };
+
+    for round in 0..cfg.rounds {
+        // sweep: drop dead logic and pass-through wires.
+        let _ = sweep(nw);
+
+        // simplify: two-level Boolean cleanup of each node.
+        let _ = simplify_all(nw);
+
+        // eliminate: collapse nodes whose elimination does not grow LC.
+        let victims: Vec<_> = nw
+            .node_ids()
+            .filter(|&n| !nw.outputs().contains(&n))
+            .filter(|&n| matches!(eliminate_value(nw, n), Some(v) if v <= cfg.eliminate_threshold))
+            .collect();
+        for v in victims {
+            if nw.func(v).is_zero() {
+                continue;
+            }
+            let _ = eliminate_node(nw, v);
+        }
+        let _ = sweep(nw);
+
+        // gkx: kernel extraction (timed as "factorization").
+        let t = Instant::now();
+        let kx_cfg = ExtractConfig {
+            name_prefix: format!("s{round}_kx_"),
+            ..cfg.extract.clone()
+        };
+        let r = extract_kernels(nw, &[], &kx_cfg);
+        report.factor_time += t.elapsed();
+        report.factor_invocations += 1;
+        report.factor_reports.push(r);
+
+        // gcx: common-cube extraction on the cube–literal matrix.
+        let t = Instant::now();
+        let cx_cfg = crate::cx::CubeExtractConfig {
+            name_prefix: format!("s{round}_cx_"),
+            ..Default::default()
+        };
+        let r = crate::cx::extract_common_cubes(nw, &[], &cx_cfg);
+        report.factor_time += t.elapsed();
+        report.factor_invocations += 1;
+        report.factor_reports.push(r);
+
+        // resub: share divisors that already exist as nodes.
+        let _ = resubstitute(nw);
+    }
+    let _ = sweep(nw);
+
+    report.lc_after = nw.literal_count();
+    report.total_time = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_network::example::example_1_1;
+    use pf_network::sim::{equivalent_random, EquivConfig};
+
+    #[test]
+    fn script_reduces_and_preserves_function() {
+        let (mut nw, _) = example_1_1();
+        let original = nw.clone();
+        let report = run_script(&mut nw, &ScriptConfig::default());
+        assert_eq!(report.lc_before, 33);
+        assert!(report.lc_after <= 22);
+        assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
+        assert!(nw.validate().is_ok());
+    }
+
+    #[test]
+    fn invocation_count_is_two_per_round() {
+        let (mut nw, _) = example_1_1();
+        let cfg = ScriptConfig {
+            rounds: 4,
+            ..ScriptConfig::default()
+        };
+        let report = run_script(&mut nw, &cfg);
+        assert_eq!(report.factor_invocations, 8);
+        assert_eq!(report.factor_reports.len(), 8);
+    }
+
+    #[test]
+    fn factor_fraction_is_between_zero_and_one() {
+        let (mut nw, _) = example_1_1();
+        let report = run_script(&mut nw, &ScriptConfig::default());
+        let f = report.factor_fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        assert!(report.factor_time <= report.total_time);
+    }
+
+    #[test]
+    fn second_round_is_idempotent_on_converged_network() {
+        let (mut nw, _) = example_1_1();
+        run_script(&mut nw, &ScriptConfig::default());
+        let lc = nw.literal_count();
+        let again = run_script(&mut nw, &ScriptConfig { rounds: 1, ..Default::default() });
+        assert!(again.lc_after <= lc);
+    }
+}

@@ -1,0 +1,275 @@
+//! The cube–literal matrix for common-**cube** extraction.
+//!
+//! §2 of the paper: "When the subexpression is a cube (kernel) then the
+//! factoring is called *cube extraction* (*kernel extraction*). Since
+//! the algorithms for kernel extraction and cube extraction are almost
+//! similar, we will be dealing with one of them." This module supplies
+//! the other one: rows are the network's cubes, columns are literals,
+//! and a rectangle `(R, C)` is a common cube `C` shared by the rows `R`.
+//! Extracting it as a node `X = Π C` rewrites every covered cube `c`
+//! into `(c \ C)·X`, saving
+//!
+//! ```text
+//! value(R, C) = |R| · (|C| − 1) − |C|
+//! ```
+//!
+//! literals. The search enumerates candidate cubes as pairwise row
+//! intersections (every maximal rectangle's column set is the
+//! intersection of some pair of its rows), then takes the support of
+//! each candidate — the standard SIS-era heuristic, exact for maximal
+//! rectangles of two or more rows.
+
+use pf_sop::fx::{FxHashMap, FxHashSet};
+use pf_sop::{Cube, Lit};
+
+/// One row: a cube of a node's function.
+#[derive(Clone, Debug)]
+pub struct ClRow {
+    /// Owning node.
+    pub node: u32,
+    /// The product term.
+    pub cube: Cube,
+}
+
+/// The cube–literal matrix of a set of node functions.
+#[derive(Default)]
+pub struct CubeLitMatrix {
+    rows: Vec<ClRow>,
+    /// Rows containing each literal, keyed by literal code.
+    by_lit: FxHashMap<Lit, Vec<usize>>,
+}
+
+/// A common cube found by [`CubeLitMatrix::best_common_cube`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommonCube {
+    /// The shared cube (≥ 2 literals).
+    pub cube: Cube,
+    /// Indices of the rows it divides.
+    pub rows: Vec<usize>,
+    /// Literal saving `|rows|·(|cube|−1) − |cube|`.
+    pub value: i64,
+}
+
+impl CubeLitMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds every cube of a node function (cubes with < 2 literals can
+    /// never participate in a common cube and are skipped).
+    pub fn add_node(&mut self, node: u32, func: &pf_sop::Sop) {
+        for cube in func.iter() {
+            if cube.len() < 2 {
+                continue;
+            }
+            let idx = self.rows.len();
+            for lit in cube.iter() {
+                self.by_lit.entry(lit).or_default().push(idx);
+            }
+            self.rows.push(ClRow {
+                node,
+                cube: cube.clone(),
+            });
+        }
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[ClRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows whose cubes are divisible by `cube`.
+    pub fn support(&self, cube: &Cube) -> Vec<usize> {
+        let mut lits = cube.iter();
+        let Some(first) = lits.next() else {
+            return (0..self.rows.len()).collect();
+        };
+        let mut rows: Vec<usize> = match self.by_lit.get(&first) {
+            Some(v) => v.clone(),
+            None => return Vec::new(),
+        };
+        for lit in lits {
+            let Some(other) = self.by_lit.get(&lit) else {
+                return Vec::new();
+            };
+            rows = intersect(&rows, other);
+            if rows.is_empty() {
+                break;
+            }
+        }
+        rows
+    }
+
+    /// Finds the best common cube (≥ 2 literals, ≥ 2 rows, positive
+    /// value), or `None`. `max_pairs` bounds the pairwise candidate
+    /// enumeration (per starting row) to keep worst-case cost linearish
+    /// on huge PLAs.
+    pub fn best_common_cube(&self, max_pairs: usize) -> Option<CommonCube> {
+        let mut best: Option<CommonCube> = None;
+        let mut tried: FxHashSet<Cube> = FxHashSet::default();
+        for (i, row) in self.rows.iter().enumerate() {
+            // Candidate partners: rows sharing the row's first literal
+            // (any common cube with this row shares every literal, so
+            // enumerating per-literal partners would only add dups).
+            let mut budget = max_pairs;
+            for lit in row.cube.iter() {
+                let Some(partners) = self.by_lit.get(&lit) else { continue };
+                for &j in partners {
+                    if j <= i {
+                        continue;
+                    }
+                    if budget == 0 {
+                        break;
+                    }
+                    budget -= 1;
+                    let cand = row.cube.intersection(&self.rows[j].cube);
+                    if cand.len() < 2 || !tried.insert(cand.clone()) {
+                        continue;
+                    }
+                    let support = self.support(&cand);
+                    let value = support.len() as i64 * (cand.len() as i64 - 1)
+                        - cand.len() as i64;
+                    if value > 0
+                        && best.as_ref().is_none_or(|b| {
+                            (value, &b.cube) > (b.value, &cand)
+                        })
+                    {
+                        best = Some(CommonCube {
+                            cube: cand,
+                            rows: support,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Sorted-slice intersection.
+fn intersect(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_sop::Sop;
+
+    fn cube(ids: &[u32]) -> Cube {
+        Cube::from_lits(ids.iter().map(|&i| Lit::pos(i)))
+    }
+
+    fn sop(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(cubes.iter().map(|c| cube(c)))
+    }
+
+    #[test]
+    fn finds_shared_cube_across_nodes() {
+        // f = abc + abd, g = abe: common cube ab in 3 rows:
+        // value = 3·1 − 2 = 1.
+        let mut m = CubeLitMatrix::new();
+        m.add_node(0, &sop(&[&[1, 2, 3], &[1, 2, 4]]));
+        m.add_node(1, &sop(&[&[1, 2, 5]]));
+        let best = m.best_common_cube(1 << 20).unwrap();
+        assert_eq!(best.cube, cube(&[1, 2]));
+        assert_eq!(best.rows.len(), 3);
+        assert_eq!(best.value, 1);
+    }
+
+    #[test]
+    fn bigger_shared_cube_wins() {
+        // abc shared by 3 rows (value 3·2−3 = 3) beats ab in the same
+        // rows (3·1−2 = 1).
+        let mut m = CubeLitMatrix::new();
+        m.add_node(0, &sop(&[&[1, 2, 3, 4], &[1, 2, 3, 5], &[1, 2, 3, 6]]));
+        let best = m.best_common_cube(1 << 20).unwrap();
+        assert_eq!(best.cube, cube(&[1, 2, 3]));
+        assert_eq!(best.value, 3);
+    }
+
+    #[test]
+    fn no_common_cube_returns_none() {
+        let mut m = CubeLitMatrix::new();
+        m.add_node(0, &sop(&[&[1, 2], &[3, 4]]));
+        assert!(m.best_common_cube(1 << 20).is_none());
+    }
+
+    #[test]
+    fn two_rows_two_lits_is_break_even_rejected() {
+        // ab in exactly 2 rows: value = 2·1 − 2 = 0 → not profitable.
+        let mut m = CubeLitMatrix::new();
+        m.add_node(0, &sop(&[&[1, 2, 3], &[1, 2, 4]]));
+        assert!(m.best_common_cube(1 << 20).is_none());
+    }
+
+    #[test]
+    fn three_literal_pair_is_profitable() {
+        // abc in exactly 2 rows: value = 2·2 − 3 = 1.
+        let mut m = CubeLitMatrix::new();
+        m.add_node(0, &sop(&[&[1, 2, 3, 4], &[1, 2, 3, 5]]));
+        let best = m.best_common_cube(1 << 20).unwrap();
+        assert_eq!(best.cube, cube(&[1, 2, 3]));
+        assert_eq!(best.value, 1);
+    }
+
+    #[test]
+    fn support_matches_divisibility() {
+        let mut m = CubeLitMatrix::new();
+        m.add_node(0, &sop(&[&[1, 2, 3], &[1, 2], &[2, 3], &[1, 3, 4]]));
+        let s = m.support(&cube(&[1, 3]));
+        for (i, row) in m.rows().iter().enumerate() {
+            assert_eq!(
+                s.contains(&i),
+                row.cube.divisible_by(&cube(&[1, 3])),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_literal_cubes_skipped() {
+        let mut m = CubeLitMatrix::new();
+        m.add_node(0, &sop(&[&[1], &[2]]));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn negative_phase_literals_work() {
+        let mut m = CubeLitMatrix::new();
+        let f = Sop::from_cubes([
+            Cube::from_lits([Lit::neg(1), Lit::pos(2), Lit::pos(3)]),
+            Cube::from_lits([Lit::neg(1), Lit::pos(2), Lit::pos(4)]),
+            Cube::from_lits([Lit::neg(1), Lit::pos(2), Lit::pos(5)]),
+        ]);
+        m.add_node(0, &f);
+        let best = m.best_common_cube(1 << 20).unwrap();
+        assert_eq!(best.cube, Cube::from_lits([Lit::neg(1), Lit::pos(2)]));
+        assert_eq!(best.rows.len(), 3);
+    }
+}

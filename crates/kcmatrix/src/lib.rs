@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # pf-kcmatrix — the co-kernel cube matrix and rectangle covering
+//!
+//! The optimization core of algebraic factorization, after Brayton–Rudell
+//! ("Multi-level logic optimization and the rectangular covering
+//! problem", ICCAD'87) as used by the paper:
+//!
+//! * a [`registry::CubeRegistry`] interning every network cube that
+//!   appears in the matrix, and a [`registry::CubeStates`] table holding
+//!   the shared FREE / COVERED / DIVIDED state of each cube with its
+//!   `value` / `trueval` / `owner` attributes (paper Table 5) —
+//!   implemented lock-free over one atomic word per cube;
+//! * the sparse [`matrix::KcMatrix`] with rows labeled by
+//!   (node, co-kernel) and columns by kernel cube, using the paper's
+//!   processor-offset labeling scheme (§5.2) so concurrently generated
+//!   rows and columns get consistent identities on every processor;
+//! * exact best-rectangle search ([`rectangle`]) by branch-and-bound over
+//!   prime column sets ordered by leftmost column — the exact ordering
+//!   Algorithm R (§3) distributes across processors — with an admissible
+//!   pruning bound and a visit budget that falls back to a per-kernel
+//!   greedy sweep on pathological matrices.
+
+pub mod cube_matrix;
+pub mod matrix;
+pub mod rectangle;
+pub mod registry;
+
+pub use cube_matrix::{CommonCube, CubeLitMatrix};
+pub use matrix::{ColIdx, KcCol, KcMatrix, KcRow, LabelGen, RowIdx};
+pub use rectangle::{best_rectangle, best_rectangle_with, CostModel, Rectangle, SearchConfig, SearchStats};
+pub use registry::{CubeId, CubeRegistry, CubeState, CubeStates, ProcId};

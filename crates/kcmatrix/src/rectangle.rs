@@ -1,0 +1,638 @@
+//! Best-rectangle search over the KC matrix.
+//!
+//! A rectangle `(R, C)` selects rows and columns whose intersections are
+//! all `1` entries; extracting it creates the node `X = Σ_{c∈C} cube_c`
+//! and rewrites every row's node. Its **value** is the literal saving
+//! (Brayton–Rudell):
+//!
+//! ```text
+//! value(R, C) = Σ_{distinct cubes covered} v(cube)
+//!             − Σ_{r∈R} (|cokernel_r| + 1)      (replacement cubes cok·X)
+//!             − Σ_{c∈C} |cube_c|                 (the new node's body)
+//! ```
+//!
+//! where `v(cube)` is the cube's current value — the weight for FREE
+//! cubes, 0 for cubes covered by another processor or already divided
+//! (paper §5.3). The search enumerates column sets ordered by **leftmost
+//! column** (exactly the decomposition Figure 1 splits across
+//! processors), keeps for each column set the optimal row subset (rows
+//! with positive contribution), prunes with an admissible bound, and
+//! degrades to a per-row greedy sweep when a visit budget is exhausted.
+
+use crate::matrix::{ColIdx, KcMatrix, RowIdx};
+use crate::registry::CubeId;
+use pf_sop::fx::FxHashSet;
+use pf_sop::Sop;
+
+/// A candidate extraction: chosen rows, chosen columns, literal saving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rectangle {
+    /// Row indices into the matrix (alive rows only).
+    pub rows: Vec<RowIdx>,
+    /// Column indices, ascending.
+    pub cols: Vec<ColIdx>,
+    /// Exact literal saving of extracting this rectangle now.
+    pub value: i64,
+}
+
+impl Rectangle {
+    /// The kernel this rectangle extracts: the sum of its column cubes.
+    pub fn kernel(&self, m: &KcMatrix) -> Sop {
+        Sop::from_cubes(self.cols.iter().map(|&c| m.cols()[c].cube.clone()))
+    }
+}
+
+/// Search options.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Maximum number of column-set expansions before falling back to
+    /// the greedy sweep result.
+    pub budget: u64,
+    /// Restrict the *leftmost* column of enumerated rectangles to the
+    /// stripe `proc` of `nprocs` (round-robin by column index) — the §3
+    /// divide-and-conquer decomposition. `None` searches everything.
+    pub stripe: Option<(u32, u32)>,
+    /// Minimum number of columns (2 for kernel extraction: a single
+    /// column is a cube, not a kernel).
+    pub min_cols: usize,
+    /// Run the seeding greedy sweep before branch and bound. Disable
+    /// only in tests that target the exact search.
+    pub greedy_seed: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            budget: 2_000_000,
+            stripe: None,
+            min_cols: 2,
+            greedy_seed: true,
+        }
+    }
+}
+
+/// Statistics from one search call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Column sets expanded.
+    pub visited: u64,
+    /// Whether the branch-and-bound budget ran out (result may be the
+    /// greedy one).
+    pub budget_exhausted: bool,
+}
+
+/// The cost functions defining a rectangle's value. The default (area)
+/// model values a covered cube at its literal count, a row replacement
+/// `cok·X` at `|cok| + 1` and a kernel cube at its literal count; the
+/// paper's conclusion points out that timing- and power-driven synthesis
+/// only need these three functions swapped ("our methods can be directly
+/// applied … provided the algorithms are formulated in terms of a
+/// rectangular cover problem").
+pub struct CostModel<'a> {
+    /// Current value of a covered cube (0 when covered elsewhere or
+    /// divided — the paper's `V` attribute).
+    pub cube_value: &'a dyn Fn(CubeId) -> u32,
+    /// Cost of the replacement cube `cok·X` added per chosen row.
+    pub row_cost: &'a dyn Fn(&pf_sop::Cube) -> i64,
+    /// Cost of one kernel cube in the extracted node's body.
+    pub col_cost: &'a dyn Fn(&pf_sop::Cube) -> i64,
+}
+
+/// Finds the maximum-valued rectangle with positive value, or `None`.
+///
+/// `value_of` maps a [`CubeId`] to its current value (weight, or 0 when
+/// covered elsewhere / divided) — the paper's `V` attribute read with the
+/// asking processor's identity baked in. Uses the default area cost
+/// model; see [`best_rectangle_with`] for custom objectives.
+pub fn best_rectangle(
+    m: &KcMatrix,
+    value_of: &dyn Fn(CubeId) -> u32,
+    cfg: &SearchConfig,
+) -> (Option<Rectangle>, SearchStats) {
+    let model = CostModel {
+        cube_value: value_of,
+        row_cost: &|cok| cok.len() as i64 + 1,
+        col_cost: &|cube| cube.len() as i64,
+    };
+    best_rectangle_with(m, &model, cfg)
+}
+
+/// [`best_rectangle`] under an explicit [`CostModel`].
+pub fn best_rectangle_with(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+) -> (Option<Rectangle>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut best: Option<Rectangle> = None;
+
+    // Precompute, per alive row: Σ of entry values and the row cost —
+    // used for the admissible pruning bound.
+    let nrows = m.rows().len();
+    let mut row_full_value = vec![0i64; nrows];
+    for (i, r) in m.rows().iter().enumerate() {
+        if !r.alive {
+            continue;
+        }
+        let sum: i64 = r
+            .entries
+            .iter()
+            .map(|&(_, id)| (model.cube_value)(id) as i64)
+            .sum();
+        row_full_value[i] = sum - (model.row_cost)(&r.cokernel);
+    }
+
+    if cfg.greedy_seed {
+        greedy_sweep(m, model, cfg, &mut best);
+    }
+
+    // Branch and bound over column sets ordered by leftmost column.
+    let ncols = m.cols().len();
+    let mut state = Search {
+        m,
+        model,
+        cfg,
+        row_full_value: &row_full_value,
+        stats: &mut stats,
+        best: &mut best,
+        cols: Vec::new(),
+        scratch: Vec::new(),
+        seen: FxHashSet::default(),
+    };
+    for c0 in 0..ncols {
+        if let Some((proc, nprocs)) = cfg.stripe {
+            if (c0 as u32) % nprocs != proc {
+                continue;
+            }
+        }
+        let rows0: Vec<RowIdx> = m.cols()[c0].rows.clone();
+        if rows0.is_empty() {
+            continue;
+        }
+        if state.exhausted() {
+            break;
+        }
+        state.cols.clear();
+        state.cols.push(c0);
+        state.explore(0, rows0);
+    }
+    stats.budget_exhausted = stats.visited >= cfg.budget;
+    (best, stats)
+}
+
+struct Search<'a> {
+    m: &'a KcMatrix,
+    model: &'a CostModel<'a>,
+    cfg: &'a SearchConfig,
+    row_full_value: &'a [i64],
+    stats: &'a mut SearchStats,
+    best: &'a mut Option<Rectangle>,
+    /// Current column set (shared across the recursion as a stack).
+    cols: Vec<ColIdx>,
+    /// Per-depth row-intersection buffers, reused between branches.
+    scratch: Vec<Vec<RowIdx>>,
+    /// Reusable dedup set for exact evaluation.
+    seen: FxHashSet<CubeId>,
+}
+
+impl Search<'_> {
+    fn exhausted(&self) -> bool {
+        self.stats.visited >= self.cfg.budget
+    }
+
+    fn best_value(&self) -> i64 {
+        self.best.as_ref().map_or(0, |b| b.value)
+    }
+
+    /// Expands the current column set (`self.cols`) whose supporting
+    /// rows are `rows`. `depth` indexes the scratch pool. Returns the
+    /// `rows` buffer so the caller can pool it.
+    fn explore(&mut self, depth: usize, rows: Vec<RowIdx>) -> Vec<RowIdx> {
+        self.stats.visited += 1;
+        if self.exhausted() {
+            return rows;
+        }
+
+        if self.cols.len() >= self.cfg.min_cols {
+            // Cheap gate first: the duplicate-blind value is an upper
+            // bound on the exact value, so the exact (allocating) pass
+            // only runs on candidates that could beat the best.
+            let col_cost: i64 = self
+                .cols
+                .iter()
+                .map(|&c| (self.model.col_cost)(&self.m.cols()[c].cube))
+                .sum();
+            let mut approx: i64 = -col_cost;
+            for &r in &rows {
+                let row = &self.m.rows()[r];
+                let mut contrib: i64 = -(self.model.row_cost)(&row.cokernel);
+                for &c in &self.cols {
+                    let id = row.entry(c).expect("row supports all cols");
+                    contrib += (self.model.cube_value)(id) as i64;
+                }
+                if contrib > 0 {
+                    approx += contrib;
+                }
+            }
+            if approx > self.best_value() {
+                self.seen.clear();
+                if let Some(rect) =
+                    evaluate_with(self.m, self.model, &self.cols, &rows, &mut self.seen)
+                {
+                    if rect.value > self.best_value() {
+                        *self.best = Some(rect);
+                    }
+                }
+            }
+        }
+
+        // Extend with columns to the right of the current rightmost.
+        let from = self.cols.last().copied().unwrap_or(0) + 1;
+        if self.scratch.len() <= depth {
+            self.scratch.resize_with(depth + 1, Vec::new);
+        }
+        for c in from..self.m.cols().len() {
+            // rows ∩ rows(c), into the per-depth scratch buffer.
+            let mut shared = std::mem::take(&mut self.scratch[depth]);
+            shared.clear();
+            intersect_into(&rows, &self.m.cols()[c].rows, &mut shared);
+            if shared.is_empty() {
+                self.scratch[depth] = shared;
+                continue;
+            }
+            // Admissible bound: every surviving row can contribute at
+            // most its full-row value; column costs only grow.
+            let ub: i64 = shared
+                .iter()
+                .map(|&r| self.row_full_value[r].max(0))
+                .sum();
+            if ub <= self.best_value() {
+                self.scratch[depth] = shared;
+                continue;
+            }
+            self.cols.push(c);
+            let buf = self.explore(depth + 1, shared);
+            self.scratch[depth] = buf;
+            self.cols.pop();
+            if self.exhausted() {
+                return rows;
+            }
+        }
+        rows
+    }
+}
+
+/// `out = a ∩ b` over sorted slices, reusing `out`'s allocation.
+fn intersect_into(a: &[RowIdx], b: &[RowIdx], out: &mut Vec<RowIdx>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Exact evaluation of the optimal rectangle for a fixed column set:
+/// keeps the rows with positive contribution and counts each covered
+/// cube once. Returns `None` when no row subset yields positive value.
+/// `seen` is a caller-provided (cleared) dedup buffer.
+fn evaluate_with(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cols: &[ColIdx],
+    rows: &[RowIdx],
+    seen: &mut FxHashSet<CubeId>,
+) -> Option<Rectangle> {
+    // First pass: per-row contribution ignoring cross-row duplicates
+    // (an upper bound per row); rows kept if positive.
+    let col_cost: i64 = cols
+        .iter()
+        .map(|&c| (model.col_cost)(&m.cols()[c].cube))
+        .sum();
+    let mut kept: Vec<RowIdx> = Vec::new();
+    for &r in rows {
+        let row = &m.rows()[r];
+        let mut contrib: i64 = -(model.row_cost)(&row.cokernel);
+        for &c in cols {
+            let id = row.entry(c).expect("row supports all cols");
+            contrib += (model.cube_value)(id) as i64;
+        }
+        if contrib > 0 {
+            kept.push(r);
+        }
+    }
+    if kept.is_empty() {
+        return None;
+    }
+    // Second pass: exact value with cross-row cube deduplication.
+    let mut total: i64 = -col_cost;
+    for &r in &kept {
+        let row = &m.rows()[r];
+        total -= (model.row_cost)(&row.cokernel);
+        for &c in cols {
+            let id = row.entry(c).expect("row supports all cols");
+            if seen.insert(id) {
+                total += (model.cube_value)(id) as i64;
+            }
+        }
+    }
+    if total <= 0 {
+        return None;
+    }
+    Some(Rectangle {
+        rows: kept,
+        cols: cols.to_vec(),
+        value: total,
+    })
+}
+
+/// Greedy seed: for every alive row, take its full column set as the
+/// candidate kernel and evaluate the optimal rectangle for it. O(rows ×
+/// cols); seeds the branch-and-bound with a strong lower bound and is
+/// the fallback answer when the budget dies.
+fn greedy_sweep(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    best: &mut Option<Rectangle>,
+) {
+    let mut seen: FxHashSet<CubeId> = FxHashSet::default();
+    for row in m.rows().iter().filter(|r| r.alive) {
+        if row.entries.len() < cfg.min_cols {
+            continue;
+        }
+        let cols: Vec<ColIdx> = row.entries.iter().map(|&(c, _)| c).collect();
+        if let Some((proc, nprocs)) = cfg.stripe {
+            // Stripe filter applies to the leftmost column for
+            // consistency with the exact search.
+            if (cols[0] as u32) % nprocs != proc {
+                continue;
+            }
+        }
+        // Supporting rows: intersection of the column row-lists.
+        let mut support = m.cols()[cols[0]].rows.clone();
+        for &c in &cols[1..] {
+            support = KcMatrix::intersect_rows(&support, &m.cols()[c].rows);
+            if support.is_empty() {
+                break;
+            }
+        }
+        if support.is_empty() {
+            continue;
+        }
+        seen.clear();
+        if let Some(rect) = evaluate_with(m, model, &cols, &support, &mut seen) {
+            if rect.value > best.as_ref().map_or(0, |b| b.value) {
+                *best = Some(rect);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::LabelGen;
+    use crate::registry::CubeRegistry;
+    use pf_sop::kernel::KernelConfig;
+    use pf_sop::{Cube, Lit};
+
+    fn cube(ids: &[u32]) -> Cube {
+        Cube::from_lits(ids.iter().map(|&i| Lit::pos(i)))
+    }
+
+    fn sop(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(cubes.iter().map(|c| cube(c)))
+    }
+
+    /// Builds the full KC matrix of the paper's network N (Eq. 1):
+    /// F (id 10), G (id 9), H (id 8), vars a=1 … g=7.
+    fn paper_matrix() -> (KcMatrix, CubeRegistry, Vec<u32>) {
+        let reg = CubeRegistry::new();
+        let mut m = KcMatrix::new();
+        let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        let f = sop(&[
+            &[1, 6],
+            &[2, 6],
+            &[1, 7],
+            &[3, 7],
+            &[1, 4, 5],
+            &[2, 4, 5],
+            &[3, 4, 5],
+        ]);
+        let g = sop(&[&[1, 6], &[2, 6], &[1, 3, 5], &[2, 3, 5]]);
+        let h = sop(&[&[1, 4, 5], &[3, 4, 5]]);
+        let kc = KernelConfig::default();
+        m.add_node_kernels(10, &f, &kc, &reg, &mut rl, &mut cl);
+        m.add_node_kernels(9, &g, &kc, &reg, &mut rl, &mut cl);
+        m.add_node_kernels(8, &h, &kc, &reg, &mut rl, &mut cl);
+        let weights = reg.weights_snapshot();
+        (m, reg, weights)
+    }
+
+    #[test]
+    fn best_rectangle_on_paper_network_is_a_plus_b() {
+        let (m, _reg, w) = paper_matrix();
+        let (best, stats) = best_rectangle(
+            &m,
+            &|id| w[id as usize],
+            &SearchConfig::default(),
+        );
+        let best = best.expect("positive rectangle exists");
+        assert!(!stats.budget_exhausted);
+        // Example 1.1: extracting X = a + b saves 8 literals.
+        assert_eq!(best.value, 8);
+        let kernel = best.kernel(&m);
+        assert_eq!(kernel, sop(&[&[1], &[2]]));
+        // Rows: co-kernels f, de of F and f, ce of G.
+        let row_desc: Vec<(u32, Cube)> = best
+            .rows
+            .iter()
+            .map(|&r| (m.rows()[r].node, m.rows()[r].cokernel.clone()))
+            .collect();
+        assert!(row_desc.contains(&(10, cube(&[6]))));
+        assert!(row_desc.contains(&(10, cube(&[4, 5]))));
+        assert!(row_desc.contains(&(9, cube(&[6]))));
+        assert!(row_desc.contains(&(9, cube(&[3, 5]))));
+        assert_eq!(best.rows.len(), 4);
+    }
+
+    #[test]
+    fn exact_and_greedy_agree_on_paper_network() {
+        let (m, _reg, w) = paper_matrix();
+        let exact = best_rectangle(
+            &m,
+            &|id| w[id as usize],
+            &SearchConfig {
+                greedy_seed: false,
+                ..SearchConfig::default()
+            },
+        )
+        .0
+        .unwrap();
+        let seeded = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default())
+            .0
+            .unwrap();
+        assert_eq!(exact.value, seeded.value);
+    }
+
+    #[test]
+    fn stripes_partition_the_search() {
+        // The union of the best rectangles over all stripes must contain
+        // a rectangle as good as the global best (Figure 1's reduction).
+        let (m, _reg, w) = paper_matrix();
+        let global = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default())
+            .0
+            .unwrap();
+        let nprocs = 3u32;
+        let mut best_striped: i64 = 0;
+        for p in 0..nprocs {
+            let cfg = SearchConfig {
+                stripe: Some((p, nprocs)),
+                ..SearchConfig::default()
+            };
+            if let (Some(r), _) = best_rectangle(&m, &|id| w[id as usize], &cfg) {
+                best_striped = best_striped.max(r.value);
+            }
+        }
+        assert_eq!(best_striped, global.value);
+    }
+
+    #[test]
+    fn covered_cubes_lose_value() {
+        let (m, reg, w) = paper_matrix();
+        // Cover G's cubes af/bf/ace/bce for another processor: the best
+        // rectangle should shrink (only F's rows contribute).
+        let g_cubes = [
+            cube(&[1, 6]),
+            cube(&[2, 6]),
+            cube(&[1, 3, 5]),
+            cube(&[2, 3, 5]),
+        ];
+        let covered: Vec<CubeId> = g_cubes
+            .iter()
+            .map(|c| reg.lookup(9, c).unwrap())
+            .collect();
+        let value_of = move |id: CubeId| {
+            if covered.contains(&id) {
+                0
+            } else {
+                w[id as usize]
+            }
+        };
+        let best = best_rectangle(&m, &value_of, &SearchConfig::default())
+            .0
+            .unwrap();
+        // a+b over F only: covered 2+2+3+3=10, rows (f:2)+(de:3)=5, cols 2 ⇒ 3
+        // but other kernels may do better; value must drop below 8.
+        assert!(best.value < 8);
+        assert!(best.value > 0);
+        for &r in &best.rows {
+            assert_ne!(m.rows()[r].node, 9, "worthless rows must be dropped");
+        }
+    }
+
+    #[test]
+    fn budget_falls_back_to_greedy() {
+        let (m, _reg, w) = paper_matrix();
+        let (best, stats) = best_rectangle(
+            &m,
+            &|id| w[id as usize],
+            &SearchConfig {
+                budget: 1,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(stats.budget_exhausted);
+        // Greedy still finds the a+b rectangle here (it is a full row).
+        assert_eq!(best.unwrap().value, 8);
+    }
+
+    #[test]
+    fn no_positive_rectangle_returns_none() {
+        // Matrix from x = ab + cd: no kernels at all → no columns.
+        let reg = CubeRegistry::new();
+        let mut m = KcMatrix::new();
+        let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        m.add_node_kernels(
+            1,
+            &sop(&[&[1, 2], &[3, 4]]),
+            &KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
+        let w = reg.weights_snapshot();
+        let (best, _) = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default());
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn single_node_kernel_extraction_gain() {
+        // f = ac + ad + bc + bd: extracting a+b (or c+d) saves
+        // covered 4·2=8 − rows (1+1)+(1+1) − cols 2 = 2.
+        let reg = CubeRegistry::new();
+        let mut m = KcMatrix::new();
+        let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        m.add_node_kernels(
+            1,
+            &sop(&[&[1, 3], &[1, 4], &[2, 3], &[2, 4]]),
+            &KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
+        let w = reg.weights_snapshot();
+        let best = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default())
+            .0
+            .unwrap();
+        assert_eq!(best.value, 2);
+        assert_eq!(best.cols.len(), 2);
+        assert_eq!(best.rows.len(), 2);
+    }
+
+    #[test]
+    fn min_cols_one_allows_cube_rectangles() {
+        // With min_cols = 1 the search may pick a single-column
+        // rectangle (common-cube extraction style).
+        let (m, _reg, w) = paper_matrix();
+        let cfg = SearchConfig {
+            min_cols: 1,
+            ..SearchConfig::default()
+        };
+        let best = best_rectangle(&m, &|id| w[id as usize], &cfg).0.unwrap();
+        assert!(best.value >= 8); // at least as good as the 2-col optimum
+    }
+
+    #[test]
+    fn dedup_counts_shared_cube_once() {
+        // G alone: rectangle {(a),(b)} × {f, ce} covers af,bf,ace,bce;
+        // rows a,b of G; value = 10 − (2+2) − (1+2) = 3.
+        let reg = CubeRegistry::new();
+        let mut m = KcMatrix::new();
+        let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        m.add_node_kernels(
+            9,
+            &sop(&[&[1, 6], &[2, 6], &[1, 3, 5], &[2, 3, 5]]),
+            &KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
+        let w = reg.weights_snapshot();
+        let best = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default())
+            .0
+            .unwrap();
+        assert_eq!(best.value, 3);
+    }
+}

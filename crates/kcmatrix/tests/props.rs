@@ -1,0 +1,161 @@
+//! Property tests for the KC matrix and rectangle search: matrix
+//! entries really cover network cubes, the exact search dominates the
+//! greedy one, stripes partition the space, and the state machine obeys
+//! Table 5 under arbitrary operation sequences.
+
+use pf_kcmatrix::{
+    best_rectangle, CubeRegistry, CubeState, CubeStates, KcMatrix, LabelGen, SearchConfig,
+};
+use pf_sop::kernel::KernelConfig;
+use pf_sop::{Cube, Lit, Sop};
+use proptest::prelude::*;
+
+fn arb_sop(nvars: u32, max_len: usize, max_cubes: usize) -> impl Strategy<Value = Sop> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..nvars, 1..=max_len),
+        1..=max_cubes,
+    )
+    .prop_map(|cubes| {
+        Sop::from_cubes(
+            cubes
+                .into_iter()
+                .map(|vs| Cube::from_lits(vs.into_iter().map(Lit::pos))),
+        )
+    })
+}
+
+fn build_matrix(funcs: &[Sop]) -> (KcMatrix, Vec<u32>) {
+    let reg = CubeRegistry::new();
+    let mut m = KcMatrix::new();
+    let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+    let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+    for (i, f) in funcs.iter().enumerate() {
+        m.add_node_kernels(i as u32, f, &KernelConfig::default(), &reg, &mut rl, &mut cl);
+    }
+    let w = reg.weights_snapshot();
+    (m, w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every matrix entry covers an actual cube of its node's function,
+    /// and the entry weight is that cube's literal count.
+    #[test]
+    fn entries_cover_real_cubes(funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4)) {
+        let (m, w) = build_matrix(&funcs);
+        for row in m.rows() {
+            for &(c, id) in &row.entries {
+                let covered = row.cokernel.product(&m.cols()[c].cube).unwrap();
+                prop_assert!(funcs[row.node as usize].contains_cube(&covered));
+                prop_assert_eq!(w[id as usize], covered.len() as u32);
+            }
+        }
+    }
+
+    /// The returned rectangle's value is consistent with a direct
+    /// recomputation, and applying it can never lose literals.
+    #[test]
+    fn best_rectangle_value_is_exact(funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4)) {
+        let (m, w) = build_matrix(&funcs);
+        let (best, _) = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default());
+        let Some(rect) = best else { return Ok(()) };
+        prop_assert!(rect.value > 0);
+        // Recompute: Σ distinct covered − row costs − col costs.
+        let mut seen = std::collections::HashSet::new();
+        let mut total: i64 = -rect.cols.iter()
+            .map(|&c| m.cols()[c].cube.len() as i64).sum::<i64>();
+        for &r in &rect.rows {
+            let row = &m.rows()[r];
+            total -= row.cokernel.len() as i64 + 1;
+            for &c in &rect.cols {
+                let id = row.entry(c).unwrap();
+                if seen.insert(id) {
+                    total += w[id as usize] as i64;
+                }
+            }
+        }
+        prop_assert_eq!(total, rect.value);
+    }
+
+    /// The union of striped searches finds the global optimum value.
+    #[test]
+    fn stripes_cover_the_space(
+        funcs in prop::collection::vec(arb_sop(8, 3, 7), 1..4),
+        nprocs in 2u32..5,
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let global = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default())
+            .0
+            .map_or(0, |r| r.value);
+        let mut best = 0i64;
+        for p in 0..nprocs {
+            let cfg = SearchConfig { stripe: Some((p, nprocs)), ..SearchConfig::default() };
+            if let (Some(r), _) = best_rectangle(&m, &|id| w[id as usize], &cfg) {
+                best = best.max(r.value);
+            }
+        }
+        prop_assert_eq!(best, global);
+    }
+
+    /// Zeroing cube values can only lower the best rectangle's value.
+    #[test]
+    fn covering_is_monotone(
+        funcs in prop::collection::vec(arb_sop(8, 3, 7), 1..4),
+        mask in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let full = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default())
+            .0.map_or(0, |r| r.value);
+        let masked = best_rectangle(&m, &|id| {
+            if mask.get(id as usize).copied().unwrap_or(false) { 0 } else { w[id as usize] }
+        }, &SearchConfig::default()).0.map_or(0, |r| r.value);
+        prop_assert!(masked <= full);
+    }
+
+    /// The Table 5 state machine: arbitrary claim/release/divide
+    /// sequences keep every cube in a legal state and DIVIDED absorbing.
+    #[test]
+    fn state_machine_is_sound(ops in prop::collection::vec((0u32..8, 0u16..4, 0u8..3), 0..200)) {
+        let st = CubeStates::with_len(8);
+        let mut divided = [false; 8];
+        for (id, proc, op) in ops {
+            match op {
+                0 => { st.claim(id, proc); }
+                1 => { st.release(id, proc); }
+                _ => { st.mark_divided(id); divided[id as usize] = true; }
+            }
+            if divided[id as usize] {
+                prop_assert_eq!(st.state(id), CubeState::Divided);
+            }
+            match st.state(id) {
+                CubeState::Free => {
+                    prop_assert_eq!(st.value_for(id, 7, 0), 7);
+                }
+                CubeState::Covered(owner) => {
+                    prop_assert_eq!(st.value_for(id, 7, owner), 7);
+                    prop_assert_eq!(st.value_for(id, 7, owner + 1), 0);
+                }
+                CubeState::Divided => {
+                    prop_assert_eq!(st.value_for(id, 7, proc), 0);
+                }
+            }
+        }
+    }
+
+    /// Tombstoning a node's rows leaves the matrix consistent.
+    #[test]
+    fn remove_rows_keeps_consistency(funcs in prop::collection::vec(arb_sop(8, 3, 7), 2..4)) {
+        let (mut m, _) = build_matrix(&funcs);
+        m.remove_node_rows(0);
+        for col in m.cols() {
+            for &r in &col.rows {
+                prop_assert!(m.rows()[r].alive);
+                prop_assert_ne!(m.rows()[r].node, 0);
+            }
+        }
+        for row in m.rows().iter().filter(|r| r.alive) {
+            prop_assert_ne!(row.node, 0);
+        }
+    }
+}

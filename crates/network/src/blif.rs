@@ -1,0 +1,434 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer — the
+//! format SIS itself speaks, so real benchmark circuits can be moved in
+//! and out of this tool.
+//!
+//! Supported subset: combinational `.model` / `.inputs` / `.outputs` /
+//! `.names` / `.end` with `\` line continuations and `#` comments.
+//! `.names` covers use the single-output on-set form (input plane over
+//! `{0,1,-}`, output `1`), which is what synthesized MCNC circuits use.
+//! Latches, multiple models and off-set covers are rejected with a
+//! descriptive error.
+
+use crate::network::{Network, NetworkError, SignalId};
+use pf_sop::fx::FxHashMap;
+use pf_sop::{Cube, Lit, Sop, Var};
+use std::fmt::Write as _;
+
+/// Errors from the BLIF reader.
+#[derive(Debug)]
+pub enum BlifError {
+    /// Malformed or unsupported construct.
+    Syntax {
+        /// 1-based line number of the offending construct.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The finished network failed validation.
+    Network(NetworkError),
+}
+
+impl std::fmt::Display for BlifError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlifError::Syntax { line, msg } => write!(f, "blif line {line}: {msg}"),
+            BlifError::Network(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlifError {}
+
+impl From<NetworkError> for BlifError {
+    fn from(e: NetworkError) -> Self {
+        BlifError::Network(e)
+    }
+}
+
+/// Logical lines of a BLIF file: comments stripped, `\` continuations
+/// joined, blank lines dropped. Returns `(first physical line, text)`.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (no, raw) in text.lines().enumerate() {
+        let mut line = raw.split('#').next().unwrap_or("").trim_end().to_string();
+        let continued = line.ends_with('\\');
+        if continued {
+            line.pop();
+        }
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(line.trim());
+                if continued {
+                    pending = Some((start, acc));
+                } else if !acc.trim().is_empty() {
+                    out.push((start, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((no + 1, line.trim().to_string()));
+                } else if !line.trim().is_empty() {
+                    out.push((no + 1, line.trim().to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        if !acc.trim().is_empty() {
+            out.push((start, acc));
+        }
+    }
+    out
+}
+
+/// Parses a combinational BLIF model into a [`Network`].
+pub fn read_blif(text: &str) -> Result<Network, BlifError> {
+    struct Names {
+        line: usize,
+        signals: Vec<String>, // inputs then the output last
+        rows: Vec<String>,
+    }
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut tables: Vec<Names> = Vec::new();
+    let mut current: Option<Names> = None;
+    let mut seen_model = false;
+
+    for (line, text) in logical_lines(text) {
+        let mut toks = text.split_whitespace();
+        let head = toks.next().unwrap_or("");
+        let is_directive = head.starts_with('.');
+        if is_directive {
+            if let Some(t) = current.take() {
+                tables.push(t);
+            }
+        }
+        match head {
+            ".model" => {
+                if seen_model {
+                    return Err(BlifError::Syntax {
+                        line,
+                        msg: "multiple .model blocks are not supported".into(),
+                    });
+                }
+                seen_model = true;
+            }
+            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".outputs" => outputs.extend(toks.map(str::to_string)),
+            ".names" => {
+                let signals: Vec<String> = toks.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(BlifError::Syntax {
+                        line,
+                        msg: ".names needs at least an output".into(),
+                    });
+                }
+                current = Some(Names {
+                    line,
+                    signals,
+                    rows: Vec::new(),
+                });
+            }
+            ".end" => {}
+            ".latch" | ".gate" | ".mlatch" | ".subckt" => {
+                return Err(BlifError::Syntax {
+                    line,
+                    msg: format!("{head} is not supported (combinational subset only)"),
+                });
+            }
+            _ if is_directive => {
+                return Err(BlifError::Syntax {
+                    line,
+                    msg: format!("unknown directive {head}"),
+                });
+            }
+            _ => match current.as_mut() {
+                Some(t) => t.rows.push(text.clone()),
+                None => {
+                    return Err(BlifError::Syntax {
+                        line,
+                        msg: "cover row outside a .names block".into(),
+                    });
+                }
+            },
+        }
+    }
+    if let Some(t) = current.take() {
+        tables.push(t);
+    }
+
+    // Declare signals: inputs first, then one node per .names output.
+    let mut nw = Network::new();
+    for name in &inputs {
+        nw.add_input(name.clone())?;
+    }
+    for t in &tables {
+        let out_name = t.signals.last().expect("nonempty");
+        nw.add_node(out_name.clone(), Sop::zero())?;
+    }
+    let lookup: FxHashMap<String, SignalId> = nw
+        .signal_ids()
+        .map(|s| (nw.name(s).to_string(), s))
+        .collect();
+
+    // Parse covers.
+    for t in &tables {
+        let out_name = t.signals.last().unwrap();
+        let fanins = &t.signals[..t.signals.len() - 1];
+        let node = lookup[out_name];
+        let mut cubes: Vec<Cube> = Vec::new();
+        let mut is_const_one = false;
+        for row in &t.rows {
+            let mut parts = row.split_whitespace();
+            let (plane, out_bit) = if fanins.is_empty() {
+                ("", parts.next().unwrap_or(""))
+            } else {
+                (
+                    parts.next().unwrap_or(""),
+                    parts.next().unwrap_or(""),
+                )
+            };
+            if out_bit != "1" {
+                return Err(BlifError::Syntax {
+                    line: t.line,
+                    msg: format!(
+                        "off-set cover rows (output {out_bit:?}) are not supported"
+                    ),
+                });
+            }
+            if fanins.is_empty() {
+                is_const_one = true;
+                continue;
+            }
+            if plane.len() != fanins.len() {
+                return Err(BlifError::Syntax {
+                    line: t.line,
+                    msg: format!(
+                        "cover row {row:?} has {} plane columns, .names lists {} inputs",
+                        plane.len(),
+                        fanins.len()
+                    ),
+                });
+            }
+            let mut lits = Vec::new();
+            for (ch, name) in plane.chars().zip(fanins.iter()) {
+                let id = *lookup.get(name).ok_or_else(|| BlifError::Syntax {
+                    line: t.line,
+                    msg: format!("unknown signal {name:?}"),
+                })?;
+                match ch {
+                    '1' => lits.push(Lit::new(Var::new(id), false)),
+                    '0' => lits.push(Lit::new(Var::new(id), true)),
+                    '-' => {}
+                    _ => {
+                        return Err(BlifError::Syntax {
+                            line: t.line,
+                            msg: format!("bad plane character {ch:?}"),
+                        });
+                    }
+                }
+            }
+            cubes.push(Cube::from_lits(lits));
+        }
+        let func = if is_const_one {
+            Sop::one()
+        } else {
+            Sop::from_cubes(cubes)
+        };
+        nw.set_func(node, func)?;
+    }
+    for name in &outputs {
+        let id = *lookup.get(name).ok_or_else(|| BlifError::Syntax {
+            line: 0,
+            msg: format!("unknown output {name:?}"),
+        })?;
+        nw.mark_output(id)?;
+    }
+    nw.validate()?;
+    Ok(nw)
+}
+
+/// Writes a network as a combinational BLIF model.
+pub fn write_blif(nw: &Network, model_name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, ".model {model_name}").unwrap();
+    let inputs: Vec<&str> = nw.input_ids().map(|i| nw.name(i)).collect();
+    if !inputs.is_empty() {
+        writeln!(out, ".inputs {}", inputs.join(" ")).unwrap();
+    }
+    if !nw.outputs().is_empty() {
+        let names: Vec<&str> = nw.outputs().iter().map(|&o| nw.name(o)).collect();
+        writeln!(out, ".outputs {}", names.join(" ")).unwrap();
+    }
+    for n in nw.node_ids() {
+        let f = nw.func(n);
+        let fanins = nw.fanins(n);
+        if f.is_zero() {
+            // Constant 0: a .names with no rows.
+            writeln!(out, ".names {}", nw.name(n)).unwrap();
+            continue;
+        }
+        if f.is_one() {
+            writeln!(out, ".names {}", nw.name(n)).unwrap();
+            writeln!(out, "1").unwrap();
+            continue;
+        }
+        let fanin_names: Vec<&str> = fanins.iter().map(|&s| nw.name(s)).collect();
+        writeln!(out, ".names {} {}", fanin_names.join(" "), nw.name(n)).unwrap();
+        for cube in f.iter() {
+            let mut plane = String::with_capacity(fanins.len());
+            for &fi in &fanins {
+                let pos = cube.contains(Lit::new(Var::new(fi), false));
+                let neg = cube.contains(Lit::new(Var::new(fi), true));
+                plane.push(if pos {
+                    '1'
+                } else if neg {
+                    '0'
+                } else {
+                    '-'
+                });
+            }
+            writeln!(out, "{plane} 1").unwrap();
+        }
+    }
+    writeln!(out, ".end").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::example_1_1;
+    use crate::sim::{equivalent_random, EquivConfig};
+
+    #[test]
+    fn roundtrip_example_network() {
+        let (nw, _) = example_1_1();
+        let text = write_blif(&nw, "example11");
+        let back = read_blif(&text).unwrap();
+        assert_eq!(back.literal_count(), nw.literal_count());
+        assert!(equivalent_random(&nw, &back, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn parses_basic_model() {
+        let text = "
+.model tiny
+.inputs a b c
+.outputs f
+.names a b c f
+11- 1
+--1 1
+.end
+";
+        let nw = read_blif(text).unwrap();
+        let f = nw.find("f").unwrap();
+        assert_eq!(nw.func(f).num_cubes(), 2);
+        assert_eq!(nw.func(f).literal_count(), 3); // ab + c
+    }
+
+    #[test]
+    fn zero_plane_means_complemented_literal() {
+        let text = "
+.model t
+.inputs a b
+.outputs f
+.names a b f
+01 1
+.end
+";
+        let nw = read_blif(text).unwrap();
+        let f = nw.find("f").unwrap();
+        let cube = &nw.func(f).cubes()[0];
+        let a = nw.find("a").unwrap();
+        let b = nw.find("b").unwrap();
+        assert!(cube.contains(Lit::new(Var::new(a), true)));
+        assert!(cube.contains(Lit::new(Var::new(b), false)));
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let text = "
+.model c
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+";
+        let nw = read_blif(text).unwrap();
+        assert!(nw.func(nw.find("one").unwrap()).is_one());
+        assert!(nw.func(nw.find("zero").unwrap()).is_zero());
+        let back = read_blif(&write_blif(&nw, "c")).unwrap();
+        assert!(back.func(back.find("one").unwrap()).is_one());
+    }
+
+    #[test]
+    fn line_continuations_and_comments() {
+        let text = "
+# a circuit
+.model t
+.inputs a \\
+        b
+.outputs f
+.names a b f  # the AND
+11 1
+.end
+";
+        let nw = read_blif(text).unwrap();
+        assert_eq!(nw.input_ids().count(), 2);
+        assert_eq!(nw.literal_count(), 2);
+    }
+
+    #[test]
+    fn latch_rejected() {
+        let text = ".model t\n.inputs a\n.latch a q\n.end";
+        let err = read_blif(text).unwrap_err();
+        assert!(matches!(err, BlifError::Syntax { .. }), "{err}");
+    }
+
+    #[test]
+    fn offset_cover_rejected() {
+        let text = ".model t\n.inputs a\n.outputs f\n.names a f\n1 0\n.end";
+        let err = read_blif(text).unwrap_err();
+        assert!(err.to_string().contains("off-set"));
+    }
+
+    #[test]
+    fn plane_width_mismatch_rejected() {
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end";
+        assert!(read_blif(text).is_err());
+    }
+
+    #[test]
+    fn multilevel_blif_roundtrip() {
+        let text = "
+.model ml
+.inputs a b c
+.outputs f
+.names a b g
+11 1
+.names g c f
+1- 1
+-1 1
+.end
+";
+        let nw = read_blif(text).unwrap();
+        let back = read_blif(&write_blif(&nw, "ml")).unwrap();
+        assert!(equivalent_random(&nw, &back, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn factored_then_blif_equivalence() {
+        // Optimize, write BLIF, read back, still equivalent to original.
+        let (nw, _) = example_1_1();
+        let mut opt = nw.clone();
+        pf_sop::quick_factor(opt.func(opt.find("F").unwrap())); // smoke
+        crate::transform::sweep(&mut opt).unwrap();
+        let back = read_blif(&write_blif(&opt, "opt")).unwrap();
+        assert!(equivalent_random(&nw, &back, &EquivConfig::default()).unwrap());
+    }
+}

@@ -1,0 +1,281 @@
+//! A small line-oriented text format for networks.
+//!
+//! Syntax (one directive per line, `#` comments):
+//!
+//! ```text
+//! inputs a b c d
+//! node F = a f | b f | a g
+//! node G = ~a b | c
+//! outputs F G
+//! ```
+//!
+//! Cubes are whitespace-separated literal lists joined by `|`; `~x` is
+//! the complemented literal. `node X = 0` and `node X = 1` denote the
+//! constants. Node lines may reference later nodes; the reader validates
+//! the finished network. The format plays the role BLIF plays for SIS:
+//! moving circuits in and out of the tool.
+
+use crate::network::{Network, NetworkError, SignalId};
+use pf_sop::fx::FxHashMap;
+use pf_sop::{Cube, Lit, Sop};
+use std::fmt::Write as _;
+
+/// Errors from the text reader.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The parsed network failed validation.
+    Network(NetworkError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            ParseError::Network(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<NetworkError> for ParseError {
+    fn from(e: NetworkError) -> Self {
+        ParseError::Network(e)
+    }
+}
+
+/// Parses a network from the text format.
+///
+/// Because node bodies may reference nodes defined later, parsing runs in
+/// two passes: first all signals are declared, then functions are parsed
+/// against the complete symbol table.
+pub fn read_network(text: &str) -> Result<Network, ParseError> {
+    let mut nw = Network::new();
+    let mut node_bodies: Vec<(SignalId, usize, String)> = Vec::new();
+    let mut output_names: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let (kw, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match kw {
+            "inputs" => {
+                for name in rest.split_whitespace() {
+                    nw.add_input(name)?;
+                }
+            }
+            "node" => {
+                let (name, body) = rest.split_once('=').ok_or_else(|| ParseError::Syntax {
+                    line: lineno,
+                    msg: "expected `node NAME = body`".into(),
+                })?;
+                let id = nw.add_node(name.trim(), Sop::zero())?;
+                node_bodies.push((id, lineno, body.trim().to_string()));
+            }
+            "outputs" => {
+                for name in rest.split_whitespace() {
+                    output_names.push((lineno, name.to_string()));
+                }
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line: lineno,
+                    msg: format!("unknown directive {other:?}"),
+                });
+            }
+        }
+    }
+
+    // Second pass: parse bodies now that every name is known.
+    let lookup: FxHashMap<String, SignalId> = nw
+        .signal_ids()
+        .map(|s| (nw.name(s).to_string(), s))
+        .collect();
+    for (id, lineno, body) in node_bodies {
+        let func = parse_sop(&body, &lookup).map_err(|msg| ParseError::Syntax {
+            line: lineno,
+            msg,
+        })?;
+        nw.set_func(id, func)?;
+    }
+    for (lineno, name) in output_names {
+        let id = *lookup.get(&name).ok_or_else(|| ParseError::Syntax {
+            line: lineno,
+            msg: format!("unknown output {name:?}"),
+        })?;
+        nw.mark_output(id)?;
+    }
+    nw.validate()?;
+    Ok(nw)
+}
+
+fn parse_sop(body: &str, lookup: &FxHashMap<String, SignalId>) -> Result<Sop, String> {
+    match body {
+        "0" => return Ok(Sop::zero()),
+        "1" => return Ok(Sop::one()),
+        _ => {}
+    }
+    let mut cubes = Vec::new();
+    for cube_txt in body.split('|') {
+        let mut lits = Vec::new();
+        for tok in cube_txt.split_whitespace() {
+            let (neg, name) = match tok.strip_prefix('~') {
+                Some(n) => (true, n),
+                None => (false, tok),
+            };
+            let id = *lookup
+                .get(name)
+                .ok_or_else(|| format!("unknown signal {name:?}"))?;
+            lits.push(Lit::new(pf_sop::Var::new(id), neg));
+        }
+        if lits.is_empty() {
+            return Err("empty cube (use `1` for the constant)".into());
+        }
+        cubes.push(Cube::from_lits(lits));
+    }
+    Ok(Sop::from_cubes(cubes))
+}
+
+/// Writes a network in the text format accepted by [`read_network`].
+pub fn write_network(nw: &Network) -> String {
+    let mut out = String::new();
+    let inputs: Vec<&str> = nw.input_ids().map(|i| nw.name(i)).collect();
+    if !inputs.is_empty() {
+        writeln!(out, "inputs {}", inputs.join(" ")).unwrap();
+    }
+    for n in nw.node_ids() {
+        let f = nw.func(n);
+        let body = if f.is_zero() {
+            "0".to_string()
+        } else if f.is_one() {
+            "1".to_string()
+        } else {
+            f.iter()
+                .map(|cube| {
+                    cube.iter()
+                        .map(|l| {
+                            let name = nw.name(l.var().index());
+                            if l.is_negated() {
+                                format!("~{name}")
+                            } else {
+                                name.to_string()
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        writeln!(out, "node {} = {}", nw.name(n), body).unwrap();
+    }
+    if !nw.outputs().is_empty() {
+        let names: Vec<&str> = nw.outputs().iter().map(|&o| nw.name(o)).collect();
+        writeln!(out, "outputs {}", names.join(" ")).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::example_1_1;
+    use crate::sim::{equivalent_random, EquivConfig};
+
+    #[test]
+    fn roundtrip_example_network() {
+        let (nw, _) = example_1_1();
+        let text = write_network(&nw);
+        let back = read_network(&text).unwrap();
+        assert_eq!(back.literal_count(), nw.literal_count());
+        assert!(equivalent_random(&nw, &back, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn parses_negated_literals_and_constants() {
+        let text = "
+            inputs a b
+            node f = ~a b | a ~b
+            node t = 1
+            node z = 0
+            outputs f t z
+        ";
+        let nw = read_network(text).unwrap();
+        let f = nw.find("f").unwrap();
+        assert_eq!(nw.func(f).literal_count(), 4);
+        let t = nw.find("t").unwrap();
+        assert!(nw.func(t).is_one());
+        let z = nw.find("z").unwrap();
+        assert!(nw.func(z).is_zero());
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let text = "
+            inputs a
+            node f = g a
+            node g = a
+            outputs f
+        ";
+        let nw = read_network(text).unwrap();
+        assert!(nw.validate().is_ok());
+        let f = nw.find("f").unwrap();
+        let g = nw.find("g").unwrap();
+        assert!(nw.fanins(f).contains(&g));
+    }
+
+    #[test]
+    fn unknown_signal_is_an_error() {
+        let err = read_network("inputs a\nnode f = a q\noutputs f").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let err = read_network(
+            "inputs a\nnode f = g a\nnode g = f\noutputs f",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::Network(NetworkError::Cycle(_))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "
+            # a comment
+            inputs a b   # trailing comment
+
+            node f = a b
+            outputs f
+        ";
+        let nw = read_network(text).unwrap();
+        assert_eq!(nw.literal_count(), 2);
+    }
+
+    #[test]
+    fn unknown_directive_reported_with_line() {
+        let err = read_network("inputs a\nfrobnicate x").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn mixed_phase_io_roundtrip() {
+        let text = "inputs a b c\nnode f = ~a ~b | c\noutputs f";
+        let nw = read_network(text).unwrap();
+        let back = read_network(&write_network(&nw)).unwrap();
+        assert!(equivalent_random(&nw, &back, &EquivConfig::default()).unwrap());
+    }
+}

@@ -1,0 +1,250 @@
+//! Random-vector simulation and functional-equivalence checking.
+//!
+//! Equivalence under algebraic transforms is the workspace's test oracle:
+//! every optimizer (sequential or parallel) must leave the primary
+//! outputs' functions unchanged. Formal equivalence of multi-level
+//! networks is co-NP-hard, so we follow standard practice and compare
+//! 64 vectors at a time with bit-parallel simulation over many random
+//! draws; the planted workloads make escapes vanishingly unlikely.
+
+use crate::network::{Network, NetworkError, SignalId, SignalKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`equivalent_random`].
+#[derive(Clone, Copy, Debug)]
+pub struct EquivConfig {
+    /// Number of 64-bit-parallel simulation rounds (total vectors =
+    /// `rounds * 64`).
+    pub rounds: usize,
+    /// RNG seed, so failures are reproducible.
+    pub seed: u64,
+}
+
+impl Default for EquivConfig {
+    fn default() -> Self {
+        EquivConfig {
+            rounds: 64,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Evaluates the network on one assignment of 64 packed input vectors:
+/// `inputs[i]` holds 64 Boolean values for primary input `i` (indexed by
+/// position among [`Network::input_ids`]). Returns the packed values of
+/// every signal.
+pub fn simulate(nw: &Network, inputs: &[u64]) -> Result<Vec<u64>, NetworkError> {
+    let order = nw.topo_order()?;
+    let mut values = vec![0u64; nw.num_signals()];
+    let input_ids: Vec<SignalId> = nw.input_ids().collect();
+    assert_eq!(
+        inputs.len(),
+        input_ids.len(),
+        "one packed word per primary input"
+    );
+    for (slot, &id) in input_ids.iter().enumerate() {
+        values[id as usize] = inputs[slot];
+    }
+    for s in order {
+        if nw.kind(s) != SignalKind::Node {
+            continue;
+        }
+        let f = nw.func(s);
+        let mut acc = 0u64;
+        for cube in f.iter() {
+            let mut term = !0u64;
+            for lit in cube.iter() {
+                let v = values[lit.var().index() as usize];
+                term &= if lit.is_negated() { !v } else { v };
+            }
+            acc |= term;
+        }
+        values[s as usize] = acc;
+    }
+    Ok(values)
+}
+
+/// Evaluates only the primary outputs on one packed assignment.
+pub fn simulate_outputs(nw: &Network, inputs: &[u64]) -> Result<Vec<u64>, NetworkError> {
+    let values = simulate(nw, inputs)?;
+    Ok(nw.outputs().iter().map(|&o| values[o as usize]).collect())
+}
+
+/// Checks that two networks compute the same primary-output functions on
+/// `cfg.rounds * 64` random input vectors. Inputs and outputs are matched
+/// **by name**, so the networks may differ arbitrarily in internal
+/// structure (extra extracted nodes, different node order).
+///
+/// Returns `Ok(true)` when no distinguishing vector was found.
+pub fn equivalent_random(
+    a: &Network,
+    b: &Network,
+    cfg: &EquivConfig,
+) -> Result<bool, NetworkError> {
+    let a_inputs: Vec<&str> = a.input_ids().map(|i| a.name(i)).collect();
+    let b_inputs: Vec<&str> = b.input_ids().map(|i| b.name(i)).collect();
+    let mut a_sorted = a_inputs.clone();
+    a_sorted.sort_unstable();
+    let mut b_sorted = b_inputs.clone();
+    b_sorted.sort_unstable();
+    if a_sorted != b_sorted {
+        return Ok(false);
+    }
+    let a_out: Vec<&str> = a.outputs().iter().map(|&o| a.name(o)).collect();
+    let b_out: Vec<&str> = b.outputs().iter().map(|&o| b.name(o)).collect();
+    let mut ao = a_out.clone();
+    ao.sort_unstable();
+    let mut bo = b_out.clone();
+    bo.sort_unstable();
+    if ao != bo {
+        return Ok(false);
+    }
+
+    // Map b's input slots to a's input-name order.
+    let slot_of = |names: &[&str], want: &str| names.iter().position(|n| *n == want).unwrap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_in = a_inputs.len();
+    for _ in 0..cfg.rounds {
+        let words: Vec<u64> = (0..n_in).map(|_| rng.gen()).collect();
+        // a gets words in its own order; b gets the same word per name.
+        let b_words: Vec<u64> = b_inputs
+            .iter()
+            .map(|name| words[slot_of(&a_inputs, name)])
+            .collect();
+        let va = simulate_outputs(a, &words)?;
+        let vb = simulate_outputs(b, &b_words)?;
+        for (i, name) in a_out.iter().enumerate() {
+            let j = slot_of(&b_out, name);
+            if va[i] != vb[j] {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{eliminate_node, extract_node};
+    use pf_sop::{Cube, Lit, Sop};
+
+    fn sop_of(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_lits(c.iter().map(|&v| Lit::pos(v)))),
+        )
+    }
+
+    fn xor_like() -> Network {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let b = nw.add_input("b").unwrap();
+        let f = nw
+            .add_node(
+                "f",
+                Sop::from_cubes([
+                    Cube::from_lits([Lit::pos(a), Lit::neg(b)]),
+                    Cube::from_lits([Lit::neg(a), Lit::pos(b)]),
+                ]),
+            )
+            .unwrap();
+        nw.mark_output(f).unwrap();
+        nw
+    }
+
+    #[test]
+    fn simulate_xor_truth_table() {
+        let nw = xor_like();
+        // bit k of input word i = value of input i in vector k.
+        // vectors: (a,b) = (0,0),(0,1),(1,0),(1,1) in bits 0..4.
+        let a_word = 0b1100u64;
+        let b_word = 0b1010u64;
+        let out = simulate_outputs(&nw, &[a_word, b_word]).unwrap();
+        assert_eq!(out[0] & 0xF, 0b0110); // XOR truth table
+    }
+
+    #[test]
+    fn extraction_preserves_equivalence() {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let b = nw.add_input("b").unwrap();
+        let c = nw.add_input("c").unwrap();
+        let d = nw.add_input("d").unwrap();
+        let f = nw
+            .add_node("f", sop_of(&[&[a, c], &[a, d], &[b, c], &[b, d]]))
+            .unwrap();
+        nw.mark_output(f).unwrap();
+        let original = nw.clone();
+        extract_node(&mut nw, "X", sop_of(&[&[a], &[b]]), &[f]).unwrap();
+        assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn elimination_preserves_equivalence() {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let b = nw.add_input("b").unwrap();
+        let g = nw.add_node("g", sop_of(&[&[a], &[b]])).unwrap();
+        let f = nw.add_node("f", sop_of(&[&[g, a]])).unwrap();
+        nw.mark_output(f).unwrap();
+        let original = nw.clone();
+        assert!(eliminate_node(&mut nw, g).unwrap());
+        assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn different_functions_detected() {
+        let nw1 = xor_like();
+        let mut nw2 = Network::new();
+        let a = nw2.add_input("a").unwrap();
+        let b = nw2.add_input("b").unwrap();
+        let f = nw2.add_node("f", sop_of(&[&[a, b]])).unwrap(); // AND, not XOR
+        nw2.mark_output(f).unwrap();
+        assert!(!equivalent_random(&nw1, &nw2, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn mismatched_interfaces_not_equivalent() {
+        let nw1 = xor_like();
+        let mut nw2 = Network::new();
+        nw2.add_input("a").unwrap();
+        let c = nw2.add_input("c").unwrap(); // different input name
+        let f = nw2.add_node("f", sop_of(&[&[c]])).unwrap();
+        nw2.mark_output(f).unwrap();
+        assert!(!equivalent_random(&nw1, &nw2, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn input_order_does_not_matter() {
+        // Same function, inputs declared in a different order.
+        let mut nw1 = Network::new();
+        let a1 = nw1.add_input("a").unwrap();
+        let b1 = nw1.add_input("b").unwrap();
+        let f1 = nw1.add_node("f", sop_of(&[&[a1], &[b1]])).unwrap();
+        nw1.mark_output(f1).unwrap();
+
+        let mut nw2 = Network::new();
+        let b2 = nw2.add_input("b").unwrap();
+        let a2 = nw2.add_input("a").unwrap();
+        let f2 = nw2.add_node("f", sop_of(&[&[b2], &[a2]])).unwrap();
+        nw2.mark_output(f2).unwrap();
+
+        assert!(equivalent_random(&nw1, &nw2, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn constant_nodes_simulate() {
+        let mut nw = Network::new();
+        nw.add_input("a").unwrap();
+        let one = nw.add_node("one", Sop::one()).unwrap();
+        let zero = nw.add_node("zero", Sop::zero()).unwrap();
+        nw.mark_output(one).unwrap();
+        nw.mark_output(zero).unwrap();
+        let out = simulate_outputs(&nw, &[0x1234]).unwrap();
+        assert_eq!(out[0], !0u64);
+        assert_eq!(out[1], 0u64);
+    }
+}

@@ -1,0 +1,311 @@
+//! Network transformations used by the factorization algorithms and the
+//! mini synthesis script: extraction, division, elimination and sweep.
+
+use crate::network::{Network, NetworkError, SignalId, SignalKind};
+use pf_sop::{divide, Sop};
+
+/// Creates a new node `name` with function `func` and divides each node
+/// in `targets` by it: `f := (f / func)·x + remainder`, where `x` is the
+/// new node's variable. Division is only applied where the quotient is
+/// non-zero, so unaffected targets are left untouched.
+///
+/// Returns the new node's id. This is the network-level half of "extract
+/// a kernel": the caller (pf-core) decides *what* to extract; this
+/// routine performs the surgery.
+pub fn extract_node(
+    nw: &mut Network,
+    name: impl Into<String>,
+    func: Sop,
+    targets: &[SignalId],
+) -> Result<SignalId, NetworkError> {
+    let new_id = nw.add_node(name, func.clone())?;
+    let x = Sop::from_cube(pf_sop::Cube::single(nw.var(new_id).lit()));
+    for &t in targets {
+        if t == new_id {
+            continue;
+        }
+        let f = nw.func(t).clone();
+        let div = divide(&f, &func);
+        if div.quotient.is_zero() {
+            continue;
+        }
+        let replaced = div.quotient.product(&x).sum(&div.remainder);
+        nw.set_func(t, replaced)?;
+    }
+    Ok(new_id)
+}
+
+/// Divides node `target` by existing node `divisor` (resubstitution):
+/// rewrites `f_target` as `q·x_divisor + r` when the quotient is
+/// non-zero. Returns whether a rewrite happened.
+pub fn divide_node_by(
+    nw: &mut Network,
+    target: SignalId,
+    divisor: SignalId,
+) -> Result<bool, NetworkError> {
+    if target == divisor || nw.kind(divisor) != SignalKind::Node {
+        return Ok(false);
+    }
+    let g = nw.func(divisor).clone();
+    if g.is_zero() || g.is_one() {
+        return Ok(false);
+    }
+    let f = nw.func(target).clone();
+    let div = divide(&f, &g);
+    if div.quotient.is_zero() {
+        return Ok(false);
+    }
+    let x = Sop::from_cube(pf_sop::Cube::single(nw.var(divisor).lit()));
+    nw.set_func(target, div.quotient.product(&x).sum(&div.remainder))?;
+    Ok(true)
+}
+
+/// Collapses node `victim` into all of its fanouts: every occurrence of
+/// the victim's positive literal is replaced by the victim's function
+/// (algebraic composition), after which the victim's function is set to
+/// zero if nothing references it and it is not a primary output.
+///
+/// Nodes referenced in the *negative* phase cannot be eliminated in the
+/// algebraic model (that would require the complement of an SOP);
+/// returns `false` without changes in that case.
+pub fn eliminate_node(nw: &mut Network, victim: SignalId) -> Result<bool, NetworkError> {
+    if nw.kind(victim) != SignalKind::Node {
+        return Err(NetworkError::NotANode(victim));
+    }
+    let vpos = nw.var(victim).lit();
+    let vneg = vpos.complement();
+    let fanouts: Vec<SignalId> = nw.fanout_map()[victim as usize].clone();
+    // Refuse if any fanout uses the complemented literal.
+    for &fo in &fanouts {
+        if nw.func(fo).lit_occurrences(vneg) > 0 {
+            return Ok(false);
+        }
+    }
+    let g = nw.func(victim).clone();
+    for &fo in &fanouts {
+        let f = nw.func(fo).clone();
+        let div = pf_sop::divide_by_cube(&f, &pf_sop::Cube::single(vpos));
+        let composed = div.quotient.product(&g).sum(&div.remainder);
+        nw.set_func(fo, composed)?;
+    }
+    Ok(true)
+}
+
+/// The literal-count *increase* caused by eliminating `node` into its
+/// fanouts — the node's "value" in SIS's `eliminate` sense. Negative
+/// values mean elimination shrinks the network. Returns `None` for nodes
+/// that cannot be eliminated (primary inputs, complemented uses).
+///
+/// Exact under the no-absorption assumption: a fanout cube `c`
+/// containing the node's literal becomes `(c/x)·g`, i.e. `m` cubes
+/// totaling `(|c|−1)·m + l` literals where `g` has `m` cubes and `l`
+/// literals; the victim's body (`l`) disappears. Algebraic absorption
+/// can only shrink further, so the true change is `≤` this value.
+pub fn eliminate_value(nw: &Network, node: SignalId) -> Option<isize> {
+    if nw.kind(node) != SignalKind::Node {
+        return None;
+    }
+    let vpos = nw.var(node).lit();
+    let vneg = vpos.complement();
+    let g = nw.func(node);
+    let m = g.num_cubes() as isize;
+    let l = g.literal_count() as isize;
+    let mut delta = -l;
+    for fo in nw.node_ids() {
+        if fo == node {
+            continue;
+        }
+        if nw.func(fo).lit_occurrences(vneg) > 0 {
+            return None;
+        }
+        for c in nw.func(fo).iter() {
+            if c.contains(vpos) {
+                let clen = c.len() as isize;
+                delta += (clen - 1) * m + l - clen;
+            }
+        }
+    }
+    Some(delta)
+}
+
+/// Two-level Boolean simplification of every node function (SIS's
+/// don't-care-free `simplify`): distance-1 merge/reduce to a fixpoint.
+/// Returns the literals saved.
+pub fn simplify_all(nw: &mut Network) -> Result<usize, NetworkError> {
+    let before = nw.literal_count();
+    for n in nw.node_ids().collect::<Vec<_>>() {
+        let f = nw.func(n);
+        let g = pf_sop::simplify_sop(f);
+        if &g != f {
+            nw.set_func(n, g)?;
+        }
+    }
+    Ok(before - nw.literal_count())
+}
+
+/// Removes dead logic: nodes that are not primary outputs and have no
+/// fanouts get their functions cleared and are reported. Constant and
+/// single-literal pass-through nodes are eliminated into their fanouts.
+/// Repeats to a fixpoint. Returns the number of nodes swept.
+pub fn sweep(nw: &mut Network) -> Result<usize, NetworkError> {
+    let mut swept = 0usize;
+    loop {
+        let mut changed = false;
+        let fo_map = nw.fanout_map();
+        let outputs: Vec<SignalId> = nw.outputs().to_vec();
+        for node in nw.node_ids().collect::<Vec<_>>() {
+            if outputs.contains(&node) {
+                continue;
+            }
+            let is_dead =
+                fo_map[node as usize].is_empty() && !nw.func(node).is_zero();
+            let is_wire = nw.func(node).num_cubes() == 1
+                && nw.func(node).literal_count() <= 1
+                && !fo_map[node as usize].is_empty();
+            if is_dead || (is_wire && eliminate_node(nw, node)?) {
+                nw.set_func(node, Sop::zero())?;
+                swept += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(swept);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_sop::{Cube, Lit};
+
+    fn sop_of(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|c| Cube::from_lits(c.iter().map(|&v| Lit::pos(v)))),
+        )
+    }
+
+    /// Network: f = ac + ad + bc + bd + e over inputs a..e.
+    fn simple() -> (Network, SignalId) {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let b = nw.add_input("b").unwrap();
+        let c = nw.add_input("c").unwrap();
+        let d = nw.add_input("d").unwrap();
+        let e = nw.add_input("e").unwrap();
+        let f = nw
+            .add_node(
+                "f",
+                sop_of(&[&[a, c], &[a, d], &[b, c], &[b, d], &[e]]),
+            )
+            .unwrap();
+        nw.mark_output(f).unwrap();
+        (nw, f)
+    }
+
+    #[test]
+    fn extract_rewrites_targets() {
+        let (mut nw, f) = simple();
+        let a = nw.find("a").unwrap();
+        let b = nw.find("b").unwrap();
+        // extract X = a + b; f should become Xc + Xd + e.
+        let before = nw.literal_count();
+        let x = extract_node(&mut nw, "X", sop_of(&[&[a], &[b]]), &[f]).unwrap();
+        assert_eq!(nw.func(f).literal_count(), 5); // xc + xd + e
+        assert_eq!(nw.func(x).literal_count(), 2);
+        assert_eq!(nw.literal_count(), 7);
+        assert!(nw.literal_count() < before + 2); // net win vs 9+2
+        assert!(nw.validate().is_ok());
+        assert!(nw.fanins(f).contains(&x));
+    }
+
+    #[test]
+    fn extract_skips_unaffected_targets() {
+        let (mut nw, f) = simple();
+        let a = nw.find("a").unwrap();
+        let g = nw.add_node("g", sop_of(&[&[a]])).unwrap();
+        let before_g = nw.func(g).clone();
+        let b = nw.find("b").unwrap();
+        extract_node(&mut nw, "X", sop_of(&[&[a], &[b]]), &[f, g]).unwrap();
+        assert_eq!(nw.func(g), &before_g);
+    }
+
+    #[test]
+    fn divide_by_existing_node() {
+        let (mut nw, f) = simple();
+        let a = nw.find("a").unwrap();
+        let b = nw.find("b").unwrap();
+        let x = nw.add_node("X", sop_of(&[&[a], &[b]])).unwrap();
+        assert!(divide_node_by(&mut nw, f, x).unwrap());
+        assert_eq!(nw.func(f).literal_count(), 5);
+        // Dividing again is a no-op: quotient of xc+xd+e by a+b is 0.
+        assert!(!divide_node_by(&mut nw, f, x).unwrap());
+    }
+
+    #[test]
+    fn eliminate_undoes_extract() {
+        let (mut nw, f) = simple();
+        let original = nw.func(f).clone();
+        let a = nw.find("a").unwrap();
+        let b = nw.find("b").unwrap();
+        let x = extract_node(&mut nw, "X", sop_of(&[&[a], &[b]]), &[f]).unwrap();
+        assert!(eliminate_node(&mut nw, x).unwrap());
+        assert_eq!(nw.func(f), &original);
+    }
+
+    #[test]
+    fn eliminate_refuses_negative_phase_use() {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let b = nw.add_input("b").unwrap();
+        let g = nw.add_node("g", sop_of(&[&[a], &[b]])).unwrap();
+        let f = nw
+            .add_node(
+                "f",
+                Sop::from_cube(Cube::from_lits([Lit::neg(g), Lit::pos(a)])),
+            )
+            .unwrap();
+        nw.mark_output(f).unwrap();
+        assert!(!eliminate_node(&mut nw, g).unwrap());
+    }
+
+    #[test]
+    fn eliminate_value_formula() {
+        let (mut nw, f) = simple();
+        let a = nw.find("a").unwrap();
+        let b = nw.find("b").unwrap();
+        let x = extract_node(&mut nw, "X", sop_of(&[&[a], &[b]]), &[f]).unwrap();
+        // f = Xc + Xd + e, X = a + b (m=2, l=2). Eliminating X turns Xc
+        // into ac + bc (2·1 + 2 = 4 lits, +2 per cube) and removes the
+        // 2-literal body: Δ = −2 + 2 + 2 = 2 — exactly the 9 − 7 growth.
+        assert_eq!(eliminate_value(&nw, x), Some(2));
+        assert_eq!(eliminate_value(&nw, a), None); // primary input
+    }
+
+    #[test]
+    fn sweep_removes_dead_and_wires() {
+        let (mut nw, _f) = simple();
+        let a = nw.find("a").unwrap();
+        // dead node (no fanout, not an output)
+        nw.add_node("dead", sop_of(&[&[a]])).unwrap();
+        let swept = sweep(&mut nw).unwrap();
+        assert_eq!(swept, 1);
+        let dead = nw.find("dead").unwrap();
+        assert!(nw.func(dead).is_zero());
+    }
+
+    #[test]
+    fn sweep_eliminates_pass_through_wires() {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let b = nw.add_input("b").unwrap();
+        let w = nw.add_node("w", sop_of(&[&[a]])).unwrap();
+        let f = nw.add_node("f", sop_of(&[&[w, b]])).unwrap();
+        nw.mark_output(f).unwrap();
+        let swept = sweep(&mut nw).unwrap();
+        assert_eq!(swept, 1);
+        assert_eq!(nw.func(f), &sop_of(&[&[a, b]]));
+    }
+}

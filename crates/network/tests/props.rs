@@ -1,0 +1,186 @@
+//! Property tests for the network substrate: transforms preserve
+//! function, sweep/eliminate shrink or hold literal count, IO round-trips.
+
+use pf_network::io::{read_network, write_network};
+use pf_network::sim::{equivalent_random, EquivConfig};
+use pf_network::transform::{eliminate_node, eliminate_value, extract_node, sweep};
+use pf_network::Network;
+use pf_sop::{divide, Cube, Lit, Sop};
+use proptest::prelude::*;
+
+/// Random layered network over `n_inputs` PIs and up to `n_nodes` nodes.
+fn arb_network(n_inputs: usize, n_nodes: usize) -> impl Strategy<Value = Network> {
+    let cube = prop::collection::btree_set(0u32..64, 1..=3usize);
+    let node = prop::collection::vec(cube, 1..=5usize);
+    prop::collection::vec(node, 1..=n_nodes).prop_map(move |specs| {
+        let mut nw = Network::new();
+        let inputs: Vec<u32> = (0..n_inputs)
+            .map(|i| nw.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let mut nodes: Vec<u32> = Vec::new();
+        for (k, spec) in specs.into_iter().enumerate() {
+            let cubes: Vec<Cube> = spec
+                .into_iter()
+                .map(|srcs| {
+                    Cube::from_lits(srcs.into_iter().map(|s| {
+                        let pool = inputs.len() + nodes.len();
+                        let idx = (s as usize) % pool;
+                        if idx < inputs.len() {
+                            Lit::pos(inputs[idx])
+                        } else {
+                            Lit::pos(nodes[idx - inputs.len()])
+                        }
+                    }))
+                })
+                .collect();
+            let id = nw
+                .add_node(format!("n{k}"), Sop::from_cubes(cubes))
+                .unwrap();
+            nodes.push(id);
+        }
+        let fo = nw.fanout_map();
+        for &n in &nodes {
+            if fo[n as usize].is_empty() {
+                nw.mark_output(n).unwrap();
+            }
+        }
+        nw
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Extracting any divisor computed by algebraic division preserves
+    /// the network function.
+    #[test]
+    fn extraction_of_any_kernel_is_safe(nw in arb_network(5, 6)) {
+        let node = nw.node_ids().max_by_key(|&n| nw.func(n).literal_count()).unwrap();
+        let ks = pf_sop::kernels(nw.func(node));
+        prop_assume!(!ks.is_empty());
+        let mut modified = nw.clone();
+        let targets: Vec<u32> = modified.node_ids().collect();
+        extract_node(&mut modified, "X_prop", ks[0].kernel.clone(), &targets).unwrap();
+        prop_assert!(modified.validate().is_ok());
+        prop_assert!(equivalent_random(&nw, &modified, &EquivConfig::default()).unwrap());
+    }
+
+    /// eliminate_value predicts the literal-count change of elimination
+    /// exactly (when elimination succeeds and absorbs nothing).
+    #[test]
+    fn eliminate_value_bounds_the_lc_change(nw in arb_network(5, 6)) {
+        for node in nw.node_ids().collect::<Vec<_>>() {
+            if nw.outputs().contains(&node) {
+                continue;
+            }
+            let Some(v) = eliminate_value(&nw, node) else { continue };
+            let mut modified = nw.clone();
+            let lc_before = modified.literal_count() as isize;
+            if !eliminate_node(&mut modified, node).unwrap() {
+                continue;
+            }
+            // After elimination the victim is dead; zero it like sweep would.
+            modified.set_func(node, Sop::zero()).unwrap();
+            let lc_after = modified.literal_count() as isize;
+            // v = n·l − n − l is the no-absorption prediction; algebraic
+            // composition can only absorb cubes, so Δ ≤ v.
+            prop_assert!(lc_after - lc_before <= v,
+                "node {node}: Δ={} v={v}", lc_after - lc_before);
+            prop_assert!(equivalent_random(&nw, &modified, &EquivConfig::default()).unwrap());
+        }
+    }
+
+    /// sweep never increases literal count and preserves function.
+    #[test]
+    fn sweep_is_safe(nw in arb_network(5, 8)) {
+        let mut modified = nw.clone();
+        let before = modified.literal_count();
+        sweep(&mut modified).unwrap();
+        prop_assert!(modified.literal_count() <= before);
+        prop_assert!(equivalent_random(&nw, &modified, &EquivConfig::default()).unwrap());
+    }
+
+    /// Text IO round-trips both structure and function.
+    #[test]
+    fn io_roundtrip(nw in arb_network(5, 6)) {
+        let text = write_network(&nw);
+        let back = read_network(&text).unwrap();
+        prop_assert_eq!(back.literal_count(), nw.literal_count());
+        prop_assert!(equivalent_random(&nw, &back, &EquivConfig::default()).unwrap());
+    }
+
+    /// BLIF IO round-trips structure and function for arbitrary
+    /// (mixed-phase-free) networks.
+    #[test]
+    fn blif_roundtrip(nw in arb_network(5, 6)) {
+        use pf_network::blif::{read_blif, write_blif};
+        let text = write_blif(&nw, "prop");
+        let back = read_blif(&text).unwrap();
+        prop_assert_eq!(back.literal_count(), nw.literal_count());
+        prop_assert!(equivalent_random(&nw, &back, &EquivConfig::default()).unwrap());
+        // Idempotent: writing the round-tripped network gives the same text.
+        prop_assert_eq!(write_blif(&back, "prop"), text);
+    }
+
+    /// Resubstitution never breaks the function and never grows LC.
+    #[test]
+    fn resub_is_safe(nw in arb_network(5, 7)) {
+        use pf_network::resub::resubstitute;
+        let mut modified = nw.clone();
+        let before = modified.literal_count();
+        let rep = resubstitute(&mut modified).unwrap();
+        prop_assert!(modified.literal_count() <= before);
+        prop_assert_eq!(
+            before as isize - modified.literal_count() as isize,
+            rep.saved
+        );
+        prop_assert!(modified.validate().is_ok());
+        prop_assert!(equivalent_random(&nw, &modified, &EquivConfig::default()).unwrap());
+    }
+
+    /// Division + recomposition via extract/eliminate is the identity on
+    /// node functions.
+    #[test]
+    fn divide_recompose_identity(nw in arb_network(5, 5)) {
+        for node in nw.node_ids().collect::<Vec<_>>() {
+            let f = nw.func(node);
+            for other in nw.node_ids() {
+                if other == node { continue; }
+                let g = nw.func(other);
+                if g.is_zero() || g.is_one() { continue; }
+                let d = divide(f, g);
+                prop_assert_eq!(d.quotient.product(g).sum(&d.remainder), f.clone());
+            }
+        }
+    }
+
+    /// Topological order always puts fanins before the node.
+    #[test]
+    fn topo_order_sound(nw in arb_network(5, 8)) {
+        let order = nw.topo_order().unwrap();
+        let pos: std::collections::HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        for n in nw.node_ids() {
+            for fi in nw.fanins(n) {
+                prop_assert!(pos[&fi] < pos[&n]);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The BLIF parser never panics on arbitrary input — it returns a
+    /// network or a structured error.
+    #[test]
+    fn blif_parser_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = pf_network::blif::read_blif(&text);
+    }
+
+    /// Same for the native text reader.
+    #[test]
+    fn text_parser_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = pf_network::io::read_network(&text);
+    }
+}

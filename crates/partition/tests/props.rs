@@ -1,0 +1,116 @@
+//! Property tests for the k-way partitioner: exhaustive assignment,
+//! balance (up to the heaviest vertex), determinism, and cut-size
+//! consistency between graph and partition.
+
+use pf_network::Network;
+use pf_partition::{partition_network, CircuitGraph, PartitionConfig};
+use pf_sop::{Cube, Lit, Sop};
+use proptest::prelude::*;
+
+fn arb_network(n_inputs: usize, n_nodes: usize) -> impl Strategy<Value = Network> {
+    let cube = prop::collection::btree_set(0u32..64, 1..=3usize);
+    let node = prop::collection::vec(cube, 1..=4usize);
+    prop::collection::vec(node, 1..=n_nodes).prop_map(move |specs| {
+        let mut nw = Network::new();
+        let inputs: Vec<u32> = (0..n_inputs)
+            .map(|i| nw.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let mut nodes: Vec<u32> = Vec::new();
+        for (k, spec) in specs.into_iter().enumerate() {
+            let cubes: Vec<Cube> = spec
+                .into_iter()
+                .map(|srcs| {
+                    Cube::from_lits(srcs.into_iter().map(|s| {
+                        let pool = inputs.len() + nodes.len();
+                        let idx = (s as usize) % pool;
+                        if idx < inputs.len() {
+                            Lit::pos(inputs[idx])
+                        } else {
+                            Lit::pos(nodes[idx - inputs.len()])
+                        }
+                    }))
+                })
+                .collect();
+            let id = nw
+                .add_node(format!("n{k}"), Sop::from_cubes(cubes))
+                .unwrap();
+            nodes.push(id);
+        }
+        let fo = nw.fanout_map();
+        for &n in &nodes {
+            if fo[n as usize].is_empty() {
+                nw.mark_output(n).unwrap();
+            }
+        }
+        nw
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_node_in_exactly_one_part(nw in arb_network(6, 12), k in 1usize..6) {
+        let p = partition_network(&nw, k, &PartitionConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..k {
+            for s in p.part_nodes(q) {
+                prop_assert!(seen.insert(s), "node {s} assigned twice");
+            }
+        }
+        prop_assert_eq!(seen.len(), nw.node_ids().count());
+    }
+
+    #[test]
+    fn balance_up_to_heaviest_vertex(nw in arb_network(6, 12), k in 2usize..6) {
+        let cfg = PartitionConfig::default();
+        let p = partition_network(&nw, k, &cfg);
+        let w = p.part_weights();
+        let total: u64 = w.iter().sum();
+        let heaviest = (0..p.graph.len()).map(|v| p.graph.weight(v)).max().unwrap_or(0);
+        let cap = ((total as f64 / k as f64) * (1.0 + cfg.tolerance)).ceil() as u64;
+        for x in w {
+            prop_assert!(x <= cap.max(heaviest), "{x} > {} (heaviest {heaviest})", cap);
+        }
+    }
+
+    #[test]
+    fn deterministic(nw in arb_network(6, 10), k in 1usize..5) {
+        let cfg = PartitionConfig::default();
+        let a = partition_network(&nw, k, &cfg);
+        let b = partition_network(&nw, k, &cfg);
+        prop_assert_eq!(a.assignment, b.assignment);
+        prop_assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn reported_cut_matches_graph(nw in arb_network(6, 10), k in 1usize..5) {
+        let p = partition_network(&nw, k, &PartitionConfig::default());
+        prop_assert_eq!(p.cut, p.graph.cut_size(&p.assignment));
+        if k == 1 {
+            prop_assert_eq!(p.cut, 0);
+        }
+    }
+
+    #[test]
+    fn graph_edges_are_symmetric(nw in arb_network(6, 10)) {
+        let g = CircuitGraph::from_network(&nw);
+        for v in 0..g.len() {
+            for &(u, w) in g.neighbors(v) {
+                prop_assert!(
+                    g.neighbors(u).iter().any(|&(x, wx)| x == v && wx == w),
+                    "edge {v}-{u} not mirrored"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_passes_never_hurt(nw in arb_network(6, 12)) {
+        let zero = partition_network(&nw, 2, &PartitionConfig {
+            max_passes: 0, ..PartitionConfig::default()
+        });
+        let many = partition_network(&nw, 2, &PartitionConfig::default());
+        prop_assert!(many.cut <= zero.cut);
+    }
+}

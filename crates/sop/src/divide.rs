@@ -1,0 +1,213 @@
+//! Algebraic (weak) division.
+//!
+//! `divide(f, d)` computes quotient `q` and remainder `r` with
+//! `f = q·d + r`, where the product is algebraic (no term merging) and
+//! `q` is the largest expression with that property. This is the
+//! WEAK_DIV procedure of MIS: for every cube `dᵢ` of the divisor collect
+//! the quotients of the cubes of `f` divisible by `dᵢ`, then intersect
+//! those cube sets.
+
+use crate::cube::Cube;
+use crate::expr::Sop;
+
+/// Result of an algebraic division: `f = quotient · divisor + remainder`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Division {
+    /// The algebraic quotient `f / d`.
+    pub quotient: Sop,
+    /// The remainder, cubes of `f` not covered by `quotient · d`.
+    pub remainder: Sop,
+}
+
+/// Divides `f` by a single cube `d` — the common fast path.
+///
+/// The quotient is `{ c / d : c ∈ f, d | c }`; the remainder the other
+/// cubes of `f`.
+pub fn divide_by_cube(f: &Sop, d: &Cube) -> Division {
+    let mut q = Vec::new();
+    let mut r = Vec::new();
+    for c in f.iter() {
+        match c.quotient(d) {
+            Some(qc) => q.push(qc),
+            None => r.push(c.clone()),
+        }
+    }
+    Division {
+        quotient: Sop::from_cubes(q),
+        remainder: Sop::from_cubes(r),
+    }
+}
+
+/// Algebraic (weak) division of `f` by an arbitrary SOP divisor `d`.
+///
+/// Returns the zero quotient with `remainder == f` when `d` is the
+/// constant 0 (division by 0 yields nothing) and quotient `f` with zero
+/// remainder when `d` is the constant 1.
+///
+/// ```
+/// use pf_sop::{divide, Cube, Lit, Sop};
+/// // f = ac + ad + bc + bd + e, divided by a + b, gives q = c + d, r = e.
+/// let cube = |vs: &[u32]| Cube::from_lits(vs.iter().map(|&v| Lit::pos(v)));
+/// let f = Sop::from_cubes([
+///     cube(&[0, 2]), cube(&[0, 3]), cube(&[1, 2]), cube(&[1, 3]), cube(&[4]),
+/// ]);
+/// let d = Sop::from_cubes([cube(&[0]), cube(&[1])]);
+/// let div = divide(&f, &d);
+/// assert_eq!(div.quotient, Sop::from_cubes([cube(&[2]), cube(&[3])]));
+/// assert_eq!(div.remainder, Sop::from_cubes([cube(&[4])]));
+/// // Recomposition: f = q·d + r.
+/// assert_eq!(div.quotient.product(&d).sum(&div.remainder), f);
+/// ```
+pub fn divide(f: &Sop, d: &Sop) -> Division {
+    if d.is_zero() {
+        return Division {
+            quotient: Sop::zero(),
+            remainder: f.clone(),
+        };
+    }
+    if d.is_one() {
+        return Division {
+            quotient: f.clone(),
+            remainder: Sop::zero(),
+        };
+    }
+    if d.is_cube() {
+        return divide_by_cube(f, &d.cubes()[0]);
+    }
+
+    // Quotient-set intersection over the divisor's cubes. Start with the
+    // candidate set from the first divisor cube, then narrow.
+    let mut iter = d.iter();
+    let first = iter.next().expect("divisor non-zero");
+    let mut acc: Vec<Cube> = f.iter().filter_map(|c| c.quotient(first)).collect();
+    acc.sort_unstable();
+    acc.dedup();
+    for dc in iter {
+        if acc.is_empty() {
+            break;
+        }
+        let mut next: Vec<Cube> = f.iter().filter_map(|c| c.quotient(dc)).collect();
+        next.sort_unstable();
+        next.dedup();
+        acc = intersect_sorted(&acc, &next);
+    }
+    let quotient = Sop::from_cubes(acc);
+    let covered = quotient.product(d);
+    let remainder = f.difference(&covered);
+    Division {
+        quotient,
+        remainder,
+    }
+}
+
+/// Intersection of two sorted, duplicate-free cube vectors.
+fn intersect_sorted(a: &[Cube], b: &[Cube]) -> Vec<Cube> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Lit;
+
+    fn cube(ids: &[u32]) -> Cube {
+        Cube::from_lits(ids.iter().map(|&i| Lit::pos(i)))
+    }
+
+    fn sop(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(cubes.iter().map(|c| cube(c)))
+    }
+
+    // Variable map used in tests mirroring the paper: a=1 b=2 c=3 d=4 e=5
+    // f=6 g=7.
+
+    #[test]
+    fn divide_by_single_cube() {
+        // (abc + abd + e) / ab = c + d, remainder e
+        let f = sop(&[&[1, 2, 3], &[1, 2, 4], &[5]]);
+        let d = cube(&[1, 2]);
+        let div = divide_by_cube(&f, &d);
+        assert_eq!(div.quotient, sop(&[&[3], &[4]]));
+        assert_eq!(div.remainder, sop(&[&[5]]));
+    }
+
+    #[test]
+    fn divide_by_expression() {
+        // f = ac + ad + bc + bd + e ; d = a + b  → q = c + d, r = e
+        let f = sop(&[&[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5]]);
+        let d = sop(&[&[1], &[2]]);
+        let div = divide(&f, &d);
+        assert_eq!(div.quotient, sop(&[&[3], &[4]]));
+        assert_eq!(div.remainder, sop(&[&[5]]));
+    }
+
+    #[test]
+    fn recomposition_identity() {
+        let f = sop(&[&[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5]]);
+        let d = sop(&[&[1], &[2]]);
+        let div = divide(&f, &d);
+        assert_eq!(div.quotient.product(&d).sum(&div.remainder), f);
+    }
+
+    #[test]
+    fn indivisible_gives_zero_quotient() {
+        let f = sop(&[&[1], &[2]]);
+        let d = sop(&[&[3], &[4]]);
+        let div = divide(&f, &d);
+        assert!(div.quotient.is_zero());
+        assert_eq!(div.remainder, f);
+    }
+
+    #[test]
+    fn paper_example_g_division() {
+        // G = af + bf + ace + bce ; divide by a + b → f + ce (Eq. 1 / Sec 2)
+        let g = sop(&[&[1, 6], &[2, 6], &[1, 3, 5], &[2, 3, 5]]);
+        let d = sop(&[&[1], &[2]]);
+        let div = divide(&g, &d);
+        assert_eq!(div.quotient, sop(&[&[6], &[3, 5]]));
+        assert!(div.remainder.is_zero());
+    }
+
+    #[test]
+    fn divide_by_zero_and_one() {
+        let f = sop(&[&[1], &[2]]);
+        let by_zero = divide(&f, &Sop::zero());
+        assert!(by_zero.quotient.is_zero());
+        assert_eq!(by_zero.remainder, f);
+        let by_one = divide(&f, &Sop::one());
+        assert_eq!(by_one.quotient, f);
+        assert!(by_one.remainder.is_zero());
+    }
+
+    #[test]
+    fn partial_divisibility() {
+        // f = ab + ac + bd ; divide by b + c → q = a, r = bd
+        // (only `a` appears in both the b- and c-quotient sets).
+        let f = sop(&[&[1, 2], &[1, 3], &[2, 4]]);
+        let d = sop(&[&[2], &[3]]);
+        let div = divide(&f, &d);
+        assert_eq!(div.quotient, sop(&[&[1]]));
+        assert_eq!(div.remainder, sop(&[&[2, 4]]));
+    }
+
+    #[test]
+    fn quotient_of_self_is_one() {
+        let f = sop(&[&[1, 2], &[3]]);
+        let div = divide(&f, &f);
+        assert!(div.quotient.is_one());
+        assert!(div.remainder.is_zero());
+    }
+}

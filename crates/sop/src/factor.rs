@@ -1,0 +1,274 @@
+//! Factored forms and SIS-style `quick_factor`.
+//!
+//! The SOP literal count the paper optimizes is a proxy for the factored
+//! form's size; SIS itself reports "lits(fac)" computed by recursively
+//! dividing each function by one of its kernels. This module provides
+//! the factored-expression tree, the recursive factoring algorithm and
+//! the factored literal count, so results can be reported in both
+//! metrics.
+
+use crate::cube::Cube;
+use crate::divide::divide;
+use crate::expr::Sop;
+use crate::kernel::kernels;
+use crate::lit::Lit;
+use std::fmt;
+
+/// A factored Boolean expression: a tree of ANDs and ORs over literals.
+///
+/// `And(vec![])` is the constant **1**, `Or(vec![])` the constant **0**.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Factored {
+    /// A single literal.
+    Lit(Lit),
+    /// Product of factors.
+    And(Vec<Factored>),
+    /// Sum of factors.
+    Or(Vec<Factored>),
+}
+
+impl Factored {
+    /// The constant 1.
+    pub fn one() -> Self {
+        Factored::And(Vec::new())
+    }
+
+    /// The constant 0.
+    pub fn zero() -> Self {
+        Factored::Or(Vec::new())
+    }
+
+    /// Number of literal leaves — the "lits(fac)" metric.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Factored::Lit(_) => 1,
+            Factored::And(fs) | Factored::Or(fs) => {
+                fs.iter().map(Factored::literal_count).sum()
+            }
+        }
+    }
+
+    /// Expands back to a canonical SOP (the inverse of factoring).
+    pub fn to_sop(&self) -> Sop {
+        match self {
+            Factored::Lit(l) => Sop::from_cube(Cube::single(*l)),
+            Factored::And(fs) => fs
+                .iter()
+                .map(Factored::to_sop)
+                .fold(Sop::one(), |acc, f| acc.product(&f)),
+            Factored::Or(fs) => fs
+                .iter()
+                .map(Factored::to_sop)
+                .fold(Sop::zero(), |acc, f| acc.sum(&f)),
+        }
+    }
+
+    fn from_cube(cube: &Cube) -> Factored {
+        if cube.is_one() {
+            Factored::one()
+        } else if cube.len() == 1 {
+            Factored::Lit(cube.lits()[0])
+        } else {
+            Factored::And(cube.iter().map(Factored::Lit).collect())
+        }
+    }
+
+    /// Depth of the tree (literals have depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            Factored::Lit(_) => 0,
+            Factored::And(fs) | Factored::Or(fs) => {
+                1 + fs.iter().map(Factored::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Factored {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Factored::Lit(l) => write!(f, "{l}"),
+            Factored::And(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "1");
+                }
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    match x {
+                        Factored::Or(inner) if inner.len() > 1 => write!(f, "({x})")?,
+                        _ => write!(f, "{x}")?,
+                    }
+                }
+                Ok(())
+            }
+            Factored::Or(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "0");
+                }
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// SIS-style quick factoring: divide by the first kernel, recurse on
+/// quotient, divisor and remainder.
+///
+/// The result is algebraically exact: `quick_factor(f).to_sop() == f`.
+///
+/// ```
+/// use pf_sop::{quick_factor, Cube, Lit, Sop};
+/// // ac + ad + bc + bd factors to (a + b)·(c + d): 8 literals → 4.
+/// let cube = |vs: &[u32]| Cube::from_lits(vs.iter().map(|&v| Lit::pos(v)));
+/// let f = Sop::from_cubes([cube(&[0, 2]), cube(&[0, 3]), cube(&[1, 2]), cube(&[1, 3])]);
+/// let fac = quick_factor(&f);
+/// assert_eq!(fac.literal_count(), 4);
+/// assert_eq!(fac.to_sop(), f);
+/// ```
+pub fn quick_factor(f: &Sop) -> Factored {
+    if f.is_zero() {
+        return Factored::zero();
+    }
+    if f.is_one() {
+        return Factored::one();
+    }
+    if f.is_cube() {
+        return Factored::from_cube(&f.cubes()[0]);
+    }
+    let ks = kernels(f);
+    let Some(first) = ks.first() else {
+        // No kernel: no literal occurs twice — the SOP itself is the
+        // best factored form.
+        return Factored::Or(f.iter().map(Factored::from_cube).collect());
+    };
+    let d = &first.kernel;
+    let div = divide(f, d);
+    debug_assert!(!div.quotient.is_zero(), "kernel divides its function");
+
+    let qd = Factored::And(vec![quick_factor(&div.quotient), quick_factor(d)]);
+    if div.remainder.is_zero() {
+        qd
+    } else {
+        match quick_factor(&div.remainder) {
+            Factored::Or(mut rest) => {
+                rest.insert(0, qd);
+                Factored::Or(rest)
+            }
+            r => Factored::Or(vec![qd, r]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(ids: &[u32]) -> Cube {
+        Cube::from_lits(ids.iter().map(|&i| Lit::pos(i)))
+    }
+
+    fn sop(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(cubes.iter().map(|c| cube(c)))
+    }
+
+    #[test]
+    fn constants_and_cubes() {
+        assert_eq!(quick_factor(&Sop::zero()), Factored::zero());
+        assert_eq!(quick_factor(&Sop::one()), Factored::one());
+        let c = sop(&[&[1, 2]]);
+        let f = quick_factor(&c);
+        assert_eq!(f.literal_count(), 2);
+        assert_eq!(f.to_sop(), c);
+    }
+
+    #[test]
+    fn classic_distribution() {
+        // ac + ad + bc + bd = (a+b)(c+d): 8 SOP literals → 4 factored.
+        let f = sop(&[&[1, 3], &[1, 4], &[2, 3], &[2, 4]]);
+        let fac = quick_factor(&f);
+        assert_eq!(fac.literal_count(), 4);
+        assert_eq!(fac.to_sop(), f);
+    }
+
+    #[test]
+    fn factoring_never_increases_literals() {
+        for f in [
+            sop(&[&[1, 2], &[3, 4]]),
+            sop(&[&[1, 6], &[2, 6], &[1, 3, 5], &[2, 3, 5]]), // paper's G
+            sop(&[
+                &[1, 6],
+                &[2, 6],
+                &[1, 7],
+                &[3, 7],
+                &[1, 4, 5],
+                &[2, 4, 5],
+                &[3, 4, 5],
+            ]), // paper's F
+        ] {
+            let fac = quick_factor(&f);
+            assert!(
+                fac.literal_count() <= f.literal_count(),
+                "{f}: {} > {}",
+                fac.literal_count(),
+                f.literal_count()
+            );
+            assert_eq!(fac.to_sop(), f, "expansion must be exact");
+        }
+    }
+
+    #[test]
+    fn paper_g_factored_size() {
+        // G = af + bf + ace + bce = (a+b)(f + ce): 10 → 5 literals.
+        let g = sop(&[&[1, 6], &[2, 6], &[1, 3, 5], &[2, 3, 5]]);
+        let fac = quick_factor(&g);
+        assert_eq!(fac.literal_count(), 5);
+    }
+
+    #[test]
+    fn no_kernel_stays_flat() {
+        let f = sop(&[&[1, 2], &[3, 4]]);
+        let fac = quick_factor(&f);
+        assert_eq!(fac, Factored::Or(vec![
+            Factored::And(vec![Factored::Lit(Lit::pos(1)), Factored::Lit(Lit::pos(2))]),
+            Factored::And(vec![Factored::Lit(Lit::pos(3)), Factored::Lit(Lit::pos(4))]),
+        ]));
+        assert_eq!(fac.literal_count(), 4);
+    }
+
+    #[test]
+    fn display_parenthesizes_sums_inside_products() {
+        let f = sop(&[&[1, 3], &[1, 4], &[2, 3], &[2, 4]]);
+        let s = format!("{}", quick_factor(&f));
+        assert!(s.contains('('), "{s}");
+    }
+
+    #[test]
+    fn depth_of_nested_factorization() {
+        // a(b(c+d) + e) style nesting has depth ≥ 3 once factored.
+        let f = sop(&[&[1, 2, 3], &[1, 2, 4], &[1, 5]]);
+        let fac = quick_factor(&f);
+        assert!(fac.depth() >= 3, "depth {} of {fac}", fac.depth());
+        assert_eq!(fac.to_sop(), f);
+    }
+
+    #[test]
+    fn mixed_phase_factoring() {
+        let f = Sop::from_cubes([
+            Cube::from_lits([Lit::neg(1), Lit::pos(3)]),
+            Cube::from_lits([Lit::neg(1), Lit::pos(4)]),
+            Cube::from_lits([Lit::pos(2), Lit::pos(3)]),
+            Cube::from_lits([Lit::pos(2), Lit::pos(4)]),
+        ]);
+        let fac = quick_factor(&f);
+        assert_eq!(fac.literal_count(), 4); // (~a + b)(c + d)
+        assert_eq!(fac.to_sop(), f);
+    }
+}

@@ -1,0 +1,114 @@
+//! A small, fast, deterministic hasher (FxHash-style).
+//!
+//! The factorization engine keys many maps by small integers and by
+//! canonical cubes; SipHash is needlessly slow there and HashDoS is not a
+//! concern for a synthesis tool, so we use the multiply-and-xor scheme
+//! popularized by rustc. Implemented locally to keep the dependency set
+//! inside the approved offline crates.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the fast deterministic hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast deterministic hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-and-xor hasher; identical output across runs and platforms
+/// of the same pointer width for the integer widths we feed it.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(42);
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn byte_stream_tail_handled() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,385 @@
+//! Kernel and co-kernel enumeration.
+//!
+//! The kernels of an expression `f` are its cube-free primary divisors:
+//! `K(f) = { f/C : C a cube, f/C cube-free }`. Each kernel is recorded
+//! together with the cube `C` that produced it — its *co-kernel* — because
+//! the KC matrix has one row per `(node, co-kernel)` pair.
+//!
+//! The enumeration is the classic recursive `KERNEL(j, g)` procedure of
+//! Brayton–Rudell (MIS): walk the support literals in a fixed order; for
+//! every literal occurring in ≥ 2 cubes, divide by the largest common cube
+//! of those cubes and recurse, pruning branches whose common cube contains
+//! an already-visited literal (those kernels were found earlier).
+
+use crate::cube::Cube;
+use crate::expr::Sop;
+use crate::lit::Lit;
+
+/// A kernel together with the co-kernel cube that produced it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoKernelPair {
+    /// The cube `C` such that `kernel = f / C`.
+    pub cokernel: Cube,
+    /// The cube-free primary divisor `f / C`.
+    pub kernel: Sop,
+}
+
+/// Options for kernel enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Include the trivial pair `(1, f)` when `f` itself is cube-free.
+    ///
+    /// The paper's Figure 2 matrices omit it; SIS's `gkx` can include it
+    /// so whole functions participate in rectangles (resubstitution).
+    pub include_trivial: bool,
+    /// Maximum recursion depth; `usize::MAX` enumerates all kernels,
+    /// `1` yields only the first-level kernels (SIS's "level" knob).
+    pub max_depth: usize,
+    /// Stop after this many pairs (safety valve for pathological nodes).
+    pub max_pairs: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            include_trivial: false,
+            max_depth: usize::MAX,
+            max_pairs: 1 << 16,
+        }
+    }
+}
+
+/// Enumerates all `(co-kernel, kernel)` pairs of `f` (without the trivial
+/// `(1, f)` pair), using the default configuration.
+///
+/// ```
+/// use pf_sop::{kernels, Cube, Lit, Sop};
+/// // The paper's G = af + bf + ace + bce (a=0 b=1 c=2 e=3 f=4):
+/// // kernels are ce+f (co-kernels a, b) and a+b (co-kernels f, ce).
+/// let cube = |vs: &[u32]| Cube::from_lits(vs.iter().map(|&v| Lit::pos(v)));
+/// let g = Sop::from_cubes([
+///     cube(&[0, 4]), cube(&[1, 4]), cube(&[0, 2, 3]), cube(&[1, 2, 3]),
+/// ]);
+/// let ks = kernels(&g);
+/// assert_eq!(ks.len(), 4);
+/// let a_plus_b = Sop::from_cubes([cube(&[0]), cube(&[1])]);
+/// assert!(ks.iter().any(|p| p.cokernel == cube(&[4]) && p.kernel == a_plus_b));
+/// ```
+pub fn kernels(f: &Sop) -> Vec<CoKernelPair> {
+    kernels_config(f, &KernelConfig::default())
+}
+
+/// Like [`kernels`] but also yields `(1, f)` when `f` is cube-free.
+pub fn kernels_with_trivial(f: &Sop) -> Vec<CoKernelPair> {
+    kernels_config(
+        f,
+        &KernelConfig {
+            include_trivial: true,
+            ..KernelConfig::default()
+        },
+    )
+}
+
+/// Enumerates kernels under an explicit [`KernelConfig`].
+pub fn kernels_config(f: &Sop, cfg: &KernelConfig) -> Vec<CoKernelPair> {
+    let mut out = Vec::new();
+    if f.num_cubes() < 2 {
+        return out;
+    }
+    // Fixed literal order: the sorted support of f. Positions in this
+    // list drive the duplicate-pruning test.
+    let support = f.support_lits();
+    let lcc = f.largest_common_cube();
+    let base = f.cube_free_part();
+
+    {
+        let mut ctx = KernelCtx {
+            support: &support,
+            cfg,
+            out: &mut out,
+        };
+        ctx.recurse(0, &base, &lcc, 0);
+    }
+
+    // Every co-kernel contains the largest common cube, so the recursion
+    // starts from `f / lcc`; that quotient is itself a kernel with
+    // co-kernel `lcc` whenever the common cube is non-trivial (e.g. the
+    // paper's H = ade + cde ⇒ kernel a+c, co-kernel de).
+    if !lcc.is_one() && base.num_cubes() >= 2 {
+        out.push(CoKernelPair {
+            cokernel: lcc,
+            kernel: base,
+        });
+    }
+
+    if cfg.include_trivial && f.is_cube_free() {
+        out.push(CoKernelPair {
+            cokernel: Cube::one(),
+            kernel: f.clone(),
+        });
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+struct KernelCtx<'a> {
+    support: &'a [Lit],
+    cfg: &'a KernelConfig,
+    out: &'a mut Vec<CoKernelPair>,
+}
+
+impl KernelCtx<'_> {
+    /// `KERNEL(j, g)` with the accumulated co-kernel cube.
+    fn recurse(&mut self, j: usize, g: &Sop, cokernel: &Cube, depth: usize) {
+        if depth >= self.cfg.max_depth || self.out.len() >= self.cfg.max_pairs {
+            return;
+        }
+        for i in j..self.support.len() {
+            if self.out.len() >= self.cfg.max_pairs {
+                return;
+            }
+            let li = self.support[i];
+            // Gather the cubes of g containing li.
+            let mut count = 0usize;
+            let mut common: Option<Cube> = None;
+            for c in g.iter() {
+                if c.contains(li) {
+                    count += 1;
+                    common = Some(match common {
+                        None => c.clone(),
+                        Some(acc) => acc.intersection(c),
+                    });
+                }
+            }
+            if count < 2 {
+                continue;
+            }
+            let common = common.expect("count >= 2 implies a common cube");
+            // Duplicate pruning: if the common cube contains a literal
+            // that precedes li in the fixed order, this kernel was (or
+            // will be) produced from that literal's branch.
+            let li_pos = i;
+            let dup = common.iter().any(|l| {
+                l != li
+                    && self
+                        .support
+                        .binary_search(&l)
+                        .map(|p| p < li_pos)
+                        .unwrap_or(false)
+            });
+            if dup {
+                continue;
+            }
+            // g1 = g / common — common divides every gathered cube.
+            let g1 = Sop::from_cubes(
+                g.iter()
+                    .filter(|c| c.divisible_by(&common))
+                    .map(|c| c.quotient(&common).expect("divisible")),
+            );
+            if g1.num_cubes() < 2 {
+                continue;
+            }
+            let new_cokernel = cokernel
+                .product(&common)
+                .expect("co-kernel and common cube share no variable");
+            self.out.push(CoKernelPair {
+                cokernel: new_cokernel.clone(),
+                kernel: g1.clone(),
+            });
+            self.recurse(i + 1, &g1, &new_cokernel, depth + 1);
+        }
+    }
+}
+
+/// Checks the defining property: `k` is a kernel of `f` iff `k` is
+/// cube-free and `k == f / c` for its co-kernel `c`. Used by tests and
+/// property checks.
+pub fn is_kernel_of(f: &Sop, pair: &CoKernelPair) -> bool {
+    if !pair.kernel.is_cube_free() {
+        return false;
+    }
+    let div = crate::divide::divide_by_cube(f, &pair.cokernel);
+    div.quotient == pair.kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Paper variable map: a=1 b=2 c=3 d=4 e=5 f=6 g=7.
+    fn cube(ids: &[u32]) -> Cube {
+        Cube::from_lits(ids.iter().map(|&i| Lit::pos(i)))
+    }
+
+    fn sop(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(cubes.iter().map(|c| cube(c)))
+    }
+
+    /// G = af + bf + ace + bce (Eq. 1).
+    fn paper_g() -> Sop {
+        sop(&[&[1, 6], &[2, 6], &[1, 3, 5], &[2, 3, 5]])
+    }
+
+    /// F = af + bf + ag + cg + ade + bde + cde (Eq. 1).
+    fn paper_f() -> Sop {
+        sop(&[
+            &[1, 6],
+            &[2, 6],
+            &[1, 7],
+            &[3, 7],
+            &[1, 4, 5],
+            &[2, 4, 5],
+            &[3, 4, 5],
+        ])
+    }
+
+    /// H = ade + cde (Eq. 1).
+    fn paper_h() -> Sop {
+        sop(&[&[1, 4, 5], &[3, 4, 5]])
+    }
+
+    #[test]
+    fn kernels_of_paper_g() {
+        // Paper §2: kernels (co-kernels) of G are ce+f (a, b) and a+b (f, ce).
+        let ks = kernels(&paper_g());
+        let expect = vec![
+            (cube(&[1]), sop(&[&[6], &[3, 5]])),
+            (cube(&[2]), sop(&[&[6], &[3, 5]])),
+            (cube(&[3, 5]), sop(&[&[1], &[2]])),
+            (cube(&[6]), sop(&[&[1], &[2]])),
+        ];
+        let got: Vec<(Cube, Sop)> = ks
+            .iter()
+            .map(|p| (p.cokernel.clone(), p.kernel.clone()))
+            .collect();
+        for e in &expect {
+            assert!(got.contains(e), "missing kernel pair {e:?}");
+        }
+        assert_eq!(got.len(), expect.len());
+    }
+
+    #[test]
+    fn kernels_of_paper_f_match_figure_2() {
+        // Figure 2 lists co-kernels a, b, de, f, c, g for F.
+        let ks = kernels(&paper_f());
+        let cokernels: Vec<Cube> = ks.iter().map(|p| p.cokernel.clone()).collect();
+        for ck in [
+            cube(&[1]),
+            cube(&[2]),
+            cube(&[4, 5]),
+            cube(&[6]),
+            cube(&[3]),
+            cube(&[7]),
+        ] {
+            assert!(cokernels.contains(&ck), "missing co-kernel {ck:?}");
+        }
+        assert_eq!(ks.len(), 6);
+        // Spot-check the kernels themselves.
+        let by_ck = |ck: &Cube| {
+            ks.iter()
+                .find(|p| &p.cokernel == ck)
+                .map(|p| p.kernel.clone())
+                .unwrap()
+        };
+        assert_eq!(by_ck(&cube(&[1])), sop(&[&[6], &[7], &[4, 5]])); // f+g+de
+        assert_eq!(by_ck(&cube(&[4, 5])), sop(&[&[1], &[2], &[3]])); // a+b+c
+        assert_eq!(by_ck(&cube(&[6])), sop(&[&[1], &[2]])); // a+b
+        assert_eq!(by_ck(&cube(&[7])), sop(&[&[1], &[3]])); // a+c
+    }
+
+    #[test]
+    fn kernels_of_paper_h() {
+        // H = ade + cde: single kernel a+c with co-kernel de.
+        let ks = kernels(&paper_h());
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].cokernel, cube(&[4, 5]));
+        assert_eq!(ks[0].kernel, sop(&[&[1], &[3]]));
+    }
+
+    #[test]
+    fn all_pairs_satisfy_kernel_definition() {
+        for f in [paper_f(), paper_g(), paper_h()] {
+            for p in kernels(&f) {
+                assert!(is_kernel_of(&f, &p), "{p:?} not a kernel of {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_pair_included_only_when_cube_free() {
+        // G is cube-free → trivial pair present with include_trivial.
+        let ks = kernels_with_trivial(&paper_g());
+        assert!(ks
+            .iter()
+            .any(|p| p.cokernel.is_one() && p.kernel == paper_g()));
+        // H = de(a+c) is not cube-free → no trivial pair.
+        let ks = kernels_with_trivial(&paper_h());
+        assert!(!ks.iter().any(|p| p.cokernel.is_one()));
+    }
+
+    #[test]
+    fn single_cube_has_no_kernels() {
+        assert!(kernels(&sop(&[&[1, 2, 3]])).is_empty());
+        assert!(kernels(&Sop::zero()).is_empty());
+        assert!(kernels(&Sop::one()).is_empty());
+    }
+
+    #[test]
+    fn no_shared_literal_means_no_kernels() {
+        // ab + cd: no literal in ≥2 cubes.
+        assert!(kernels(&sop(&[&[1, 2], &[3, 4]])).is_empty());
+    }
+
+    #[test]
+    fn depth_limit_restricts_to_level_one() {
+        // f = abcx + abcy + abz + aw + v has a three-deep kernel chain:
+        // (a, bcx+bcy+bz+w), (ab, cx+cy+z), (abc, x+y). A depth limit of 1
+        // keeps only the first.
+        // vars: a=1 b=2 c=3 x=4 y=5 z=6 w=7 v=8
+        let f = sop(&[
+            &[1, 2, 3, 4],
+            &[1, 2, 3, 5],
+            &[1, 2, 6],
+            &[1, 7],
+            &[8],
+        ]);
+        let all = kernels(&f);
+        assert_eq!(all.len(), 3);
+        let shallow = kernels_config(
+            &f,
+            &KernelConfig {
+                max_depth: 1,
+                ..KernelConfig::default()
+            },
+        );
+        assert_eq!(shallow.len(), 1);
+        assert_eq!(shallow[0].cokernel, cube(&[1]));
+        for p in &shallow {
+            assert!(all.contains(p));
+        }
+    }
+
+    #[test]
+    fn kernels_are_unique() {
+        let f = paper_f();
+        let ks = kernels(&f);
+        let mut sorted = ks.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ks.len());
+    }
+
+    #[test]
+    fn max_pairs_budget_respected() {
+        let f = paper_f();
+        let ks = kernels_config(
+            &f,
+            &KernelConfig {
+                max_pairs: 3,
+                ..KernelConfig::default()
+            },
+        );
+        assert!(ks.len() <= 3);
+    }
+}

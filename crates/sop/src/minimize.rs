@@ -1,0 +1,203 @@
+//! Light two-level minimization — the don't-care-free core of SIS's
+//! `simplify`.
+//!
+//! Unlike everything else in this crate these rules are *Boolean*, not
+//! algebraic: they exploit `x + x̄ = 1`. Three rewrites run to a
+//! fixpoint:
+//!
+//! 1. **merge** — `x·R + x̄·R = R`;
+//! 2. **reduce** — `x·R + x̄·S = R + x̄·S` when `S ⊆ R` (the consensus
+//!    `R` absorbs `x·R`);
+//! 3. **containment** — `R + R·S = R` (already enforced by the
+//!    canonical form).
+//!
+//! The function computed is unchanged; only its SOP gets smaller. The
+//! synthesis script runs this between extraction passes, mirroring
+//! SIS's `simplify` placement.
+
+use crate::cube::Cube;
+use crate::expr::Sop;
+use crate::lit::Lit;
+
+/// One simplification step on a cube pair, if any rule applies:
+/// given `c1` and `c2` returns the replacement for `(c1, c2)`.
+fn pair_rule(c1: &Cube, c2: &Cube) -> Option<(Option<Cube>, Option<Cube>)> {
+    // Find the distance-1 variable: exactly one variable present in both
+    // with opposite phases.
+    let mut opposite: Option<Lit> = None;
+    for l in c1.iter() {
+        if c2.contains(l.complement()) {
+            if opposite.is_some() {
+                return None; // distance ≥ 2: no single-variable rule
+            }
+            opposite = Some(l);
+        }
+    }
+    let x = opposite?;
+    let r = c1.quotient(&Cube::single(x)).expect("x ∈ c1");
+    let s = c2.quotient(&Cube::single(x.complement())).expect("x̄ ∈ c2");
+    if r == s {
+        // merge: x·R + x̄·R = R
+        return Some((Some(r), None));
+    }
+    if s.divisible_by(&r) {
+        // S ⊇ R: x̄·S is inside R except for x̄ … careful: rule needs
+        // S ⊆ R to drop x from c1. Here S ⊇ R means R ⊆ S: then
+        // x·R + x̄·S = x·R + x̄·S, consensus = R∪S = S ⇒ c2 loses x̄.
+        return Some((Some(c1.clone()), Some(s)));
+    }
+    if r.divisible_by(&s) {
+        // S ⊆ R ⇒ c1 loses x.
+        return Some((Some(r), Some(c2.clone())));
+    }
+    None
+}
+
+/// Two-level simplification to a fixpoint. Returns the (functionally
+/// equal) minimized expression.
+pub fn simplify_sop(f: &Sop) -> Sop {
+    let mut cur = f.clone();
+    loop {
+        let cubes = cur.cubes();
+        let mut changed = false;
+        let mut next: Vec<Cube> = Vec::with_capacity(cubes.len());
+        let mut consumed = vec![false; cubes.len()];
+        'outer: for i in 0..cubes.len() {
+            if consumed[i] {
+                continue;
+            }
+            for j in (i + 1)..cubes.len() {
+                if consumed[j] {
+                    continue;
+                }
+                if let Some((r1, r2)) = pair_rule(&cubes[i], &cubes[j]) {
+                    let replaced = r1.as_ref() != Some(&cubes[i])
+                        || r2.as_ref() != Some(&cubes[j]);
+                    if !replaced {
+                        continue;
+                    }
+                    consumed[i] = true;
+                    consumed[j] = true;
+                    if let Some(c) = r1 {
+                        next.push(c);
+                    }
+                    if let Some(c) = r2 {
+                        next.push(c);
+                    }
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+            next.push(cubes[i].clone());
+        }
+        let candidate = Sop::from_cubes(next);
+        if !changed && candidate == cur {
+            return cur;
+        }
+        cur = candidate;
+        if !changed {
+            return cur;
+        }
+    }
+}
+
+/// Evaluates an SOP on a total assignment given as a bitmask over
+/// variable indices (bit `i` = value of variable `i`). Test helper made
+/// public for the workspace's oracle checks.
+pub fn eval_sop(f: &Sop, assignment: u64) -> bool {
+    f.iter().any(|cube| {
+        cube.iter().all(|l| {
+            let v = assignment >> l.var().index() & 1 == 1;
+            v != l.is_negated()
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equal(a: &Sop, b: &Sop, nvars: u32) {
+        for m in 0..(1u64 << nvars) {
+            assert_eq!(
+                eval_sop(a, m),
+                eval_sop(b, m),
+                "differ at {m:b}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rule() {
+        // ab + a̅b = b
+        let f = Sop::from_cubes([
+            Cube::from_lits([Lit::pos(0), Lit::pos(1)]),
+            Cube::from_lits([Lit::neg(0), Lit::pos(1)]),
+        ]);
+        let g = simplify_sop(&f);
+        assert_eq!(g, Sop::from_cube(Cube::single(Lit::pos(1))));
+        check_equal(&f, &g, 2);
+    }
+
+    #[test]
+    fn reduce_rule() {
+        // xab + x̄a = ab + x̄a   (S = a ⊆ R = ab ⇒ drop x)
+        let f = Sop::from_cubes([
+            Cube::from_lits([Lit::pos(0), Lit::pos(1), Lit::pos(2)]),
+            Cube::from_lits([Lit::neg(0), Lit::pos(1)]),
+        ]);
+        let g = simplify_sop(&f);
+        assert!(g.literal_count() < f.literal_count());
+        check_equal(&f, &g, 3);
+    }
+
+    #[test]
+    fn chain_of_merges_collapses_parity_free_cover() {
+        // ab + a̅b + ab̅ + a̅b̅ = 1
+        let f = Sop::from_cubes([
+            Cube::from_lits([Lit::pos(0), Lit::pos(1)]),
+            Cube::from_lits([Lit::neg(0), Lit::pos(1)]),
+            Cube::from_lits([Lit::pos(0), Lit::neg(1)]),
+            Cube::from_lits([Lit::neg(0), Lit::neg(1)]),
+        ]);
+        let g = simplify_sop(&f);
+        assert!(g.is_one(), "{g}");
+        check_equal(&f, &g, 2);
+    }
+
+    #[test]
+    fn xor_is_already_minimal() {
+        let f = Sop::from_cubes([
+            Cube::from_lits([Lit::pos(0), Lit::neg(1)]),
+            Cube::from_lits([Lit::neg(0), Lit::pos(1)]),
+        ]);
+        assert_eq!(simplify_sop(&f), f);
+    }
+
+    #[test]
+    fn algebraic_expressions_untouched() {
+        // Positive-phase-only SOPs have no distance-1 pairs.
+        let f = Sop::from_cubes([
+            Cube::from_lits([Lit::pos(0), Lit::pos(1)]),
+            Cube::from_lits([Lit::pos(2), Lit::pos(3)]),
+        ]);
+        assert_eq!(simplify_sop(&f), f);
+    }
+
+    #[test]
+    fn constants_are_fixpoints() {
+        assert_eq!(simplify_sop(&Sop::zero()), Sop::zero());
+        assert_eq!(simplify_sop(&Sop::one()), Sop::one());
+    }
+
+    #[test]
+    fn eval_sop_basics() {
+        // f = a·b̄ over vars {0, 1}
+        let f = Sop::from_cube(Cube::from_lits([Lit::pos(0), Lit::neg(1)]));
+        assert!(eval_sop(&f, 0b01));
+        assert!(!eval_sop(&f, 0b11));
+        assert!(!eval_sop(&f, 0b00));
+        assert!(eval_sop(&Sop::one(), 0));
+        assert!(!eval_sop(&Sop::zero(), 0));
+    }
+}

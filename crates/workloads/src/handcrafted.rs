@@ -1,0 +1,265 @@
+//! Hand-written real circuits, as non-synthetic fixtures.
+//!
+//! The generator plants structure; these circuits have the structure
+//! real datapath logic has — useful as a sanity check that the
+//! factorization engine finds real sharing (carry chains are classic
+//! kernel-extraction material: `c_{i+1} = a·b + a·c_i + b·c_i` shares
+//! `a+b` across stages).
+
+use pf_network::Network;
+use pf_sop::{Cube, Lit, Sop};
+
+fn and2(a: u32, b: u32) -> Cube {
+    Cube::from_lits([Lit::pos(a), Lit::pos(b)])
+}
+
+/// XOR as a two-cube SOP: `a·b̄ + ā·b`.
+fn xor_sop(a: u32, b: u32) -> Sop {
+    Sop::from_cubes([
+        Cube::from_lits([Lit::pos(a), Lit::neg(b)]),
+        Cube::from_lits([Lit::neg(a), Lit::pos(b)]),
+    ])
+}
+
+/// A `width`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`;
+/// outputs `s0..` and `cout`. Sum bits are built via XOR nodes, carries
+/// as two-level majority SOPs — the flat carry logic is exactly what
+/// kernel extraction re-factors into the shared `a+b` chains.
+pub fn ripple_adder(width: usize) -> Network {
+    assert!(width >= 1);
+    let mut nw = Network::new();
+    let a: Vec<u32> = (0..width)
+        .map(|i| nw.add_input(format!("a{i}")).unwrap())
+        .collect();
+    let b: Vec<u32> = (0..width)
+        .map(|i| nw.add_input(format!("b{i}")).unwrap())
+        .collect();
+    let cin = nw.add_input("cin").unwrap();
+
+    let mut carry = cin;
+    for i in 0..width {
+        // x_i = a_i ⊕ b_i
+        let x = nw
+            .add_node(format!("x{i}"), xor_sop(a[i], b[i]))
+            .unwrap();
+        // s_i = x_i ⊕ c_i
+        let s = nw.add_node(format!("s{i}"), xor_sop(x, carry)).unwrap();
+        nw.mark_output(s).unwrap();
+        // c_{i+1} = a_i·b_i + a_i·c_i + b_i·c_i  (majority, flat SOP)
+        let c = nw
+            .add_node(
+                format!("c{}", i + 1),
+                Sop::from_cubes([
+                    and2(a[i], b[i]),
+                    and2(a[i], carry),
+                    and2(b[i], carry),
+                ]),
+            )
+            .unwrap();
+        carry = c;
+    }
+    nw.mark_output(carry).unwrap();
+    nw.validate().expect("adder is a DAG");
+    nw
+}
+
+/// A carry chain only (no sum XORs): inputs `a0..`, `b0..`, `cin`,
+/// outputs every carry `c1..cw`. All-positive logic, so the chain can be
+/// *collapsed* (eliminate) into flat carry-lookahead SOPs and then
+/// re-factored — the classic SIS collapse/refactor demonstration.
+pub fn carry_chain(width: usize) -> Network {
+    assert!(width >= 1);
+    let mut nw = Network::new();
+    let a: Vec<u32> = (0..width)
+        .map(|i| nw.add_input(format!("a{i}")).unwrap())
+        .collect();
+    let b: Vec<u32> = (0..width)
+        .map(|i| nw.add_input(format!("b{i}")).unwrap())
+        .collect();
+    let cin = nw.add_input("cin").unwrap();
+    let mut carry = cin;
+    for i in 0..width {
+        let c = nw
+            .add_node(
+                format!("c{}", i + 1),
+                Sop::from_cubes([
+                    and2(a[i], b[i]),
+                    and2(a[i], carry),
+                    and2(b[i], carry),
+                ]),
+            )
+            .unwrap();
+        nw.mark_output(c).unwrap();
+        carry = c;
+    }
+    nw.validate().expect("carry chain is a DAG");
+    nw
+}
+
+/// A small 4-bit ALU slice: per bit, AND / OR / XOR / ADD of the two
+/// operands, selected by `op0`/`op1` (one-hot-ish select built from the
+/// complemented literals). Flat SOPs throughout — lots of shared
+/// select·operand products for cube extraction.
+pub fn alu4() -> Network {
+    let mut nw = Network::new();
+    let a: Vec<u32> = (0..4)
+        .map(|i| nw.add_input(format!("a{i}")).unwrap())
+        .collect();
+    let b: Vec<u32> = (0..4)
+        .map(|i| nw.add_input(format!("b{i}")).unwrap())
+        .collect();
+    let op0 = nw.add_input("op0").unwrap();
+    let op1 = nw.add_input("op1").unwrap();
+
+    // Adder carries (no cin).
+    let mut carries: Vec<u32> = Vec::new();
+    let mut carry: Option<u32> = None;
+    for i in 0..4 {
+        let mut cubes = vec![and2(a[i], b[i])];
+        if let Some(c) = carry {
+            cubes.push(and2(a[i], c));
+            cubes.push(and2(b[i], c));
+        }
+        let c = nw
+            .add_node(format!("carry{}", i + 1), Sop::from_cubes(cubes))
+            .unwrap();
+        carries.push(c);
+        carry = Some(c);
+    }
+
+    for i in 0..4 {
+        // sum_i = a ⊕ b ⊕ c_in(i)
+        let x = nw.add_node(format!("x{i}"), xor_sop(a[i], b[i])).unwrap();
+        let sum = if i == 0 {
+            x
+        } else {
+            nw.add_node(format!("sum{i}"), xor_sop(x, carries[i - 1]))
+                .unwrap()
+        };
+        // f_i = op̄1·op̄0·(a·b)  +  op̄1·op0·(a + b)  +  op1·op̄0·(a⊕b)
+        //     + op1·op0·sum_i  — flattened into one SOP.
+        let f = Sop::from_cubes(
+            [
+                // AND
+                vec![Lit::neg(op1), Lit::neg(op0), Lit::pos(a[i]), Lit::pos(b[i])],
+                // OR
+                vec![Lit::neg(op1), Lit::pos(op0), Lit::pos(a[i])],
+                vec![Lit::neg(op1), Lit::pos(op0), Lit::pos(b[i])],
+                // XOR
+                vec![Lit::pos(op1), Lit::neg(op0), Lit::pos(x)],
+                // ADD
+                vec![Lit::pos(op1), Lit::pos(op0), Lit::pos(sum)],
+            ]
+            .into_iter()
+            .map(Cube::from_lits),
+        );
+        let out = nw.add_node(format!("f{i}"), f).unwrap();
+        nw.mark_output(out).unwrap();
+    }
+    nw.validate().expect("ALU is a DAG");
+    nw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_network::sim::{equivalent_random, simulate, EquivConfig};
+
+    #[test]
+    fn adder_adds() {
+        let nw = ripple_adder(4);
+        // Pack all 512 assignments (4+4+1 inputs) bit-parallel in 8 words.
+        let n_in = nw.input_ids().count();
+        assert_eq!(n_in, 9);
+        for trial in 0..512u64 {
+            let a_val = trial & 0xF;
+            let b_val = (trial >> 4) & 0xF;
+            let cin = (trial >> 8) & 1;
+            let mut words = vec![0u64; n_in];
+            for i in 0..4 {
+                words[i] = if (a_val >> i) & 1 == 1 { !0 } else { 0 };
+                words[4 + i] = if (b_val >> i) & 1 == 1 { !0 } else { 0 };
+            }
+            words[8] = if cin == 1 { !0 } else { 0 };
+            let values = simulate(&nw, &words).unwrap();
+            let mut sum = 0u64;
+            for (i, &o) in nw.outputs().iter().enumerate() {
+                if values[o as usize] & 1 == 1 {
+                    sum |= 1 << i; // s0..s3 then cout
+                }
+            }
+            assert_eq!(sum, a_val + b_val + cin, "a={a_val} b={b_val} cin={cin}");
+        }
+    }
+
+    #[test]
+    fn extraction_on_adder_preserves_addition() {
+        let nw = ripple_adder(8);
+        let mut opt = nw.clone();
+        let r = pf_core::extract_kernels(&mut opt, &[], &Default::default());
+        assert!(r.lc_after <= r.lc_before);
+        assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn alu_has_extractable_sharing() {
+        let nw = alu4();
+        let mut opt = nw.clone();
+        let r = pf_core::extract_kernels(&mut opt, &[], &Default::default());
+        assert!(
+            r.lc_after < r.lc_before,
+            "select/operand sharing must be found: {} -> {}",
+            r.lc_before,
+            r.lc_after
+        );
+        assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn carry_chain_collapses_and_refactors() {
+        use pf_network::transform::{eliminate_node, sweep};
+        let nw = carry_chain(5);
+        let mut flat = nw.clone();
+        // Collapse the whole chain into flat carry-lookahead SOPs.
+        for i in (1..5u32).rev() {
+            let c = flat.find(&format!("c{i}")).unwrap();
+            // c1..c7 feed c_{i+1}; all are outputs too, so eliminate only
+            // rewrites the fanouts — the nodes stay as outputs.
+            assert!(eliminate_node(&mut flat, c).unwrap(), "c{i}");
+        }
+        let _ = sweep(&mut flat);
+        assert!(flat.literal_count() > nw.literal_count(), "flattening grows");
+        assert!(equivalent_random(&nw, &flat, &EquivConfig::default()).unwrap());
+        // Refactoring recovers much of the growth.
+        let mut refactored = flat.clone();
+        let r = pf_core::extract_kernels(&mut refactored, &[], &Default::default());
+        assert!(r.lc_after < r.lc_before);
+        assert!(equivalent_random(&nw, &refactored, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn parallel_algorithms_on_real_adder() {
+        use pf_core::{lshaped_extract, LShapedConfig};
+        let nw = ripple_adder(12);
+        let mut opt = nw.clone();
+        let r = lshaped_extract(
+            &mut opt,
+            &LShapedConfig {
+                procs: 3,
+                ..LShapedConfig::default()
+            },
+        );
+        assert!(r.lc_after <= r.lc_before);
+        assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn cube_extraction_on_alu() {
+        let nw = alu4();
+        let mut opt = nw.clone();
+        let r = pf_core::extract_common_cubes(&mut opt, &[], &Default::default());
+        // op̄1·op0 and friends are shared cubes.
+        assert!(r.extractions >= 1);
+        assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+    }
+}

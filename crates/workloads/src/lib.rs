@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # pf-workloads — synthetic benchmark circuits
+//!
+//! The paper evaluates on MCNC benchmark circuits (misex3, dalu, des,
+//! ex1010, seq, spla), which cannot be redistributed here. This crate
+//! generates **seeded synthetic substitutes**: multi-level SOP networks
+//! with *planted shared kernels*, sized to the paper's initial literal
+//! counts. The plant guarantees the property the experiments depend on —
+//! common algebraic divisors shared across many nodes (and across
+//! partition boundaries), so that
+//!
+//! * sequential extraction achieves paper-like LC reductions (~26-31%),
+//! * partitioning hides some cross-partition rectangles (Algorithm I's
+//!   quality loss), and
+//! * the L-shape's overlap recovers most of them (Algorithm L's story).
+//!
+//! Everything is deterministic for a fixed profile (name, sizes, seed).
+
+pub mod generator;
+pub mod handcrafted;
+pub mod profiles;
+
+pub use generator::{generate, CircuitProfile};
+pub use handcrafted::{alu4, carry_chain, ripple_adder};
+pub use profiles::{paper_profiles, profile_by_name, scale_profile, table1_profiles};

@@ -1,0 +1,58 @@
+//! Quickstart: build a small network, factor it, inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parafactor::core::{extract_kernels, ExtractConfig};
+use parafactor::network::io::write_network;
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+use parafactor::network::Network;
+use parafactor::sop::{Cube, Lit, Sop};
+
+fn main() {
+    // F = ac + ad + bc + bd + e  — the classic "extract a+b" example.
+    let mut nw = Network::new();
+    let a = nw.add_input("a").unwrap();
+    let b = nw.add_input("b").unwrap();
+    let c = nw.add_input("c").unwrap();
+    let d = nw.add_input("d").unwrap();
+    let e = nw.add_input("e").unwrap();
+    let cube = |vars: &[u32]| Cube::from_lits(vars.iter().map(|&v| Lit::pos(v)));
+    let f = nw
+        .add_node(
+            "F",
+            Sop::from_cubes([
+                cube(&[a, c]),
+                cube(&[a, d]),
+                cube(&[b, c]),
+                cube(&[b, d]),
+                cube(&[e]),
+            ]),
+        )
+        .unwrap();
+    nw.mark_output(f).unwrap();
+
+    println!("before factorization ({} literals):", nw.literal_count());
+    print!("{}", write_network(&nw));
+
+    let original = nw.clone();
+    let report = extract_kernels(&mut nw, &[], &ExtractConfig::default());
+
+    println!();
+    println!(
+        "after kernel extraction ({} literals, {} extraction(s), saved {}):",
+        nw.literal_count(),
+        report.extractions,
+        report.saved()
+    );
+    print!("{}", write_network(&nw));
+
+    let ok = equivalent_random(&original, &nw, &EquivConfig::default()).unwrap();
+    println!();
+    println!(
+        "functional equivalence (random simulation): {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    assert!(ok);
+}

@@ -1,0 +1,55 @@
+//! Run the miniature synthesis script on a benchmark analogue and show
+//! where the time goes — the motivation behind the paper's Table 1.
+//!
+//! ```text
+//! cargo run --release --example synthesis_script [circuit] [scale]
+//! ```
+
+use parafactor::core::script::{run_script, ScriptConfig};
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+use parafactor::workloads::{generate, profile_by_name, scale_profile};
+
+fn main() {
+    let circuit = std::env::args().nth(1).unwrap_or_else(|| "seq".to_string());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    let Some(profile) = profile_by_name(&circuit) else {
+        eprintln!("unknown circuit {circuit:?}; try misex3, dalu, des, seq, spla, ex1010");
+        std::process::exit(1);
+    };
+    let profile = scale_profile(&profile, scale);
+    let nw = generate(&profile);
+    println!(
+        "{}: {} literals, {} nodes, {} inputs",
+        profile.name,
+        nw.literal_count(),
+        nw.node_ids().count(),
+        nw.input_ids().count()
+    );
+
+    let mut opt = nw.clone();
+    let report = run_script(&mut opt, &ScriptConfig::default());
+
+    println!();
+    println!("script finished:");
+    println!("  literal count     {} -> {}", report.lc_before, report.lc_after);
+    println!("  factor passes     {}", report.factor_invocations);
+    for (i, r) in report.factor_reports.iter().enumerate() {
+        println!(
+            "    pass {:>2}: {:>5} -> {:>5} ({} extractions, {:?})",
+            i, r.lc_before, r.lc_after, r.extractions, r.elapsed
+        );
+    }
+    println!("  factorization     {:?}", report.factor_time);
+    println!("  total synthesis   {:?}", report.total_time);
+    println!(
+        "  factor share      {:.1}%   (paper's Table 1 average: 61.45%)",
+        100.0 * report.factor_fraction()
+    );
+
+    let ok = equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap();
+    println!("  equivalence       {}", if ok { "PASS" } else { "FAIL" });
+    assert!(ok);
+}

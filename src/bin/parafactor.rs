@@ -1,0 +1,304 @@
+//! `parafactor` — command-line front end, in the spirit of `sis`'s
+//! batch mode.
+//!
+//! ```text
+//! parafactor [OPTIONS] <INPUT>
+//!
+//! INPUT                 circuit file (.blif, or the native text format),
+//!                       or gen:<profile>[@scale] for a synthetic circuit
+//!                       (profiles: misex3 dalu des seq spla ex1010)
+//! -a, --algorithm ALG   seq | replicated | independent | lshaped |
+//!                       lshaped-seq | lshaped-cx | iterative | script
+//!                       [default: seq]
+//! -p, --procs N         processors / partitions            [default: 4]
+//! -o, --output FILE     write the optimized circuit (format by extension:
+//!                       .blif or anything else = native text)
+//!     --objective OBJ   area | timing | power               [default: area]
+//!     --cx              run common-cube extraction after kernels
+//!     --seed N          workload generator seed override
+//!     --stats           print the full statistics block
+//!     --verify          check functional equivalence after optimizing
+//! -h, --help            this text
+//! ```
+
+use parafactor::core::script::{run_script, ScriptConfig};
+use parafactor::core::{
+    extract_common_cubes, extract_kernels, independent_extract, iterative_extract,
+    lshaped_extract, lshaped_extract_cubes, replicated_extract, CubeExtractConfig,
+    ExtractConfig, IndependentConfig, IterativeConfig, LShapedCxConfig, LShapedConfig,
+    Objective, ReplicatedConfig,
+};
+use parafactor::network::blif::{read_blif, write_blif};
+use parafactor::network::io::{read_network, write_network};
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+use parafactor::network::{stats, Network};
+use parafactor::workloads::{generate, profile_by_name, scale_profile};
+use std::process::ExitCode;
+
+struct Options {
+    input: String,
+    algorithm: String,
+    procs: usize,
+    output: Option<String>,
+    objective: String,
+    run_cx: bool,
+    seed: Option<u64>,
+    show_stats: bool,
+    verify: bool,
+}
+
+fn usage() -> ! {
+    // The doc comment above is the single source of truth.
+    let text = include_str!("parafactor.rs");
+    for line in text.lines().skip(3) {
+        let Some(stripped) = line.strip_prefix("//!") else { break };
+        if stripped.trim() == "```text" || stripped.trim() == "```" {
+            continue;
+        }
+        println!("{}", stripped.strip_prefix(' ').unwrap_or(stripped));
+    }
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        input: String::new(),
+        algorithm: "seq".into(),
+        procs: 4,
+        output: None,
+        objective: "area".into(),
+        run_cx: false,
+        seed: None,
+        show_stats: false,
+        verify: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut need = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "-a" | "--algorithm" => opts.algorithm = need("--algorithm"),
+            "-p" | "--procs" => {
+                opts.procs = need("--procs").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --procs must be a positive integer");
+                    usage()
+                })
+            }
+            "-o" | "--output" => opts.output = Some(need("--output")),
+            "--objective" => opts.objective = need("--objective"),
+            "--cx" => opts.run_cx = true,
+            "--seed" => {
+                opts.seed = Some(need("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed must be an integer");
+                    usage()
+                }))
+            }
+            "--stats" => opts.show_stats = true,
+            "--verify" => opts.verify = true,
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option {other}");
+                usage()
+            }
+            other => {
+                if !opts.input.is_empty() {
+                    eprintln!("error: more than one input given");
+                    usage()
+                }
+                opts.input = other.to_string();
+            }
+        }
+    }
+    if opts.input.is_empty() {
+        eprintln!("error: no input");
+        usage()
+    }
+    opts
+}
+
+fn load_circuit(opts: &Options) -> Result<Network, String> {
+    if let Some(spec) = opts.input.strip_prefix("gen:") {
+        let (name, scale) = match spec.split_once('@') {
+            Some((n, s)) => (
+                n,
+                s.parse::<f64>()
+                    .map_err(|_| format!("bad scale {s:?}"))?,
+            ),
+            None => (spec, 0.25),
+        };
+        let mut profile = profile_by_name(name)
+            .ok_or_else(|| format!("unknown profile {name:?} (try dalu, seq, …)"))?;
+        if let Some(seed) = opts.seed {
+            profile.seed = seed;
+        }
+        return Ok(generate(&scale_profile(&profile, scale)));
+    }
+    let text = std::fs::read_to_string(&opts.input)
+        .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
+    if opts.input.ends_with(".blif") {
+        read_blif(&text).map_err(|e| e.to_string())
+    } else {
+        read_network(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let nw = match load_circuit(&opts) {
+        Ok(nw) => nw,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let original = nw.clone();
+    let mut work = nw;
+    println!(
+        "loaded: {} inputs, {} nodes, {} literals",
+        work.input_ids().count(),
+        work.node_ids().count(),
+        work.literal_count()
+    );
+
+    let objective = match opts.objective.as_str() {
+        "area" => None,
+        "timing" => Some(Objective::timing(&work)),
+        "power" => Some(Objective::power(&work, 32, 0x9e3779)),
+        other => {
+            eprintln!("error: unknown objective {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let extract_cfg = ExtractConfig {
+        objective: objective.clone(),
+        ..ExtractConfig::default()
+    };
+
+    let report = match opts.algorithm.as_str() {
+        "seq" => extract_kernels(&mut work, &[], &extract_cfg),
+        "replicated" => replicated_extract(
+            &mut work,
+            &ReplicatedConfig {
+                procs: opts.procs,
+                extract: extract_cfg,
+                ..ReplicatedConfig::default()
+            },
+        ),
+        "independent" => independent_extract(
+            &mut work,
+            &IndependentConfig {
+                procs: opts.procs,
+                extract: extract_cfg,
+                ..IndependentConfig::default()
+            },
+        ),
+        "lshaped-cx" => lshaped_extract_cubes(
+            &mut work,
+            &LShapedCxConfig {
+                procs: opts.procs,
+                ..LShapedCxConfig::default()
+            },
+        ),
+        "lshaped" | "lshaped-seq" => lshaped_extract(
+            &mut work,
+            &LShapedConfig {
+                procs: opts.procs,
+                sequential: opts.algorithm == "lshaped-seq",
+                extract: extract_cfg,
+                ..LShapedConfig::default()
+            },
+        ),
+        "iterative" => iterative_extract(
+            &mut work,
+            &IterativeConfig {
+                inner: IndependentConfig {
+                    procs: opts.procs,
+                    extract: extract_cfg,
+                    ..IndependentConfig::default()
+                },
+                ..IterativeConfig::default()
+            },
+        ),
+        "script" => {
+            let rep = run_script(&mut work, &ScriptConfig::default());
+            println!(
+                "script: {} factor passes, {:.1}% of time factoring",
+                rep.factor_invocations,
+                100.0 * rep.factor_fraction()
+            );
+            parafactor::core::ExtractReport {
+                lc_before: rep.lc_before,
+                lc_after: rep.lc_after,
+                ..Default::default()
+            }
+        }
+        other => {
+            eprintln!("error: unknown algorithm {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.run_cx {
+        let r = extract_common_cubes(&mut work, &[], &CubeExtractConfig::default());
+        println!(
+            "cube extraction: {} cubes extracted, LC {} -> {}",
+            r.extractions, r.lc_before, r.lc_after
+        );
+    }
+
+    println!(
+        "{}: LC {} -> {} ({} extractions, {:.3?}{})",
+        opts.algorithm,
+        report.lc_before,
+        work.literal_count(),
+        report.extractions,
+        report.elapsed,
+        if report.shipped_rectangles > 0 {
+            format!(", {} partial rectangles shipped", report.shipped_rectangles)
+        } else {
+            String::new()
+        }
+    );
+
+    if opts.show_stats {
+        match stats::stats(&work) {
+            Ok(s) => println!(
+                "stats: inputs {}  outputs {}  nodes {}  lits(sop) {}  lits(fac) {}  depth {}  cubes {}",
+                s.inputs, s.outputs, s.live_nodes, s.lits_sop, s.lits_fac, s.depth, s.cubes
+            ),
+            Err(e) => eprintln!("stats failed: {e}"),
+        }
+    }
+
+    if opts.verify {
+        match equivalent_random(&original, &work, &EquivConfig::default()) {
+            Ok(true) => println!("verify: PASS (random-vector equivalence)"),
+            Ok(false) => {
+                eprintln!("verify: FAIL — optimized circuit differs!");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("verify error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &opts.output {
+        let text = if path.ends_with(".blif") {
+            write_blif(&work, "parafactor")
+        } else {
+            write_network(&work)
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # parafactor — parallel algebraic factorization for logic synthesis
+//!
+//! Facade crate re-exporting the public API of the workspace, a
+//! from-scratch Rust reproduction of Roy & Banerjee, *A Comparison of
+//! Parallel Approaches for Algebraic Factorization in Logic Synthesis*
+//! (IPPS 1997).
+//!
+//! The three parallel kernel-extraction algorithms of the paper live in
+//! [`core`]: the replicated divide-and-conquer search (§3), the
+//! independent-partition extraction (§4) and the L-shaped partitioning
+//! with interactions (§5). Everything they stand on — cube/SOP algebra,
+//! the Boolean network, the co-kernel cube matrix with rectangle
+//! covering, and the min-cut circuit partitioner — is implemented in the
+//! sibling crates re-exported below.
+
+pub use pf_core as core;
+pub use pf_kcmatrix as kcmatrix;
+pub use pf_network as network;
+pub use pf_partition as partition;
+pub use pf_sop as sop;
+pub use pf_workloads as workloads;

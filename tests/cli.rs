@@ -1,0 +1,118 @@
+//! Integration tests for the `parafactor` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parafactor"))
+}
+
+#[test]
+fn runs_sequential_on_generated_circuit() {
+    let out = bin()
+        .args(["-a", "seq", "--verify", "gen:misex3@0.1"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("verify: PASS"), "{stdout}");
+    assert!(stdout.contains("seq: LC"), "{stdout}");
+}
+
+#[test]
+fn all_algorithms_run_and_verify() {
+    for alg in [
+        "seq",
+        "replicated",
+        "independent",
+        "lshaped",
+        "lshaped-seq",
+        "lshaped-cx",
+        "iterative",
+        "script",
+    ] {
+        let out = bin()
+            .args(["-a", alg, "-p", "2", "--verify", "gen:misex3@0.08"])
+            .output()
+            .expect("binary runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{alg}: {stdout}");
+        assert!(stdout.contains("verify: PASS"), "{alg}: {stdout}");
+    }
+}
+
+#[test]
+fn blif_roundtrip_through_the_cli() {
+    let dir = std::env::temp_dir().join("parafactor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let blif = dir.join("out.blif");
+    let out = bin()
+        .args([
+            "-a",
+            "seq",
+            "-o",
+            blif.to_str().unwrap(),
+            "gen:dalu@0.05",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&blif).unwrap();
+    assert!(text.starts_with(".model"));
+    // Feed it back in.
+    let out = bin()
+        .args(["-a", "seq", "--verify", blif.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("verify: PASS"), "{stdout}");
+}
+
+#[test]
+fn unknown_algorithm_fails_cleanly() {
+    let out = bin()
+        .args(["-a", "nonsense", "gen:misex3@0.05"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+}
+
+#[test]
+fn unknown_profile_fails_cleanly() {
+    let out = bin().args(["gen:nosuch@0.1"]).output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stats_flag_prints_stats_block() {
+    let out = bin()
+        .args(["--stats", "gen:misex3@0.08"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("lits(fac)"), "{stdout}");
+    assert!(stdout.contains("depth"), "{stdout}");
+}
+
+#[test]
+fn objective_flag_accepted() {
+    for obj in ["area", "timing", "power"] {
+        let out = bin()
+            .args(["--objective", obj, "--verify", "gen:misex3@0.08"])
+            .output()
+            .expect("binary runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{obj}: {stdout}");
+        assert!(stdout.contains("verify: PASS"), "{obj}");
+    }
+}
+
+#[test]
+fn help_exits_with_usage() {
+    let out = bin().arg("--help").output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--algorithm"), "{stdout}");
+}

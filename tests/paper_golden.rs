@@ -1,0 +1,138 @@
+//! Golden-value integration tests on the paper's worked example
+//! (Equation 1 / Example 1.1): every algorithm, exact expected numbers
+//! where deterministic.
+
+use parafactor::core::{
+    extract_kernels, independent_extract, lshaped_extract, replicated_extract,
+    ExtractConfig, IndependentConfig, LShapedConfig, ReplicatedConfig,
+};
+use parafactor::network::example::example_1_1;
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+
+#[test]
+fn sequential_golden_sequence() {
+    // 33 → 25 → 22 → 21: first the paper's X = a+b (saves 8), then
+    // Y = a+c (3), then the single-row Z (1).
+    let (mut nw, _) = example_1_1();
+    let r = extract_kernels(&mut nw, &[], &ExtractConfig::default());
+    assert_eq!((r.lc_before, r.lc_after, r.extractions), (33, 21, 3));
+}
+
+#[test]
+fn all_algorithms_preserve_function_and_rank_as_paper_predicts() {
+    let (original, _) = example_1_1();
+
+    // Sequential baseline.
+    let mut s = original.clone();
+    let rs = extract_kernels(&mut s, &[], &ExtractConfig::default());
+
+    // Algorithm R: identical search path ⇒ identical quality.
+    let mut r = original.clone();
+    let rr = replicated_extract(
+        &mut r,
+        &ReplicatedConfig {
+            procs: 4,
+            ..ReplicatedConfig::default()
+        },
+    );
+    assert_eq!(rr.lc_after, rs.lc_after, "R must match sequential quality");
+
+    // Algorithm I: can only do worse than (or equal to) sequential.
+    let mut i = original.clone();
+    let ri = independent_extract(
+        &mut i,
+        &IndependentConfig {
+            procs: 2,
+            ..IndependentConfig::default()
+        },
+    );
+    assert!(ri.lc_after >= rs.lc_after);
+
+    // Algorithm L (sequential p-way): between sequential and I's typical
+    // loss; never worse than the initial network.
+    let mut l = original.clone();
+    let rl = lshaped_extract(
+        &mut l,
+        &LShapedConfig {
+            procs: 2,
+            sequential: true,
+            ..LShapedConfig::default()
+        },
+    );
+    assert!(rl.lc_after >= rs.lc_after);
+    assert!(rl.lc_after <= ri.lc_after, "L-shape recovers cross-partition rectangles");
+
+    for (name, nw) in [("seq", &s), ("R", &r), ("I", &i), ("L", &l)] {
+        assert!(
+            equivalent_random(&original, nw, &EquivConfig::default()).unwrap(),
+            "{name} broke functional equivalence"
+        );
+        assert!(nw.validate().is_ok(), "{name} produced an invalid network");
+    }
+}
+
+#[test]
+fn table2_shape_quality_equal_across_procs() {
+    // Table 2's quality columns are constant across processor counts.
+    let mut lcs = Vec::new();
+    for procs in [1usize, 2, 4, 6] {
+        let (mut nw, _) = example_1_1();
+        let r = replicated_extract(
+            &mut nw,
+            &ReplicatedConfig {
+                procs,
+                ..ReplicatedConfig::default()
+            },
+        );
+        lcs.push(r.lc_after);
+    }
+    assert!(lcs.windows(2).all(|w| w[0] == w[1]), "{lcs:?}");
+}
+
+#[test]
+fn table4_shape_lshaped_sequential_close_to_sis() {
+    // Table 4: the k-way L-shaped decomposition costs almost nothing on
+    // this example — within 4 literals of the sequential optimum.
+    let (mut base, _) = example_1_1();
+    let rs = extract_kernels(&mut base, &[], &ExtractConfig::default());
+    for ways in [2usize, 4, 6] {
+        let (mut nw, _) = example_1_1();
+        let rl = lshaped_extract(
+            &mut nw,
+            &LShapedConfig {
+                procs: ways,
+                sequential: true,
+                ..LShapedConfig::default()
+            },
+        );
+        assert!(
+            rl.lc_after as i64 - rs.lc_after as i64 <= 4,
+            "{ways}-way: {} vs {}",
+            rl.lc_after,
+            rs.lc_after
+        );
+    }
+}
+
+#[test]
+fn example_5_1_label_spaces() {
+    // §5.2: processor p labels its kernels from p·offset + 1. After a
+    // 2-way L-shaped run the extracted nodes carry per-processor name
+    // prefixes — both processors contributed on this example or at
+    // least one did; names must be namespaced either way.
+    let (mut nw, _) = example_1_1();
+    let r = lshaped_extract(
+        &mut nw,
+        &LShapedConfig {
+            procs: 2,
+            sequential: true,
+            ..LShapedConfig::default()
+        },
+    );
+    assert!(r.extractions > 0);
+    let all_prefixed = nw
+        .node_ids()
+        .filter(|&n| nw.name(n).contains("kx_"))
+        .all(|n| nw.name(n).starts_with("L0_") || nw.name(n).starts_with("L1_"));
+    assert!(all_prefixed);
+}

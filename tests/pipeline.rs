@@ -1,0 +1,173 @@
+//! End-to-end pipeline tests on generated workloads: every algorithm on
+//! every (scaled-down) paper circuit, checking functional equivalence,
+//! quality ordering and report consistency.
+
+use parafactor::core::{
+    extract_kernels, independent_extract, lshaped_extract, replicated_extract,
+    ExtractConfig, IndependentConfig, LShapedConfig, ReplicatedConfig,
+};
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+use parafactor::network::Network;
+use parafactor::workloads::{generate, paper_profiles, scale_profile};
+
+const TEST_SCALE: f64 = 0.06;
+
+fn circuits() -> Vec<(String, Network)> {
+    paper_profiles()
+        .into_iter()
+        .map(|p| {
+            let nw = generate(&scale_profile(&p, TEST_SCALE));
+            (p.name, nw)
+        })
+        .collect()
+}
+
+#[test]
+fn sequential_on_every_circuit() {
+    for (name, nw) in circuits() {
+        let mut opt = nw.clone();
+        let r = extract_kernels(&mut opt, &[], &ExtractConfig::default());
+        assert!(r.lc_after < r.lc_before, "{name}: no reduction");
+        assert_eq!(
+            r.lc_before as i64 - r.lc_after as i64,
+            r.total_value,
+            "{name}: accounting broken"
+        );
+        assert!(
+            equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap(),
+            "{name}: equivalence broken"
+        );
+    }
+}
+
+#[test]
+fn replicated_matches_sequential_everywhere() {
+    // The paper's own Table 2 notes a tiny LC wobble between the
+    // sequential and distributed runs "due to the different search path
+    // they might have taken" (value ties broken differently). Allow
+    // 0.5%, exact equality is checked on the deterministic example.
+    for (name, nw) in circuits() {
+        let mut s = nw.clone();
+        let rs = extract_kernels(&mut s, &[], &ExtractConfig::default());
+        let mut r = nw.clone();
+        let rr = replicated_extract(
+            &mut r,
+            &ReplicatedConfig {
+                procs: 3,
+                ..ReplicatedConfig::default()
+            },
+        );
+        let diff = (rr.lc_after as f64 - rs.lc_after as f64).abs();
+        assert!(
+            diff <= (rs.lc_after as f64 * 0.005).max(2.0),
+            "{name}: {} vs {}",
+            rr.lc_after,
+            rs.lc_after
+        );
+        assert!(equivalent_random(&nw, &r, &EquivConfig::default()).unwrap(), "{name}");
+    }
+}
+
+#[test]
+fn independent_quality_degrades_with_partitions() {
+    for (name, nw) in circuits() {
+        let mut s = nw.clone();
+        let rs = extract_kernels(&mut s, &[], &ExtractConfig::default());
+        for procs in [2usize, 4] {
+            let mut i = nw.clone();
+            let ri = independent_extract(
+                &mut i,
+                &IndependentConfig {
+                    procs,
+                    ..IndependentConfig::default()
+                },
+            );
+            assert!(
+                ri.lc_after >= rs.lc_after,
+                "{name} p{procs}: I beat the full-matrix optimum"
+            );
+            assert!(
+                equivalent_random(&nw, &i, &EquivConfig::default()).unwrap(),
+                "{name} p{procs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lshaped_sequential_beats_independent_on_average() {
+    // Table 4 + §5.4: the L-shape recovers much of what Algorithm I
+    // loses. Checked in aggregate over all circuits (individual circuits
+    // may tie or flip).
+    let mut l_total = 0usize;
+    let mut i_total = 0usize;
+    for (_name, nw) in circuits() {
+        let mut l = nw.clone();
+        let rl = lshaped_extract(
+            &mut l,
+            &LShapedConfig {
+                procs: 3,
+                sequential: true,
+                ..LShapedConfig::default()
+            },
+        );
+        let mut i = nw.clone();
+        let ri = independent_extract(
+            &mut i,
+            &IndependentConfig {
+                procs: 3,
+                ..IndependentConfig::default()
+            },
+        );
+        l_total += rl.lc_after;
+        i_total += ri.lc_after;
+        assert!(equivalent_random(&nw, &l, &EquivConfig::default()).unwrap());
+    }
+    assert!(
+        l_total <= i_total,
+        "aggregate L quality {l_total} must not trail I {i_total}"
+    );
+}
+
+#[test]
+fn lshaped_threaded_on_every_circuit() {
+    for (name, nw) in circuits() {
+        for procs in [2usize, 4] {
+            let mut l = nw.clone();
+            let rl = lshaped_extract(
+                &mut l,
+                &LShapedConfig {
+                    procs,
+                    sequential: false,
+                    ..LShapedConfig::default()
+                },
+            );
+            assert!(
+                rl.lc_after <= rl.lc_before,
+                "{name} p{procs}: literal count grew"
+            );
+            assert!(
+                equivalent_random(&nw, &l, &EquivConfig::default()).unwrap(),
+                "{name} p{procs}: equivalence broken"
+            );
+            assert!(l.validate().is_ok(), "{name} p{procs}");
+        }
+    }
+}
+
+#[test]
+fn script_pipeline_on_two_circuits() {
+    use parafactor::core::script::{run_script, ScriptConfig};
+    for name in ["dalu", "seq"] {
+        let p = parafactor::workloads::profile_by_name(name).unwrap();
+        let nw = generate(&scale_profile(&p, TEST_SCALE));
+        let mut opt = nw.clone();
+        let rep = run_script(&mut opt, &ScriptConfig::default());
+        assert!(rep.lc_after <= rep.lc_before, "{name}");
+        assert!(rep.factor_fraction() > 0.0 && rep.factor_fraction() <= 1.0);
+        assert!(
+            equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap(),
+            "{name}: script broke the circuit"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Workspace-level property tests: random small networks through the
+//! full extraction pipelines, checking the global invariants every
+//! algorithm must keep — functional equivalence, monotone literal
+//! count, valid DAG structure.
+
+use parafactor::core::{
+    extract_kernels, independent_extract, lshaped_extract, ExtractConfig,
+    IndependentConfig, LShapedConfig,
+};
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+use parafactor::network::Network;
+use parafactor::sop::{Cube, Lit, Sop};
+use proptest::prelude::*;
+
+/// A random multi-level network: `n_inputs` PIs, `n_nodes` nodes whose
+/// cubes draw from PIs and earlier nodes (positive phase for nodes).
+fn arb_network(
+    n_inputs: usize,
+    n_nodes: usize,
+    max_cubes: usize,
+) -> impl Strategy<Value = Network> {
+    // A node spec is a vec of cubes; each cube a set of "source picks".
+    let cube = prop::collection::btree_set(0..(n_inputs + n_nodes) as u32, 1..=3usize);
+    let node = prop::collection::vec(cube, 1..=max_cubes);
+    prop::collection::vec(node, 1..=n_nodes).prop_map(move |specs| {
+        let mut nw = Network::new();
+        let inputs: Vec<u32> = (0..n_inputs)
+            .map(|i| nw.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let mut nodes: Vec<u32> = Vec::new();
+        for (k, spec) in specs.into_iter().enumerate() {
+            let cubes: Vec<Cube> = spec
+                .into_iter()
+                .map(|srcs| {
+                    Cube::from_lits(srcs.into_iter().map(|s| {
+                        // Map the pick to an existing signal: inputs
+                        // always available, earlier nodes when they
+                        // exist. Dedup by variable happens in from_lits.
+                        let pool_len = inputs.len() + nodes.len();
+                        let idx = (s as usize) % pool_len;
+                        let var = if idx < inputs.len() {
+                            inputs[idx]
+                        } else {
+                            nodes[idx - inputs.len()]
+                        };
+                        Lit::pos(var)
+                    }))
+                })
+                .collect();
+            let id = nw.add_node(format!("n{k}"), Sop::from_cubes(cubes)).unwrap();
+            nodes.push(id);
+        }
+        // Sinks become outputs.
+        let fo = nw.fanout_map();
+        for &n in &nodes {
+            if fo[n as usize].is_empty() {
+                nw.mark_output(n).unwrap();
+            }
+        }
+        nw
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequential_extraction_invariants(nw in arb_network(6, 8, 6)) {
+        let mut opt = nw.clone();
+        let r = extract_kernels(&mut opt, &[], &ExtractConfig::default());
+        prop_assert!(r.lc_after <= r.lc_before);
+        prop_assert_eq!(r.lc_before as i64 - r.lc_after as i64, r.total_value);
+        prop_assert!(opt.validate().is_ok());
+        prop_assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn independent_extraction_invariants(nw in arb_network(6, 8, 6)) {
+        let mut opt = nw.clone();
+        let r = independent_extract(&mut opt, &IndependentConfig {
+            procs: 2,
+            ..IndependentConfig::default()
+        });
+        prop_assert!(r.lc_after <= r.lc_before);
+        prop_assert!(opt.validate().is_ok());
+        prop_assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn lshaped_sequential_invariants(nw in arb_network(6, 8, 6)) {
+        let mut opt = nw.clone();
+        let r = lshaped_extract(&mut opt, &LShapedConfig {
+            procs: 3,
+            sequential: true,
+            ..LShapedConfig::default()
+        });
+        prop_assert!(r.lc_after <= r.lc_before);
+        prop_assert!(opt.validate().is_ok());
+        prop_assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn lshaped_threaded_invariants(nw in arb_network(5, 6, 5)) {
+        let mut opt = nw.clone();
+        let r = lshaped_extract(&mut opt, &LShapedConfig {
+            procs: 2,
+            sequential: false,
+            ..LShapedConfig::default()
+        });
+        prop_assert!(r.lc_after <= r.lc_before);
+        prop_assert!(opt.validate().is_ok());
+        prop_assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+    }
+
+    /// The deterministic paths (sequential and L-shaped round-robin)
+    /// give identical results on repeated runs.
+    #[test]
+    fn deterministic_paths_are_deterministic(nw in arb_network(6, 8, 5)) {
+        let run_seq = |nw: &parafactor::network::Network| {
+            let mut c = nw.clone();
+            let r = extract_kernels(&mut c, &[], &ExtractConfig::default());
+            (c.literal_count(), r.extractions)
+        };
+        prop_assert_eq!(run_seq(&nw), run_seq(&nw));
+        let run_l = |nw: &parafactor::network::Network| {
+            let mut c = nw.clone();
+            let r = lshaped_extract(&mut c, &LShapedConfig {
+                procs: 3,
+                sequential: true,
+                ..LShapedConfig::default()
+            });
+            (c.literal_count(), r.extractions, r.shipped_rectangles)
+        };
+        prop_assert_eq!(run_l(&nw), run_l(&nw));
+    }
+
+    #[test]
+    fn partitioner_is_exhaustive_and_balanced(nw in arb_network(6, 10, 5)) {
+        use parafactor::partition::{partition_network, PartitionConfig};
+        let cfg = PartitionConfig::default();
+        for k in [2usize, 3] {
+            let p = partition_network(&nw, k, &cfg);
+            let mut count = 0usize;
+            for q in 0..k {
+                count += p.part_nodes(q).len();
+            }
+            prop_assert_eq!(count, nw.node_ids().count());
+            let w = p.part_weights();
+            let total: u64 = w.iter().sum();
+            // Balance is infeasible when a single vertex outweighs the
+            // cap, so the invariant is cap ∨ heaviest-vertex.
+            let heaviest = (0..p.graph.len())
+                .map(|v| p.graph.weight(v))
+                .max()
+                .unwrap_or(0);
+            let cap = ((total as f64 / k as f64) * (1.0 + cfg.tolerance)).ceil() as u64;
+            for x in w {
+                prop_assert!(x <= cap.max(heaviest));
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Soak tests for the threaded algorithms: larger circuits, more
+//! processors, repeated runs. Expensive — run explicitly with
+//! `cargo test --release --test soak -- --ignored`.
+
+use parafactor::core::{
+    extract_kernels, independent_extract, lshaped_extract, ExtractConfig,
+    IndependentConfig, LShapedConfig,
+};
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+use parafactor::workloads::{generate, profile_by_name, scale_profile};
+
+#[test]
+#[ignore = "soak test: run with --ignored in release mode"]
+fn lshaped_threaded_soak() {
+    let profile = scale_profile(&profile_by_name("seq").unwrap(), 0.3);
+    let nw = generate(&profile);
+    let mut baseline = nw.clone();
+    let base = extract_kernels(&mut baseline, &[], &ExtractConfig::default());
+    for round in 0..5 {
+        for procs in [2usize, 4, 8] {
+            let mut copy = nw.clone();
+            let r = lshaped_extract(
+                &mut copy,
+                &LShapedConfig {
+                    procs,
+                    ..LShapedConfig::default()
+                },
+            );
+            assert!(
+                r.lc_after <= r.lc_before,
+                "round {round} procs {procs}: LC grew"
+            );
+            assert!(
+                (r.lc_after as f64) < base.lc_after as f64 * 1.15,
+                "round {round} procs {procs}: quality collapsed ({} vs {})",
+                r.lc_after,
+                base.lc_after
+            );
+            assert!(
+                equivalent_random(&nw, &copy, &EquivConfig::default()).unwrap(),
+                "round {round} procs {procs}: function broken"
+            );
+            assert!(copy.validate().is_ok());
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak test: run with --ignored in release mode"]
+fn independent_soak_all_circuits() {
+    for name in ["dalu", "des", "seq", "spla", "ex1010"] {
+        let profile = scale_profile(&profile_by_name(name).unwrap(), 0.2);
+        let nw = generate(&profile);
+        for procs in [2usize, 6] {
+            let mut copy = nw.clone();
+            let r = independent_extract(
+                &mut copy,
+                &IndependentConfig {
+                    procs,
+                    ..IndependentConfig::default()
+                },
+            );
+            assert!(r.lc_after < r.lc_before, "{name} p{procs}");
+            assert!(
+                equivalent_random(&nw, &copy, &EquivConfig::default()).unwrap(),
+                "{name} p{procs}"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak test: run with --ignored in release mode"]
+fn full_script_soak() {
+    use parafactor::core::script::{run_script, ScriptConfig};
+    let profile = scale_profile(&profile_by_name("dalu").unwrap(), 0.4);
+    let nw = generate(&profile);
+    let mut copy = nw.clone();
+    let rep = run_script(&mut copy, &ScriptConfig::default());
+    assert!(rep.lc_after < rep.lc_before);
+    assert!(equivalent_random(&nw, &copy, &EquivConfig::default()).unwrap());
+}
