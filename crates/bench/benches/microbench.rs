@@ -34,9 +34,7 @@ fn busy_sop() -> Sop {
 
 fn algebra(c: &mut Criterion) {
     let f = busy_sop();
-    c.bench_function("kernels/busy_node", |b| {
-        b.iter(|| kernels(black_box(&f)))
-    });
+    c.bench_function("kernels/busy_node", |b| b.iter(|| kernels(black_box(&f))));
     let ks = kernels(&f);
     if let Some(k) = ks.first() {
         c.bench_function("divide/by_kernel", |b| {

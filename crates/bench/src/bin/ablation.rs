@@ -10,9 +10,7 @@
 //!    closing remark).
 
 use pf_bench::{build_circuit, env_scale};
-use pf_core::{
-    extract_kernels, lshaped_extract, ExtractConfig, LShapedConfig, Objective,
-};
+use pf_core::{extract_kernels, lshaped_extract, ExtractConfig, LShapedConfig, Objective};
 use pf_kcmatrix::SearchConfig;
 use pf_network::stats;
 use pf_sop::kernel::KernelConfig;
@@ -76,7 +74,9 @@ fn main() {
         );
         println!(
             "  {:<10} LC {:>6}  time {:>10.3?}  (same optimum, different pruning power)",
-            name, r.lc_after, t.elapsed()
+            name,
+            r.lc_after,
+            t.elapsed()
         );
     }
 
@@ -98,16 +98,15 @@ fn main() {
         );
         println!(
             "  {:<10} LC {:>6}  rows-per-pass smaller, quality may dip  time {:>10.3?}",
-            name, r.lc_after, t.elapsed()
+            name,
+            r.lc_after,
+            t.elapsed()
         );
     }
 
     // --- 4 & 5. Algorithm L protocol pieces --------------------------------
     println!("\n4/5. Algorithm L (p=4, threaded): §5.3 machinery on/off");
-    println!(
-        "{:>28} {:>8} {:>8}",
-        "variant", "LC", "shipped"
-    );
+    println!("{:>28} {:>8} {:>8}", "variant", "LC", "shipped");
     for (name, protocol, recheck) in [
         ("full protocol", true, true),
         ("no consistency protocol", false, true),

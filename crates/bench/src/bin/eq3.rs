@@ -21,7 +21,14 @@ fn full_matrix_sparsity(nw: &pf_network::Network) -> f64 {
     let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
     let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
     for n in nw.node_ids() {
-        m.add_node_kernels(n, nw.func(n), &KernelConfig::default(), &reg, &mut rl, &mut cl);
+        m.add_node_kernels(
+            n,
+            nw.func(n),
+            &KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
     }
     SparsityFactors::measure(&m)
 }
@@ -61,18 +68,14 @@ fn main() {
             // γ estimate: the L-matrix keeps ~1/p of the rows plus the
             // shipped legs; approximate from the ship ratio.
             let ship_factor = 1.0
-                + report.shipped_rectangles as f64
-                    / (report.extractions.max(1) as f64 * p as f64);
+                + report.shipped_rectangles as f64 / (report.extractions.max(1) as f64 * p as f64);
             let gamma = (alpha * ship_factor / p as f64).min(alpha);
             gamma_est = gamma;
             let pred = predicted_speedup(p, &SparsityFactors { alpha, gamma });
             let meas = speedup(base.elapsed, report.elapsed);
             row += &format!(" | {:>8.2} {:>8.2}", pred, meas);
         }
-        println!(
-            "{:>8} {:>8.4} {:>8.4}{row}",
-            name, alpha, gamma_est
-        );
+        println!("{:>8} {:>8.4} {:>8.4}{row}", name, alpha, gamma_est);
     }
     println!();
     println!("expected shape: predictions and measurements increase together with p;");

@@ -50,7 +50,11 @@ fn main() {
         // Fraction of the one-shot quality gap closed by iterating.
         let gap = rep_one.lc_after as f64 - base.lc_after as f64;
         let closed = rep_one.lc_after as f64 - rep_it.lc_after as f64;
-        let recovered = if gap > 0.0 { 100.0 * closed / gap } else { 100.0 };
+        let recovered = if gap > 0.0 {
+            100.0 * closed / gap
+        } else {
+            100.0
+        };
         println!(
             "{:>8} {:>9} {:>8} {:>9} {:>10} {:>9.0}%",
             name, init, base.lc_after, rep_one.lc_after, rep_it.lc_after, recovered

@@ -62,6 +62,8 @@ fn main() {
     }
     println!("{avg}  (LC column = quality ratio vs sequential)");
     println!();
-    println!("paper (6 procs): ex1010 11865/11.48, average quality ratio ~1.005 vs SIS, avg S 6.47");
+    println!(
+        "paper (6 procs): ex1010 11865/11.48, average quality ratio ~1.005 vs SIS, avg S 6.47"
+    );
     println!("expected shape: speedups between Algorithms R and I; quality close to SIS");
 }

@@ -181,12 +181,14 @@ mod tests {
             let c = nw.add_input("c").unwrap();
             let d = nw.add_input("d").unwrap();
             let sop = |cubes: &[&[u32]]| {
-                pf_sop::Sop::from_cubes(cubes.iter().map(|cs| {
-                    Cube::from_lits(cs.iter().map(|&v| Lit::pos(v)))
-                }))
+                pf_sop::Sop::from_cubes(
+                    cubes
+                        .iter()
+                        .map(|cs| Cube::from_lits(cs.iter().map(|&v| Lit::pos(v)))),
+                )
             };
             let g = nw.add_node("g", sop(&[&[a, b], &[c]])).unwrap(); // level 1
-            // f over g (level-2 literals) with an extractable kernel.
+                                                                      // f over g (level-2 literals) with an extractable kernel.
             let f = nw
                 .add_node("f", sop(&[&[g, a, c], &[g, a, d], &[g, b, c], &[g, b, d]]))
                 .unwrap();

@@ -1,0 +1,166 @@
+//! Cooperative run control — cancellation and deadlines for the
+//! extraction drivers.
+//!
+//! A [`RunCtl`] is a cheaply clonable handle to shared stop state: an
+//! explicit cancellation flag plus an optional wall-clock deadline. The
+//! algorithm drivers check it at their natural barrier points — the
+//! sequential cover loop head, Algorithm R's reduction step, Algorithm
+//! I's per-worker loop (via the shared handle inside
+//! [`ExtractConfig`](crate::seq::ExtractConfig)), and Algorithm L's
+//! worker step loop — so a caller such as `pf-serve` can abandon a run
+//! without killing threads or poisoning shared state. The run winds down
+//! at the next check, merges what it has, and reports *why* it stopped
+//! ([`ExtractReport::timed_out`](crate::report::ExtractReport) /
+//! [`cancelled`](crate::report::ExtractReport)).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was asked to stop early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// [`RunCtl::cancel`] was called.
+    Cancelled,
+    /// The deadline passed.
+    DeadlineExpired,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Shared stop-control handle. Clones observe (and trigger) the same
+/// cancellation; embedding one in a config and cloning the config keeps
+/// every worker on the same handle.
+#[derive(Clone, Debug)]
+pub struct RunCtl {
+    inner: Arc<Inner>,
+}
+
+impl Default for RunCtl {
+    fn default() -> Self {
+        RunCtl::new()
+    }
+}
+
+impl RunCtl {
+    /// A control that never stops a run on its own (no deadline).
+    pub fn new() -> Self {
+        RunCtl {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A control whose deadline is `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::deadline_at(Instant::now() + timeout)
+    }
+
+    /// A control with an absolute deadline.
+    pub fn deadline_at(at: Instant) -> Self {
+        RunCtl {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(at),
+            }),
+        }
+    }
+
+    /// Requests cancellation; every clone observes it at its next check.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](RunCtl::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set;
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Why the run should stop, if it should. Explicit cancellation
+    /// outranks the deadline so an operator abort is reported as such
+    /// even on an expired job.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if self.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else if self.deadline_expired() {
+            Some(StopReason::DeadlineExpired)
+        } else {
+            None
+        }
+    }
+
+    /// `true` once the run should wind down — the drivers' barrier-point
+    /// check.
+    pub fn should_stop(&self) -> bool {
+        self.stop_reason().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ctl_never_stops() {
+        let ctl = RunCtl::new();
+        assert!(!ctl.should_stop());
+        assert_eq!(ctl.stop_reason(), None);
+        assert_eq!(ctl.remaining(), None);
+        assert_eq!(ctl.deadline(), None);
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones() {
+        let ctl = RunCtl::new();
+        let seen_by_worker = ctl.clone();
+        ctl.cancel();
+        assert!(seen_by_worker.is_cancelled());
+        assert_eq!(seen_by_worker.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_stops() {
+        let ctl = RunCtl::with_deadline(Duration::ZERO);
+        assert!(ctl.deadline_expired());
+        assert_eq!(ctl.stop_reason(), Some(StopReason::DeadlineExpired));
+        assert_eq!(ctl.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_does_not_stop_yet() {
+        let ctl = RunCtl::with_deadline(Duration::from_secs(3600));
+        assert!(!ctl.should_stop());
+        assert!(ctl.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancellation_outranks_deadline() {
+        let ctl = RunCtl::with_deadline(Duration::ZERO);
+        ctl.cancel();
+        assert_eq!(ctl.stop_reason(), Some(StopReason::Cancelled));
+    }
+}

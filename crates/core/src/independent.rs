@@ -11,12 +11,12 @@
 //! from.
 
 use crate::merge::{merge_worker_results, NewNode, WorkerResult};
-use crate::report::ExtractReport;
+use crate::report::{ExtractReport, PhaseTiming};
 use crate::seq::{extract_kernels, ExtractConfig};
 use pf_network::{Network, SignalId};
 use pf_partition::{partition_network, PartitionConfig};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Options for [`independent_extract`].
 #[derive(Clone, Debug)]
@@ -49,6 +49,7 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
 
     let partition = partition_network(nw, p, &cfg.partition);
     let parts: Vec<Vec<SignalId>> = (0..p).map(|q| partition.part_nodes(q)).collect();
+    let partition_elapsed = start.elapsed();
 
     let results: Mutex<Vec<(WorkerResult, ExtractReport)>> = Mutex::new(Vec::new());
     let nw_ref: &Network = nw;
@@ -96,28 +97,45 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
         }
     });
 
+    let extract_elapsed = start.elapsed().saturating_sub(partition_elapsed);
+
     let mut worker_results = Vec::new();
     let mut extractions = 0usize;
     let mut total_value = 0i64;
     let mut budget_exhausted = false;
+    // Each worker's extract_kernels checks the shared RunCtl itself (the
+    // handle inside cfg.extract is cloned, not re-created); a stop in any
+    // part marks the whole run.
+    let mut timed_out = false;
+    let mut cancelled = false;
     for (wr, rep) in results.into_inner().unwrap() {
         worker_results.push(wr);
         extractions += rep.extractions;
         total_value += rep.total_value;
         budget_exhausted |= rep.budget_exhausted;
+        timed_out |= rep.timed_out;
+        cancelled |= rep.cancelled;
     }
     merge_worker_results(nw, worker_results).expect("merge of disjoint parts");
+    let elapsed = start.elapsed();
+    let merge_elapsed = elapsed.saturating_sub(partition_elapsed + extract_elapsed);
 
     ExtractReport {
         lc_before,
         lc_after: nw.literal_count(),
         extractions,
         total_value,
-        elapsed: start.elapsed(),
+        elapsed,
         budget_exhausted,
         shipped_rectangles: 0,
-        timed_out: false,
-        setup: Duration::default(),
+        timed_out,
+        cancelled,
+        setup: partition_elapsed,
+        phases: vec![
+            PhaseTiming::new("partition", partition_elapsed),
+            PhaseTiming::new("extract", extract_elapsed),
+            PhaseTiming::new("merge", merge_elapsed),
+        ],
     }
 }
 
@@ -144,10 +162,7 @@ mod tests {
         );
         assert_eq!(report.lc_before, 33);
         assert!(report.lc_after < 33, "some extraction must happen");
-        assert!(
-            report.lc_after >= 21,
-            "cannot beat the full-matrix optimum"
-        );
+        assert!(report.lc_after >= 21, "cannot beat the full-matrix optimum");
         assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
         assert!(nw.validate().is_ok());
     }
@@ -183,6 +198,29 @@ mod tests {
         );
         assert!(report.lc_after <= report.lc_before);
         assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn shared_ctl_stops_all_workers() {
+        let (mut nw, _) = example_1_1();
+        let cfg = IndependentConfig {
+            procs: 2,
+            ..IndependentConfig::default()
+        };
+        cfg.extract.ctl.cancel();
+        let report = independent_extract(&mut nw, &cfg);
+        assert!(report.cancelled);
+        assert_eq!(report.extractions, 0);
+        assert_eq!(report.lc_after, report.lc_before);
+    }
+
+    #[test]
+    fn phases_partition_extract_merge() {
+        let (mut nw, _) = example_1_1();
+        let report = independent_extract(&mut nw, &IndependentConfig::default());
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["partition", "extract", "merge"]);
+        assert_eq!(report.phase("partition"), Some(report.setup));
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub fn iterative_extract(nw: &mut Network, cfg: &IterativeConfig) -> ExtractRepo
     let mut extractions = 0usize;
     let mut total_value = 0i64;
     let mut budget_exhausted = false;
+    let mut timed_out = false;
+    let mut cancelled = false;
 
     for round in 0..cfg.rounds.max(1) {
         let mut round_cfg = cfg.inner.clone();
@@ -61,9 +63,14 @@ pub fn iterative_extract(nw: &mut Network, cfg: &IterativeConfig) -> ExtractRepo
         extractions += rep.extractions;
         total_value += rep.total_value;
         budget_exhausted |= rep.budget_exhausted;
+        timed_out |= rep.timed_out;
+        cancelled |= rep.cancelled;
         // Merge duplicated kernels across the old partition boundary.
         let _ = resubstitute(nw);
         let _ = sweep(nw);
+        if timed_out || cancelled {
+            break; // the shared RunCtl stopped the round early
+        }
         if nw.literal_count() >= before_round && rep.extractions == 0 {
             break; // converged
         }
@@ -76,6 +83,8 @@ pub fn iterative_extract(nw: &mut Network, cfg: &IterativeConfig) -> ExtractRepo
         total_value,
         elapsed: start.elapsed(),
         budget_exhausted,
+        timed_out,
+        cancelled,
         ..Default::default()
     }
 }

@@ -40,6 +40,7 @@
 //!   paper's reference [3]) layered over Algorithm I.
 
 pub mod cost;
+pub mod ctl;
 pub mod cx;
 pub mod independent;
 pub mod iterative;
@@ -53,6 +54,7 @@ pub mod script;
 pub mod seq;
 
 pub use cost::Objective;
+pub use ctl::{RunCtl, StopReason};
 pub use cx::{extract_common_cubes, independent_extract_cubes, CubeExtractConfig};
 pub use independent::{independent_extract, IndependentConfig};
 pub use iterative::{iterative_extract, IterativeConfig};
@@ -60,5 +62,5 @@ pub use lshaped::{lshaped_extract, LShapedConfig};
 pub use lshaped_cx::{lshaped_extract_cubes, LShapedCxConfig};
 pub use model::{predicted_speedup, SparsityFactors};
 pub use replicated::{replicated_extract, ReplicatedConfig};
-pub use report::ExtractReport;
+pub use report::{ExtractReport, PhaseTiming};
 pub use seq::{extract_kernels, ExtractConfig};

@@ -33,8 +33,9 @@
 //! Table 4's single-processor L-shaped results), otherwise each
 //! processor is a real thread (Table 6).
 
+use crate::ctl::StopReason;
 use crate::merge::{merge_worker_results, NewNode, WorkerResult};
-use crate::report::ExtractReport;
+use crate::report::{ExtractReport, PhaseTiming};
 use crate::seq::ExtractConfig;
 use parking_lot::Mutex;
 use pf_kcmatrix::registry::ConcurrentCubeStates;
@@ -414,7 +415,12 @@ impl Worker<'_> {
     fn extract(&mut self, rect: Rectangle, value: i64) {
         let kernel = rect.kernel(&self.matrix);
         let x_var = self.id_base + self.new_nodes.len() as u32;
-        let name = format!("L{}_{}{}", self.pid, self.cfg.extract.name_prefix, self.new_nodes.len());
+        let name = format!(
+            "L{}_{}{}",
+            self.pid,
+            self.cfg.extract.name_prefix,
+            self.new_nodes.len()
+        );
         self.new_nodes.push((x_var, name));
         self.funcs.insert(x_var, kernel.clone());
         let x_cube = Cube::single(pf_sop::Var::new(x_var).lit());
@@ -599,7 +605,8 @@ fn setup<'a>(
                             &mut col_labels,
                         );
                     }
-                    out.lock().push((pid, row_labels, col_labels, matrix, funcs));
+                    out.lock()
+                        .push((pid, row_labels, col_labels, matrix, funcs));
                 });
             }
         });
@@ -653,10 +660,7 @@ fn setup<'a>(
                 let cube = &w.matrix.cols()[c].cube;
                 let owner = cube_owner[cube];
                 if owner as usize != i {
-                    per_owner
-                        .entry(owner)
-                        .or_default()
-                        .push((cube.clone(), id));
+                    per_owner.entry(owner).or_default().push((cube.clone(), id));
                 }
             }
             for (owner, entries) in per_owner {
@@ -701,22 +705,15 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
     let registry = CubeRegistry::new();
     let states = SharedStates::new();
     let transport = Transport::new(p);
-    let workers = setup(
-        nw,
-        &parts,
-        &node_owner,
-        &registry,
-        &states,
-        &transport,
-        cfg,
-    );
+    let workers = setup(nw, &parts, &node_owner, &registry, &states, &transport, cfg);
     let setup_elapsed = start.elapsed();
 
-    let results: Vec<(WorkerResult, usize, i64, usize, bool)> = if cfg.sequential {
+    let (results, stopped) = if cfg.sequential {
         run_sequential(workers, &transport)
     } else {
         run_threaded(workers, &transport, p)
     };
+    let extract_elapsed = start.elapsed().saturating_sub(setup_elapsed);
 
     let mut extractions = 0;
     let mut total_value = 0;
@@ -735,25 +732,55 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
     // dead logic; SIS's scripts would sweep it, we do it here.
     crate::merge::remove_dead_nodes(nw, &created);
 
+    // `stopped` is what the workers actually observed; the reason comes
+    // from the control handle (re-read here, after the fact, which is
+    // fine: neither flag can un-set itself).
+    let (timed_out, cancelled) = if stopped {
+        match cfg.extract.ctl.stop_reason() {
+            Some(StopReason::Cancelled) => (false, true),
+            _ => (true, false),
+        }
+    } else {
+        (false, false)
+    };
+    let elapsed = start.elapsed();
+    let merge_elapsed = elapsed.saturating_sub(setup_elapsed + extract_elapsed);
+
     ExtractReport {
         lc_before,
         lc_after: nw.literal_count(),
         extractions,
         total_value,
-        elapsed: start.elapsed(),
+        elapsed,
         budget_exhausted: exhausted,
         shipped_rectangles: shipped,
-        timed_out: false,
+        timed_out,
+        cancelled,
         setup: setup_elapsed,
+        phases: vec![
+            PhaseTiming::new("setup", setup_elapsed),
+            PhaseTiming::new("extract", extract_elapsed),
+            PhaseTiming::new("merge", merge_elapsed),
+        ],
     }
 }
 
-/// Deterministic round-robin driver (Table 4 mode).
-fn run_sequential(
-    mut workers: Vec<Worker<'_>>,
-    transport: &Transport,
-) -> Vec<(WorkerResult, usize, i64, usize, bool)> {
+/// Deterministic round-robin driver (Table 4 mode). The second return
+/// is whether the run was stopped early by its [`RunCtl`](crate::ctl::RunCtl).
+/// Per-worker completion record: the worker's result plus its
+/// extraction count, value, shipped-rectangle count, and budget flag.
+type WorkerDone = (WorkerResult, usize, i64, usize, bool);
+
+fn run_sequential(mut workers: Vec<Worker<'_>>, transport: &Transport) -> (Vec<WorkerDone>, bool) {
+    let mut stopped = false;
     loop {
+        if workers
+            .first()
+            .is_some_and(|w| w.cfg.extract.ctl.should_stop())
+        {
+            stopped = true;
+            break;
+        }
         let mut progress = false;
         for w in &mut workers {
             progress |= w.drain_queue();
@@ -765,24 +792,37 @@ fn run_sequential(
             break;
         }
     }
-    workers.into_iter().map(Worker::into_result).collect()
+    (
+        workers.into_iter().map(Worker::into_result).collect(),
+        stopped,
+    )
 }
 
-/// Threaded driver (Table 6 mode).
+/// Threaded driver (Table 6 mode). The second return is whether the run
+/// was stopped early by its [`RunCtl`](crate::ctl::RunCtl).
 fn run_threaded(
     workers: Vec<Worker<'_>>,
     _transport: &Transport,
     p: usize,
-) -> Vec<(WorkerResult, usize, i64, usize, bool)> {
-    type Done = (WorkerResult, usize, i64, usize, bool);
-    let out: Mutex<Vec<(usize, Done)>> = Mutex::new(Vec::new());
+) -> (Vec<WorkerDone>, bool) {
+    let out: Mutex<Vec<(usize, WorkerDone)>> = Mutex::new(Vec::new());
+    let any_stopped = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|s| {
         for mut w in workers {
             let out = &out;
+            let any_stopped = &any_stopped;
             s.spawn(move || {
                 let pid = w.pid as usize;
                 let mut is_idle = false;
                 loop {
+                    // Stop check first: every worker shares the handle,
+                    // so all of them break here together and the
+                    // idle-count termination protocol is never left
+                    // waiting on a departed thread.
+                    if w.cfg.extract.ctl.should_stop() {
+                        any_stopped.store(true, Ordering::SeqCst);
+                        break;
+                    }
                     let drained_any = w.drain_queue();
                     let outcome = w.try_extract();
                     if drained_any || outcome == StepOutcome::Extracted {
@@ -800,18 +840,14 @@ fn run_threaded(
                             is_idle = false;
                             w.transport.idle.fetch_sub(1, Ordering::SeqCst);
                         }
-                        std::thread::sleep(std::time::Duration::from_micros(
-                            50 * (pid as u64 + 1),
-                        ));
+                        std::thread::sleep(std::time::Duration::from_micros(50 * (pid as u64 + 1)));
                         continue;
                     }
                     if !is_idle {
                         is_idle = true;
                         w.transport.idle.fetch_add(1, Ordering::SeqCst);
                     }
-                    if w.transport.idle.load(Ordering::SeqCst) == p
-                        && w.transport.all_drained()
-                    {
+                    if w.transport.idle.load(Ordering::SeqCst) == p && w.transport.all_drained() {
                         break;
                     }
                     std::thread::sleep(std::time::Duration::from_micros(200));
@@ -822,7 +858,10 @@ fn run_threaded(
     });
     let mut v = out.into_inner();
     v.sort_by_key(|(pid, _)| *pid);
-    v.into_iter().map(|(_, r)| r).collect()
+    (
+        v.into_iter().map(|(_, r)| r).collect(),
+        any_stopped.load(Ordering::SeqCst),
+    )
 }
 
 #[cfg(test)]
@@ -862,6 +901,33 @@ mod tests {
         assert!(report.lc_after >= 21);
         assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
         assert!(nw.validate().is_ok());
+    }
+
+    #[test]
+    fn ctl_cancel_stops_both_driver_modes() {
+        for sequential in [true, false] {
+            let (mut nw, _) = example_1_1();
+            let cfg = LShapedConfig {
+                procs: 2,
+                sequential,
+                ..LShapedConfig::default()
+            };
+            cfg.extract.ctl.cancel();
+            let report = lshaped_extract(&mut nw, &cfg);
+            assert!(report.cancelled, "sequential={sequential}");
+            assert!(!report.timed_out);
+            assert_eq!(report.extractions, 0, "sequential={sequential}");
+            assert!(nw.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn phases_setup_extract_merge() {
+        let (mut nw, _) = example_1_1();
+        let report = lshaped_extract(&mut nw, &seq_cfg(2));
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["setup", "extract", "merge"]);
+        assert_eq!(report.phase("setup"), Some(report.setup));
     }
 
     #[test]
@@ -993,8 +1059,7 @@ mod tests {
                 ..LShapedConfig::default()
             };
             let partition = partition_network(&nw, procs, &cfg.partition);
-            let parts: Vec<Vec<SignalId>> =
-                (0..procs).map(|q| partition.part_nodes(q)).collect();
+            let parts: Vec<Vec<SignalId>> = (0..procs).map(|q| partition.part_nodes(q)).collect();
             let node_owner: FxHashMap<SignalId, ProcId> = parts
                 .iter()
                 .enumerate()

@@ -158,12 +158,8 @@ impl CxWorker<'_> {
         }
         for (node, cube) in &self.foreign_rows {
             let id = self.registry.lookup(*node, cube);
-            let alive = id.is_none_or(|id| {
-                !matches!(
-                    self.states.state(id),
-                    pf_kcmatrix::CubeState::Divided
-                )
-            });
+            let alive = id
+                .is_none_or(|id| !matches!(self.states.state(id), pf_kcmatrix::CubeState::Divided));
             if alive {
                 m.add_node(*node, &Sop::from_cube(cube.clone()));
                 row_src.push((*node, cube.clone()));
@@ -238,8 +234,7 @@ impl CxWorker<'_> {
                 claimed.push(id);
             }
         }
-        let value =
-            kept.len() as i64 * (best.cube.len() as i64 - 1) - best.cube.len() as i64;
+        let value = kept.len() as i64 * (best.cube.len() as i64 - 1) - best.cube.len() as i64;
         if value <= 0 {
             for id in claimed {
                 self.states.release(id, self.pid);
@@ -457,8 +452,7 @@ pub fn lshaped_extract_cubes(nw: &mut Network, cfg: &LShapedCxConfig) -> Extract
                             is_idle = true;
                             w.transport.idle.fetch_add(1, Ordering::SeqCst);
                         }
-                        if w.transport.idle.load(Ordering::SeqCst) == p
-                            && w.transport.all_drained()
+                        if w.transport.idle.load(Ordering::SeqCst) == p && w.transport.all_drained()
                         {
                             break;
                         }
@@ -554,11 +548,8 @@ mod tests {
             },
         );
         let (mut b, _) = example_1_1();
-        let rb = crate::cx::extract_common_cubes(
-            &mut b,
-            &[],
-            &crate::cx::CubeExtractConfig::default(),
-        );
+        let rb =
+            crate::cx::extract_common_cubes(&mut b, &[], &crate::cx::CubeExtractConfig::default());
         assert_eq!(ra.lc_after, rb.lc_after);
     }
 
@@ -569,9 +560,11 @@ mod tests {
         // not — each part sees only one row).
         use pf_sop::Lit;
         let sop_of = |cubes: &[&[u32]]| {
-            Sop::from_cubes(cubes.iter().map(|cs| {
-                Cube::from_lits(cs.iter().map(|&v| Lit::pos(v)))
-            }))
+            Sop::from_cubes(
+                cubes
+                    .iter()
+                    .map(|cs| Cube::from_lits(cs.iter().map(|&v| Lit::pos(v)))),
+            )
         };
         let mut nw = Network::new();
         let a = nw.add_input("a").unwrap();

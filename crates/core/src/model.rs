@@ -118,6 +118,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha must be positive")]
     fn zero_alpha_rejected() {
-        predicted_speedup(2, &SparsityFactors { alpha: 0.0, gamma: 0.1 });
+        predicted_speedup(
+            2,
+            &SparsityFactors {
+                alpha: 0.0,
+                gamma: 0.1,
+            },
+        );
     }
 }

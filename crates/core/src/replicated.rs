@@ -12,7 +12,8 @@
 //! the paper's explanation for this algorithm's poor speedup; both are
 //! reproduced faithfully here.
 
-use crate::report::ExtractReport;
+use crate::ctl::StopReason;
+use crate::report::{ExtractReport, PhaseTiming};
 use crate::seq::{Engine, ExtractConfig};
 use pf_kcmatrix::Rectangle;
 use pf_network::{Network, SignalId};
@@ -78,8 +79,10 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
     let candidates: Mutex<Vec<Option<Rectangle>>> = Mutex::new(vec![None; p]);
     let decision: Mutex<Option<Rectangle>> = Mutex::new(None);
     let timed_out = AtomicBool::new(false);
+    let cancelled = AtomicBool::new(false);
     let exhausted_any = AtomicBool::new(false);
     let outcome: Mutex<Option<(Network, usize, i64)>> = Mutex::new(None);
+    let replicate_elapsed: Mutex<Duration> = Mutex::new(Duration::default());
     let nw_ref: &Network = nw;
 
     std::thread::scope(|s| {
@@ -88,8 +91,10 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
             let candidates = &candidates;
             let decision = &decision;
             let timed_out = &timed_out;
+            let cancelled = &cancelled;
             let exhausted_any = &exhausted_any;
             let outcome = &outcome;
+            let replicate_elapsed = &replicate_elapsed;
             let targets = &targets;
             let cfg = &cfg;
             s.spawn(move || {
@@ -99,6 +104,9 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
                 // so all replicas are bit-identical by construction.
                 let mut replica = nw_ref.clone();
                 let mut engine = Engine::new_parallel(&replica, targets, cfg.extract.clone(), p);
+                if pid == 0 {
+                    *replicate_elapsed.lock().unwrap() = start.elapsed();
+                }
                 let mut extractions = 0usize;
                 let mut total_value = 0i64;
                 loop {
@@ -109,13 +117,26 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
                     candidates.lock().unwrap()[pid] = rect;
                     barrier.wait();
                     if pid == 0 {
-                        // Reduction at the root of the search tree.
+                        // Reduction at the root of the search tree — the
+                        // per-iteration barrier, and so the natural spot
+                        // for every stop check.
                         let mut d = pick_best(&candidates.lock().unwrap());
                         if let Some(deadline) = cfg.deadline {
                             if start.elapsed() > deadline {
                                 d = None;
                                 timed_out.store(true, Ordering::Relaxed);
                             }
+                        }
+                        match cfg.extract.ctl.stop_reason() {
+                            Some(StopReason::DeadlineExpired) => {
+                                d = None;
+                                timed_out.store(true, Ordering::Relaxed);
+                            }
+                            Some(StopReason::Cancelled) => {
+                                d = None;
+                                cancelled.store(true, Ordering::Relaxed);
+                            }
+                            None => {}
                         }
                         *decision.lock().unwrap() = d;
                     }
@@ -145,16 +166,23 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
         .unwrap()
         .expect("worker 0 publishes its replica");
     *nw = result;
+    let elapsed = start.elapsed();
+    let setup = *replicate_elapsed.lock().unwrap();
     ExtractReport {
         lc_before,
         lc_after: nw.literal_count(),
         extractions,
         total_value,
-        elapsed: start.elapsed(),
+        elapsed,
         budget_exhausted: exhausted_any.load(Ordering::Relaxed),
         shipped_rectangles: 0,
         timed_out: timed_out.load(Ordering::Relaxed),
-        setup: Duration::default(),
+        cancelled: cancelled.load(Ordering::Relaxed),
+        setup,
+        phases: vec![
+            PhaseTiming::new("replicate", setup),
+            PhaseTiming::new("cover", elapsed.saturating_sub(setup)),
+        ],
     }
 }
 
@@ -220,6 +248,44 @@ mod tests {
         // Nothing extracted: the deadline fired before the first commit.
         assert_eq!(report.extractions, 0);
         assert_eq!(report.lc_after, report.lc_before);
+    }
+
+    #[test]
+    fn ctl_deadline_flags_timeout() {
+        let (mut nw, _) = example_1_1();
+        let mut cfg = ReplicatedConfig {
+            procs: 2,
+            ..ReplicatedConfig::default()
+        };
+        cfg.extract.ctl = crate::ctl::RunCtl::with_deadline(Duration::ZERO);
+        let report = replicated_extract(&mut nw, &cfg);
+        assert!(report.timed_out);
+        assert!(!report.cancelled);
+        assert_eq!(report.extractions, 0);
+    }
+
+    #[test]
+    fn ctl_cancel_flags_cancelled() {
+        let (mut nw, _) = example_1_1();
+        let cfg = ReplicatedConfig {
+            procs: 2,
+            ..ReplicatedConfig::default()
+        };
+        cfg.extract.ctl.cancel();
+        let report = replicated_extract(&mut nw, &cfg);
+        assert!(report.cancelled);
+        assert!(!report.timed_out);
+        assert_eq!(report.extractions, 0);
+        assert_eq!(report.lc_after, report.lc_before);
+    }
+
+    #[test]
+    fn phases_report_replicate_and_cover() {
+        let (mut nw, _) = example_1_1();
+        let report = replicated_extract(&mut nw, &ReplicatedConfig::default());
+        assert_eq!(report.phases[0].name, "replicate");
+        assert_eq!(report.phases[1].name, "cover");
+        assert_eq!(report.phase("replicate"), Some(report.setup));
     }
 
     #[test]

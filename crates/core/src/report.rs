@@ -1,6 +1,26 @@
 //! Result types shared by the extraction drivers.
 
+use crate::ctl::{RunCtl, StopReason};
 use std::time::Duration;
+
+/// Wall-clock time of one named phase of a run (matrix generation,
+/// partitioning, concurrent extraction, merge, …). Names are
+/// per-algorithm; see each driver's documentation.
+#[derive(Clone, Debug)]
+pub struct PhaseTiming {
+    /// Phase name (stable, machine-readable: `"partition"`, `"matrix"`,
+    /// `"cover"`, `"merge"`, …).
+    pub name: &'static str,
+    /// Time spent in the phase.
+    pub elapsed: Duration,
+}
+
+impl PhaseTiming {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, elapsed: Duration) -> Self {
+        PhaseTiming { name, elapsed }
+    }
+}
 
 /// What one extraction run did to a network.
 #[derive(Clone, Debug, Default)]
@@ -24,10 +44,16 @@ pub struct ExtractReport {
     /// Whether the run hit its wall-clock deadline and stopped early
     /// (Table 2's "did not terminate" entries).
     pub timed_out: bool,
+    /// Whether the run was cancelled externally (via
+    /// [`RunCtl::cancel`]) and stopped early.
+    pub cancelled: bool,
     /// Time spent before concurrent extraction began: partitioning,
     /// matrix generation and the B_ij exchange (Algorithm L), or replica
     /// construction (Algorithm R). Part of `elapsed`.
     pub setup: Duration,
+    /// Per-phase wall-clock breakdown of `elapsed`, in execution order.
+    /// Empty for drivers that predate phase accounting.
+    pub phases: Vec<PhaseTiming>,
 }
 
 impl ExtractReport {
@@ -44,6 +70,37 @@ impl ExtractReport {
     pub fn saved(&self) -> isize {
         self.lc_before as isize - self.lc_after as isize
     }
+
+    /// Whether the run ran to natural completion (neither timed out nor
+    /// cancelled).
+    pub fn completed(&self) -> bool {
+        !self.timed_out && !self.cancelled
+    }
+
+    /// Looks up a phase timing by name.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.elapsed)
+    }
+
+    /// Checks `ctl` at a barrier point: records a pending stop request
+    /// in the report's `timed_out` / `cancelled` flags and returns
+    /// `true` when the caller should break out of its loop.
+    pub fn note_stop(&mut self, ctl: &RunCtl) -> bool {
+        match ctl.stop_reason() {
+            None => false,
+            Some(StopReason::Cancelled) => {
+                self.cancelled = true;
+                true
+            }
+            Some(StopReason::DeadlineExpired) => {
+                self.timed_out = true;
+                true
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +116,7 @@ mod tests {
         };
         assert!((r.quality_ratio() - 0.7).abs() < 1e-12);
         assert_eq!(r.saved(), 30);
+        assert!(r.completed());
     }
 
     #[test]
@@ -66,5 +124,35 @@ mod tests {
         let r = ExtractReport::default();
         assert_eq!(r.quality_ratio(), 1.0);
         assert_eq!(r.saved(), 0);
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let r = ExtractReport {
+            phases: vec![
+                PhaseTiming::new("matrix", Duration::from_millis(3)),
+                PhaseTiming::new("cover", Duration::from_millis(7)),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.phase("cover"), Some(Duration::from_millis(7)));
+        assert_eq!(r.phase("merge"), None);
+    }
+
+    #[test]
+    fn note_stop_records_reason() {
+        let mut r = ExtractReport::default();
+        assert!(!r.note_stop(&RunCtl::new()));
+        assert!(r.completed());
+
+        let expired = RunCtl::with_deadline(Duration::ZERO);
+        assert!(r.note_stop(&expired));
+        assert!(r.timed_out && !r.cancelled);
+
+        let mut r2 = ExtractReport::default();
+        let ctl = RunCtl::new();
+        ctl.cancel();
+        assert!(r2.note_stop(&ctl));
+        assert!(r2.cancelled && !r2.timed_out);
     }
 }

@@ -184,7 +184,13 @@ mod tests {
         let (mut nw, _) = example_1_1();
         run_script(&mut nw, &ScriptConfig::default());
         let lc = nw.literal_count();
-        let again = run_script(&mut nw, &ScriptConfig { rounds: 1, ..Default::default() });
+        let again = run_script(
+            &mut nw,
+            &ScriptConfig {
+                rounds: 1,
+                ..Default::default()
+            },
+        );
         assert!(again.lc_after <= lc);
     }
 }

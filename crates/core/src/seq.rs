@@ -8,11 +8,11 @@
 //! drive the same loop with a striped search and replicated state.
 
 use crate::cost::Objective;
-use crate::report::ExtractReport;
+use crate::ctl::RunCtl;
+use crate::report::{ExtractReport, PhaseTiming};
 use pf_kcmatrix::rectangle::CostModel;
 use pf_kcmatrix::{
-    best_rectangle, best_rectangle_with, CubeRegistry, KcMatrix, LabelGen, Rectangle,
-    SearchConfig,
+    best_rectangle, best_rectangle_with, CubeRegistry, KcMatrix, LabelGen, Rectangle, SearchConfig,
 };
 use pf_network::{Network, SignalId};
 use pf_sop::fx::FxHashMap;
@@ -38,6 +38,10 @@ pub struct ExtractConfig {
     /// Optional weighted objective (timing- or power-driven cover, §6's
     /// closing remark). `None` is the paper's literal-count objective.
     pub objective: Option<Objective>,
+    /// Cooperative stop control (deadline / external cancellation),
+    /// checked at the cover-loop head. Cloning the config shares the
+    /// handle, so every worker of a parallel driver stops together.
+    pub ctl: RunCtl,
 }
 
 impl Default for ExtractConfig {
@@ -49,6 +53,7 @@ impl Default for ExtractConfig {
             name_prefix: "kx_".to_string(),
             extract_from_new: true,
             objective: None,
+            ctl: RunCtl::new(),
         }
     }
 }
@@ -129,8 +134,7 @@ impl Engine {
                 .map(|pid| {
                     let cfg = &cfg;
                     s.spawn(move || {
-                        let mut labels =
-                            LabelGen::new(pid as u16, LabelGen::DEFAULT_OFFSET);
+                        let mut labels = LabelGen::new(pid as u16, LabelGen::DEFAULT_OFFSET);
                         let mut out: Generated = Vec::new();
                         for (k, &t) in targets.iter().enumerate() {
                             if k % procs != pid {
@@ -188,7 +192,9 @@ impl Engine {
 
     /// Extends the weighted-value cache for newly interned cubes.
     fn refresh_wvals(&mut self) {
-        let Some(obj) = &self.cfg.objective else { return };
+        let Some(obj) = &self.cfg.objective else {
+            return;
+        };
         while self.wvals.len() < self.weights.len() {
             let (_, cube) = self.registry.cube(self.wvals.len() as u32);
             self.wvals.push(obj.cube_weight(&cube));
@@ -354,12 +360,23 @@ pub fn extract_kernels(
     };
     let start = Instant::now();
     let lc_before = nw.literal_count();
-    let mut engine = Engine::new(nw, &targets, cfg.clone());
     let mut report = ExtractReport {
         lc_before,
+        lc_after: lc_before,
         ..Default::default()
     };
+    // A job whose deadline already passed (e.g. it sat in a queue) skips
+    // even the matrix build.
+    if report.note_stop(&cfg.ctl) {
+        report.elapsed = start.elapsed();
+        return report;
+    }
+    let mut engine = Engine::new(nw, &targets, cfg.clone());
+    let matrix_elapsed = start.elapsed();
     while engine.extractions() < cfg.max_extractions {
+        if report.note_stop(&cfg.ctl) {
+            break;
+        }
         let (rect, exhausted) = engine.search(None);
         report.budget_exhausted |= exhausted;
         let Some(rect) = rect else { break };
@@ -369,6 +386,11 @@ pub fn extract_kernels(
     }
     report.lc_after = nw.literal_count();
     report.elapsed = start.elapsed();
+    report.setup = matrix_elapsed;
+    report.phases = vec![
+        PhaseTiming::new("matrix", matrix_elapsed),
+        PhaseTiming::new("cover", report.elapsed.saturating_sub(matrix_elapsed)),
+    ];
     report
 }
 
@@ -448,6 +470,42 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_stops_before_any_extraction() {
+        let (mut nw, _) = example_1_1();
+        let cfg = ExtractConfig {
+            ctl: RunCtl::with_deadline(std::time::Duration::ZERO),
+            ..ExtractConfig::default()
+        };
+        let report = extract_kernels(&mut nw, &[], &cfg);
+        assert!(report.timed_out);
+        assert!(!report.cancelled);
+        assert_eq!(report.extractions, 0);
+        assert_eq!(report.lc_after, report.lc_before);
+    }
+
+    #[test]
+    fn cancelled_ctl_stops_and_reports() {
+        let (mut nw, _) = example_1_1();
+        let cfg = ExtractConfig::default();
+        cfg.ctl.cancel();
+        let report = extract_kernels(&mut nw, &[], &cfg);
+        assert!(report.cancelled);
+        assert!(!report.timed_out);
+        assert_eq!(report.extractions, 0);
+    }
+
+    #[test]
+    fn phases_cover_elapsed() {
+        let (mut nw, _) = example_1_1();
+        let report = extract_kernels(&mut nw, &[], &ExtractConfig::default());
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[0].name, "matrix");
+        assert_eq!(report.phases[1].name, "cover");
+        let sum: std::time::Duration = report.phases.iter().map(|p| p.elapsed).sum();
+        assert!(sum <= report.elapsed + std::time::Duration::from_millis(1));
+    }
+
+    #[test]
     fn max_extractions_caps_the_loop() {
         let (mut nw, _) = example_1_1();
         let cfg = ExtractConfig {
@@ -521,7 +579,11 @@ mod tests {
                         r.entries
                             .iter()
                             .map(|&(c, _)| {
-                                (r.node, r.cokernel.clone(), e.matrix().cols()[c].cube.clone())
+                                (
+                                    r.node,
+                                    r.cokernel.clone(),
+                                    e.matrix().cols()[c].cube.clone(),
+                                )
                             })
                             .collect::<Vec<_>>()
                     })

@@ -124,7 +124,9 @@ impl CubeLitMatrix {
             // enumerating per-literal partners would only add dups).
             let mut budget = max_pairs;
             for lit in row.cube.iter() {
-                let Some(partners) = self.by_lit.get(&lit) else { continue };
+                let Some(partners) = self.by_lit.get(&lit) else {
+                    continue;
+                };
                 for &j in partners {
                     if j <= i {
                         continue;
@@ -138,12 +140,11 @@ impl CubeLitMatrix {
                         continue;
                     }
                     let support = self.support(&cand);
-                    let value = support.len() as i64 * (cand.len() as i64 - 1)
-                        - cand.len() as i64;
+                    let value = support.len() as i64 * (cand.len() as i64 - 1) - cand.len() as i64;
                     if value > 0
-                        && best.as_ref().is_none_or(|b| {
-                            (value, &b.cube) > (b.value, &cand)
-                        })
+                        && best
+                            .as_ref()
+                            .is_none_or(|b| (value, &b.cube) > (b.value, &cand))
                     {
                         best = Some(CommonCube {
                             cube: cand,

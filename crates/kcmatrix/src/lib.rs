@@ -28,5 +28,7 @@ pub mod registry;
 
 pub use cube_matrix::{CommonCube, CubeLitMatrix};
 pub use matrix::{ColIdx, KcCol, KcMatrix, KcRow, LabelGen, RowIdx};
-pub use rectangle::{best_rectangle, best_rectangle_with, CostModel, Rectangle, SearchConfig, SearchStats};
+pub use rectangle::{
+    best_rectangle, best_rectangle_with, CostModel, Rectangle, SearchConfig, SearchStats,
+};
 pub use registry::{CubeId, CubeRegistry, CubeState, CubeStates, ProcId};

@@ -440,7 +440,14 @@ mod tests {
         let mut m = KcMatrix::new();
         let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
         let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
-        m.add_node_kernels(9, &paper_g(), &KernelConfig::default(), &reg, &mut rl, &mut cl);
+        m.add_node_kernels(
+            9,
+            &paper_g(),
+            &KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
         for (ci, col) in m.cols().iter().enumerate() {
             for &r in &col.rows {
                 assert!(m.rows()[r].entry(ci).is_some());
@@ -463,7 +470,14 @@ mod tests {
         let mut m = KcMatrix::new();
         let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
         let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
-        m.add_node_kernels(9, &paper_g(), &KernelConfig::default(), &reg, &mut rl, &mut cl);
+        m.add_node_kernels(
+            9,
+            &paper_g(),
+            &KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
         m.add_node_kernels(
             8,
             &sop(&[&[1, 4, 5], &[3, 4, 5]]),
@@ -516,7 +530,14 @@ mod tests {
         let mut m = KcMatrix::new();
         let mut rl = LabelGen::new(0, LabelGen::PAPER_OFFSET);
         let mut cl = LabelGen::new(0, LabelGen::PAPER_OFFSET);
-        m.add_node_kernels(9, &paper_g(), &KernelConfig::default(), &reg, &mut rl, &mut cl);
+        m.add_node_kernels(
+            9,
+            &paper_g(),
+            &KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
         // Variable indices are 1-based in these fixtures (a=1 … g=7).
         let names = ["?", "a", "b", "c", "d", "e", "f", "g", "H", "G"];
         let txt = m.render(&|i| names[i as usize].to_string());

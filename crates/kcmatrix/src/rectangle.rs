@@ -262,10 +262,7 @@ impl Search<'_> {
             }
             // Admissible bound: every surviving row can contribute at
             // most its full-row value; column costs only grow.
-            let ub: i64 = shared
-                .iter()
-                .map(|&r| self.row_full_value[r].max(0))
-                .sum();
+            let ub: i64 = shared.iter().map(|&r| self.row_full_value[r].max(0)).sum();
             if ub <= self.best_value() {
                 self.scratch[depth] = shared;
                 continue;
@@ -440,11 +437,7 @@ mod tests {
     #[test]
     fn best_rectangle_on_paper_network_is_a_plus_b() {
         let (m, _reg, w) = paper_matrix();
-        let (best, stats) = best_rectangle(
-            &m,
-            &|id| w[id as usize],
-            &SearchConfig::default(),
-        );
+        let (best, stats) = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default());
         let best = best.expect("positive rectangle exists");
         assert!(!stats.budget_exhausted);
         // Example 1.1: extracting X = a + b saves 8 literals.
@@ -516,10 +509,7 @@ mod tests {
             cube(&[1, 3, 5]),
             cube(&[2, 3, 5]),
         ];
-        let covered: Vec<CubeId> = g_cubes
-            .iter()
-            .map(|c| reg.lookup(9, c).unwrap())
-            .collect();
+        let covered: Vec<CubeId> = g_cubes.iter().map(|c| reg.lookup(9, c).unwrap()).collect();
         let value_of = move |id: CubeId| {
             if covered.contains(&id) {
                 0

@@ -30,7 +30,14 @@ fn build_matrix(funcs: &[Sop]) -> (KcMatrix, Vec<u32>) {
     let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
     let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
     for (i, f) in funcs.iter().enumerate() {
-        m.add_node_kernels(i as u32, f, &KernelConfig::default(), &reg, &mut rl, &mut cl);
+        m.add_node_kernels(
+            i as u32,
+            f,
+            &KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
     }
     let w = reg.weights_snapshot();
     (m, w)

@@ -185,17 +185,12 @@ pub fn read_blif(text: &str) -> Result<Network, BlifError> {
             let (plane, out_bit) = if fanins.is_empty() {
                 ("", parts.next().unwrap_or(""))
             } else {
-                (
-                    parts.next().unwrap_or(""),
-                    parts.next().unwrap_or(""),
-                )
+                (parts.next().unwrap_or(""), parts.next().unwrap_or(""))
             };
             if out_bit != "1" {
                 return Err(BlifError::Syntax {
                     line: t.line,
-                    msg: format!(
-                        "off-set cover rows (output {out_bit:?}) are not supported"
-                    ),
+                    msg: format!("off-set cover rows (output {out_bit:?}) are not supported"),
                 });
             }
             if fanins.is_empty() {

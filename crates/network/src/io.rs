@@ -105,10 +105,8 @@ pub fn read_network(text: &str) -> Result<Network, ParseError> {
         .map(|s| (nw.name(s).to_string(), s))
         .collect();
     for (id, lineno, body) in node_bodies {
-        let func = parse_sop(&body, &lookup).map_err(|msg| ParseError::Syntax {
-            line: lineno,
-            msg,
-        })?;
+        let func =
+            parse_sop(&body, &lookup).map_err(|msg| ParseError::Syntax { line: lineno, msg })?;
         nw.set_func(id, func)?;
     }
     for (lineno, name) in output_names {
@@ -245,10 +243,7 @@ mod tests {
 
     #[test]
     fn cycle_is_rejected() {
-        let err = read_network(
-            "inputs a\nnode f = g a\nnode g = f\noutputs f",
-        )
-        .unwrap_err();
+        let err = read_network("inputs a\nnode f = g a\nnode g = f\noutputs f").unwrap_err();
         assert!(matches!(err, ParseError::Network(NetworkError::Cycle(_))));
     }
 

@@ -369,8 +369,7 @@ mod tests {
         let g = nw.add_node("g", sop_of(&[&[a], &[b]])).unwrap();
         let f = nw.add_node("f", sop_of(&[&[g, a]])).unwrap();
         let order = nw.topo_order().unwrap();
-        let pos =
-            |s: SignalId| order.iter().position(|&x| x == s).unwrap();
+        let pos = |s: SignalId| order.iter().position(|&x| x == s).unwrap();
         assert!(pos(a) < pos(g));
         assert!(pos(g) < pos(f));
     }

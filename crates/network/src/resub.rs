@@ -32,10 +32,7 @@ pub fn resubstitute(nw: &mut Network) -> Result<ResubReport, NetworkError> {
     let mut report = ResubReport::default();
     loop {
         let mut changed = false;
-        let nodes: Vec<SignalId> = nw
-            .node_ids()
-            .filter(|&n| !nw.func(n).is_zero())
-            .collect();
+        let nodes: Vec<SignalId> = nw.node_ids().filter(|&n| !nw.func(n).is_zero()).collect();
         for &g in &nodes {
             if nw.kind(g) != SignalKind::Node || nw.func(g).num_cubes() == 0 {
                 continue;
@@ -48,12 +45,16 @@ pub fn resubstitute(nw: &mut Network) -> Result<ResubReport, NetworkError> {
                 }
                 // Don't create cycles: g must not (transitively) depend
                 // on f. Cheap pre-check: direct dependence.
-                if nw.func(g).support_lits().iter().any(|l| l.var().index() == f) {
+                if nw
+                    .func(g)
+                    .support_lits()
+                    .iter()
+                    .any(|l| l.var().index() == f)
+                {
                     continue;
                 }
                 // Support filter.
-                let f_support: FxHashSet<Lit> =
-                    nw.func(f).support_lits().into_iter().collect();
+                let f_support: FxHashSet<Lit> = nw.func(f).support_lits().into_iter().collect();
                 if g_cubes > nw.func(f).num_cubes()
                     || !g_support.iter().all(|l| f_support.contains(l))
                 {

@@ -47,11 +47,7 @@ pub fn levels(nw: &Network) -> Result<Vec<usize>, NetworkError> {
 /// over all nodes when no outputs are marked).
 pub fn depth(nw: &Network) -> Result<usize, NetworkError> {
     let level = levels(nw)?;
-    let over_outputs = nw
-        .outputs()
-        .iter()
-        .map(|&o| level[o as usize])
-        .max();
+    let over_outputs = nw.outputs().iter().map(|&o| level[o as usize]).max();
     Ok(over_outputs
         .or_else(|| nw.node_ids().map(|n| level[n as usize]).max())
         .unwrap_or(0))
@@ -82,10 +78,7 @@ pub fn stats(nw: &Network) -> Result<NetworkStats, NetworkError> {
 /// model: a signal's weight is `1 + its level`, so cubes of deep nodes
 /// are worth more to shorten.
 pub fn depth_weights(nw: &Network) -> Result<Vec<u32>, NetworkError> {
-    Ok(levels(nw)?
-        .into_iter()
-        .map(|l| 1 + l as u32)
-        .collect())
+    Ok(levels(nw)?.into_iter().map(|l| 1 + l as u32).collect())
 }
 
 /// Per-signal switching-activity estimates for the power-driven value

@@ -157,8 +157,7 @@ pub fn sweep(nw: &mut Network) -> Result<usize, NetworkError> {
             if outputs.contains(&node) {
                 continue;
             }
-            let is_dead =
-                fo_map[node as usize].is_empty() && !nw.func(node).is_zero();
+            let is_dead = fo_map[node as usize].is_empty() && !nw.func(node).is_zero();
             let is_wire = nw.func(node).num_cubes() == 1
                 && nw.func(node).literal_count() <= 1
                 && !fo_map[node as usize].is_empty();
@@ -196,10 +195,7 @@ mod tests {
         let d = nw.add_input("d").unwrap();
         let e = nw.add_input("e").unwrap();
         let f = nw
-            .add_node(
-                "f",
-                sop_of(&[&[a, c], &[a, d], &[b, c], &[b, d], &[e]]),
-            )
+            .add_node("f", sop_of(&[&[a, c], &[a, d], &[b, c], &[b, d], &[e]]))
             .unwrap();
         nw.mark_output(f).unwrap();
         (nw, f)

@@ -37,9 +37,7 @@ impl CircuitGraph {
             for cube in nw.func(n).iter() {
                 for lit in cube.iter() {
                     let fi = lit.var().index();
-                    if fi as usize >= nw.num_signals()
-                        || nw.kind(fi) != SignalKind::Node
-                    {
+                    if fi as usize >= nw.num_signals() || nw.kind(fi) != SignalKind::Node {
                         continue;
                     }
                     let Some(&ui) = index.get(&fi) else { continue };

@@ -273,8 +273,7 @@ mod tests {
         for k in [2usize, 3, 4] {
             let p = partition_network(&nw, k, &cfg);
             let total: u64 = p.part_weights().iter().sum();
-            let max_allowed =
-                ((total as f64 / k as f64) * (1.0 + cfg.tolerance)).ceil() as u64;
+            let max_allowed = ((total as f64 / k as f64) * (1.0 + cfg.tolerance)).ceil() as u64;
             for (i, w) in p.part_weights().iter().enumerate() {
                 assert!(
                     *w <= max_allowed,

@@ -1,0 +1,277 @@
+//! Job types: what a client submits and what it gets back.
+
+use crate::json::Json;
+use pf_core::{ExtractReport, RunCtl};
+use pf_network::Network;
+use std::time::Duration;
+
+/// Which extraction driver a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Sequential baseline (SIS `gkx` equivalent).
+    Seq,
+    /// Algorithm R — replicated circuit, striped search.
+    Replicated,
+    /// Algorithm I — independent partitions.
+    Independent,
+    /// Algorithm L — L-shaped partitioning with interactions.
+    Lshaped,
+}
+
+/// All algorithms, in wire order.
+pub const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::Seq,
+    Algorithm::Replicated,
+    Algorithm::Independent,
+    Algorithm::Lshaped,
+];
+
+impl Algorithm {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algorithm::Seq => "seq",
+            Algorithm::Replicated => "replicated",
+            Algorithm::Independent => "independent",
+            Algorithm::Lshaped => "lshaped",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_wire(name: &str) -> Option<Self> {
+        match name {
+            "seq" => Some(Algorithm::Seq),
+            "replicated" => Some(Algorithm::Replicated),
+            "independent" => Some(Algorithm::Independent),
+            "lshaped" => Some(Algorithm::Lshaped),
+            _ => None,
+        }
+    }
+}
+
+/// A factorization job as submitted.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Which driver to run.
+    pub algorithm: Algorithm,
+    /// Workload spec: `gen:<profile>[@scale]` (synthetic circuit) — the
+    /// same grammar the CLI input accepts.
+    pub workload: String,
+    /// Processors / partitions for the parallel drivers (ignored by
+    /// `seq`). Validated against the host's parallelism at submit time.
+    pub procs: usize,
+    /// Per-job deadline; expiry (including time spent queued) turns the
+    /// job into a structured timeout response.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A seq job for `workload` with service defaults elsewhere.
+    pub fn new(algorithm: Algorithm, workload: impl Into<String>) -> Self {
+        JobSpec {
+            algorithm,
+            workload: workload.into(),
+            procs: 2,
+            deadline: None,
+        }
+    }
+}
+
+/// Why a submission was turned away at the door.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded queue is at capacity: backpressure.
+    QueueFull {
+        /// Configured capacity the queue was at.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The spec itself is invalid (bad algorithm, bad workload grammar,
+    /// bad procs).
+    Invalid(String),
+}
+
+impl Rejection {
+    /// Stable machine-readable reason.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Rejection::QueueFull { .. } => "queue_full",
+            Rejection::ShuttingDown => "shutting_down",
+            Rejection::Invalid(_) => "invalid",
+        }
+    }
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            Rejection::ShuttingDown => write!(f, "service is shutting down"),
+            Rejection::Invalid(msg) => write!(f, "invalid job: {msg}"),
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed(JobReport),
+    /// Stopped at the deadline; partial results are in the report.
+    TimedOut(JobReport),
+    /// Cancelled by shutdown before (or while) running.
+    Drained,
+    /// The worker panicked running the job; the pool survives.
+    Failed {
+        /// Panic payload rendered to text.
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// Stable machine-readable status.
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed(_) => "completed",
+            JobOutcome::TimedOut(_) => "timed_out",
+            JobOutcome::Drained => "drained",
+            JobOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// Per-job measurements returned with every completed (or timed-out)
+/// job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The extraction report of the run.
+    pub report: ExtractReport,
+    /// Time the job sat in the queue before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Wall-clock of the run itself (workload generation + extraction).
+    pub run_time: Duration,
+}
+
+impl JobReport {
+    /// Renders the per-job metrics object for a wire response.
+    pub fn to_json(&self) -> Json {
+        let r = &self.report;
+        Json::obj([
+            ("lc_before", Json::u64(r.lc_before as u64)),
+            ("lc_after", Json::u64(r.lc_after as u64)),
+            ("saved", Json::num(r.saved() as f64)),
+            ("extractions", Json::u64(r.extractions as u64)),
+            (
+                "queue_wait_us",
+                Json::u64(self.queue_wait.as_micros() as u64),
+            ),
+            ("run_us", Json::u64(self.run_time.as_micros() as u64)),
+            (
+                "phases",
+                Json::Obj(
+                    r.phases
+                        .iter()
+                        .map(|p| (p.name.to_string(), Json::u64(p.elapsed.as_micros() as u64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn parse_workload(spec: &str) -> Result<(pf_workloads::CircuitProfile, f64), String> {
+    let Some(genspec) = spec.strip_prefix("gen:") else {
+        return Err(format!(
+            "workload {spec:?} not recognized (expected gen:<profile>[@scale])"
+        ));
+    };
+    let (name, scale) = match genspec.split_once('@') {
+        Some((n, s)) => (n, s.parse::<f64>().map_err(|_| format!("bad scale {s:?}"))?),
+        None => (genspec, 0.25),
+    };
+    if !(scale > 0.0 && scale <= 4.0) {
+        return Err(format!("scale {scale} out of range (0, 4]"));
+    }
+    let profile =
+        pf_workloads::profile_by_name(name).ok_or_else(|| format!("unknown profile {name:?}"))?;
+    Ok((profile, scale))
+}
+
+/// Checks the workload grammar without generating the circuit — cheap
+/// enough to run at submit time, so bad specs are rejected at the door
+/// instead of wasting a worker.
+pub fn validate_workload(spec: &str) -> Result<(), String> {
+    parse_workload(spec).map(|_| ())
+}
+
+/// Resolves a workload spec into a circuit. `gen:<profile>[@scale]`
+/// generates a synthetic circuit; anything else is an error (the service
+/// does not read files on behalf of remote clients).
+pub fn resolve_workload(spec: &str) -> Result<Network, String> {
+    let (profile, scale) = parse_workload(spec)?;
+    Ok(pf_workloads::generate(&pf_workloads::scale_profile(
+        &profile, scale,
+    )))
+}
+
+/// Builds the shared stop-control handle for a job: deadline if the spec
+/// has one, plain (cancel-only) otherwise.
+pub fn ctl_for(spec: &JobSpec) -> RunCtl {
+    match spec.deadline {
+        Some(d) => RunCtl::with_deadline(d),
+        None => RunCtl::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for alg in ALGORITHMS {
+            assert_eq!(Algorithm::from_wire(alg.as_str()), Some(alg));
+        }
+        assert_eq!(Algorithm::from_wire("nonsense"), None);
+    }
+
+    #[test]
+    fn workload_resolution() {
+        let nw = resolve_workload("gen:misex3@0.05").unwrap();
+        assert!(nw.literal_count() > 0);
+        assert!(resolve_workload("gen:nosuch@0.1").is_err());
+        assert!(resolve_workload("file.blif").is_err());
+        assert!(resolve_workload("gen:misex3@0").is_err());
+        assert!(resolve_workload("gen:misex3@nan").is_err());
+    }
+
+    #[test]
+    fn job_report_json_has_the_metrics_keys() {
+        let jr = JobReport {
+            report: ExtractReport {
+                lc_before: 100,
+                lc_after: 80,
+                extractions: 4,
+                ..Default::default()
+            },
+            queue_wait: Duration::from_micros(120),
+            run_time: Duration::from_millis(3),
+        };
+        let j = jr.to_json();
+        assert_eq!(j.get("saved").and_then(Json::as_f64), Some(20.0));
+        assert_eq!(j.get("queue_wait_us").and_then(Json::as_u64), Some(120));
+        assert_eq!(j.get("run_us").and_then(Json::as_u64), Some(3000));
+        assert!(j.get("phases").is_some());
+    }
+
+    #[test]
+    fn ctl_for_respects_deadline() {
+        let mut spec = JobSpec::new(Algorithm::Seq, "gen:misex3@0.05");
+        assert!(ctl_for(&spec).deadline().is_none());
+        spec.deadline = Some(Duration::ZERO);
+        assert!(ctl_for(&spec).deadline_expired());
+    }
+}

@@ -1,0 +1,300 @@
+//! Embedded metrics registry: atomic counters plus log-bucketed latency
+//! histograms, snapshot-able to JSON without stopping the world.
+//!
+//! The accounting identity the service maintains (and tests assert):
+//!
+//! ```text
+//! submitted = accepted + rejected
+//! accepted  = completed + timed_out + failed + drained   (once idle)
+//! ```
+//!
+//! `rejected` splits into `rejected_full` (backpressure),
+//! `rejected_shutdown` and `rejected_invalid`. `drained` counts accepted
+//! jobs that shutdown cancelled before (or while) they ran.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` µs (bucket 0 includes
+/// zero); 40 buckets cover up to ~12.7 days. Lock-free to record,
+/// approximate (within 2×) to quantile.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; Histogram::NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    const NUM_BUCKETS: usize = 40;
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(Self::NUM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Approximate quantile (upper bound of the bucket holding it), in
+    /// microseconds. `q` in [0, 1].
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// JSON snapshot: count, mean, p50/p90/p99 (approximate), max.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::u64(self.count())),
+            ("mean_us", Json::u64(self.mean_us())),
+            ("p50_us", Json::u64(self.quantile_us(0.50))),
+            ("p90_us", Json::u64(self.quantile_us(0.90))),
+            ("p99_us", Json::u64(self.quantile_us(0.99))),
+            ("max_us", Json::u64(self.max_us.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+/// Per-algorithm run metrics.
+#[derive(Debug, Default)]
+pub struct AlgorithmMetrics {
+    /// Completed runs.
+    pub runs: Counter,
+    /// Wall-clock of completed runs.
+    pub wall: Histogram,
+    /// Total literals saved by completed runs.
+    pub literals_saved: AtomicI64,
+}
+
+impl AlgorithmMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("runs", Json::u64(self.runs.get())),
+            ("wall", self.wall.to_json()),
+            (
+                "literals_saved",
+                Json::num(self.literals_saved.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+/// The service-wide registry. One instance per [`Service`]; cheap enough
+/// to snapshot on every `metrics` request.
+///
+/// [`Service`]: crate::service::Service
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Every submission attempt.
+    pub submitted: Counter,
+    /// Submissions the queue accepted.
+    pub accepted: Counter,
+    /// Backpressure rejections (queue at capacity).
+    pub rejected_full: Counter,
+    /// Rejections because shutdown had begun.
+    pub rejected_shutdown: Counter,
+    /// Rejections for malformed specs.
+    pub rejected_invalid: Counter,
+    /// Jobs that ran to completion.
+    pub completed: Counter,
+    /// Jobs that hit their deadline.
+    pub timed_out: Counter,
+    /// Jobs whose worker panicked.
+    pub failed: Counter,
+    /// Accepted jobs cancelled by shutdown.
+    pub drained: Counter,
+    /// Time from acceptance to a worker picking the job up.
+    pub queue_wait: Histogram,
+    /// Jobs currently executing (gauge).
+    pub in_flight: AtomicI64,
+    /// Per-algorithm completed-run metrics, indexed by
+    /// [`ALGORITHMS`](crate::job::ALGORITHMS) order.
+    pub per_algorithm: [AlgorithmMetrics; 4],
+}
+
+impl Metrics {
+    /// Total rejections, all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_full.get() + self.rejected_shutdown.get() + self.rejected_invalid.get()
+    }
+
+    /// The accounting identity; holds exactly when no job is queued or
+    /// in flight (e.g. after shutdown, or any quiescent moment).
+    pub fn balanced(&self) -> bool {
+        self.submitted.get() == self.accepted.get() + self.rejected()
+            && self.accepted.get()
+                == self.completed.get()
+                    + self.timed_out.get()
+                    + self.failed.get()
+                    + self.drained.get()
+    }
+
+    /// Snapshot as JSON; `queue_depth` is sampled by the caller (the
+    /// queue owns that number).
+    pub fn to_json(&self, queue_depth: usize) -> Json {
+        Json::obj([
+            ("submitted", Json::u64(self.submitted.get())),
+            ("accepted", Json::u64(self.accepted.get())),
+            ("rejected_full", Json::u64(self.rejected_full.get())),
+            ("rejected_shutdown", Json::u64(self.rejected_shutdown.get())),
+            ("rejected_invalid", Json::u64(self.rejected_invalid.get())),
+            ("completed", Json::u64(self.completed.get())),
+            ("timed_out", Json::u64(self.timed_out.get())),
+            ("failed", Json::u64(self.failed.get())),
+            ("drained", Json::u64(self.drained.get())),
+            ("queue_depth", Json::u64(queue_depth as u64)),
+            (
+                "in_flight",
+                Json::num(self.in_flight.load(Ordering::Relaxed) as f64),
+            ),
+            ("queue_wait", self.queue_wait.to_json()),
+            (
+                "algorithms",
+                Json::Obj(
+                    crate::job::ALGORITHMS
+                        .iter()
+                        .enumerate()
+                        .map(|(i, alg)| (alg.as_str().to_string(), self.per_algorithm[i].to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for us in [1u64, 2, 4, 100, 100, 100, 5000, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 8);
+        assert!(h.mean_us() > 0);
+        // p50 of the multiset lands in the 100 µs bucket → upper bound 128.
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert!(h.quantile_us(1.0) >= 100_000);
+        assert_eq!(h.quantile_us(0.0), 2); // lowest occupied bucket bound
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn zero_duration_records_into_the_first_bucket() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.5), 2);
+    }
+
+    #[test]
+    fn balance_identity() {
+        let m = Metrics::default();
+        assert!(m.balanced());
+        m.submitted.inc();
+        m.accepted.inc();
+        assert!(!m.balanced()); // job accepted but unaccounted
+        m.completed.inc();
+        assert!(m.balanced());
+        m.submitted.inc();
+        m.rejected_full.inc();
+        assert!(m.balanced());
+        m.submitted.inc();
+        m.accepted.inc();
+        m.drained.inc();
+        assert!(m.balanced());
+    }
+
+    #[test]
+    fn snapshot_contains_the_schema() {
+        let m = Metrics::default();
+        m.submitted.inc();
+        m.accepted.inc();
+        m.completed.inc();
+        m.queue_wait.record(Duration::from_micros(42));
+        m.per_algorithm[0].runs.inc();
+        let j = m.to_json(3);
+        assert_eq!(j.get("submitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("queue_depth").and_then(Json::as_u64), Some(3));
+        let algs = j.get("algorithms").unwrap();
+        assert_eq!(
+            algs.get("seq").unwrap().get("runs").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(algs.get("lshaped").is_some());
+        assert_eq!(
+            j.get("queue_wait")
+                .unwrap()
+                .get("count")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

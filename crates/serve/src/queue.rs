@@ -1,0 +1,216 @@
+//! A bounded MPMC job queue with backpressure and close-for-drain.
+//!
+//! `push` never blocks: a full queue is an immediate, structured
+//! rejection (the service's backpressure signal). `pop` blocks on a
+//! condvar until an item arrives or the queue is closed *and* empty —
+//! which is exactly the graceful-drain contract: after `close()`,
+//! producers are turned away but consumers keep draining what was
+//! already accepted.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity.
+    Full {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// `close()` was called.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue. Shared by reference (`Arc` it for threads).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Non-blocking enqueue; full or closed queues reject immediately.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut s = self.state.lock();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+            });
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue. Returns `None` only when the queue is closed
+    /// and everything already accepted has been handed out.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut s);
+        }
+    }
+
+    /// Stops accepting new items; blocked `pop`s drain the remainder and
+    /// then return `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether `close()` has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Empties the queue immediately (for abort-style shutdown),
+    /// returning the items that never ran.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut s = self.state.lock();
+        s.items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full { capacity: 2 }));
+        // Popping frees a slot.
+        q.pop();
+        assert!(q.push(3).is_ok());
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(7).unwrap();
+        q.push(8).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![7, 8]);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q = Arc::new(BoundedQueue::<u64>::new(1024));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let total: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        let expected: u64 = (0..4u64)
+            .map(|p| (0..100).map(|i| p * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn drain_now_returns_the_leftovers() {
+        let q = BoundedQueue::new(4);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        q.close();
+        assert_eq!(q.drain_now(), vec!["a", "b"]);
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,393 @@
+//! JSON-lines-over-TCP front end (`std::net` only).
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! → {"op":"ping"}
+//! ← {"status":"ok"}
+//! → {"op":"submit","algorithm":"lshaped","workload":"gen:misex3@0.1",
+//!    "procs":2,"deadline_ms":5000}
+//! ← {"id":1,"status":"completed","metrics":{"lc_before":…,"lc_after":…,
+//!    "saved":…,"extractions":…,"queue_wait_us":…,"run_us":…,"phases":{…}}}
+//! → {"op":"metrics"}
+//! ← {"status":"ok","metrics":{…registry snapshot…}}
+//! → {"op":"shutdown"}            ("mode":"now" aborts instead of draining)
+//! ← {"status":"ok","metrics":{…final snapshot…}}
+//! ```
+//!
+//! `submit` blocks its connection until the job is answered, so a client
+//! gets backpressure for free by keeping a connection per in-flight job;
+//! rejected jobs answer immediately with `"status":"rejected"` and a
+//! machine-readable `"reason"`. The full grammar lives in
+//! `docs/SERVICE.md`.
+
+use crate::job::{Algorithm, JobOutcome, JobSpec, Rejection};
+use crate::json::{parse, Json};
+use crate::service::{Client, Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    service: Service,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// worker pool.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            service: Service::start(cfg),
+        })
+    }
+
+    /// The bound address (for ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// An in-process client for the same service the TCP front end uses.
+    pub fn client(&self) -> Client {
+        self.service.client()
+    }
+
+    /// Accepts and serves connections until a `shutdown` request
+    /// arrives, then drains (or aborts, for `"mode":"now"`) and returns.
+    /// The final metrics snapshot goes to the shutdown requester.
+    pub fn run(self) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let client = self.service.client();
+        self.listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let service = &self.service;
+        std::thread::scope(|s| {
+            while !stop.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let client = client.clone();
+                        let stop = Arc::clone(&stop);
+                        // The scope joins connection threads on exit; no
+                        // need to keep the handles.
+                        std::thread::Builder::new()
+                            .name("pf-serve-conn".to_string())
+                            .spawn_scoped(s, move || {
+                                handle_connection(stream, &client, service, &stop)
+                            })
+                            .expect("spawn connection thread");
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Scope join waits for connection threads; they exit once
+            // their streams close (the shutdown handler has already
+            // drained the service by the time stop is set).
+        });
+    }
+}
+
+fn handle_connection(stream: TcpStream, client: &Client, service: &Service, stop: &AtomicBool) {
+    let peer = stream.peer_addr().ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, is_shutdown) = handle_line(&line, client, service, stop);
+        let mut text = response.to_string();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        if is_shutdown {
+            break;
+        }
+    }
+    let _ = peer;
+}
+
+/// Dispatches one request line; the bool says "this was a shutdown, stop
+/// the server".
+fn handle_line(line: &str, client: &Client, service: &Service, stop: &AtomicBool) -> (Json, bool) {
+    let request = match parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                Json::obj([
+                    ("status", Json::str("error")),
+                    ("error", Json::str(e.to_string())),
+                ]),
+                false,
+            )
+        }
+    };
+    match request.get("op").and_then(Json::as_str) {
+        Some("ping") => (Json::obj([("status", Json::str("ok"))]), false),
+        Some("metrics") => (
+            Json::obj([
+                ("status", Json::str("ok")),
+                ("metrics", client.metrics_json()),
+            ]),
+            false,
+        ),
+        Some("submit") => (handle_submit(&request, client), false),
+        Some("shutdown") => {
+            // Drain (default) or abort, then answer with the final
+            // snapshot. Setting `stop` afterwards keeps the snapshot
+            // complete: every accepted job is already accounted.
+            if request.get("mode").and_then(Json::as_str) == Some("now") {
+                service.shutdown_now();
+            } else {
+                service.shutdown();
+            }
+            stop.store(true, Ordering::SeqCst);
+            (
+                Json::obj([
+                    ("status", Json::str("ok")),
+                    ("metrics", client.metrics_json()),
+                ]),
+                true,
+            )
+        }
+        Some(other) => (
+            Json::obj([
+                ("status", Json::str("error")),
+                ("error", Json::str(format!("unknown op {other:?}"))),
+            ]),
+            false,
+        ),
+        None => (
+            Json::obj([
+                ("status", Json::str("error")),
+                ("error", Json::str("missing \"op\"")),
+            ]),
+            false,
+        ),
+    }
+}
+
+fn handle_submit(request: &Json, client: &Client) -> Json {
+    let spec = match spec_from_json(request) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            // Count it like any other invalid submission.
+            client.metrics().submitted.inc();
+            client.metrics().rejected_invalid.inc();
+            return Json::obj([
+                ("status", Json::str("rejected")),
+                ("reason", Json::str("invalid")),
+                ("error", Json::str(msg)),
+            ]);
+        }
+    };
+    match client.submit(spec) {
+        Err(rejection) => rejection_json(&rejection),
+        Ok(ticket) => {
+            let id = ticket.id;
+            outcome_json(id, ticket.wait())
+        }
+    }
+}
+
+fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
+    let alg_name = request
+        .get("algorithm")
+        .and_then(Json::as_str)
+        .ok_or("missing \"algorithm\"")?;
+    let algorithm = Algorithm::from_wire(alg_name).ok_or_else(|| {
+        format!("unknown algorithm {alg_name:?} (seq|replicated|independent|lshaped)")
+    })?;
+    let workload = request
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or("missing \"workload\"")?
+        .to_string();
+    let procs = match request.get("procs") {
+        None => 2,
+        Some(v) => v
+            .as_u64()
+            .ok_or("\"procs\" must be a non-negative integer")? as usize,
+    };
+    let deadline = match request.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(Duration::from_millis(
+            v.as_u64().ok_or("\"deadline_ms\" must be an integer")?,
+        )),
+    };
+    Ok(JobSpec {
+        algorithm,
+        workload,
+        procs,
+        deadline,
+    })
+}
+
+fn rejection_json(rejection: &Rejection) -> Json {
+    let mut members = vec![
+        ("status".to_string(), Json::str("rejected")),
+        ("reason".to_string(), Json::str(rejection.reason())),
+        ("error".to_string(), Json::str(rejection.to_string())),
+    ];
+    if let Rejection::QueueFull { capacity } = rejection {
+        members.push(("capacity".to_string(), Json::u64(*capacity as u64)));
+    }
+    Json::Obj(members)
+}
+
+fn outcome_json(id: u64, outcome: JobOutcome) -> Json {
+    match outcome {
+        JobOutcome::Completed(jr) => Json::obj([
+            ("id", Json::u64(id)),
+            ("status", Json::str("completed")),
+            ("metrics", jr.to_json()),
+        ]),
+        JobOutcome::TimedOut(jr) => Json::obj([
+            ("id", Json::u64(id)),
+            ("status", Json::str("timed_out")),
+            ("error", Json::str("deadline expired")),
+            ("metrics", jr.to_json()),
+        ]),
+        JobOutcome::Drained => Json::obj([
+            ("id", Json::u64(id)),
+            ("status", Json::str("drained")),
+            ("error", Json::str("service shut down before the job ran")),
+        ]),
+        JobOutcome::Failed { message } => Json::obj([
+            ("id", Json::u64(id)),
+            ("status", Json::str("failed")),
+            ("error", Json::str(message)),
+        ]),
+    }
+}
+
+/// Client-side helper: sends request lines over one connection and
+/// returns the response for each (used by `parafactor submit` and the
+/// integration tests).
+pub fn request_lines(addr: impl ToSocketAddrs, lines: &[String]) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            break;
+        }
+        responses.push(response.trim_end().to_string());
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_server(cfg: ServiceConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    #[test]
+    fn ping_metrics_and_shutdown() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let responses = request_lines(
+            addr,
+            &[
+                r#"{"op":"ping"}"#.to_string(),
+                r#"{"op":"metrics"}"#.to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("protocol round-trip");
+        assert_eq!(responses.len(), 3);
+        let ping = parse(&responses[0]).unwrap();
+        assert_eq!(ping.get("status").and_then(Json::as_str), Some("ok"));
+        let metrics = parse(&responses[1]).unwrap();
+        assert_eq!(
+            metrics
+                .get("metrics")
+                .and_then(|m| m.get("submitted"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn submit_over_tcp_completes() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let responses = request_lines(
+            addr,
+            &[
+                r#"{"op":"submit","algorithm":"seq","workload":"gen:misex3@0.05"}"#.to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("protocol round-trip");
+        let r = parse(&responses[0]).unwrap();
+        assert_eq!(r.get("status").and_then(Json::as_str), Some("completed"));
+        let m = r.get("metrics").unwrap();
+        assert!(m.get("lc_before").and_then(Json::as_u64).unwrap() > 0);
+        assert!(m.get("run_us").is_some());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_answer_errors_and_keep_the_connection() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let responses = request_lines(
+            addr,
+            &[
+                "this is not json".to_string(),
+                r#"{"op":"dance"}"#.to_string(),
+                r#"{"nop":"submit"}"#.to_string(),
+                r#"{"op":"submit","algorithm":"waltz","workload":"gen:misex3@0.05"}"#.to_string(),
+                r#"{"op":"ping"}"#.to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("protocol round-trip");
+        assert_eq!(responses.len(), 6);
+        for r in &responses[0..3] {
+            let v = parse(r).unwrap();
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("error"), "{r}");
+        }
+        let bad_alg = parse(&responses[3]).unwrap();
+        assert_eq!(
+            bad_alg.get("status").and_then(Json::as_str),
+            Some("rejected")
+        );
+        assert_eq!(
+            bad_alg.get("reason").and_then(Json::as_str),
+            Some("invalid")
+        );
+        assert_eq!(
+            parse(&responses[4])
+                .unwrap()
+                .get("status")
+                .and_then(Json::as_str),
+            Some("ok")
+        );
+        handle.join().unwrap();
+    }
+}

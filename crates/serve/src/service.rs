@@ -1,0 +1,486 @@
+//! The resident service: bounded queue + worker pool + metrics +
+//! graceful shutdown, behind an in-process [`Client`].
+//!
+//! Job lifecycle:
+//!
+//! ```text
+//! submit ──► validated ──► queued ──► running ──► completed
+//!    │            │           │          │      ├─► timed_out
+//!    │            │           │          │      └─► failed (panic)
+//!    │            │           └──────────┴─────────► drained (shutdown)
+//!    └─► rejected (invalid)   └─► rejected (queue_full / shutting_down)
+//! ```
+//!
+//! Every accepted job is answered exactly once; the metrics registry's
+//! balance identity (see [`Metrics::balanced`]) is restored whenever the
+//! service quiesces.
+
+use crate::job::{ctl_for, validate_workload, JobOutcome, JobSpec, Rejection, ALGORITHMS};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::worker;
+use parking_lot::Mutex;
+use pf_core::RunCtl;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Service construction options.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure beyond this).
+    pub queue_capacity: usize,
+    /// Hard cap on per-job `procs`; jobs asking for more are clamped.
+    /// Defaults to `std::thread::available_parallelism()`.
+    pub max_procs: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_procs: default_max_procs(),
+        }
+    }
+}
+
+/// The host's available parallelism (1 if unknown).
+pub fn default_max_procs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Validates a processor count against a cap: zero is a structured
+/// error, oversized requests are clamped to the cap. Shared by the
+/// service and the CLI so both speak the same rule.
+pub fn validate_procs(procs: usize, max: usize) -> Result<usize, String> {
+    if procs == 0 {
+        return Err("procs must be at least 1".to_string());
+    }
+    Ok(procs.min(max.max(1)))
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    ctl: RunCtl,
+    accepted_at: Instant,
+    responder: mpsc::Sender<JobOutcome>,
+}
+
+struct Inner {
+    queue: BoundedQueue<QueuedJob>,
+    metrics: Metrics,
+    /// RunCtl of every currently executing job, so `shutdown_now` can
+    /// cancel in-flight work cooperatively.
+    in_flight: Mutex<HashMap<u64, RunCtl>>,
+    next_id: AtomicU64,
+    max_procs: usize,
+}
+
+/// A handle to one submitted job; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    /// The service-assigned job id (also echoed over the wire).
+    pub id: u64,
+    rx: mpsc::Receiver<JobOutcome>,
+}
+
+impl Ticket {
+    /// Blocks until the job is answered.
+    pub fn wait(self) -> JobOutcome {
+        self.rx.recv().unwrap_or(JobOutcome::Failed {
+            message: "service dropped the job".to_string(),
+        })
+    }
+
+    /// Blocks up to `timeout`; `None` means still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// A cheap, clonable submission handle (the in-process API).
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<Inner>,
+}
+
+impl Client {
+    /// Validates and enqueues a job. Returns a [`Ticket`] on acceptance
+    /// or a structured [`Rejection`] (backpressure, shutdown, or bad
+    /// spec) — never blocks on a full queue.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<Ticket, Rejection> {
+        let m = &self.inner.metrics;
+        m.submitted.inc();
+        if let Err(msg) = validate_workload(&spec.workload) {
+            m.rejected_invalid.inc();
+            return Err(Rejection::Invalid(msg));
+        }
+        match validate_procs(spec.procs, self.inner.max_procs) {
+            Ok(procs) => spec.procs = procs,
+            Err(msg) => {
+                m.rejected_invalid.inc();
+                return Err(Rejection::Invalid(msg));
+            }
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let ctl = ctl_for(&spec);
+        let (tx, rx) = mpsc::channel();
+        let job = QueuedJob {
+            id,
+            spec,
+            ctl,
+            accepted_at: Instant::now(),
+            responder: tx,
+        };
+        match self.inner.queue.push(job) {
+            Ok(()) => {
+                m.accepted.inc();
+                Ok(Ticket { id, rx })
+            }
+            Err(PushError::Full { capacity }) => {
+                m.rejected_full.inc();
+                Err(Rejection::QueueFull { capacity })
+            }
+            Err(PushError::Closed) => {
+                m.rejected_shutdown.inc();
+                Err(Rejection::ShuttingDown)
+            }
+        }
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// The metrics registry (live counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// JSON snapshot of the registry plus the live queue depth.
+    pub fn metrics_json(&self) -> crate::json::Json {
+        self.inner.metrics.to_json(self.inner.queue.depth())
+    }
+}
+
+/// The running service: owns the worker pool. Create with
+/// [`Service::start`], submit through [`Service::client`], stop with
+/// [`Service::shutdown`] (drain) or [`Service::shutdown_now`] (abort).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Spawns the worker pool and returns the service handle.
+    pub fn start(cfg: ServiceConfig) -> Service {
+        let inner = Arc::new(Inner {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            metrics: Metrics::default(),
+            in_flight: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            max_procs: cfg.max_procs.max(1),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("pf-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Service {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// An in-process submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let the pool finish everything
+    /// already accepted (queued *and* running), then join the workers.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        self.join_workers();
+    }
+
+    /// Abort-style shutdown: stop accepting, answer still-queued jobs as
+    /// drained without running them, cooperatively cancel running jobs
+    /// (they answer as drained at their next barrier point), then join.
+    pub fn shutdown_now(&self) {
+        self.inner.queue.close();
+        for job in self.inner.queue.drain_now() {
+            self.inner.metrics.drained.inc();
+            let _ = job.responder.send(JobOutcome::Drained);
+        }
+        for ctl in self.inner.in_flight.lock().values() {
+            ctl.cancel();
+        }
+        self.join_workers();
+    }
+
+    fn join_workers(&self) {
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Don't leak pool threads if the owner forgot to shut down.
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let m = &inner.metrics;
+    while let Some(job) = inner.queue.pop() {
+        let queue_wait = job.accepted_at.elapsed();
+        m.queue_wait.record(queue_wait);
+        m.in_flight.fetch_add(1, Ordering::Relaxed);
+        inner.in_flight.lock().insert(job.id, job.ctl.clone());
+
+        let outcome = worker::execute(&job.spec, &job.ctl, queue_wait);
+
+        inner.in_flight.lock().remove(&job.id);
+        m.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match &outcome {
+            JobOutcome::Completed(jr) => {
+                m.completed.inc();
+                let idx = ALGORITHMS
+                    .iter()
+                    .position(|a| *a == job.spec.algorithm)
+                    .expect("algorithm is one of the four");
+                let alg = &m.per_algorithm[idx];
+                alg.runs.inc();
+                alg.wall.record(jr.run_time);
+                alg.literals_saved
+                    .fetch_add(jr.report.saved() as i64, Ordering::Relaxed);
+            }
+            JobOutcome::TimedOut(_) => m.timed_out.inc(),
+            JobOutcome::Drained => m.drained.inc(),
+            JobOutcome::Failed { .. } => m.failed.inc(),
+        }
+        // A client that gave up (dropped the ticket) is fine.
+        let _ = job.responder.send(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Algorithm;
+
+    fn small(alg: Algorithm) -> JobSpec {
+        JobSpec {
+            procs: 2,
+            ..JobSpec::new(alg, "gen:misex3@0.05")
+        }
+    }
+
+    #[test]
+    fn submit_and_complete_every_algorithm() {
+        let service = Service::start(ServiceConfig::default());
+        let client = service.client();
+        let tickets: Vec<_> = ALGORITHMS
+            .iter()
+            .map(|&alg| client.submit(small(alg)).expect("accepted"))
+            .collect();
+        for t in tickets {
+            match t.wait() {
+                JobOutcome::Completed(jr) => assert!(jr.report.lc_after <= jr.report.lc_before),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        service.shutdown();
+        assert!(client.metrics().balanced());
+        assert_eq!(client.metrics().completed.get(), 4);
+    }
+
+    #[test]
+    fn zero_procs_is_an_invalid_spec() {
+        let service = Service::start(ServiceConfig::default());
+        let client = service.client();
+        let mut spec = small(Algorithm::Independent);
+        spec.procs = 0;
+        match client.submit(spec) {
+            Err(Rejection::Invalid(msg)) => assert!(msg.contains("procs")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(client.metrics().rejected_invalid.get(), 1);
+        service.shutdown();
+        assert!(client.metrics().balanced());
+    }
+
+    #[test]
+    fn oversized_procs_are_clamped_not_rejected() {
+        let service = Service::start(ServiceConfig::default());
+        let client = service.client();
+        let mut spec = small(Algorithm::Independent);
+        spec.procs = 10_000;
+        let t = client.submit(spec).expect("clamped, not rejected");
+        assert!(matches!(t.wait(), JobOutcome::Completed(_)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_full_rejects_with_backpressure() {
+        // One worker, capacity 1: the worker grabs one job, one sits
+        // queued, the next submission must bounce.
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let mut accepted = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..12 {
+            match client.submit(small(Algorithm::Seq)) {
+                Ok(t) => accepted.push(t),
+                Err(Rejection::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(rejected > 0, "burst must overflow a capacity-1 queue");
+        for t in accepted {
+            t.wait();
+        }
+        service.shutdown();
+        let m = client.metrics();
+        assert!(m.balanced());
+        assert_eq!(m.rejected_full.get(), rejected);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let tickets: Vec<_> = (0..6)
+            .map(|_| client.submit(small(Algorithm::Seq)).expect("accepted"))
+            .collect();
+        // Graceful: everything accepted still completes.
+        service.shutdown();
+        for t in tickets {
+            assert!(matches!(t.wait(), JobOutcome::Completed(_)));
+        }
+        let m = client.metrics();
+        assert!(m.balanced());
+        assert_eq!(m.completed.get(), 6);
+        assert_eq!(m.drained.get(), 0);
+        // And new submissions bounce with the shutdown reason.
+        assert!(matches!(
+            client.submit(small(Algorithm::Seq)),
+            Err(Rejection::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn shutdown_now_drains_without_running() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 32,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        // Big enough that the backlog cannot clear before the abort.
+        let tickets: Vec<_> = (0..8)
+            .map(|_| {
+                client
+                    .submit(JobSpec {
+                        procs: 2,
+                        ..JobSpec::new(Algorithm::Lshaped, "gen:dalu@0.3")
+                    })
+                    .expect("accepted")
+            })
+            .collect();
+        service.shutdown_now();
+        let outcomes: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        assert!(
+            outcomes.iter().any(|o| matches!(o, JobOutcome::Drained)),
+            "most of the backlog is answered drained: {outcomes:?}"
+        );
+        let m = client.metrics();
+        assert!(m.balanced());
+        assert_eq!(
+            m.accepted.get(),
+            m.completed.get() + m.timed_out.get() + m.failed.get() + m.drained.get()
+        );
+    }
+
+    #[test]
+    fn deadline_job_times_out_without_poisoning_the_pool() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let mut doomed = JobSpec::new(Algorithm::Seq, "gen:dalu@0.3");
+        doomed.deadline = Some(Duration::from_millis(1));
+        let t1 = client.submit(doomed).expect("accepted");
+        let t2 = client.submit(small(Algorithm::Seq)).expect("accepted");
+        assert!(matches!(t1.wait(), JobOutcome::TimedOut(_)));
+        // The same (only) worker still serves the next job.
+        assert!(matches!(t2.wait(), JobOutcome::Completed(_)));
+        service.shutdown();
+        let m = client.metrics();
+        assert!(m.balanced());
+        assert_eq!(m.timed_out.get(), 1);
+        assert_eq!(m.completed.get(), 1);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_the_door() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let bad = JobSpec::new(Algorithm::Seq, "not-a-workload");
+        assert!(matches!(client.submit(bad), Err(Rejection::Invalid(_))));
+        let ok = client.submit(small(Algorithm::Seq)).expect("accepted");
+        assert!(matches!(ok.wait(), JobOutcome::Completed(_)));
+        service.shutdown();
+        assert!(client.metrics().balanced());
+    }
+
+    #[test]
+    fn queue_wait_is_measured() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let tickets: Vec<_> = (0..4)
+            .map(|_| client.submit(small(Algorithm::Seq)).expect("accepted"))
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        service.shutdown();
+        assert_eq!(client.metrics().queue_wait.count(), 4);
+    }
+}

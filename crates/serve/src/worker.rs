@@ -1,0 +1,168 @@
+//! Job execution: one queued job → one [`JobOutcome`], with panic
+//! isolation so a bad job can never take a pool thread down with it.
+
+use crate::job::{resolve_workload, Algorithm, JobOutcome, JobReport, JobSpec};
+use pf_core::{
+    independent_extract, lshaped_extract, replicated_extract, ExtractConfig, ExtractReport,
+    IndependentConfig, LShapedConfig, ReplicatedConfig, RunCtl,
+};
+use std::time::Instant;
+
+/// Runs the extraction a spec describes, observing `ctl` at the
+/// driver's barrier points. Blocking; returns the driver's report.
+pub fn run_extraction(spec: &JobSpec, ctl: &RunCtl) -> Result<ExtractReport, String> {
+    let mut nw = resolve_workload(&spec.workload)?;
+    let extract = ExtractConfig {
+        ctl: ctl.clone(),
+        ..ExtractConfig::default()
+    };
+    let report = match spec.algorithm {
+        Algorithm::Seq => pf_core::extract_kernels(&mut nw, &[], &extract),
+        Algorithm::Replicated => replicated_extract(
+            &mut nw,
+            &ReplicatedConfig {
+                procs: spec.procs,
+                extract,
+                ..ReplicatedConfig::default()
+            },
+        ),
+        Algorithm::Independent => independent_extract(
+            &mut nw,
+            &IndependentConfig {
+                procs: spec.procs,
+                extract,
+                ..IndependentConfig::default()
+            },
+        ),
+        Algorithm::Lshaped => lshaped_extract(
+            &mut nw,
+            &LShapedConfig {
+                procs: spec.procs,
+                extract,
+                ..LShapedConfig::default()
+            },
+        ),
+    };
+    Ok(report)
+}
+
+/// Runs one job start-to-finish and classifies the outcome. `queue_wait`
+/// is how long the job sat queued (measured by the caller, who owns the
+/// accept timestamp). Panics inside the extraction are caught and become
+/// [`JobOutcome::Failed`].
+pub fn execute(spec: &JobSpec, ctl: &RunCtl, queue_wait: std::time::Duration) -> JobOutcome {
+    let started = Instant::now();
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_extraction(spec, ctl)));
+    let run_time = started.elapsed();
+    match result {
+        Err(payload) => JobOutcome::Failed {
+            message: panic_message(payload),
+        },
+        Ok(Err(msg)) => JobOutcome::Failed { message: msg },
+        Ok(Ok(report)) => {
+            let jr = JobReport {
+                report,
+                queue_wait,
+                run_time,
+            };
+            if jr.report.cancelled {
+                // Only shutdown cancels jobs; report it as drained.
+                JobOutcome::Drained
+            } else if jr.report.timed_out {
+                JobOutcome::TimedOut(jr)
+            } else {
+                JobOutcome::Completed(jr)
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ALGORITHMS;
+    use std::time::Duration;
+
+    #[test]
+    fn every_algorithm_completes_a_small_job() {
+        for alg in ALGORITHMS {
+            let spec = JobSpec {
+                procs: 2,
+                ..JobSpec::new(alg, "gen:misex3@0.05")
+            };
+            match execute(&spec, &RunCtl::new(), Duration::ZERO) {
+                JobOutcome::Completed(jr) => {
+                    assert!(jr.report.lc_after <= jr.report.lc_before, "{alg:?}");
+                    assert!(jr.run_time > Duration::ZERO);
+                }
+                other => panic!("{alg:?}: unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let spec = JobSpec {
+            deadline: Some(Duration::ZERO),
+            ..JobSpec::new(Algorithm::Seq, "gen:dalu@0.2")
+        };
+        let ctl = crate::job::ctl_for(&spec);
+        match execute(&spec, &ctl, Duration::ZERO) {
+            JobOutcome::TimedOut(jr) => assert_eq!(jr.report.extractions, 0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_job_reports_drained() {
+        let ctl = RunCtl::new();
+        ctl.cancel();
+        let spec = JobSpec::new(Algorithm::Seq, "gen:misex3@0.05");
+        match execute(&spec, &ctl, Duration::ZERO) {
+            JobOutcome::Drained => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_workload_fails_structurally() {
+        let spec = JobSpec::new(Algorithm::Seq, "gen:nosuch@0.1");
+        match execute(&spec, &RunCtl::new(), Duration::ZERO) {
+            JobOutcome::Failed { message } => assert!(message.contains("nosuch")),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_is_contained() {
+        let spec = JobSpec::new(Algorithm::Seq, "gen:misex3@0.05");
+        let outcome = std::panic::catch_unwind(|| {
+            // Simulate a panicking job path through the same classifier.
+            let result: Result<Result<ExtractReport, String>, _> =
+                std::panic::catch_unwind(|| panic!("boom"));
+            match result {
+                Err(p) => JobOutcome::Failed {
+                    message: panic_message(p),
+                },
+                _ => unreachable!(),
+            }
+        })
+        .expect("outer context survives");
+        match outcome {
+            JobOutcome::Failed { message } => assert_eq!(message, "boom"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let _ = spec;
+    }
+}

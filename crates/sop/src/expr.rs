@@ -45,11 +45,7 @@ impl Sop {
         // Remove single-cube containment: cube c is redundant if some
         // other cube d divides it (d ⊆ c ⇒ c + d = d).
         let snapshot = v.clone();
-        v.retain(|c| {
-            !snapshot
-                .iter()
-                .any(|d| d != c && c.divisible_by(d))
-        });
+        v.retain(|c| !snapshot.iter().any(|d| d != c && c.divisible_by(d)));
         Sop { cubes: v }
     }
 

@@ -42,9 +42,7 @@ impl Factored {
     pub fn literal_count(&self) -> usize {
         match self {
             Factored::Lit(_) => 1,
-            Factored::And(fs) | Factored::Or(fs) => {
-                fs.iter().map(Factored::literal_count).sum()
-            }
+            Factored::And(fs) | Factored::Or(fs) => fs.iter().map(Factored::literal_count).sum(),
         }
     }
 
@@ -236,10 +234,13 @@ mod tests {
     fn no_kernel_stays_flat() {
         let f = sop(&[&[1, 2], &[3, 4]]);
         let fac = quick_factor(&f);
-        assert_eq!(fac, Factored::Or(vec![
-            Factored::And(vec![Factored::Lit(Lit::pos(1)), Factored::Lit(Lit::pos(2))]),
-            Factored::And(vec![Factored::Lit(Lit::pos(3)), Factored::Lit(Lit::pos(4))]),
-        ]));
+        assert_eq!(
+            fac,
+            Factored::Or(vec![
+                Factored::And(vec![Factored::Lit(Lit::pos(1)), Factored::Lit(Lit::pos(2))]),
+                Factored::And(vec![Factored::Lit(Lit::pos(3)), Factored::Lit(Lit::pos(4))]),
+            ])
+        );
         assert_eq!(fac.literal_count(), 4);
     }
 

@@ -337,13 +337,7 @@ mod tests {
         // (a, bcx+bcy+bz+w), (ab, cx+cy+z), (abc, x+y). A depth limit of 1
         // keeps only the first.
         // vars: a=1 b=2 c=3 x=4 y=5 z=6 w=7 v=8
-        let f = sop(&[
-            &[1, 2, 3, 4],
-            &[1, 2, 3, 5],
-            &[1, 2, 6],
-            &[1, 7],
-            &[8],
-        ]);
+        let f = sop(&[&[1, 2, 3, 4], &[1, 2, 3, 5], &[1, 2, 6], &[1, 7], &[8]]);
         let all = kernels(&f);
         assert_eq!(all.len(), 3);
         let shallow = kernels_config(

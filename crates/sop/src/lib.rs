@@ -26,8 +26,8 @@
 
 pub mod cube;
 pub mod divide;
-pub mod factor;
 pub mod expr;
+pub mod factor;
 pub mod fx;
 pub mod kernel;
 pub mod lit;
@@ -35,8 +35,8 @@ pub mod minimize;
 
 pub use cube::Cube;
 pub use divide::{divide, divide_by_cube};
-pub use factor::{quick_factor, Factored};
 pub use expr::Sop;
-pub use minimize::{eval_sop, simplify_sop};
+pub use factor::{quick_factor, Factored};
 pub use kernel::{kernels, kernels_with_trivial, CoKernelPair, KernelConfig};
 pub use lit::{Lit, Var};
+pub use minimize::{eval_sop, simplify_sop};

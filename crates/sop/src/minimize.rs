@@ -71,8 +71,7 @@ pub fn simplify_sop(f: &Sop) -> Sop {
                     continue;
                 }
                 if let Some((r1, r2)) = pair_rule(&cubes[i], &cubes[j]) {
-                    let replaced = r1.as_ref() != Some(&cubes[i])
-                        || r2.as_ref() != Some(&cubes[j]);
+                    let replaced = r1.as_ref() != Some(&cubes[i]) || r2.as_ref() != Some(&cubes[j]);
                     if !replaced {
                         continue;
                     }

@@ -4,9 +4,7 @@
 //! on, over randomly generated expressions: division recomposition,
 //! kernel definitions, and canonical-form stability.
 
-use pf_sop::{
-    divide, divide_by_cube, kernels, kernels_with_trivial, quick_factor, Cube, Lit, Sop,
-};
+use pf_sop::{divide, divide_by_cube, kernels, kernels_with_trivial, quick_factor, Cube, Lit, Sop};
 use proptest::prelude::*;
 
 /// Strategy: a random cube over `nvars` positive-phase variables with up

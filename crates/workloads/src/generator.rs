@@ -140,15 +140,10 @@ pub fn generate(profile: &CircuitProfile) -> Network {
         let n_plants = rand_range(&mut rng, profile.plants_per_node);
         for _ in 0..n_plants {
             let k = kernels[rng.gen_range(0..kernels.len())].clone();
-            let k_support: Vec<u32> = k
-                .support_lits()
-                .iter()
-                .map(|l| l.var().index())
-                .collect();
+            let k_support: Vec<u32> = k.support_lits().iter().map(|l| l.var().index()).collect();
             // Co-kernel: 1–2 literals, disjoint from the kernel support.
             let ck_lits = rng.gen_range(1..=2usize);
-            let pool: Vec<u32> = if !node_pool.is_empty() && rng.gen_bool(profile.node_ref_prob)
-            {
+            let pool: Vec<u32> = if !node_pool.is_empty() && rng.gen_bool(profile.node_ref_prob) {
                 node_pool.clone()
             } else {
                 inputs.clone()
@@ -164,8 +159,7 @@ pub fn generate(profile: &CircuitProfile) -> Network {
         let n_noise = rand_range(&mut rng, profile.noise_cubes);
         for _ in 0..n_noise {
             let lits = rand_range(&mut rng, profile.noise_cube_lits);
-            let pool: Vec<u32> = if !node_pool.is_empty() && rng.gen_bool(profile.node_ref_prob)
-            {
+            let pool: Vec<u32> = if !node_pool.is_empty() && rng.gen_bool(profile.node_ref_prob) {
                 let mut p = inputs.clone();
                 p.extend_from_slice(&node_pool);
                 p

@@ -39,9 +39,7 @@ pub fn ripple_adder(width: usize) -> Network {
     let mut carry = cin;
     for i in 0..width {
         // x_i = a_i ⊕ b_i
-        let x = nw
-            .add_node(format!("x{i}"), xor_sop(a[i], b[i]))
-            .unwrap();
+        let x = nw.add_node(format!("x{i}"), xor_sop(a[i], b[i])).unwrap();
         // s_i = x_i ⊕ c_i
         let s = nw.add_node(format!("s{i}"), xor_sop(x, carry)).unwrap();
         nw.mark_output(s).unwrap();
@@ -49,11 +47,7 @@ pub fn ripple_adder(width: usize) -> Network {
         let c = nw
             .add_node(
                 format!("c{}", i + 1),
-                Sop::from_cubes([
-                    and2(a[i], b[i]),
-                    and2(a[i], carry),
-                    and2(b[i], carry),
-                ]),
+                Sop::from_cubes([and2(a[i], b[i]), and2(a[i], carry), and2(b[i], carry)]),
             )
             .unwrap();
         carry = c;
@@ -82,11 +76,7 @@ pub fn carry_chain(width: usize) -> Network {
         let c = nw
             .add_node(
                 format!("c{}", i + 1),
-                Sop::from_cubes([
-                    and2(a[i], b[i]),
-                    and2(a[i], carry),
-                    and2(b[i], carry),
-                ]),
+                Sop::from_cubes([and2(a[i], b[i]), and2(a[i], carry), and2(b[i], carry)]),
             )
             .unwrap();
         nw.mark_output(c).unwrap();
@@ -228,7 +218,10 @@ mod tests {
             assert!(eliminate_node(&mut flat, c).unwrap(), "c{i}");
         }
         let _ = sweep(&mut flat);
-        assert!(flat.literal_count() > nw.literal_count(), "flattening grows");
+        assert!(
+            flat.literal_count() > nw.literal_count(),
+            "flattening grows"
+        );
         assert!(equivalent_random(&nw, &flat, &EquivConfig::default()).unwrap());
         // Refactoring recovers much of the growth.
         let mut refactored = flat.clone();

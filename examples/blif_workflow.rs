@@ -62,10 +62,7 @@ fn main() {
         "after Algorithm L (4 procs): {} literals ({} extractions, {:?}, {} shipped)",
         s1.lits_sop, report.extractions, report.elapsed, report.shipped_rectangles
     );
-    println!(
-        "factored literal count: {} -> {}",
-        s0.lits_fac, s1.lits_fac
-    );
+    println!("factored literal count: {} -> {}", s0.lits_fac, s1.lits_fac);
 
     let ok = equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap();
     println!("equivalence: {}", if ok { "PASS" } else { "FAIL" });

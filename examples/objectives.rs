@@ -21,9 +21,7 @@ fn main() {
     let base_stats = stats::stats(&nw).unwrap();
     println!(
         "circuit: seq analogue — {} literals, depth {}, {} nodes\n",
-        base_stats.lits_sop,
-        base_stats.depth,
-        base_stats.live_nodes
+        base_stats.lits_sop, base_stats.depth, base_stats.live_nodes
     );
     println!(
         "{:>8} {:>8} {:>9} {:>7} {:>12} {:>12}",

@@ -19,8 +19,8 @@ use parafactor::kcmatrix::{
 };
 use parafactor::network::example::example_1_1;
 use parafactor::network::transform::extract_node;
-use parafactor::sop::kernel::{kernels, KernelConfig};
 use parafactor::sop::fx::FxHashMap;
+use parafactor::sop::kernel::{kernels, KernelConfig};
 use parafactor::sop::{Cube, Lit, Sop};
 
 fn main() {
@@ -34,19 +34,24 @@ fn main() {
     // --- §2: kernels (and co-kernels) of G ------------------------------
     println!("=== Kernels of G (paper §2) ===");
     for p in kernels(nw.func(ids.g)) {
-        println!("  co-kernel {:>6}   kernel {}", format!("{}", p.cokernel), p.kernel);
+        println!(
+            "  co-kernel {:>6}   kernel {}",
+            format!("{}", p.cokernel),
+            p.kernel
+        );
     }
     println!("  (paper: ce+f with co-kernels a,b;  a+b with co-kernels f,ce)\n");
 
     // --- Example 1.1: extract X = a + b ---------------------------------
     println!("=== Example 1.1: extracting X = a + b ===");
     let mut once = nw.clone();
-    let x_func = Sop::from_cubes([
-        Cube::single(Lit::pos(ids.a)),
-        Cube::single(Lit::pos(ids.b)),
-    ]);
+    let x_func = Sop::from_cubes([Cube::single(Lit::pos(ids.a)), Cube::single(Lit::pos(ids.b))]);
     extract_node(&mut once, "X", x_func, &[ids.f, ids.g]).unwrap();
-    println!("literal count {} -> {} (paper: 33 -> 25)\n", nw.literal_count(), once.literal_count());
+    println!(
+        "literal count {} -> {} (paper: 33 -> 25)\n",
+        nw.literal_count(),
+        once.literal_count()
+    );
 
     // --- Figure 2: the partitioned co-kernel cube matrix ----------------
     println!("=== Figure 2: KC matrices for the partition {{F}} / {{G, H}} ===");
@@ -98,11 +103,21 @@ fn main() {
     // --- Example 4.1: independent partitions lose quality ---------------
     println!("=== Example 4.1: independent extraction on {{F}} and {{G, H}} ===");
     let mut part = nw.clone();
-    extract_kernels(&mut part, &[ids.f], &ExtractConfig { name_prefix: "X".into(), ..Default::default() });
+    extract_kernels(
+        &mut part,
+        &[ids.f],
+        &ExtractConfig {
+            name_prefix: "X".into(),
+            ..Default::default()
+        },
+    );
     extract_kernels(
         &mut part,
         &[ids.g, ids.h],
-        &ExtractConfig { name_prefix: "Z".into(), ..Default::default() },
+        &ExtractConfig {
+            name_prefix: "Z".into(),
+            ..Default::default()
+        },
     );
     let mut seq = nw.clone();
     let seq_rep = extract_kernels(&mut seq, &[], &ExtractConfig::default());
@@ -139,10 +154,21 @@ fn main() {
         owner.entry(col.cube.clone()).or_insert(1);
     }
     let fmt_cube = |c: &Cube| {
-        c.iter().map(|l| name_of(l.var().index())).collect::<Vec<_>>().join("")
+        c.iter()
+            .map(|l| name_of(l.var().index()))
+            .collect::<Vec<_>>()
+            .join("")
     };
-    let mut owned0: Vec<String> = owner.iter().filter(|(_, &o)| o == 0).map(|(c, _)| fmt_cube(c)).collect();
-    let mut owned1: Vec<String> = owner.iter().filter(|(_, &o)| o == 1).map(|(c, _)| fmt_cube(c)).collect();
+    let mut owned0: Vec<String> = owner
+        .iter()
+        .filter(|(_, &o)| o == 0)
+        .map(|(c, _)| fmt_cube(c))
+        .collect();
+    let mut owned1: Vec<String> = owner
+        .iter()
+        .filter(|(_, &o)| o == 1)
+        .map(|(c, _)| fmt_cube(c))
+        .collect();
     owned0.sort();
     owned1.sort();
     println!("  local_cubes[0] = {owned0:?}   (paper: a, b, c, ce, f)");

@@ -6,8 +6,8 @@
 //! ```
 
 use parafactor::core::{
-    extract_kernels, independent_extract, lshaped_extract, replicated_extract,
-    ExtractConfig, IndependentConfig, LShapedConfig, ReplicatedConfig,
+    extract_kernels, independent_extract, lshaped_extract, replicated_extract, ExtractConfig,
+    IndependentConfig, LShapedConfig, ReplicatedConfig,
 };
 use parafactor::network::sim::{equivalent_random, EquivConfig};
 use parafactor::workloads::{generate, profile_by_name, scale_profile};
@@ -88,7 +88,10 @@ fn main() {
     // Every variant must preserve the circuit's function.
     for (name, result) in [("R", &r_nw), ("I", &i_nw), ("L", &l_nw)] {
         let ok = equivalent_random(&nw, result, &EquivConfig::default()).unwrap();
-        println!("equivalence check {name}: {}", if ok { "PASS" } else { "FAIL" });
+        println!(
+            "equivalence check {name}: {}",
+            if ok { "PASS" } else { "FAIL" }
+        );
         assert!(ok);
     }
 

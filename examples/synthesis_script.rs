@@ -34,7 +34,10 @@ fn main() {
 
     println!();
     println!("script finished:");
-    println!("  literal count     {} -> {}", report.lc_before, report.lc_after);
+    println!(
+        "  literal count     {} -> {}",
+        report.lc_before, report.lc_after
+    );
     println!("  factor passes     {}", report.factor_invocations);
     for (i, r) in report.factor_reports.iter().enumerate() {
         println!(

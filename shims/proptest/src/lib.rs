@@ -1,0 +1,294 @@
+#![warn(missing_docs)]
+
+//! Offline in-tree shim for the subset of [`proptest`] this workspace
+//! uses: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
+//! [`Strategy`] with `prop_map`, ranges and tuples as strategies,
+//! `prop::collection::{vec, btree_set, btree_map}`, [`any`], simple
+//! char-class string "regexes", and [`ProptestConfig::with_cases`].
+//!
+//! The build environment is offline with no crates.io cache, so the real
+//! crate cannot be fetched. Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the
+//!   assertion message) but is not minimized;
+//! * **fixed deterministic seeding** — each test function derives its
+//!   RNG seed from its own name, so failures reproduce across runs;
+//! * regex strategies support only `[class]{m,n}` patterns (all this
+//!   workspace uses); anything else generates the pattern literally.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` etc., mirroring proptest's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_map, btree_set, vec};
+    }
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic per-test RNG: seed derived from the test name (FNV-1a)
+/// so each property explores its own stream but reproduces across runs.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Runs the body of one [`proptest!`]-generated test: `config.cases`
+/// successful cases, with an assume-rejection budget.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    let mut rng = rng_for_test(name);
+    let mut done: u32 = 0;
+    let mut rejected: u32 = 0;
+    let reject_budget = config.cases.saturating_mul(16).max(4096);
+    while done < config.cases {
+        match case(&mut rng) {
+            Ok(()) => done += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "proptest shim: {name} rejected {rejected} cases \
+                         (completed {done}/{}); prop_assume too strict",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest shim: {name} failed after {done} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+/// The macro that turns property functions into `#[test]`s.
+///
+/// Supports the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// doc
+///     #[test]
+///     fn prop_name(x in strategy_expr, y in other_expr) { ...body... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    // NB: `#[test]` is captured by the attribute repetition (matching a
+    // literal `#[test]` after `$(#[$meta:meta])*` is ambiguous to the
+    // macro parser) and re-emitted with the other attributes.
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), &__config, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion with value dumps.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}: {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        format!($($fmt)+),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion with value dumps.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} != {}: {}\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        format!($($fmt)+),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 5usize..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((5..=9).contains(&y));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u8..10, 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn btree_set_is_a_set(s in prop::collection::btree_set(0u32..100, 0..=6)) {
+            prop_assert!(s.len() <= 6);
+            let unique: BTreeSet<u32> = s.iter().copied().collect();
+            prop_assert_eq!(unique.len(), s.len());
+        }
+
+        #[test]
+        fn tuples_and_map(t in (0u32..4, 0u16..3).prop_map(|(a, b)| a as u64 + b as u64)) {
+            prop_assert!(t <= 5);
+        }
+
+        #[test]
+        fn assume_rejects_but_converges(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+
+        #[test]
+        fn char_class_strings(s in "[ -~\n]{0,40}") {
+            prop_assert!(s.len() <= 40);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic_with_context() {
+        let cfg = ProptestConfig::with_cases(8);
+        crate::run_cases("always_fails", &cfg, |rng| {
+            let x = crate::Strategy::generate(&(0u32..10), rng);
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::rng_for_test("t");
+        let mut b = crate::rng_for_test("t");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! parafactor [OPTIONS] <INPUT>
+//! parafactor serve  [--addr A] [--workers N] [--queue N] [--max-procs N]
+//! parafactor submit [--addr A] [-a ALG] [-p N] [--deadline-ms N] <WORKLOAD>
 //!
 //! INPUT                 circuit file (.blif, or the native text format),
 //!                       or gen:<profile>[@scale] for a synthetic circuit
@@ -19,19 +21,27 @@
 //!     --stats           print the full statistics block
 //!     --verify          check functional equivalence after optimizing
 //! -h, --help            this text
+//!
+//! serve runs the resident factorization service (JSON lines over TCP,
+//! default 127.0.0.1:7878; protocol in docs/SERVICE.md). submit sends one
+//! job to a running service and prints the JSON response. For both
+//! commands procs must be >= 1 and is capped at the host's available
+//! parallelism.
 //! ```
 
 use parafactor::core::script::{run_script, ScriptConfig};
 use parafactor::core::{
-    extract_common_cubes, extract_kernels, independent_extract, iterative_extract,
-    lshaped_extract, lshaped_extract_cubes, replicated_extract, CubeExtractConfig,
-    ExtractConfig, IndependentConfig, IterativeConfig, LShapedCxConfig, LShapedConfig,
-    Objective, ReplicatedConfig,
+    extract_common_cubes, extract_kernels, independent_extract, iterative_extract, lshaped_extract,
+    lshaped_extract_cubes, replicated_extract, CubeExtractConfig, ExtractConfig, IndependentConfig,
+    IterativeConfig, LShapedConfig, LShapedCxConfig, Objective, ReplicatedConfig,
 };
 use parafactor::network::blif::{read_blif, write_blif};
 use parafactor::network::io::{read_network, write_network};
 use parafactor::network::sim::{equivalent_random, EquivConfig};
 use parafactor::network::{stats, Network};
+use parafactor::serve::{
+    default_max_procs, request_lines, validate_procs, Json, Server, ServiceConfig,
+};
 use parafactor::workloads::{generate, profile_by_name, scale_profile};
 use std::process::ExitCode;
 
@@ -51,7 +61,9 @@ fn usage() -> ! {
     // The doc comment above is the single source of truth.
     let text = include_str!("parafactor.rs");
     for line in text.lines().skip(3) {
-        let Some(stripped) = line.strip_prefix("//!") else { break };
+        let Some(stripped) = line.strip_prefix("//!") else {
+            break;
+        };
         if stripped.trim() == "```text" || stripped.trim() == "```" {
             continue;
         }
@@ -123,11 +135,7 @@ fn parse_args() -> Options {
 fn load_circuit(opts: &Options) -> Result<Network, String> {
     if let Some(spec) = opts.input.strip_prefix("gen:") {
         let (name, scale) = match spec.split_once('@') {
-            Some((n, s)) => (
-                n,
-                s.parse::<f64>()
-                    .map_err(|_| format!("bad scale {s:?}"))?,
-            ),
+            Some((n, s)) => (n, s.parse::<f64>().map_err(|_| format!("bad scale {s:?}"))?),
             None => (spec, 0.25),
         };
         let mut profile = profile_by_name(name)
@@ -146,8 +154,160 @@ fn load_circuit(opts: &Options) -> Result<Network, String> {
     }
 }
 
+/// `parafactor serve`: bind the TCP front end and run until a client
+/// sends a `shutdown` op.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServiceConfig::default();
+    let mut i = 0;
+    let bad = |msg: String| -> ExitCode {
+        eprintln!("error: {msg}");
+        ExitCode::FAILURE
+    };
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--addr" => match value(i) {
+                Some(v) => addr = v.clone(),
+                None => return bad("--addr needs a value".into()),
+            },
+            "--workers" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.workers = n,
+                _ => return bad("--workers must be a positive integer".into()),
+            },
+            "--queue" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.queue_capacity = n,
+                _ => return bad("--queue must be a positive integer".into()),
+            },
+            "--max-procs" => {
+                let parsed = match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => n,
+                    None => return bad("--max-procs must be an integer".into()),
+                };
+                match validate_procs(parsed, default_max_procs()) {
+                    Ok(n) => cfg.max_procs = n,
+                    Err(e) => return bad(format!("--max-procs: {e}")),
+                }
+            }
+            "-h" | "--help" => usage(),
+            other => return bad(format!("unknown serve option {other:?}")),
+        }
+        i += 2;
+    }
+    let server = match Server::bind(addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => return bad(format!("cannot bind {addr}: {e}")),
+    };
+    match server.local_addr() {
+        Ok(a) => println!("pf-serve listening on {a}"),
+        Err(_) => println!("pf-serve listening on {addr}"),
+    }
+    server.run();
+    println!("pf-serve: shut down");
+    ExitCode::SUCCESS
+}
+
+/// `parafactor submit`: send one job to a running service, print the
+/// JSON response line, and exit 0 iff the job completed.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut algorithm = "seq".to_string();
+    let mut procs = 2usize;
+    let mut deadline_ms: Option<u64> = None;
+    let mut workload: Option<String> = None;
+    let bad = |msg: String| -> ExitCode {
+        eprintln!("error: {msg}");
+        ExitCode::FAILURE
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--addr" => match value(i) {
+                Some(v) => addr = v.clone(),
+                None => return bad("--addr needs a value".into()),
+            },
+            "-a" | "--algorithm" => match value(i) {
+                Some(v) => algorithm = v.clone(),
+                None => return bad("--algorithm needs a value".into()),
+            },
+            "-p" | "--procs" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => procs = n,
+                None => return bad("--procs must be an integer".into()),
+            },
+            "--deadline-ms" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => deadline_ms = Some(n),
+                None => return bad("--deadline-ms must be an integer".into()),
+            },
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                return bad(format!("unknown submit option {other:?}"))
+            }
+            other => {
+                if workload.is_some() {
+                    return bad("more than one workload given".into());
+                }
+                workload = Some(other.to_string());
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    let Some(workload) = workload else {
+        return bad("no workload given (e.g. gen:misex3@0.25)".into());
+    };
+    // Validate locally for a prompt structured error; the service
+    // re-validates (and re-caps against its own host) anyway.
+    let procs = match validate_procs(procs, default_max_procs()) {
+        Ok(p) => p,
+        Err(e) => return bad(format!("--procs: {e}")),
+    };
+    let mut request = vec![
+        ("op".to_string(), Json::str("submit")),
+        ("algorithm".to_string(), Json::str(algorithm)),
+        ("workload".to_string(), Json::str(workload)),
+        ("procs".to_string(), Json::u64(procs as u64)),
+    ];
+    if let Some(ms) = deadline_ms {
+        request.push(("deadline_ms".to_string(), Json::u64(ms)));
+    }
+    let responses = match request_lines(addr.as_str(), &[Json::Obj(request).to_string()]) {
+        Ok(r) => r,
+        Err(e) => return bad(format!("cannot reach service at {addr}: {e}")),
+    };
+    let Some(response) = responses.first() else {
+        return bad(format!("service at {addr} closed the connection"));
+    };
+    println!("{response}");
+    let completed = parafactor::serve::json::parse(response)
+        .ok()
+        .and_then(|v| v.get("status").map(|s| s.as_str() == Some("completed")))
+        .unwrap_or(false);
+    if completed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let opts = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&argv[1..]),
+        Some("submit") => return cmd_submit(&argv[1..]),
+        _ => {}
+    }
+    let mut opts = parse_args();
+    // Structured procs validation: 0 is an error, oversized requests are
+    // capped at the host's available parallelism.
+    match validate_procs(opts.procs, default_max_procs()) {
+        Ok(p) => opts.procs = p,
+        Err(e) => {
+            eprintln!("error: --procs: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let nw = match load_circuit(&opts) {
         Ok(nw) => nw,
         Err(e) => {

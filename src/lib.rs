@@ -19,5 +19,6 @@ pub use pf_core as core;
 pub use pf_kcmatrix as kcmatrix;
 pub use pf_network as network;
 pub use pf_partition as partition;
+pub use pf_serve as serve;
 pub use pf_sop as sop;
 pub use pf_workloads as workloads;

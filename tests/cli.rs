@@ -46,13 +46,7 @@ fn blif_roundtrip_through_the_cli() {
     std::fs::create_dir_all(&dir).unwrap();
     let blif = dir.join("out.blif");
     let out = bin()
-        .args([
-            "-a",
-            "seq",
-            "-o",
-            blif.to_str().unwrap(),
-            "gen:dalu@0.05",
-        ])
+        .args(["-a", "seq", "-o", blif.to_str().unwrap(), "gen:dalu@0.05"])
         .output()
         .expect("binary runs");
     assert!(out.status.success());

@@ -2,9 +2,9 @@
 //! pipeline, oracle cross-checks, and IO corner cases.
 
 use parafactor::core::{
-    extract_common_cubes, extract_kernels, independent_extract, iterative_extract,
-    lshaped_extract, replicated_extract, CubeExtractConfig, ExtractConfig,
-    IndependentConfig, IterativeConfig, LShapedConfig, ReplicatedConfig,
+    extract_common_cubes, extract_kernels, independent_extract, iterative_extract, lshaped_extract,
+    replicated_extract, CubeExtractConfig, ExtractConfig, IndependentConfig, IterativeConfig,
+    LShapedConfig, ReplicatedConfig,
 };
 use parafactor::network::blif::{read_blif, write_blif};
 use parafactor::network::io::{read_network, write_network};
@@ -195,10 +195,7 @@ fn deep_chain_network_no_stack_overflow() {
     }
     nw.mark_output(prev).unwrap();
     assert!(nw.validate().is_ok());
-    assert_eq!(
-        parafactor::network::stats::depth(&nw).unwrap(),
-        3000
-    );
+    assert_eq!(parafactor::network::stats::depth(&nw).unwrap(), 3000);
 }
 
 #[test]
@@ -212,7 +209,11 @@ fn extraction_on_wide_flat_pla() {
     let mut cubes = Vec::new();
     for i in 0..8 {
         for j in 0..3 {
-            cubes.push(vec![vars[i % 10], vars[(i + j + 1) % 10], vars[(i + 5) % 10]]);
+            cubes.push(vec![
+                vars[i % 10],
+                vars[(i + j + 1) % 10],
+                vars[(i + 5) % 10],
+            ]);
         }
     }
     let refs: Vec<&[u32]> = cubes.iter().map(|c| c.as_slice()).collect();

@@ -3,8 +3,8 @@
 //! where deterministic.
 
 use parafactor::core::{
-    extract_kernels, independent_extract, lshaped_extract, replicated_extract,
-    ExtractConfig, IndependentConfig, LShapedConfig, ReplicatedConfig,
+    extract_kernels, independent_extract, lshaped_extract, replicated_extract, ExtractConfig,
+    IndependentConfig, LShapedConfig, ReplicatedConfig,
 };
 use parafactor::network::example::example_1_1;
 use parafactor::network::sim::{equivalent_random, EquivConfig};
@@ -60,7 +60,10 @@ fn all_algorithms_preserve_function_and_rank_as_paper_predicts() {
         },
     );
     assert!(rl.lc_after >= rs.lc_after);
-    assert!(rl.lc_after <= ri.lc_after, "L-shape recovers cross-partition rectangles");
+    assert!(
+        rl.lc_after <= ri.lc_after,
+        "L-shape recovers cross-partition rectangles"
+    );
 
     for (name, nw) in [("seq", &s), ("R", &r), ("I", &i), ("L", &l)] {
         assert!(

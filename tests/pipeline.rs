@@ -3,8 +3,8 @@
 //! quality ordering and report consistency.
 
 use parafactor::core::{
-    extract_kernels, independent_extract, lshaped_extract, replicated_extract,
-    ExtractConfig, IndependentConfig, LShapedConfig, ReplicatedConfig,
+    extract_kernels, independent_extract, lshaped_extract, replicated_extract, ExtractConfig,
+    IndependentConfig, LShapedConfig, ReplicatedConfig,
 };
 use parafactor::network::sim::{equivalent_random, EquivConfig};
 use parafactor::network::Network;
@@ -64,7 +64,10 @@ fn replicated_matches_sequential_everywhere() {
             rr.lc_after,
             rs.lc_after
         );
-        assert!(equivalent_random(&nw, &r, &EquivConfig::default()).unwrap(), "{name}");
+        assert!(
+            equivalent_random(&nw, &r, &EquivConfig::default()).unwrap(),
+            "{name}"
+        );
     }
 }
 

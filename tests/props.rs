@@ -4,8 +4,8 @@
 //! count, valid DAG structure.
 
 use parafactor::core::{
-    extract_kernels, independent_extract, lshaped_extract, ExtractConfig,
-    IndependentConfig, LShapedConfig,
+    extract_kernels, independent_extract, lshaped_extract, ExtractConfig, IndependentConfig,
+    LShapedConfig,
 };
 use parafactor::network::sim::{equivalent_random, EquivConfig};
 use parafactor::network::Network;
@@ -47,7 +47,9 @@ fn arb_network(
                     }))
                 })
                 .collect();
-            let id = nw.add_node(format!("n{k}"), Sop::from_cubes(cubes)).unwrap();
+            let id = nw
+                .add_node(format!("n{k}"), Sop::from_cubes(cubes))
+                .unwrap();
             nodes.push(id);
         }
         // Sinks become outputs.

@@ -3,8 +3,8 @@
 //! `cargo test --release --test soak -- --ignored`.
 
 use parafactor::core::{
-    extract_kernels, independent_extract, lshaped_extract, ExtractConfig,
-    IndependentConfig, LShapedConfig,
+    extract_kernels, independent_extract, lshaped_extract, ExtractConfig, IndependentConfig,
+    LShapedConfig,
 };
 use parafactor::network::sim::{equivalent_random, EquivConfig};
 use parafactor::workloads::{generate, profile_by_name, scale_profile};
