@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pf_core::{
-    extract_kernels, independent_extract, lshaped_extract, ExtractConfig, IndependentConfig,
-    LShapedConfig,
+    extract_kernels, independent_extract, lshaped_extract, ExtractConfig, FaultPlan, FaultRule,
+    IndependentConfig, LShapedConfig, RunCtl,
 };
 use pf_kcmatrix::{best_rectangle, CubeRegistry, KcMatrix, LabelGen, SearchConfig};
 use pf_network::sim::simulate;
@@ -158,6 +158,31 @@ fn algebra_extensions(c: &mut Criterion) {
     });
 }
 
+fn fault_plane(c: &mut Criterion) {
+    // The robustness contract for fault injection: a checkpoint with no
+    // plan armed must cost one inlined `Option` test — indistinguishable
+    // from the pre-fault-plane drivers. The armed variants price the
+    // slow path for rules that miss vs. match the site prefix.
+    let mut g = c.benchmark_group("fault_plane");
+    let disabled = RunCtl::new();
+    g.bench_function("checkpoint_disabled", |b| {
+        b.iter(|| black_box(&disabled).fault_point(black_box("seq:cover")))
+    });
+    let miss = RunCtl::new().with_faults(std::sync::Arc::new(FaultPlan::new(1).with_rule(
+        FaultRule::latency_at("some:other:site", std::time::Duration::ZERO),
+    )));
+    g.bench_function("checkpoint_armed_miss", |b| {
+        b.iter(|| black_box(&miss).fault_point(black_box("seq:cover")))
+    });
+    let hit = RunCtl::new().with_faults(std::sync::Arc::new(FaultPlan::new(1).with_rule(
+        FaultRule::latency_at("seq:cover", std::time::Duration::ZERO),
+    )));
+    g.bench_function("checkpoint_armed_zero_latency", |b| {
+        b.iter(|| black_box(&hit).fault_point(black_box("seq:cover")))
+    });
+    g.finish();
+}
+
 fn end_to_end(c: &mut Criterion) {
     let nw = bench_circuit(0.08);
     let mut g = c.benchmark_group("extract");
@@ -203,6 +228,7 @@ criterion_group!(
     matrix,
     partition,
     simulation,
+    fault_plane,
     end_to_end
 );
 criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! ([`ExtractReport::timed_out`](crate::report::ExtractReport) /
 //! [`cancelled`](crate::report::ExtractReport)).
 
+use crate::fault::{FaultKind, FaultPlan};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,6 +31,9 @@ pub enum StopReason {
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Attached fault-injection plan; `None` on every production path,
+    /// which makes [`RunCtl::fault_point`] a single null check.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 /// Shared stop-control handle. Clones observe (and trigger) the same
@@ -53,6 +57,7 @@ impl RunCtl {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                fault: None,
             }),
         }
     }
@@ -68,7 +73,57 @@ impl RunCtl {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(at),
+                fault: None,
             }),
+        }
+    }
+
+    /// Rebuilds this control with a fault-injection plan attached.
+    /// Intended at construction time (before the handle is cloned into
+    /// workers): clones made *before* this call keep the plain control.
+    pub fn with_faults(self, plan: Arc<FaultPlan>) -> RunCtl {
+        RunCtl {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(self.is_cancelled()),
+                deadline: self.inner.deadline,
+                fault: Some(plan),
+            }),
+        }
+    }
+
+    /// Whether a fault plan is attached (used by callers that would
+    /// otherwise pay to build a scoped site name).
+    pub fn has_faults(&self) -> bool {
+        self.inner.fault.is_some()
+    }
+
+    /// The attached fault plan, if any (for post-run hit assertions).
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.inner.fault.as_ref()
+    }
+
+    /// A named fault-injection checkpoint. With no plan attached (the
+    /// production path) this is one branch on a `None`; with a plan, a
+    /// matching rule may panic, sleep, or cancel this control. Drivers
+    /// call it at the same barrier points where they check
+    /// [`should_stop`](RunCtl::should_stop).
+    #[inline]
+    pub fn fault_point(&self, site: &str) {
+        if self.inner.fault.is_some() {
+            self.fault_point_slow(site);
+        }
+    }
+
+    #[cold]
+    fn fault_point_slow(&self, site: &str) {
+        let Some(plan) = &self.inner.fault else {
+            return;
+        };
+        match plan.decide(site) {
+            None => {}
+            Some(FaultKind::Panic) => panic!("fault injected: panic at {site}"),
+            Some(FaultKind::Latency(extra)) => std::thread::sleep(extra),
+            Some(FaultKind::Cancel) => self.cancel(),
         }
     }
 
@@ -162,5 +217,68 @@ mod tests {
         let ctl = RunCtl::with_deadline(Duration::ZERO);
         ctl.cancel();
         assert_eq!(ctl.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn fault_point_without_a_plan_is_inert() {
+        let ctl = RunCtl::new();
+        assert!(!ctl.has_faults());
+        for _ in 0..1000 {
+            ctl.fault_point("seq:cover");
+        }
+        assert!(!ctl.should_stop());
+    }
+
+    #[test]
+    fn injected_cancel_trips_the_stop_check() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let plan = Arc::new(FaultPlan::new(5).with_rule(FaultRule::cancel_at("site")));
+        let ctl = RunCtl::new().with_faults(Arc::clone(&plan));
+        assert!(ctl.has_faults());
+        assert!(!ctl.should_stop());
+        ctl.fault_point("site");
+        assert_eq!(ctl.stop_reason(), Some(StopReason::Cancelled));
+        assert_eq!(plan.hits("site"), 1);
+    }
+
+    #[test]
+    fn injected_panic_carries_the_site_name() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let plan = Arc::new(FaultPlan::new(5).with_rule(FaultRule::panic_at("boom")));
+        let ctl = RunCtl::new().with_faults(plan);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctl.fault_point("boom:here")
+        }))
+        .expect_err("panic rule must fire");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("fault injected"), "{msg}");
+        assert!(msg.contains("boom:here"), "{msg}");
+    }
+
+    #[test]
+    fn with_faults_preserves_deadline_and_cancellation() {
+        use crate::fault::FaultPlan;
+        let plan = Arc::new(FaultPlan::new(0));
+        let ctl = RunCtl::with_deadline(Duration::ZERO).with_faults(Arc::clone(&plan));
+        assert!(ctl.deadline_expired());
+        let cancelled = RunCtl::new();
+        cancelled.cancel();
+        assert!(cancelled.with_faults(plan).is_cancelled());
+    }
+
+    #[test]
+    fn injected_latency_delays_the_checkpoint() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let plan = Arc::new(
+            FaultPlan::new(5)
+                .with_rule(FaultRule::latency_at("slow", Duration::from_millis(20)).max_hits(1)),
+        );
+        let ctl = RunCtl::new().with_faults(plan);
+        let t = std::time::Instant::now();
+        ctl.fault_point("slow");
+        assert!(t.elapsed() >= Duration::from_millis(15));
+        // Exhausted: the next checkpoint is instant-ish and never stops.
+        ctl.fault_point("slow");
+        assert!(!ctl.should_stop());
     }
 }

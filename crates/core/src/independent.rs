@@ -99,6 +99,11 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
 
     let extract_elapsed = start.elapsed().saturating_sub(partition_elapsed);
 
+    // Between the workers' scope join and the merge: a panic injected
+    // here unwinds on the driver thread only (the workers, which also
+    // pass the shared handle through `seq:cover`, are already joined).
+    cfg.extract.ctl.fault_point("independent:merge");
+
     let mut worker_results = Vec::new();
     let mut extractions = 0usize;
     let mut total_value = 0i64;
@@ -116,6 +121,10 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
         timed_out |= rep.timed_out;
         cancelled |= rep.cancelled;
     }
+    // A cancellation that lands between the workers' join and the merge
+    // (e.g. injected at `independent:merge`) never reaches a worker
+    // report, so fold the shared flag in directly.
+    cancelled |= cfg.extract.ctl.is_cancelled();
     merge_worker_results(nw, worker_results).expect("merge of disjoint parts");
     let elapsed = start.elapsed();
     let merge_elapsed = elapsed.saturating_sub(partition_elapsed + extract_elapsed);

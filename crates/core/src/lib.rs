@@ -37,11 +37,15 @@
 //! * [`cost`] — area / timing-driven / power-driven covering objectives
 //!   (§6's closing remark) via pluggable rectangle cost models;
 //! * [`iterative`] — ProperPART-style iterative repartitioning (the
-//!   paper's reference [3]) layered over Algorithm I.
+//!   paper's reference [3]) layered over Algorithm I;
+//! * [`fault`] — a seeded, deterministic fault-injection plane riding on
+//!   [`ctl`]'s barrier checkpoints (panic / latency / forced cancel at
+//!   named sites), compiled to a no-op when no plan is attached.
 
 pub mod cost;
 pub mod ctl;
 pub mod cx;
+pub mod fault;
 pub mod independent;
 pub mod iterative;
 pub mod lshaped;
@@ -56,6 +60,7 @@ pub mod seq;
 pub use cost::Objective;
 pub use ctl::{RunCtl, StopReason};
 pub use cx::{extract_common_cubes, independent_extract_cubes, CubeExtractConfig};
+pub use fault::{FaultKind, FaultPlan, FaultRule};
 pub use independent::{independent_extract, IndependentConfig};
 pub use iterative::{iterative_extract, IterativeConfig};
 pub use lshaped::{lshaped_extract, LShapedConfig};

@@ -774,6 +774,9 @@ type WorkerDone = (WorkerResult, usize, i64, usize, bool);
 fn run_sequential(mut workers: Vec<Worker<'_>>, transport: &Transport) -> (Vec<WorkerDone>, bool) {
     let mut stopped = false;
     loop {
+        if let Some(w) = workers.first() {
+            w.cfg.extract.ctl.fault_point("lshaped:step");
+        }
         if workers
             .first()
             .is_some_and(|w| w.cfg.extract.ctl.should_stop())
@@ -818,7 +821,10 @@ fn run_threaded(
                     // Stop check first: every worker shares the handle,
                     // so all of them break here together and the
                     // idle-count termination protocol is never left
-                    // waiting on a departed thread.
+                    // waiting on a departed thread. Fault site: latency
+                    // and cancel are safe here; a panic would leave the
+                    // idle-count protocol waiting on a departed thread.
+                    w.cfg.extract.ctl.fault_point("lshaped:step");
                     if w.cfg.extract.ctl.should_stop() {
                         any_stopped.store(true, Ordering::SeqCst);
                         break;

@@ -119,7 +119,10 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
                     if pid == 0 {
                         // Reduction at the root of the search tree — the
                         // per-iteration barrier, and so the natural spot
-                        // for every stop check.
+                        // for every stop check. Fault site too: inject
+                        // latency or cancel here (a panic would strand
+                        // the sibling replicas at the barrier).
+                        cfg.extract.ctl.fault_point("replicated:reduce");
                         let mut d = pick_best(&candidates.lock().unwrap());
                         if let Some(deadline) = cfg.deadline {
                             if start.elapsed() > deadline {

@@ -374,6 +374,9 @@ pub fn extract_kernels(
     let mut engine = Engine::new(nw, &targets, cfg.clone());
     let matrix_elapsed = start.elapsed();
     while engine.extractions() < cfg.max_extractions {
+        // The cover-loop head is the driver's barrier checkpoint, and
+        // therefore also its fault-injection site.
+        cfg.ctl.fault_point("seq:cover");
         if report.note_stop(&cfg.ctl) {
             break;
         }

@@ -1,0 +1,163 @@
+//! Typed errors for the service/server layer.
+//!
+//! Everything that used to be an `expect()` on the accept or spawn path
+//! is now a [`ServeError`]: loggable, non-fatal where possible, and
+//! renderable as a structured JSON protocol line via
+//! [`ServeError::to_wire`] so remote clients see a machine-readable
+//! reason instead of a dropped connection.
+
+use crate::json::Json;
+use std::io;
+
+/// A structured service-layer error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listen address failed.
+    Bind {
+        /// The address that could not be bound.
+        addr: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// Configuring the listener (e.g. non-blocking mode) failed; the
+    /// server keeps running in a degraded mode.
+    ListenerConfig {
+        /// What was being configured.
+        what: &'static str,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// Spawning a thread failed.
+    Spawn {
+        /// Which thread could not be spawned (`"worker"`,
+        /// `"supervisor"`, `"connection"`).
+        what: &'static str,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The accept gate turned a connection away: too many already open.
+    Overloaded {
+        /// Connections currently open.
+        active: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// A request line exceeded the configured byte cap.
+    Oversized {
+        /// The configured per-line cap.
+        max_bytes: usize,
+    },
+    /// A request line was not valid UTF-8.
+    InvalidUtf8,
+    /// The connection sat idle past the configured timeout.
+    IdleTimeout,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::ListenerConfig { what, source } => {
+                write!(f, "listener configuration ({what}) failed: {source}")
+            }
+            ServeError::Spawn { what, source } => {
+                write!(f, "cannot spawn {what} thread: {source}")
+            }
+            ServeError::Overloaded { active, max } => {
+                write!(f, "too many connections ({active} open, cap {max})")
+            }
+            ServeError::Oversized { max_bytes } => {
+                write!(f, "request line exceeds {max_bytes} bytes")
+            }
+            ServeError::InvalidUtf8 => write!(f, "request line is not valid UTF-8"),
+            ServeError::IdleTimeout => write!(f, "connection idle past the timeout"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. }
+            | ServeError::ListenerConfig { source, .. }
+            | ServeError::Spawn { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl ServeError {
+    /// Stable machine-readable reason for rejection-shaped errors;
+    /// `None` for errors that render as `"status":"error"`.
+    pub fn reason(&self) -> Option<&'static str> {
+        match self {
+            ServeError::Overloaded { .. } | ServeError::Spawn { .. } => Some("overloaded"),
+            ServeError::Oversized { .. } => Some("oversized"),
+            _ => None,
+        }
+    }
+
+    /// Renders the error as one JSON protocol line: resource-pressure
+    /// errors become `"status":"rejected"` with a machine-readable
+    /// `"reason"`, everything else `"status":"error"`.
+    pub fn to_wire(&self) -> Json {
+        match self.reason() {
+            Some(reason) => Json::obj([
+                ("status", Json::str("rejected")),
+                ("reason", Json::str(reason)),
+                ("error", Json::str(self.to_string())),
+            ]),
+            None => Json::obj([
+                ("status", Json::str("error")),
+                ("error", Json::str(self.to_string())),
+            ]),
+        }
+    }
+}
+
+impl From<ServeError> for io::Error {
+    fn from(e: ServeError) -> io::Error {
+        match e {
+            ServeError::Bind { source, .. }
+            | ServeError::ListenerConfig { source, .. }
+            | ServeError::Spawn { source, .. } => source,
+            other => io::Error::other(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn overload_renders_as_a_structured_rejection() {
+        let wire = ServeError::Overloaded { active: 9, max: 8 }
+            .to_wire()
+            .to_string();
+        let v = parse(&wire).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("overloaded"));
+        assert!(v.get("error").and_then(Json::as_str).unwrap().contains("9"));
+    }
+
+    #[test]
+    fn oversized_and_utf8_render_with_the_documented_shapes() {
+        let over = ServeError::Oversized { max_bytes: 64 }.to_wire();
+        assert_eq!(over.get("reason").and_then(Json::as_str), Some("oversized"));
+        let utf8 = ServeError::InvalidUtf8.to_wire();
+        assert_eq!(utf8.get("status").and_then(Json::as_str), Some("error"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_the_source_where_there_is_one() {
+        let e = ServeError::Spawn {
+            what: "worker",
+            source: io::Error::new(io::ErrorKind::WouldBlock, "no threads"),
+        };
+        assert!(std::error::Error::source(&e).is_some());
+        let io_err: io::Error = e.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::WouldBlock);
+    }
+}

@@ -37,6 +37,16 @@ impl Algorithm {
         }
     }
 
+    /// Index into [`ALGORITHMS`] (and the per-algorithm metrics array).
+    pub fn index(self) -> usize {
+        match self {
+            Algorithm::Seq => 0,
+            Algorithm::Replicated => 1,
+            Algorithm::Independent => 2,
+            Algorithm::Lshaped => 3,
+        }
+    }
+
     /// Parses a wire name.
     pub fn from_wire(name: &str) -> Option<Self> {
         match name {
@@ -75,6 +85,14 @@ impl JobSpec {
             deadline: None,
         }
     }
+
+    /// The job's poison-tracking identity: what it *computes*
+    /// (algorithm + workload), not how (procs/deadline). Two specs with
+    /// the same fingerprint crash workers the same way, which is what
+    /// quarantine keys on.
+    pub fn fingerprint(&self) -> String {
+        format!("{}/{}", self.algorithm.as_str(), self.workload)
+    }
 }
 
 /// Why a submission was turned away at the door.
@@ -90,6 +108,12 @@ pub enum Rejection {
     /// The spec itself is invalid (bad algorithm, bad workload grammar,
     /// bad procs).
     Invalid(String),
+    /// This job's fingerprint has killed worker threads (or panicked)
+    /// repeatedly; the service refuses to run it again.
+    Quarantined {
+        /// How many worker-fatal runs the fingerprint has on record.
+        strikes: u32,
+    },
 }
 
 impl Rejection {
@@ -99,7 +123,14 @@ impl Rejection {
             Rejection::QueueFull { .. } => "queue_full",
             Rejection::ShuttingDown => "shutting_down",
             Rejection::Invalid(_) => "invalid",
+            Rejection::Quarantined { .. } => "quarantined",
         }
+    }
+
+    /// Whether a client should retry this rejection (with backoff).
+    /// Only backpressure is retryable; the other reasons are terminal.
+    pub fn retryable(&self) -> bool {
+        matches!(self, Rejection::QueueFull { .. })
     }
 }
 
@@ -111,6 +142,9 @@ impl std::fmt::Display for Rejection {
             }
             Rejection::ShuttingDown => write!(f, "service is shutting down"),
             Rejection::Invalid(msg) => write!(f, "invalid job: {msg}"),
+            Rejection::Quarantined { strikes } => {
+                write!(f, "job quarantined after {strikes} worker-fatal runs")
+            }
         }
     }
 }
@@ -236,6 +270,44 @@ mod tests {
             assert_eq!(Algorithm::from_wire(alg.as_str()), Some(alg));
         }
         assert_eq!(Algorithm::from_wire("nonsense"), None);
+    }
+
+    #[test]
+    fn algorithm_index_matches_wire_order() {
+        for (i, alg) in ALGORITHMS.iter().enumerate() {
+            assert_eq!(alg.index(), i);
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_procs_and_deadline() {
+        let mut a = JobSpec::new(Algorithm::Lshaped, "gen:dalu@0.2");
+        let mut b = a.clone();
+        a.procs = 2;
+        b.procs = 8;
+        b.deadline = Some(Duration::from_secs(1));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), "lshaped/gen:dalu@0.2");
+        assert_ne!(
+            a.fingerprint(),
+            JobSpec::new(Algorithm::Seq, "gen:dalu@0.2").fingerprint()
+        );
+    }
+
+    #[test]
+    fn only_backpressure_is_retryable() {
+        assert!(Rejection::QueueFull { capacity: 4 }.retryable());
+        for terminal in [
+            Rejection::ShuttingDown,
+            Rejection::Invalid("x".into()),
+            Rejection::Quarantined { strikes: 2 },
+        ] {
+            assert!(!terminal.retryable(), "{terminal:?}");
+        }
+        assert_eq!(
+            Rejection::Quarantined { strikes: 2 }.reason(),
+            "quarantined"
+        );
     }
 
     #[test]

@@ -27,17 +27,22 @@
 //! * **JSON-lines over TCP** — [`Server::bind`] + [`Server::run`]
 //!   (`std::net` only; protocol documented in `docs/SERVICE.md`).
 
+pub mod error;
 pub mod job;
 pub mod json;
 pub mod metrics;
 pub mod queue;
+pub mod retry;
 pub mod server;
 pub mod service;
+mod supervisor;
 pub mod worker;
 
+pub use error::ServeError;
 pub use job::{Algorithm, JobOutcome, JobReport, JobSpec, Rejection, ALGORITHMS};
 pub use json::Json;
 pub use metrics::{Counter, Histogram, Metrics};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{request_lines, Server};
+pub use retry::RetryPolicy;
+pub use server::{request_lines, Server, ServerConfig};
 pub use service::{default_max_procs, validate_procs, Client, Service, ServiceConfig, Ticket};

@@ -9,8 +9,15 @@
 //! ```
 //!
 //! `rejected` splits into `rejected_full` (backpressure),
-//! `rejected_shutdown` and `rejected_invalid`. `drained` counts accepted
-//! jobs that shutdown cancelled before (or while) they ran.
+//! `rejected_shutdown`, `rejected_invalid` and `quarantined` (poison
+//! jobs). `drained` counts accepted jobs that shutdown (or an injected
+//! cancellation) cancelled before — or while — they ran.
+//!
+//! The self-healing counters sit outside the identity: `panics` counts
+//! panic events (caught or worker-fatal), `respawns` counts workers the
+//! supervisor brought back, `retries` counts in-process backpressure
+//! retries, and `conn_rejected` counts connections the TCP accept gate
+//! turned away; `workers_alive` is the live pool gauge.
 
 use crate::json::Json;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -153,6 +160,9 @@ pub struct Metrics {
     pub rejected_shutdown: Counter,
     /// Rejections for malformed specs.
     pub rejected_invalid: Counter,
+    /// Rejections because the job's fingerprint is quarantined (it
+    /// killed workers / panicked repeatedly).
+    pub quarantined: Counter,
     /// Jobs that ran to completion.
     pub completed: Counter,
     /// Jobs that hit their deadline.
@@ -163,8 +173,20 @@ pub struct Metrics {
     pub drained: Counter,
     /// Time from acceptance to a worker picking the job up.
     pub queue_wait: Histogram,
+    /// Panic events: jobs whose extraction panicked (caught) plus
+    /// worker threads that died outright.
+    pub panics: Counter,
+    /// Worker threads (re)spawned by the supervisor after a death.
+    pub respawns: Counter,
+    /// Backpressure retries performed by the in-process client.
+    pub retries: Counter,
+    /// Connections the TCP accept gate rejected (overload).
+    pub conn_rejected: Counter,
     /// Jobs currently executing (gauge).
     pub in_flight: AtomicI64,
+    /// Worker threads currently alive (gauge; the supervisor holds this
+    /// at the configured pool size).
+    pub workers_alive: AtomicI64,
     /// Per-algorithm completed-run metrics, indexed by
     /// [`ALGORITHMS`](crate::job::ALGORITHMS) order.
     pub per_algorithm: [AlgorithmMetrics; 4],
@@ -173,7 +195,10 @@ pub struct Metrics {
 impl Metrics {
     /// Total rejections, all reasons.
     pub fn rejected(&self) -> u64 {
-        self.rejected_full.get() + self.rejected_shutdown.get() + self.rejected_invalid.get()
+        self.rejected_full.get()
+            + self.rejected_shutdown.get()
+            + self.rejected_invalid.get()
+            + self.quarantined.get()
     }
 
     /// The accounting identity; holds exactly when no job is queued or
@@ -196,14 +221,23 @@ impl Metrics {
             ("rejected_full", Json::u64(self.rejected_full.get())),
             ("rejected_shutdown", Json::u64(self.rejected_shutdown.get())),
             ("rejected_invalid", Json::u64(self.rejected_invalid.get())),
+            ("quarantined", Json::u64(self.quarantined.get())),
             ("completed", Json::u64(self.completed.get())),
             ("timed_out", Json::u64(self.timed_out.get())),
             ("failed", Json::u64(self.failed.get())),
             ("drained", Json::u64(self.drained.get())),
+            ("panics", Json::u64(self.panics.get())),
+            ("respawns", Json::u64(self.respawns.get())),
+            ("retries", Json::u64(self.retries.get())),
+            ("conn_rejected", Json::u64(self.conn_rejected.get())),
             ("queue_depth", Json::u64(queue_depth as u64)),
             (
                 "in_flight",
                 Json::num(self.in_flight.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "workers_alive",
+                Json::num(self.workers_alive.load(Ordering::Relaxed) as f64),
             ),
             ("queue_wait", self.queue_wait.to_json()),
             (

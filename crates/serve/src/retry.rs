@@ -1,0 +1,107 @@
+//! Retry with exponential backoff and deterministic jitter for
+//! backpressure rejections.
+//!
+//! The only retryable rejection is `queue_full`: it means the service is
+//! healthy but momentarily saturated, so the polite response is to back
+//! off and try again. `invalid`, `quarantined`, and `shutting_down` are
+//! terminal — retrying them is wasted load (see the retry-semantics
+//! table in `docs/SERVICE.md`).
+//!
+//! Jitter is *equal jitter* (half fixed, half random) drawn from a
+//! seeded splitmix64 stream, so a fleet of clients with distinct seeds
+//! decorrelates while every individual schedule stays reproducible.
+
+use std::time::Duration;
+
+/// Backoff schedule for retrying `queue_full` rejections.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff step; doubles each retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff step (pre-jitter).
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before retry number `attempt` (0-based): exponential
+    /// (`base · 2^attempt`), capped, with equal jitter — the result is
+    /// uniformly in `[step/2, step]`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let step = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let half = step / 2;
+        let r = splitmix64(self.seed ^ (u64::from(attempt) << 32) ^ 0x9e37);
+        let frac = (r >> 11) as f64 / (1u64 << 53) as f64;
+        half + Duration::from_secs_f64(half.as_secs_f64() * frac)
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_bounds() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(8),
+            cap: Duration::from_secs(1),
+            seed: 42,
+        };
+        for attempt in 0..6u32 {
+            let step = Duration::from_millis(8 * (1 << attempt)).min(p.cap);
+            let b = p.backoff(attempt);
+            assert!(b >= step / 2, "attempt {attempt}: {b:?} < {:?}", step / 2);
+            assert!(b <= step, "attempt {attempt}: {b:?} > {step:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic() {
+        let p = RetryPolicy {
+            cap: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        // Far past the cap — and immune to shift overflow.
+        assert!(p.backoff(40) <= Duration::from_millis(50));
+        assert_eq!(p.backoff(3), p.backoff(3));
+        // Different seeds decorrelate the jitter.
+        let q = RetryPolicy {
+            seed: 7,
+            ..p.clone()
+        };
+        assert_ne!(p.backoff(3), q.backoff(3));
+    }
+}

@@ -1,4 +1,5 @@
-//! JSON-lines-over-TCP front end (`std::net` only).
+//! JSON-lines-over-TCP front end (`std::net` only), hardened against
+//! misbehaving peers.
 //!
 //! One request per line, one response line per request, in order:
 //!
@@ -20,30 +21,118 @@
 //! rejected jobs answer immediately with `"status":"rejected"` and a
 //! machine-readable `"reason"`. The full grammar lives in
 //! `docs/SERVICE.md`.
+//!
+//! Hardening (all knobs in [`ServerConfig`]):
+//!
+//! * request lines are read through a byte cap — an oversized line is
+//!   answered `"status":"rejected","reason":"oversized"` and discarded
+//!   up to its newline, the connection survives;
+//! * bytes that are not valid UTF-8 answer a structured error instead
+//!   of killing the connection;
+//! * connections that sit idle past the timeout are answered and closed;
+//! * an accept gate caps concurrent connections — excess peers get one
+//!   `"status":"rejected","reason":"overloaded"` line and a close;
+//! * nothing on the accept path `expect`s: listener-configuration and
+//!   thread-spawn failures log and degrade instead of panicking.
 
+use crate::error::ServeError;
 use crate::job::{Algorithm, JobOutcome, JobSpec, Rejection};
 use crate::json::{parse, Json};
 use crate::service::{Client, Service, ServiceConfig};
+use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
+
+/// Front-end (TCP) limits; the service behind it has its own
+/// [`ServiceConfig`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Longest request line accepted, in bytes. Longer lines are
+    /// rejected as `oversized` without buffering them.
+    pub max_line_bytes: usize,
+    /// Close connections that send nothing for this long. `None`
+    /// disables the idle timer.
+    pub idle_timeout: Option<Duration>,
+    /// Concurrent-connection cap enforced at accept time.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_line_bytes: 1 << 20,
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_connections: 256,
+        }
+    }
+}
+
+/// Stop flag for the accept loop. When the listener could not be put in
+/// non-blocking mode, `nudge` holds the listen address and `stop()`
+/// makes one throwaway connection so a blocking `accept` wakes up.
+#[derive(Debug, Default)]
+struct StopSignal {
+    flag: AtomicBool,
+    nudge: Mutex<Option<SocketAddr>>,
+}
+
+impl StopSignal {
+    fn stop(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(addr) = *self.nudge.lock() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// One slot under the accept gate; dropping it (thread exit, spawn
+/// failure, anything) releases the slot.
+struct ConnPermit<'a>(&'a AtomicUsize);
+
+impl<'a> ConnPermit<'a> {
+    fn acquire(active: &'a AtomicUsize) -> Self {
+        active.fetch_add(1, Ordering::SeqCst);
+        ConnPermit(active)
+    }
+}
+
+impl Drop for ConnPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     service: Service,
+    cfg: ServerConfig,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// worker pool.
+    /// worker pool, with default front-end limits.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> std::io::Result<Server> {
+        Server::bind_with(addr, cfg, ServerConfig::default())
+    }
+
+    /// [`bind`](Server::bind) with explicit front-end limits.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        cfg: ServiceConfig,
+        server_cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
             service: Service::start(cfg),
+            cfg: server_cfg,
         })
     }
 
@@ -61,31 +150,88 @@ impl Server {
     /// arrives, then drains (or aborts, for `"mode":"now"`) and returns.
     /// The final metrics snapshot goes to the shutdown requester.
     pub fn run(self) {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = StopSignal::default();
         let client = self.service.client();
-        self.listener
-            .set_nonblocking(true)
-            .expect("nonblocking listener");
+        if let Err(e) = self.listener.set_nonblocking(true) {
+            // Degraded but alive: blocking accepts, woken by a nudge
+            // connection when shutdown arrives.
+            eprintln!(
+                "pf-serve: {} — falling back to blocking accepts",
+                ServeError::ListenerConfig {
+                    what: "non-blocking mode",
+                    source: e,
+                }
+            );
+            if let Ok(addr) = self.listener.local_addr() {
+                *stop.nudge.lock() = Some(addr);
+            }
+        }
+        let active = AtomicUsize::new(0);
         let service = &self.service;
+        let cfg = &self.cfg;
+        let mut accept_errors = 0u32;
         std::thread::scope(|s| {
-            while !stop.load(Ordering::SeqCst) {
+            while !stop.is_stopped() {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        let client = client.clone();
-                        let stop = Arc::clone(&stop);
-                        // The scope joins connection threads on exit; no
-                        // need to keep the handles.
-                        std::thread::Builder::new()
+                        accept_errors = 0;
+                        if stop.is_stopped() {
+                            break; // likely the shutdown nudge
+                        }
+                        let open = active.load(Ordering::SeqCst);
+                        if open >= cfg.max_connections {
+                            client.metrics().conn_rejected.inc();
+                            reject_stream(
+                                stream,
+                                &ServeError::Overloaded {
+                                    active: open,
+                                    max: cfg.max_connections,
+                                },
+                            );
+                            continue;
+                        }
+                        let permit = ConnPermit::acquire(&active);
+                        // Duplicate handle so a failed spawn can still
+                        // answer the peer (the original moves into the
+                        // connection closure).
+                        let reject_handle = stream.try_clone().ok();
+                        let spawned = std::thread::Builder::new()
                             .name("pf-serve-conn".to_string())
-                            .spawn_scoped(s, move || {
-                                handle_connection(stream, &client, service, &stop)
-                            })
-                            .expect("spawn connection thread");
+                            .spawn_scoped(s, {
+                                let client = client.clone();
+                                let stop = &stop;
+                                move || {
+                                    let _permit = permit;
+                                    handle_connection(stream, &client, service, stop, cfg);
+                                }
+                            });
+                        if let Err(e) = spawned {
+                            // The closure (stream + permit) was dropped:
+                            // slot released, peer told why.
+                            let err = ServeError::Spawn {
+                                what: "connection",
+                                source: e,
+                            };
+                            eprintln!("pf-serve: {err}");
+                            client.metrics().conn_rejected.inc();
+                            if let Some(h) = reject_handle {
+                                reject_stream(h, &err);
+                            }
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
-                    Err(_) => break,
+                    Err(e) => {
+                        // Transient accept failures (e.g. ECONNABORTED)
+                        // must not kill the server; persistent ones do.
+                        accept_errors += 1;
+                        if accept_errors >= 100 {
+                            eprintln!("pf-serve: accept failing persistently, stopping: {e}");
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
                 }
             }
             // Scope join waits for connection threads; they exit once
@@ -95,35 +241,182 @@ impl Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, client: &Client, service: &Service, stop: &AtomicBool) {
-    let peer = stream.peer_addr().ok();
+/// Writes one rejection line to a doomed stream and drops it.
+fn reject_stream(mut stream: TcpStream, err: &ServeError) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut text = err.to_wire().to_string();
+    text.push('\n');
+    let _ = stream.write_all(text.as_bytes());
+    let _ = stream.flush();
+}
+
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete UTF-8 line (without its newline / trailing `\r`).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The read timeout expired with no (complete) line.
+    Idle,
+    /// The line exceeded the byte cap; input was discarded up to and
+    /// including the next newline (or EOF).
+    TooLong,
+    /// The line's bytes are not valid UTF-8.
+    NotUtf8,
+    /// Any other I/O error.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `max` bytes of it.
+fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return LineRead::Idle
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Failed,
+        };
+        if chunk.is_empty() {
+            return if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                finish_line(buf)
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    reader.consume(pos + 1);
+                    return LineRead::TooLong;
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return finish_line(buf);
+            }
+            None => {
+                let len = chunk.len();
+                if buf.len() + len > max {
+                    reader.consume(len);
+                    return drain_to_newline(reader);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn finish_line(mut buf: Vec<u8>) -> LineRead {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => LineRead::Line(s),
+        Err(_) => LineRead::NotUtf8,
+    }
+}
+
+/// Discards input up to and including the next newline; the line was
+/// already over budget.
+fn drain_to_newline(reader: &mut impl BufRead) -> LineRead {
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return LineRead::Idle
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Failed,
+        };
+        if chunk.is_empty() {
+            return LineRead::TooLong; // EOF ends the oversized line too
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return LineRead::TooLong;
+            }
+            None => {
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, json: &Json) -> std::io::Result<()> {
+    let mut text = json.to_string();
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    client: &Client,
+    service: &Service,
+    stop: &StopSignal,
+    cfg: &ServerConfig,
+) {
+    if let Some(t) = cfg.idle_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line_bounded(&mut reader, cfg.max_line_bytes) {
+            LineRead::Line(l) => l,
+            LineRead::Eof | LineRead::Failed => break,
+            LineRead::Idle => {
+                let _ = write_line(&mut writer, &ServeError::IdleTimeout.to_wire());
+                break;
+            }
+            LineRead::TooLong => {
+                let wire = ServeError::Oversized {
+                    max_bytes: cfg.max_line_bytes,
+                }
+                .to_wire();
+                if write_line(&mut writer, &wire).is_err() {
+                    break;
+                }
+                continue;
+            }
+            LineRead::NotUtf8 => {
+                if write_line(&mut writer, &ServeError::InvalidUtf8.to_wire()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         let (response, is_shutdown) = handle_line(&line, client, service, stop);
-        let mut text = response.to_string();
-        text.push('\n');
-        if writer.write_all(text.as_bytes()).is_err() {
+        if write_line(&mut writer, &response).is_err() {
             break;
         }
-        let _ = writer.flush();
         if is_shutdown {
             break;
         }
     }
-    let _ = peer;
 }
 
 /// Dispatches one request line; the bool says "this was a shutdown, stop
 /// the server".
-fn handle_line(line: &str, client: &Client, service: &Service, stop: &AtomicBool) -> (Json, bool) {
+fn handle_line(line: &str, client: &Client, service: &Service, stop: &StopSignal) -> (Json, bool) {
     let request = match parse(line) {
         Ok(v) => v,
         Err(e) => {
@@ -155,7 +448,7 @@ fn handle_line(line: &str, client: &Client, service: &Service, stop: &AtomicBool
             } else {
                 service.shutdown();
             }
-            stop.store(true, Ordering::SeqCst);
+            stop.stop();
             (
                 Json::obj([
                     ("status", Json::str("ok")),
@@ -246,6 +539,9 @@ fn rejection_json(rejection: &Rejection) -> Json {
     if let Rejection::QueueFull { capacity } = rejection {
         members.push(("capacity".to_string(), Json::u64(*capacity as u64)));
     }
+    if let Rejection::Quarantined { strikes } = rejection {
+        members.push(("strikes".to_string(), Json::u64(u64::from(*strikes))));
+    }
     Json::Obj(members)
 }
 
@@ -301,10 +597,21 @@ mod tests {
     use super::*;
 
     fn start_server(cfg: ServiceConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
-        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        start_server_with(cfg, ServerConfig::default())
+    }
+
+    fn start_server_with(
+        cfg: ServiceConfig,
+        server_cfg: ServerConfig,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind_with("127.0.0.1:0", cfg, server_cfg).expect("bind");
         let addr = server.local_addr().expect("addr");
         let handle = std::thread::spawn(move || server.run());
         (addr, handle)
+    }
+
+    fn shutdown_server(addr: std::net::SocketAddr) {
+        let _ = request_lines(addr, &[r#"{"op":"shutdown"}"#.to_string()]);
     }
 
     #[test]
@@ -389,5 +696,201 @@ mod tests {
             Some("ok")
         );
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_the_connection_survives() {
+        let (addr, handle) = start_server_with(
+            ServiceConfig::default(),
+            ServerConfig {
+                max_line_bytes: 64,
+                ..ServerConfig::default()
+            },
+        );
+        let huge = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(512));
+        let responses =
+            request_lines(addr, &[huge, r#"{"op":"ping"}"#.to_string()]).expect("round-trip");
+        assert_eq!(responses.len(), 2);
+        let over = parse(&responses[0]).unwrap();
+        assert_eq!(over.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(over.get("reason").and_then(Json::as_str), Some("oversized"));
+        // Same connection, next line still works.
+        assert_eq!(
+            parse(&responses[1])
+                .unwrap()
+                .get("status")
+                .and_then(Json::as_str),
+            Some("ok")
+        );
+        shutdown_server(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_answers_a_structured_error() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"{\"op\":\"ping\xFF\xFE\"}\n")
+            .expect("write");
+        stream.flush().expect("flush");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let v = parse(line.trim_end()).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("UTF-8"));
+        // Connection still serves valid requests.
+        stream.write_all(b"{\"op\":\"ping\"}\n").expect("write");
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(
+            parse(line.trim_end())
+                .unwrap()
+                .get("status")
+                .and_then(Json::as_str),
+            Some("ok")
+        );
+        // Close *both* halves (reader holds a clone) so the server's
+        // connection thread exits before the join below.
+        drop(stream);
+        drop(reader);
+        shutdown_server(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn accept_gate_rejects_excess_connections() {
+        let (addr, handle) = start_server_with(
+            ServiceConfig::default(),
+            ServerConfig {
+                max_connections: 1,
+                ..ServerConfig::default()
+            },
+        );
+        // First connection occupies the only slot (prove it's live).
+        let held = TcpStream::connect(addr).expect("connect");
+        let mut held_writer = held.try_clone().expect("clone");
+        held_writer
+            .write_all(b"{\"op\":\"ping\"}\n")
+            .expect("write");
+        let mut held_reader = BufReader::new(held);
+        let mut line = String::new();
+        held_reader.read_line(&mut line).expect("read");
+        assert!(line.contains("\"ok\""));
+        // Second connection is turned away with one structured line.
+        let second = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(second);
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        let v = parse(line.trim_end()).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("overloaded"));
+        // And the server closes it.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).expect("eof"), 0);
+        // Free the slot, then shut down (retry while the permit drains).
+        drop(held_writer);
+        drop(held_reader);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let responses =
+                request_lines(addr, &[r#"{"op":"shutdown"}"#.to_string()]).expect("connect");
+            if responses
+                .first()
+                .map(|r| r.contains("\"ok\""))
+                .unwrap_or(false)
+            {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "slot never freed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connection_is_answered_and_closed() {
+        let (addr, handle) = start_server_with(
+            ServiceConfig::default(),
+            ServerConfig {
+                idle_timeout: Some(Duration::from_millis(50)),
+                ..ServerConfig::default()
+            },
+        );
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream);
+        // Send nothing; the server times the connection out.
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let v = parse(line.trim_end()).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("idle"));
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).expect("eof"), 0);
+        shutdown_server(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn abrupt_disconnect_mid_submit_does_not_unbalance_the_books() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(
+                    b"{\"op\":\"submit\",\"algorithm\":\"seq\",\"workload\":\"gen:misex3@0.1\"}\n",
+                )
+                .expect("write");
+            stream.flush().expect("flush");
+            // Hang up without reading the response.
+        }
+        // The job still runs to completion and is answered into the void;
+        // the final snapshot must balance.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let responses =
+                request_lines(addr, &[r#"{"op":"metrics"}"#.to_string()]).expect("round-trip");
+            let v = parse(&responses[0]).unwrap();
+            let m = v.get("metrics").unwrap();
+            let completed = m.get("completed").and_then(Json::as_u64).unwrap();
+            if completed == 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "job never completed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        shutdown_server(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn read_line_bounded_handles_split_and_crlf_lines() {
+        let mut r = BufReader::with_capacity(4, &b"hello world\r\nnext\n"[..]);
+        match read_line_bounded(&mut r, 64) {
+            LineRead::Line(l) => assert_eq!(l, "hello world"),
+            _ => panic!("expected a line"),
+        }
+        match read_line_bounded(&mut r, 64) {
+            LineRead::Line(l) => assert_eq!(l, "next"),
+            _ => panic!("expected a line"),
+        }
+        assert!(matches!(read_line_bounded(&mut r, 64), LineRead::Eof));
+        // A line that is exactly the cap passes; one byte more fails.
+        let mut r = BufReader::with_capacity(4, &b"abcd\nabcde\nok\n"[..]);
+        assert!(matches!(read_line_bounded(&mut r, 4), LineRead::Line(_)));
+        assert!(matches!(read_line_bounded(&mut r, 4), LineRead::TooLong));
+        match read_line_bounded(&mut r, 4) {
+            LineRead::Line(l) => assert_eq!(l, "ok"),
+            _ => panic!("recovery line expected"),
+        }
     }
 }

@@ -1,5 +1,5 @@
-//! The resident service: bounded queue + worker pool + metrics +
-//! graceful shutdown, behind an in-process [`Client`].
+//! The resident service: bounded queue + supervised worker pool +
+//! metrics + graceful shutdown, behind an in-process [`Client`].
 //!
 //! Job lifecycle:
 //!
@@ -8,19 +8,24 @@
 //!    │            │           │          │      ├─► timed_out
 //!    │            │           │          │      └─► failed (panic)
 //!    │            │           └──────────┴─────────► drained (shutdown)
-//!    └─► rejected (invalid)   └─► rejected (queue_full / shutting_down)
+//!    └─► rejected (invalid / quarantined)
+//!                             └─► rejected (queue_full / shutting_down)
 //! ```
 //!
-//! Every accepted job is answered exactly once; the metrics registry's
-//! balance identity (see [`Metrics::balanced`]) is restored whenever the
-//! service quiesces.
+//! Every accepted job is answered exactly once — even if its worker
+//! thread dies (see [`supervisor`](crate::supervisor)); the metrics
+//! registry's balance identity (see [`Metrics::balanced`]) is restored
+//! whenever the service quiesces. A [`FaultPlan`] attached through
+//! [`ServiceConfig::fault_plan`] rides into every job's `RunCtl`, which
+//! is how the chaos tests stress all of the above.
 
-use crate::job::{ctl_for, validate_workload, JobOutcome, JobSpec, Rejection, ALGORITHMS};
+use crate::job::{ctl_for, validate_workload, JobOutcome, JobSpec, Rejection};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
-use crate::worker;
+use crate::retry::RetryPolicy;
+use crate::supervisor::{self, SupervisorSignal};
 use parking_lot::Mutex;
-use pf_core::RunCtl;
+use pf_core::{FaultPlan, RunCtl};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -36,6 +41,12 @@ pub struct ServiceConfig {
     /// Hard cap on per-job `procs`; jobs asking for more are clamped.
     /// Defaults to `std::thread::available_parallelism()`.
     pub max_procs: usize,
+    /// Fault plan attached to every job's `RunCtl` (chaos testing).
+    /// `None` — the default — keeps the fault plane a no-op.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Panic strikes (caught or worker-fatal) a job fingerprint may
+    /// accumulate before further submissions are quarantined.
+    pub poison_threshold: u32,
 }
 
 impl Default for ServiceConfig {
@@ -44,6 +55,8 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_capacity: 64,
             max_procs: default_max_procs(),
+            fault_plan: None,
+            poison_threshold: 2,
         }
     }
 }
@@ -65,22 +78,45 @@ pub fn validate_procs(procs: usize, max: usize) -> Result<usize, String> {
     Ok(procs.min(max.max(1)))
 }
 
-struct QueuedJob {
-    id: u64,
-    spec: JobSpec,
-    ctl: RunCtl,
-    accepted_at: Instant,
-    responder: mpsc::Sender<JobOutcome>,
+pub(crate) struct QueuedJob {
+    pub(crate) id: u64,
+    pub(crate) spec: JobSpec,
+    pub(crate) ctl: RunCtl,
+    pub(crate) accepted_at: Instant,
+    pub(crate) responder: mpsc::Sender<JobOutcome>,
 }
 
-struct Inner {
-    queue: BoundedQueue<QueuedJob>,
-    metrics: Metrics,
+pub(crate) struct Inner {
+    pub(crate) queue: BoundedQueue<QueuedJob>,
+    pub(crate) metrics: Metrics,
     /// RunCtl of every currently executing job, so `shutdown_now` can
     /// cancel in-flight work cooperatively.
-    in_flight: Mutex<HashMap<u64, RunCtl>>,
-    next_id: AtomicU64,
-    max_procs: usize,
+    pub(crate) in_flight: Mutex<HashMap<u64, RunCtl>>,
+    pub(crate) next_id: AtomicU64,
+    pub(crate) max_procs: usize,
+    /// Configured pool size the supervisor heals back to.
+    pub(crate) desired_workers: usize,
+    pub(crate) fault_plan: Option<Arc<FaultPlan>>,
+    pub(crate) poison_threshold: u32,
+    /// Panic strikes per job fingerprint (poison-pill detection).
+    pub(crate) poison: Mutex<HashMap<String, u32>>,
+    pub(crate) sup: SupervisorSignal,
+}
+
+impl Inner {
+    /// Records one panic strike against a fingerprint.
+    pub(crate) fn strike(&self, fingerprint: &str) {
+        *self
+            .poison
+            .lock()
+            .entry(fingerprint.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Strikes currently on record for a fingerprint.
+    pub(crate) fn strikes(&self, fingerprint: &str) -> u32 {
+        self.poison.lock().get(fingerprint).copied().unwrap_or(0)
+    }
 }
 
 /// A handle to one submitted job; redeem it with [`Ticket::wait`].
@@ -129,8 +165,16 @@ impl Client {
                 return Err(Rejection::Invalid(msg));
             }
         }
+        let strikes = self.inner.strikes(&spec.fingerprint());
+        if strikes >= self.inner.poison_threshold {
+            m.quarantined.inc();
+            return Err(Rejection::Quarantined { strikes });
+        }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        let ctl = ctl_for(&spec);
+        let mut ctl = ctl_for(&spec);
+        if let Some(plan) = &self.inner.fault_plan {
+            ctl = ctl.with_faults(Arc::clone(plan));
+        }
         let (tx, rx) = mpsc::channel();
         let job = QueuedJob {
             id,
@@ -155,6 +199,29 @@ impl Client {
         }
     }
 
+    /// [`submit`](Client::submit), retrying *retryable* rejections
+    /// (backpressure only — see [`Rejection::retryable`]) with the
+    /// policy's exponential backoff + jitter. Terminal rejections and
+    /// acceptance return immediately; each sleep-and-retry bumps the
+    /// `retries` counter.
+    pub fn submit_with_retry(
+        &self,
+        spec: JobSpec,
+        policy: &RetryPolicy,
+    ) -> Result<Ticket, Rejection> {
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(spec.clone()) {
+                Err(r) if r.retryable() && attempt < policy.max_retries => {
+                    self.inner.metrics.retries.inc();
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
         self.inner.queue.depth()
@@ -171,16 +238,23 @@ impl Client {
     }
 }
 
-/// The running service: owns the worker pool. Create with
+/// The running service: owns the supervised worker pool. Create with
 /// [`Service::start`], submit through [`Service::client`], stop with
 /// [`Service::shutdown`] (drain) or [`Service::shutdown_now`] (abort).
 pub struct Service {
     inner: Arc<Inner>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Shared with the supervisor thread, which reaps and respawns; kept
+    /// here too so shutdown can join even if the supervisor never
+    /// started.
+    pool: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Service {
-    /// Spawns the worker pool and returns the service handle.
+    /// Spawns the worker pool (and its supervisor) and returns the
+    /// service handle. Spawn failures degrade — they are logged, and
+    /// the supervisor keeps trying to bring the pool to strength —
+    /// rather than panicking.
     pub fn start(cfg: ServiceConfig) -> Service {
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(cfg.queue_capacity),
@@ -188,19 +262,40 @@ impl Service {
             in_flight: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             max_procs: cfg.max_procs.max(1),
+            desired_workers: cfg.workers.max(1),
+            fault_plan: cfg.fault_plan.clone(),
+            poison_threshold: cfg.poison_threshold.max(1),
+            poison: Mutex::new(HashMap::new()),
+            sup: SupervisorSignal::default(),
         });
-        let workers = (0..cfg.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("pf-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let pool = Arc::new(Mutex::new(Vec::with_capacity(inner.desired_workers)));
+        for i in 0..inner.desired_workers {
+            match supervisor::spawn_worker(&inner, i) {
+                Ok(h) => pool.lock().push(h),
+                Err(e) => eprintln!("pf-serve: {e}"),
+            }
+        }
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("pf-serve-supervisor".to_string())
+                .spawn(move || supervisor::supervisor_loop(&inner, &pool))
+                .map_err(|e| {
+                    eprintln!(
+                        "pf-serve: {} (pool will not self-heal)",
+                        crate::error::ServeError::Spawn {
+                            what: "supervisor",
+                            source: e,
+                        }
+                    )
+                })
+                .ok()
+        };
         Service {
             inner,
-            workers: Mutex::new(workers),
+            pool,
+            supervisor: Mutex::new(supervisor),
         }
     }
 
@@ -212,10 +307,12 @@ impl Service {
     }
 
     /// Graceful shutdown: stop accepting, let the pool finish everything
-    /// already accepted (queued *and* running), then join the workers.
+    /// already accepted (queued *and* running), then join the supervisor
+    /// and the workers. Idempotent.
     pub fn shutdown(&self) {
         self.inner.queue.close();
-        self.join_workers();
+        self.inner.sup.wake();
+        self.join_all();
     }
 
     /// Abort-style shutdown: stop accepting, answer still-queued jobs as
@@ -230,11 +327,18 @@ impl Service {
         for ctl in self.inner.in_flight.lock().values() {
             ctl.cancel();
         }
-        self.join_workers();
+        self.inner.sup.wake();
+        self.join_all();
     }
 
-    fn join_workers(&self) {
-        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+    fn join_all(&self) {
+        // Supervisor first: it exits once the queue is closed+empty and
+        // the pool is reaped, so afterwards the pool Vec is (normally)
+        // already drained; anything left joins here.
+        if let Some(h) = self.supervisor.lock().take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.pool.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -248,44 +352,11 @@ impl Drop for Service {
     }
 }
 
-fn worker_loop(inner: &Inner) {
-    let m = &inner.metrics;
-    while let Some(job) = inner.queue.pop() {
-        let queue_wait = job.accepted_at.elapsed();
-        m.queue_wait.record(queue_wait);
-        m.in_flight.fetch_add(1, Ordering::Relaxed);
-        inner.in_flight.lock().insert(job.id, job.ctl.clone());
-
-        let outcome = worker::execute(&job.spec, &job.ctl, queue_wait);
-
-        inner.in_flight.lock().remove(&job.id);
-        m.in_flight.fetch_sub(1, Ordering::Relaxed);
-        match &outcome {
-            JobOutcome::Completed(jr) => {
-                m.completed.inc();
-                let idx = ALGORITHMS
-                    .iter()
-                    .position(|a| *a == job.spec.algorithm)
-                    .expect("algorithm is one of the four");
-                let alg = &m.per_algorithm[idx];
-                alg.runs.inc();
-                alg.wall.record(jr.run_time);
-                alg.literals_saved
-                    .fetch_add(jr.report.saved() as i64, Ordering::Relaxed);
-            }
-            JobOutcome::TimedOut(_) => m.timed_out.inc(),
-            JobOutcome::Drained => m.drained.inc(),
-            JobOutcome::Failed { .. } => m.failed.inc(),
-        }
-        // A client that gave up (dropped the ticket) is fine.
-        let _ = job.responder.send(outcome);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::Algorithm;
+    use crate::job::{Algorithm, ALGORITHMS};
+    use pf_core::FaultRule;
 
     fn small(alg: Algorithm) -> JobSpec {
         JobSpec {
@@ -465,6 +536,182 @@ mod tests {
         assert!(matches!(ok.wait(), JobOutcome::Completed(_)));
         service.shutdown();
         assert!(client.metrics().balanced());
+    }
+
+    /// Suppresses the default panic hook's stderr spew for injected
+    /// panics; everything else still prints.
+    fn quiet_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("fault injected"))
+                    .unwrap_or(false);
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn worker_fatal_job_is_answered_quarantined_and_the_pool_heals() {
+        quiet_injected_panics();
+        // Every pickup of this fingerprint panics *outside* the worker's
+        // catch — the thread dies — but only twice (the threshold).
+        let plan = FaultPlan::new(7)
+            .with_rule(FaultRule::panic_at("serve:pickup:seq/gen:misex3@0.05").max_hits(2));
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            fault_plan: Some(Arc::new(plan)),
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        for _ in 0..2 {
+            let t = client.submit(small(Algorithm::Seq)).expect("accepted");
+            match t.wait() {
+                JobOutcome::Failed { message } => assert!(message.contains("died")),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        // Third submission is refused at the door.
+        match client.submit(small(Algorithm::Seq)) {
+            Err(Rejection::Quarantined { strikes }) => assert_eq!(strikes, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A different fingerprint still completes on the healed pool.
+        let t = client
+            .submit(small(Algorithm::Independent))
+            .expect("accepted");
+        assert!(matches!(t.wait(), JobOutcome::Completed(_)));
+        // The queue is still open, so the supervisor heals both deaths;
+        // give it a bounded moment before asserting.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while client.metrics().respawns.get() < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "supervisor never healed the pool"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        service.shutdown();
+        let m = client.metrics();
+        assert!(m.balanced());
+        assert_eq!(m.panics.get(), 2);
+        assert_eq!(m.failed.get(), 2);
+        assert_eq!(m.quarantined.get(), 1);
+    }
+
+    #[test]
+    fn caught_panic_strikes_without_killing_the_worker() {
+        // seq:cover fires *inside* the worker's catch: the job fails
+        // structurally, the thread survives, no respawn is needed.
+        let plan = FaultPlan::new(3).with_rule(FaultRule::panic_at("seq:cover").max_hits(2));
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            fault_plan: Some(Arc::new(plan)),
+            poison_threshold: 2,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        for _ in 0..2 {
+            let t = client.submit(small(Algorithm::Seq)).expect("accepted");
+            match t.wait() {
+                JobOutcome::Failed { message } => assert!(message.contains("fault injected")),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(matches!(
+            client.submit(small(Algorithm::Seq)),
+            Err(Rejection::Quarantined { .. })
+        ));
+        service.shutdown();
+        let m = client.metrics();
+        assert!(m.balanced());
+        assert_eq!(m.panics.get(), 2);
+        assert_eq!(m.respawns.get(), 0, "caught panics keep the thread");
+    }
+
+    #[test]
+    fn injected_cancel_reports_drained() {
+        let plan = FaultPlan::new(11).with_rule(FaultRule::cancel_at("seq:cover").max_hits(1));
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            fault_plan: Some(Arc::new(plan)),
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let t = client.submit(small(Algorithm::Seq)).expect("accepted");
+        assert!(matches!(t.wait(), JobOutcome::Drained));
+        service.shutdown();
+        assert!(client.metrics().balanced());
+    }
+
+    #[test]
+    fn submit_with_retry_rides_out_backpressure() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(40),
+            seed: 9,
+        };
+        let mut tickets = Vec::new();
+        for _ in 0..8 {
+            tickets.push(
+                client
+                    .submit_with_retry(small(Algorithm::Seq), &policy)
+                    .expect("retry absorbs a capacity-1 queue"),
+            );
+        }
+        for t in tickets {
+            assert!(matches!(t.wait(), JobOutcome::Completed(_)));
+        }
+        service.shutdown();
+        let m = client.metrics();
+        assert!(m.balanced());
+        assert_eq!(m.completed.get(), 8);
+        // Backpressure definitely happened, and every bounce was retried.
+        assert_eq!(m.retries.get(), m.rejected_full.get());
+    }
+
+    #[test]
+    fn terminal_rejections_are_not_retried() {
+        let service = Service::start(ServiceConfig::default());
+        let client = service.client();
+        let policy = RetryPolicy::default();
+        let bad = JobSpec::new(Algorithm::Seq, "not-a-workload");
+        assert!(matches!(
+            client.submit_with_retry(bad, &policy),
+            Err(Rejection::Invalid(_))
+        ));
+        assert_eq!(client.metrics().retries.get(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn workers_alive_gauge_tracks_the_pool() {
+        let service = Service::start(ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        // Spawned threads bump the gauge as they start.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while client.metrics().workers_alive.load(Ordering::Relaxed) < 3 {
+            assert!(Instant::now() < deadline, "pool never reached strength");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        service.shutdown();
+        assert_eq!(client.metrics().workers_alive.load(Ordering::Relaxed), 0);
     }
 
     #[test]

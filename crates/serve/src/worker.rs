@@ -51,29 +51,45 @@ pub fn run_extraction(spec: &JobSpec, ctl: &RunCtl) -> Result<ExtractReport, Str
 /// accept timestamp). Panics inside the extraction are caught and become
 /// [`JobOutcome::Failed`].
 pub fn execute(spec: &JobSpec, ctl: &RunCtl, queue_wait: std::time::Duration) -> JobOutcome {
+    execute_tracked(spec, ctl, queue_wait).0
+}
+
+/// [`execute`], additionally reporting whether the extraction *panicked*
+/// (as opposed to failing structurally) — the supervisor uses this to
+/// put a poison strike on the job's fingerprint.
+pub fn execute_tracked(
+    spec: &JobSpec,
+    ctl: &RunCtl,
+    queue_wait: std::time::Duration,
+) -> (JobOutcome, bool) {
     let started = Instant::now();
     let result =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_extraction(spec, ctl)));
     let run_time = started.elapsed();
     match result {
-        Err(payload) => JobOutcome::Failed {
-            message: panic_message(payload),
-        },
-        Ok(Err(msg)) => JobOutcome::Failed { message: msg },
+        Err(payload) => (
+            JobOutcome::Failed {
+                message: panic_message(payload),
+            },
+            true,
+        ),
+        Ok(Err(msg)) => (JobOutcome::Failed { message: msg }, false),
         Ok(Ok(report)) => {
             let jr = JobReport {
                 report,
                 queue_wait,
                 run_time,
             };
-            if jr.report.cancelled {
-                // Only shutdown cancels jobs; report it as drained.
+            let outcome = if jr.report.cancelled {
+                // Shutdown — or an injected cancellation — cancelled the
+                // run; either way it drained without a usable result.
                 JobOutcome::Drained
             } else if jr.report.timed_out {
                 JobOutcome::TimedOut(jr)
             } else {
                 JobOutcome::Completed(jr)
-            }
+            };
+            (outcome, false)
         }
     }
 }

@@ -4,7 +4,10 @@
 //! ```text
 //! parafactor [OPTIONS] <INPUT>
 //! parafactor serve  [--addr A] [--workers N] [--queue N] [--max-procs N]
-//! parafactor submit [--addr A] [-a ALG] [-p N] [--deadline-ms N] <WORKLOAD>
+//!                   [--max-conns N] [--idle-timeout-ms N]
+//!                   [--fault-plan SPEC] [--fault-seed N]
+//! parafactor submit [--addr A] [-a ALG] [-p N] [--deadline-ms N]
+//!                   [--retries N] <WORKLOAD>
 //!
 //! INPUT                 circuit file (.blif, or the native text format),
 //!                       or gen:<profile>[@scale] for a synthetic circuit
@@ -23,13 +26,19 @@
 //! -h, --help            this text
 //!
 //! serve runs the resident factorization service (JSON lines over TCP,
-//! default 127.0.0.1:7878; protocol in docs/SERVICE.md). submit sends one
-//! job to a running service and prints the JSON response. For both
+//! default 127.0.0.1:7878; protocol in docs/SERVICE.md). --max-conns caps
+//! concurrent connections, --idle-timeout-ms closes silent connections
+//! (0 disables), and --fault-plan injects deterministic faults for chaos
+//! testing (grammar: SITE=KIND[@PROB][#MAX][;...], KIND = panic | cancel |
+//! latency:MS — see docs/SERVICE.md). submit sends one job to a running
+//! service and prints the JSON response; queue-full rejections are
+//! retried up to --retries times with exponential backoff. For both
 //! commands procs must be >= 1 and is capped at the host's available
 //! parallelism.
 //! ```
 
 use parafactor::core::script::{run_script, ScriptConfig};
+use parafactor::core::FaultPlan;
 use parafactor::core::{
     extract_common_cubes, extract_kernels, independent_extract, iterative_extract, lshaped_extract,
     lshaped_extract_cubes, replicated_extract, CubeExtractConfig, ExtractConfig, IndependentConfig,
@@ -40,7 +49,8 @@ use parafactor::network::io::{read_network, write_network};
 use parafactor::network::sim::{equivalent_random, EquivConfig};
 use parafactor::network::{stats, Network};
 use parafactor::serve::{
-    default_max_procs, request_lines, validate_procs, Json, Server, ServiceConfig,
+    default_max_procs, request_lines, validate_procs, Json, RetryPolicy, Server, ServerConfig,
+    ServiceConfig,
 };
 use parafactor::workloads::{generate, profile_by_name, scale_profile};
 use std::process::ExitCode;
@@ -159,6 +169,9 @@ fn load_circuit(opts: &Options) -> Result<Network, String> {
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cfg = ServiceConfig::default();
+    let mut server_cfg = ServerConfig::default();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed = 0x5eed_u64;
     let mut i = 0;
     let bad = |msg: String| -> ExitCode {
         eprintln!("error: {msg}");
@@ -189,12 +202,38 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     Err(e) => return bad(format!("--max-procs: {e}")),
                 }
             }
+            "--max-conns" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => server_cfg.max_connections = n,
+                _ => return bad("--max-conns must be a positive integer".into()),
+            },
+            "--idle-timeout-ms" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => server_cfg.idle_timeout = None,
+                Some(n) => server_cfg.idle_timeout = Some(std::time::Duration::from_millis(n)),
+                None => return bad("--idle-timeout-ms must be an integer (0 disables)".into()),
+            },
+            "--fault-plan" => match value(i) {
+                Some(v) => fault_spec = Some(v.clone()),
+                None => return bad("--fault-plan needs a value".into()),
+            },
+            "--fault-seed" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => fault_seed = n,
+                None => return bad("--fault-seed must be an integer".into()),
+            },
             "-h" | "--help" => usage(),
             other => return bad(format!("unknown serve option {other:?}")),
         }
         i += 2;
     }
-    let server = match Server::bind(addr.as_str(), cfg) {
+    if let Some(spec) = fault_spec {
+        match FaultPlan::parse(&spec, fault_seed) {
+            Ok(plan) => {
+                eprintln!("pf-serve: FAULT INJECTION ACTIVE ({spec})");
+                cfg.fault_plan = Some(std::sync::Arc::new(plan));
+            }
+            Err(e) => return bad(format!("--fault-plan: {e}")),
+        }
+    }
+    let server = match Server::bind_with(addr.as_str(), cfg, server_cfg) {
         Ok(s) => s,
         Err(e) => return bad(format!("cannot bind {addr}: {e}")),
     };
@@ -214,6 +253,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut algorithm = "seq".to_string();
     let mut procs = 2usize;
     let mut deadline_ms: Option<u64> = None;
+    let mut retries = 4u32;
     let mut workload: Option<String> = None;
     let bad = |msg: String| -> ExitCode {
         eprintln!("error: {msg}");
@@ -238,6 +278,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             "--deadline-ms" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) => deadline_ms = Some(n),
                 None => return bad("--deadline-ms must be an integer".into()),
+            },
+            "--retries" => match value(i).and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => retries = n,
+                None => return bad("--retries must be a non-negative integer".into()),
             },
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
@@ -272,15 +316,43 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     if let Some(ms) = deadline_ms {
         request.push(("deadline_ms".to_string(), Json::u64(ms)));
     }
-    let responses = match request_lines(addr.as_str(), &[Json::Obj(request).to_string()]) {
-        Ok(r) => r,
-        Err(e) => return bad(format!("cannot reach service at {addr}: {e}")),
+    let line = Json::Obj(request).to_string();
+    // Retry only backpressure (`queue_full`): the service is healthy but
+    // momentarily saturated. Every other rejection is terminal.
+    let policy = RetryPolicy {
+        max_retries: retries,
+        ..RetryPolicy::default()
     };
-    let Some(response) = responses.first() else {
-        return bad(format!("service at {addr} closed the connection"));
+    let mut attempt = 0u32;
+    let response = loop {
+        let responses = match request_lines(addr.as_str(), std::slice::from_ref(&line)) {
+            Ok(r) => r,
+            Err(e) => return bad(format!("cannot reach service at {addr}: {e}")),
+        };
+        let Some(response) = responses.into_iter().next() else {
+            return bad(format!("service at {addr} closed the connection"));
+        };
+        let backpressured = parafactor::serve::json::parse(&response)
+            .ok()
+            .map(|v| {
+                v.get("status").and_then(Json::as_str) == Some("rejected")
+                    && v.get("reason").and_then(Json::as_str) == Some("queue_full")
+            })
+            .unwrap_or(false);
+        if backpressured && attempt < policy.max_retries {
+            let backoff = policy.backoff(attempt);
+            attempt += 1;
+            eprintln!(
+                "queue full; retry {attempt}/{} in {backoff:.1?}",
+                policy.max_retries
+            );
+            std::thread::sleep(backoff);
+            continue;
+        }
+        break response;
     };
     println!("{response}");
-    let completed = parafactor::serve::json::parse(response)
+    let completed = parafactor::serve::json::parse(&response)
         .ok()
         .and_then(|v| v.get("status").map(|s| s.as_str() == Some("completed")))
         .unwrap_or(false);

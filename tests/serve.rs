@@ -29,7 +29,11 @@ fn assert_balanced(metrics: &Json) {
     };
     assert_eq!(
         get("submitted"),
-        get("accepted") + get("rejected_full") + get("rejected_shutdown") + get("rejected_invalid"),
+        get("accepted")
+            + get("rejected_full")
+            + get("rejected_shutdown")
+            + get("rejected_invalid")
+            + get("quarantined"),
         "submission side out of balance: {metrics}"
     );
     assert_eq!(
@@ -193,6 +197,70 @@ fn queue_full_burst_gets_backpressure_rejections() {
         metrics.get("rejected_full").and_then(Json::as_u64),
         Some(rejected_full)
     );
+    assert_balanced(metrics);
+    handle.join().unwrap();
+}
+
+#[test]
+fn two_racing_shutdowns_both_get_a_final_snapshot() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, handle) = start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    });
+    // Open both connections before firing either request so the two
+    // shutdown ops genuinely race inside the server.
+    let mut a = std::net::TcpStream::connect(addr).expect("connect a");
+    let mut b = std::net::TcpStream::connect(addr).expect("connect b");
+    a.write_all(b"{\"op\":\"shutdown\"}\n").expect("send a");
+    b.write_all(b"{\"op\":\"shutdown\"}\n").expect("send b");
+    for stream in [a, b] {
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).expect("read");
+        let r = parse(&line).expect("shutdown response is json");
+        // Shutdown is idempotent: the loser of the race still gets a
+        // well-formed ok + snapshot, never an error or a dropped line.
+        assert_eq!(r.get("status").and_then(Json::as_str), Some("ok"), "{r}");
+        assert_balanced(r.get("metrics").expect("snapshot"));
+    }
+    handle.join().unwrap();
+}
+
+#[test]
+fn deaf_client_pipelining_submits_without_reading_does_not_wedge_the_server() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, handle) = start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        ..ServiceConfig::default()
+    });
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    // Fire a pipeline of submits without draining a single response; a
+    // server that answers synchronously into a small socket buffer must
+    // not deadlock against a client that is not reading yet.
+    for _ in 0..8 {
+        stream
+            .write_all(
+                b"{\"op\":\"submit\",\"algorithm\":\"seq\",\"workload\":\"gen:misex3@0.05\"}\n",
+            )
+            .expect("pipelined submit");
+    }
+    let mut reader = BufReader::new(stream);
+    for i in 0..8 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        let r = parse(&line).unwrap_or_else(|e| panic!("response {i} not json ({e}): {line:?}"));
+        assert_eq!(
+            r.get("status").and_then(Json::as_str),
+            Some("completed"),
+            "{r}"
+        );
+    }
+    drop(reader);
+    let metrics = shutdown(addr);
+    let metrics = metrics.get("metrics").unwrap();
+    assert_eq!(metrics.get("completed").and_then(Json::as_u64), Some(8));
     assert_balanced(metrics);
     handle.join().unwrap();
 }
