@@ -40,7 +40,7 @@ use crate::seq::ExtractConfig;
 use parking_lot::Mutex;
 use pf_kcmatrix::registry::ConcurrentCubeStates;
 use pf_kcmatrix::{
-    best_rectangle, CubeId, CubeRegistry, CubeState, KcMatrix, LabelGen, ProcId, Rectangle,
+    best_rectangle_seeded, CubeId, CubeRegistry, CubeState, KcMatrix, LabelGen, ProcId, Rectangle,
     SearchConfig,
 };
 use pf_network::{Network, SignalId};
@@ -198,6 +198,9 @@ struct Worker<'a> {
     total_value: i64,
     shipped: usize,
     budget_exhausted: bool,
+    /// Rectangle committed by this worker's previous extraction —
+    /// re-validated against the current matrix to seed the next search.
+    prev_best: Option<Rectangle>,
 }
 
 impl Worker<'_> {
@@ -337,7 +340,12 @@ impl Worker<'_> {
             let w = weights.get(id as usize).copied().unwrap_or(0);
             states.value_for(id, w, pid)
         };
-        let (rect, stats) = best_rectangle(&self.matrix, &value_of, &search_cfg);
+        let (rect, stats) = best_rectangle_seeded(
+            &self.matrix,
+            &value_of,
+            &search_cfg,
+            self.prev_best.as_ref(),
+        );
         self.budget_exhausted |= stats.budget_exhausted;
         let Some(rect) = rect else {
             self.dirty = false;
@@ -413,6 +421,7 @@ impl Worker<'_> {
     /// Commits a claimed rectangle: creates the kernel node, divides own
     /// rows, ships foreign rows to their owners.
     fn extract(&mut self, rect: Rectangle, value: i64) {
+        self.prev_best = Some(rect.clone());
         let kernel = rect.kernel(&self.matrix);
         let x_var = self.id_base + self.new_nodes.len() as u32;
         let name = format!(
@@ -638,6 +647,7 @@ fn setup<'a>(
             total_value: 0,
             shipped: 0,
             budget_exhausted: false,
+            prev_best: None,
         });
     }
 

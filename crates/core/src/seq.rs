@@ -12,7 +12,8 @@ use crate::ctl::RunCtl;
 use crate::report::{ExtractReport, PhaseTiming};
 use pf_kcmatrix::rectangle::CostModel;
 use pf_kcmatrix::{
-    best_rectangle, best_rectangle_with, CubeRegistry, KcMatrix, LabelGen, Rectangle, SearchConfig,
+    best_rectangle_seeded, best_rectangle_with_seed, CubeRegistry, KcMatrix, LabelGen, Rectangle,
+    SearchConfig,
 };
 use pf_network::{Network, SignalId};
 use pf_sop::fx::FxHashMap;
@@ -72,6 +73,10 @@ pub struct Engine {
     /// Weighted cube values (parallel to `weights`), present iff
     /// `cfg.objective` is set.
     wvals: Vec<u32>,
+    /// Best rectangle applied in the previous pass of this engine's
+    /// cover loop — re-validated against the current matrix and used to
+    /// seed the next search's pruning bound.
+    prev_best: Option<Rectangle>,
 }
 
 impl Engine {
@@ -103,6 +108,7 @@ impl Engine {
             counter: 0,
             applied: 0,
             wvals: Vec::new(),
+            prev_best: None,
         };
         engine.refresh_wvals();
         engine
@@ -185,6 +191,7 @@ impl Engine {
             counter: 0,
             applied: 0,
             wvals: Vec::new(),
+            prev_best: None,
         };
         engine.refresh_wvals();
         engine
@@ -213,10 +220,11 @@ impl Engine {
             stripe,
             ..self.cfg.search.clone()
         };
+        let seed = self.prev_best.as_ref();
         let (rect, stats) = match &self.cfg.objective {
             None => {
                 let w = &self.weights;
-                best_rectangle(&self.matrix, &|id| w[id as usize], &cfg)
+                best_rectangle_seeded(&self.matrix, &|id| w[id as usize], &cfg, seed)
             }
             Some(obj) => {
                 let wv = &self.wvals;
@@ -225,7 +233,7 @@ impl Engine {
                     row_cost: &|cok| obj.row_cost(cok),
                     col_cost: &|cube| obj.col_cost(cube),
                 };
-                best_rectangle_with(&self.matrix, &model, &cfg)
+                best_rectangle_with_seed(&self.matrix, &model, &cfg, seed)
             }
         };
         (rect, stats.budget_exhausted)
@@ -325,6 +333,7 @@ impl Engine {
             );
         }
         self.applied += 1;
+        self.prev_best = Some(rect.clone());
         x
     }
 

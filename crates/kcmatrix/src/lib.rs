@@ -19,16 +19,24 @@
 //!   prime column sets ordered by leftmost column — the exact ordering
 //!   Algorithm R (§3) distributes across processors — with an admissible
 //!   pruning bound and a visit budget that falls back to a per-kernel
-//!   greedy sweep on pathological matrices.
+//!   greedy sweep on pathological matrices. Row supports are dense
+//!   [`rowset::RowSet`] bitsets, and `SearchConfig::par_threads` turns
+//!   on the deterministic parallel engine ([`par_search`]); the original
+//!   sorted-vec search survives as the [`reference`] oracle.
 
 pub mod cube_matrix;
 pub mod matrix;
+mod par_search;
 pub mod rectangle;
+pub mod reference;
 pub mod registry;
+pub mod rowset;
 
 pub use cube_matrix::{CommonCube, CubeLitMatrix};
 pub use matrix::{ColIdx, KcCol, KcMatrix, KcRow, LabelGen, RowIdx};
 pub use rectangle::{
-    best_rectangle, best_rectangle_with, CostModel, Rectangle, SearchConfig, SearchStats,
+    best_rectangle, best_rectangle_seeded, best_rectangle_with, best_rectangle_with_seed,
+    CostModel, Rectangle, SearchConfig, SearchStats,
 };
 pub use registry::{CubeId, CubeRegistry, CubeState, CubeStates, ProcId};
+pub use rowset::RowSet;

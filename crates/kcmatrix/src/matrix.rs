@@ -9,6 +9,7 @@
 //! order.
 
 use crate::registry::{CubeId, CubeRegistry};
+use crate::rowset::RowSet;
 use pf_sop::fx::FxHashMap;
 use pf_sop::kernel::{kernels_config, KernelConfig};
 use pf_sop::{Cube, Sop};
@@ -65,7 +66,15 @@ pub struct KcRow {
     pub node: u32,
     /// The co-kernel cube.
     pub cokernel: Cube,
-    /// Entries `(column index, covered cube id)`, sorted by column index.
+    /// Entries `(column index, covered cube id)`.
+    ///
+    /// **Invariant:** strictly sorted by column index (no duplicates).
+    /// Every constructor sorts + dedups before insertion and
+    /// [`KcMatrix::push_row`] checks it in debug builds; [`KcRow::entry`]
+    /// binary-searches on the strength of it. Mutators that rebuild rows
+    /// (e.g. Algorithm L's `rebuild_node_rows`) go through
+    /// `remove_node_rows` + `add_node_kernels`, so the invariant holds
+    /// matrix-wide for the row's whole life.
     pub entries: Vec<(ColIdx, CubeId)>,
     /// Tombstone flag; dead rows are skipped by every search.
     pub alive: bool,
@@ -208,6 +217,10 @@ impl KcMatrix {
     }
 
     fn push_row(&mut self, row: KcRow) -> RowIdx {
+        debug_assert!(
+            row.entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "row entries must be strictly sorted by column index"
+        );
         let idx = self.rows.len();
         for &(c, _) in &row.entries {
             let rows = &mut self.cols[c].rows;
@@ -247,14 +260,18 @@ impl KcMatrix {
     }
 
     /// Tombstones a single row and scrubs it from the column row-lists.
+    /// Only the columns the row actually occupies are touched (the
+    /// sorted-entries invariant tells us exactly which those are).
     pub fn tombstone_row(&mut self, idx: RowIdx) {
         if !self.rows[idx].alive {
             return;
         }
         self.rows[idx].alive = false;
-        for col in &mut self.cols {
-            if let Ok(pos) = col.rows.binary_search(&idx) {
-                col.rows.remove(pos);
+        for e in 0..self.rows[idx].entries.len() {
+            let c = self.rows[idx].entries[e].0;
+            let rows = &mut self.cols[c].rows;
+            if let Ok(pos) = rows.binary_search(&idx) {
+                rows.remove(pos);
             }
         }
     }
@@ -262,19 +279,23 @@ impl KcMatrix {
     /// Tombstones every row belonging to `node` (after the node's
     /// function changed) and scrubs the column row-lists.
     pub fn remove_node_rows(&mut self, node: u32) {
-        let mut removed = Vec::new();
-        for (i, r) in self.rows.iter_mut().enumerate() {
-            if r.alive && r.node == node {
-                r.alive = false;
-                removed.push(i);
-            }
+        let removed: Vec<RowIdx> = (0..self.rows.len())
+            .filter(|&i| self.rows[i].alive && self.rows[i].node == node)
+            .collect();
+        for i in removed {
+            self.tombstone_row(i);
         }
-        if removed.is_empty() {
-            return;
-        }
-        for col in &mut self.cols {
-            col.rows.retain(|r| !removed.contains(r));
-        }
+    }
+
+    /// Per-column supports as dense [`RowSet`] bitsets over the row
+    /// universe — the search's working representation. Tombstoned rows
+    /// never appear (column row-lists are scrubbed on removal).
+    pub fn col_row_sets(&self) -> Vec<RowSet> {
+        let nrows = self.rows.len();
+        self.cols
+            .iter()
+            .map(|c| RowSet::from_indices(c.rows.iter().copied(), nrows))
+            .collect()
     }
 
     /// Row intersection helper: alive rows present in both sorted lists.

@@ -1,0 +1,349 @@
+//! Parallel rectangle search: a chunked work queue over leftmost
+//! columns, drained by scoped worker threads sharing an atomic pruning
+//! bound.
+//!
+//! ## Determinism rules
+//!
+//! The classic sequential engine keeps the *first* maximum-value
+//! rectangle in enumeration order — a rule racing workers cannot
+//! reproduce. The parallel engine is instead deterministic by
+//! construction, for **any** thread count (including 1):
+//!
+//! 1. **Canonical winner.** Workers keep their local best under the
+//!    total (value, cols, rows) order ([`canonical_better`]) and the
+//!    merge applies the same order, so the reduction is independent of
+//!    which worker finishes first.
+//! 2. **Strict pruning.** A subtree is pruned only when its admissible
+//!    bound is *strictly below* the shared bound (`ub < bound`, not
+//!    `ub <= bound`). The shared bound never exceeds the true maximum
+//!    value, so every maximum-value rectangle is expanded and evaluated
+//!    no matter when other workers publish improvements; late bound
+//!    arrival can only cost wasted work, never change the winner.
+//! 3. **Truncation fallback.** When the shared visit budget denies an
+//!    expansion, the set of visited column sets depends on thread
+//!    interleaving — so partial worker bests are discarded and the
+//!    search returns the greedy/seed result. The greedy sweep itself is
+//!    striped across the workers (it dominates the prologue once
+//!    exploration is well-pruned), but its task set is fixed, every task
+//!    always completes (greedy work is not budget-charged), and the
+//!    merge is canonical — so the fallback is deterministic too.
+//!
+//! The shared bound is an `AtomicI64` updated with `fetch_max`: any
+//! worker's improvement immediately tightens every other worker's
+//! admissible prune. All atomics use relaxed ordering — they carry
+//! monotone scalars, never publish memory.
+
+use crate::matrix::{ColIdx, KcMatrix, RowIdx};
+use crate::rectangle::{
+    approx_value, canonical_better, evaluate_with, greedy_row, stripe_admits, CostModel,
+    GreedyBufs, Rectangle, SearchConfig, SearchStats,
+};
+use crate::registry::CubeId;
+use crate::rowset::RowSet;
+use pf_sop::fx::FxHashSet;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::thread;
+
+/// How many chunks each worker should expect to claim, on average.
+/// Smaller chunks balance better (leftmost-column subtrees are wildly
+/// uneven); larger chunks reduce queue contention. Four per worker is a
+/// comfortable middle for matrices with hundreds of columns.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Shared worker coordination state: the two task queues (greedy row
+/// chunks, then explore column chunks) and the pruning/budget atomics.
+struct Shared<'a> {
+    /// Leftmost-column explore tasks (admissible, non-empty support).
+    tasks: &'a [ColIdx],
+    /// Explore tasks claimed per `fetch_add`.
+    chunk: usize,
+    /// Next unclaimed explore task.
+    next: AtomicUsize,
+    /// Greedy rows claimed per `fetch_add` (0 rows when greedy is off).
+    greedy_rows: usize,
+    /// Rows claimed per greedy `fetch_add`.
+    greedy_chunk: usize,
+    /// Next unclaimed greedy row.
+    greedy_next: AtomicUsize,
+    /// Lower bound on the best value found anywhere (`fetch_max`).
+    bound: AtomicI64,
+    /// Expansion tickets charged against the budget.
+    visited: AtomicU64,
+    /// Set by whichever worker first has an expansion denied.
+    truncated: AtomicBool,
+}
+
+/// One worker's contribution, merged canonically by [`search`].
+struct WorkerResult {
+    /// Canonical best over this worker's greedy rows (always complete).
+    greedy_best: Option<Rectangle>,
+    /// Canonical best over this worker's explored column sets.
+    explore_best: Option<Rectangle>,
+    /// Expansions completed (reported in [`SearchStats::visited`]).
+    expansions: u64,
+}
+
+/// Runs the parallel search. `init_best` is the re-validated
+/// previous-pass seed (not the greedy result — the greedy sweep runs
+/// *inside* the parallel region, striped across workers); it starts the
+/// shared bound and joins the canonical merge and truncation fallback.
+pub(crate) fn search(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    row_full_value: &[i64],
+    col_sets: &[RowSet],
+    init_best: Option<Rectangle>,
+) -> (Option<Rectangle>, SearchStats) {
+    let tasks: Vec<ColIdx> = (0..m.cols().len())
+        .filter(|&c| stripe_admits(cfg, c) && !col_sets[c].is_empty())
+        .collect();
+    if tasks.is_empty() {
+        // No admissible leftmost column ⇒ the greedy sweep (whose rows
+        // need an admissible leftmost column too) finds nothing either.
+        return (init_best, SearchStats::default());
+    }
+    let nthreads = cfg.par_threads.min(tasks.len()).max(1);
+    let greedy_rows = if cfg.greedy_seed { m.rows().len() } else { 0 };
+    let shared = Shared {
+        tasks: &tasks,
+        chunk: (tasks.len() / (nthreads * CHUNKS_PER_WORKER)).max(1),
+        next: AtomicUsize::new(0),
+        greedy_rows,
+        greedy_chunk: (greedy_rows / (nthreads * CHUNKS_PER_WORKER)).max(1),
+        greedy_next: AtomicUsize::new(0),
+        bound: AtomicI64::new(init_best.as_ref().map_or(0, |b| b.value)),
+        visited: AtomicU64::new(0),
+        truncated: AtomicBool::new(false),
+    };
+
+    // One worker runs inline on the calling thread: `par_threads = 1`
+    // then costs no spawn at all, and N threads cost N − 1 spawns.
+    let results: Vec<WorkerResult> = thread::scope(|s| {
+        let handles: Vec<_> = (1..nthreads)
+            .map(|_| s.spawn(|| run_worker(m, model, cfg, row_full_value, col_sets, &shared)))
+            .collect();
+        let mut results = vec![run_worker(m, model, cfg, row_full_value, col_sets, &shared)];
+        results.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked")),
+        );
+        results
+    });
+
+    // Rule 3: greedy tasks all completed, so this merge is deterministic
+    // even when the budget truncated exploration.
+    let mut greedy_best = init_best;
+    for r in &results {
+        if let Some(c) = &r.greedy_best {
+            if greedy_best.as_ref().is_none_or(|b| canonical_better(c, b)) {
+                greedy_best = Some(c.clone());
+            }
+        }
+    }
+    let visited = results.iter().map(|r| r.expansions).sum();
+    let stats = SearchStats {
+        visited,
+        budget_exhausted: shared.truncated.load(Relaxed),
+    };
+    if stats.budget_exhausted {
+        // The explored set is interleaving-dependent; discard it.
+        return (greedy_best, stats);
+    }
+    let mut best = greedy_best;
+    for r in results {
+        if let Some(c) = r.explore_best {
+            if best.as_ref().is_none_or(|b| canonical_better(&c, b)) {
+                best = Some(c);
+            }
+        }
+    }
+    (best, stats)
+}
+
+fn run_worker(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    row_full_value: &[i64],
+    col_sets: &[RowSet],
+    shared: &Shared<'_>,
+) -> WorkerResult {
+    // Phase 1: greedy rows. Never aborted — rule 3 needs the complete
+    // greedy result even when another worker trips the budget. Each find
+    // is published to the shared bound immediately so phase-2 workers
+    // prune against it as early as possible.
+    let mut greedy_best: Option<Rectangle> = None;
+    let mut bufs = GreedyBufs::default();
+    loop {
+        let start = shared.greedy_next.fetch_add(shared.greedy_chunk, Relaxed);
+        if start >= shared.greedy_rows {
+            break;
+        }
+        let end = (start + shared.greedy_chunk).min(shared.greedy_rows);
+        for r in start..end {
+            if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut bufs) {
+                shared.bound.fetch_max(rect.value, Relaxed);
+                if greedy_best
+                    .as_ref()
+                    .is_none_or(|b| canonical_better(&rect, b))
+                {
+                    greedy_best = Some(rect);
+                }
+            }
+        }
+    }
+
+    // Phase 2: branch-and-bound explore tasks.
+    let mut search = ParSearch {
+        m,
+        model,
+        cfg,
+        row_full_value,
+        col_sets,
+        bound: &shared.bound,
+        shared_visited: &shared.visited,
+        truncated: &shared.truncated,
+        stopped: false,
+        expansions: 0,
+        best: None,
+        cols: Vec::new(),
+        scratch: Vec::new(),
+        cand: Vec::new(),
+        rows_buf: Vec::new(),
+        seen: FxHashSet::default(),
+    };
+    let mut root = RowSet::new();
+    'queue: loop {
+        let start = shared.next.fetch_add(shared.chunk, Relaxed);
+        if start >= shared.tasks.len() {
+            break;
+        }
+        let end = (start + shared.chunk).min(shared.tasks.len());
+        for &c0 in &shared.tasks[start..end] {
+            if search.stopped || search.truncated.load(Relaxed) {
+                break 'queue;
+            }
+            search.cols.clear();
+            search.cols.push(c0);
+            root.copy_from(&col_sets[c0]);
+            root = search.explore(0, root);
+        }
+    }
+    WorkerResult {
+        greedy_best,
+        explore_best: search.best,
+        expansions: search.expansions,
+    }
+}
+
+struct ParSearch<'a> {
+    m: &'a KcMatrix,
+    model: &'a CostModel<'a>,
+    cfg: &'a SearchConfig,
+    row_full_value: &'a [i64],
+    col_sets: &'a [RowSet],
+    /// Shared lower bound on the best value found anywhere.
+    bound: &'a AtomicI64,
+    /// Shared expansion counter the budget is charged against.
+    shared_visited: &'a AtomicU64,
+    /// Set by whichever worker first has an expansion denied.
+    truncated: &'a AtomicBool,
+    /// Local mirror of `truncated`: once set, unwind without exploring.
+    stopped: bool,
+    /// Expansions *completed* by this worker (reported in stats).
+    expansions: u64,
+    /// Local canonical best; merged across workers by the caller.
+    best: Option<Rectangle>,
+    cols: Vec<ColIdx>,
+    scratch: Vec<RowSet>,
+    /// Per-depth candidate-column bitsets (universe = column count).
+    cand: Vec<RowSet>,
+    rows_buf: Vec<RowIdx>,
+    seen: FxHashSet<CubeId>,
+}
+
+impl ParSearch<'_> {
+    fn explore(&mut self, depth: usize, rows: RowSet) -> RowSet {
+        if self.truncated.load(Relaxed) {
+            self.stopped = true;
+            return rows;
+        }
+        let ticket = self.shared_visited.fetch_add(1, Relaxed);
+        if ticket >= self.cfg.budget {
+            self.truncated.store(true, Relaxed);
+            self.stopped = true;
+            return rows;
+        }
+        self.expansions += 1;
+
+        if self.cols.len() >= self.cfg.min_cols {
+            // Rule 2's gate counterpart: evaluate whenever the
+            // duplicate-blind upper bound could *tie* the shared bound
+            // (`>=`, not `>`), so every maximum-value rectangle reaches
+            // the canonical merge regardless of bound timing.
+            let approx = approx_value(self.m, self.model, &self.cols, &rows);
+            if approx > 0 && approx >= self.bound.load(Relaxed) {
+                self.rows_buf.clear();
+                rows.collect_into(&mut self.rows_buf);
+                self.seen.clear();
+                if let Some(rect) = evaluate_with(
+                    self.m,
+                    self.model,
+                    &self.cols,
+                    &self.rows_buf,
+                    &mut self.seen,
+                ) {
+                    self.bound.fetch_max(rect.value, Relaxed);
+                    if self
+                        .best
+                        .as_ref()
+                        .is_none_or(|b| canonical_better(&rect, b))
+                    {
+                        self.best = Some(rect);
+                    }
+                }
+            }
+        }
+
+        // Candidate extensions from the support rows' entries — see the
+        // sequential engine; the candidate set is scheduling-independent
+        // so determinism is unaffected.
+        let from = self.cols.last().copied().unwrap_or(0) + 1;
+        if self.scratch.len() <= depth {
+            self.scratch.resize_with(depth + 1, RowSet::new);
+            self.cand.resize_with(depth + 1, RowSet::new);
+        }
+        let mut cand = std::mem::take(&mut self.cand[depth]);
+        cand.reset(self.m.cols().len());
+        for r in &rows {
+            for &(c, _) in &self.m.rows()[r].entries {
+                if c >= from {
+                    cand.insert(c);
+                }
+            }
+        }
+        for c in &cand {
+            let mut shared = std::mem::take(&mut self.scratch[depth]);
+            shared.assign_and(&rows, &self.col_sets[c]);
+            let ub: i64 = shared.iter().map(|r| self.row_full_value[r].max(0)).sum();
+            // Rule 2: strict prune — subtrees that could still tie the
+            // bound are kept alive.
+            if ub <= 0 || ub < self.bound.load(Relaxed) {
+                self.scratch[depth] = shared;
+                continue;
+            }
+            self.cols.push(c);
+            let buf = self.explore(depth + 1, shared);
+            self.scratch[depth] = buf;
+            self.cols.pop();
+            if self.stopped {
+                // Terminal unwind — skip restoring the candidate pool.
+                return rows;
+            }
+        }
+        self.cand[depth] = cand;
+        rows
+    }
+}

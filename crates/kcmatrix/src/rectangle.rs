@@ -18,9 +18,18 @@
 //! processors), keeps for each column set the optimal row subset (rows
 //! with positive contribution), prunes with an admissible bound, and
 //! degrades to a per-row greedy sweep when a visit budget is exhausted.
+//!
+//! Row supports are dense [`RowSet`] bitsets: intersecting a candidate's
+//! support with a column is a handful of word `AND`s instead of a sorted
+//! merge. With `par_threads >= 1` the leftmost-column loop runs on a
+//! chunked work queue drained by scoped threads sharing an atomic
+//! pruning bound; see [`crate::par_search`] for the determinism rules.
+//! The legacy `Vec<RowIdx>` implementation survives in
+//! [`crate::reference`] as a differential-testing oracle.
 
 use crate::matrix::{ColIdx, KcMatrix, RowIdx};
 use crate::registry::CubeId;
+use crate::rowset::RowSet;
 use pf_sop::fx::FxHashSet;
 use pf_sop::Sop;
 
@@ -42,6 +51,18 @@ impl Rectangle {
     }
 }
 
+/// `a` beats `b` under the canonical (value, cols, rows) order: higher
+/// value first, then lexicographically smaller column set, then
+/// lexicographically smaller row set. Total over distinct rectangles, so
+/// the parallel merge is independent of worker arrival order.
+pub(crate) fn canonical_better(a: &Rectangle, b: &Rectangle) -> bool {
+    match a.value.cmp(&b.value) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => (&a.cols, &a.rows) < (&b.cols, &b.rows),
+    }
+}
+
 /// Search options.
 #[derive(Clone, Debug)]
 pub struct SearchConfig {
@@ -58,6 +79,13 @@ pub struct SearchConfig {
     /// Run the seeding greedy sweep before branch and bound. Disable
     /// only in tests that target the exact search.
     pub greedy_seed: bool,
+    /// Intra-matrix search threads. `0` (the default) runs the classic
+    /// sequential engine, which keeps the *first* maximum-value
+    /// rectangle in enumeration order. `>= 1` runs the parallel engine:
+    /// leftmost-column tasks on a chunked work queue, a shared atomic
+    /// pruning bound, and a canonical (value, cols, rows) tie-break so
+    /// the result is identical for any thread count (including 1).
+    pub par_threads: usize,
 }
 
 impl Default for SearchConfig {
@@ -67,6 +95,7 @@ impl Default for SearchConfig {
             stripe: None,
             min_cols: 2,
             greedy_seed: true,
+            par_threads: 0,
         }
     }
 }
@@ -74,10 +103,15 @@ impl Default for SearchConfig {
 /// Statistics from one search call.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SearchStats {
-    /// Column sets expanded.
+    /// Column sets fully expanded. In parallel mode this is the sum over
+    /// workers and depends on bound-arrival timing (the *result* does
+    /// not).
     pub visited: u64,
-    /// Whether the branch-and-bound budget ran out (result may be the
-    /// greedy one).
+    /// Whether the budget actually truncated exploration — i.e. an
+    /// expansion was *denied*. A search whose final expansion lands
+    /// exactly on the budget completed and is not exhausted. On
+    /// truncation the parallel engine discards partial worker bests and
+    /// returns the deterministic greedy/seed result.
     pub budget_exhausted: bool,
 }
 
@@ -87,15 +121,35 @@ pub struct SearchStats {
 /// paper's conclusion points out that timing- and power-driven synthesis
 /// only need these three functions swapped ("our methods can be directly
 /// applied … provided the algorithms are formulated in terms of a
-/// rectangular cover problem").
+/// rectangular cover problem"). The functions are `Sync` so the parallel
+/// engine can share them across worker threads.
 pub struct CostModel<'a> {
     /// Current value of a covered cube (0 when covered elsewhere or
     /// divided — the paper's `V` attribute).
-    pub cube_value: &'a dyn Fn(CubeId) -> u32,
+    pub cube_value: &'a (dyn Fn(CubeId) -> u32 + Sync),
     /// Cost of the replacement cube `cok·X` added per chosen row.
-    pub row_cost: &'a dyn Fn(&pf_sop::Cube) -> i64,
+    pub row_cost: &'a (dyn Fn(&pf_sop::Cube) -> i64 + Sync),
     /// Cost of one kernel cube in the extracted node's body.
-    pub col_cost: &'a dyn Fn(&pf_sop::Cube) -> i64,
+    pub col_cost: &'a (dyn Fn(&pf_sop::Cube) -> i64 + Sync),
+}
+
+fn area_row_cost(cok: &pf_sop::Cube) -> i64 {
+    cok.len() as i64 + 1
+}
+
+fn area_col_cost(cube: &pf_sop::Cube) -> i64 {
+    cube.len() as i64
+}
+
+impl<'a> CostModel<'a> {
+    /// The default area model over `value_of`.
+    pub fn area(value_of: &'a (dyn Fn(CubeId) -> u32 + Sync)) -> Self {
+        CostModel {
+            cube_value: value_of,
+            row_cost: &area_row_cost,
+            col_cost: &area_col_cost,
+        }
+    }
 }
 
 /// Finds the maximum-valued rectangle with positive value, or `None`.
@@ -106,15 +160,25 @@ pub struct CostModel<'a> {
 /// model; see [`best_rectangle_with`] for custom objectives.
 pub fn best_rectangle(
     m: &KcMatrix,
-    value_of: &dyn Fn(CubeId) -> u32,
+    value_of: &(dyn Fn(CubeId) -> u32 + Sync),
     cfg: &SearchConfig,
 ) -> (Option<Rectangle>, SearchStats) {
-    let model = CostModel {
-        cube_value: value_of,
-        row_cost: &|cok| cok.len() as i64 + 1,
-        col_cost: &|cube| cube.len() as i64,
-    };
-    best_rectangle_with(m, &model, cfg)
+    best_rectangle_seeded(m, value_of, cfg, None)
+}
+
+/// [`best_rectangle`], seeded with a rectangle from a *previous*
+/// extraction pass. The seed's columns are re-validated against the
+/// current matrix (its support and value are recomputed from scratch) so
+/// branch-and-bound pruning starts tight; a stale or worthless seed is
+/// simply ignored.
+pub fn best_rectangle_seeded(
+    m: &KcMatrix,
+    value_of: &(dyn Fn(CubeId) -> u32 + Sync),
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+) -> (Option<Rectangle>, SearchStats) {
+    let model = CostModel::area(value_of);
+    best_rectangle_with_seed(m, &model, cfg, seed)
 }
 
 /// [`best_rectangle`] under an explicit [`CostModel`].
@@ -123,13 +187,83 @@ pub fn best_rectangle_with(
     model: &CostModel<'_>,
     cfg: &SearchConfig,
 ) -> (Option<Rectangle>, SearchStats) {
-    let mut stats = SearchStats::default();
-    let mut best: Option<Rectangle> = None;
+    best_rectangle_with_seed(m, model, cfg, None)
+}
 
-    // Precompute, per alive row: Σ of entry values and the row cost —
-    // used for the admissible pruning bound.
-    let nrows = m.rows().len();
-    let mut row_full_value = vec![0i64; nrows];
+/// [`best_rectangle_with`] with an optional previous-pass seed; see
+/// [`best_rectangle_seeded`].
+pub fn best_rectangle_with_seed(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+) -> (Option<Rectangle>, SearchStats) {
+    let row_full_value = row_full_values(m, model);
+    let col_sets = m.col_row_sets();
+
+    let mut best = seed.and_then(|s| revalidate_seed(m, model, cfg, s));
+
+    if cfg.par_threads >= 1 {
+        // The parallel engine runs the greedy sweep itself, striped
+        // across its workers (it dominates the sequential prologue once
+        // exploration is well-pruned).
+        return crate::par_search::search(m, model, cfg, &row_full_value, &col_sets, best);
+    }
+
+    if cfg.greedy_seed {
+        greedy_sweep(m, model, cfg, &col_sets, &mut best);
+    }
+
+    // Classic sequential branch and bound over column sets ordered by
+    // leftmost column.
+    let mut state = Search {
+        m,
+        model,
+        cfg,
+        row_full_value: &row_full_value,
+        col_sets: &col_sets,
+        visited: 0,
+        truncated: false,
+        best,
+        cols: Vec::new(),
+        scratch: Vec::new(),
+        cand: Vec::new(),
+        rows_buf: Vec::new(),
+        seen: FxHashSet::default(),
+        root: RowSet::new(),
+    };
+    for (c0, cset) in col_sets.iter().enumerate() {
+        if !stripe_admits(cfg, c0) || cset.is_empty() {
+            continue;
+        }
+        if state.truncated {
+            break;
+        }
+        state.cols.clear();
+        state.cols.push(c0);
+        let mut root = std::mem::take(&mut state.root);
+        root.copy_from(cset);
+        state.root = state.explore(0, root);
+    }
+    let stats = SearchStats {
+        visited: state.visited,
+        budget_exhausted: state.truncated,
+    };
+    (state.best, stats)
+}
+
+/// Whether the stripe filter admits `c` as a leftmost column.
+pub(crate) fn stripe_admits(cfg: &SearchConfig, c: ColIdx) -> bool {
+    match cfg.stripe {
+        Some((proc, nprocs)) => (c as u32) % nprocs == proc,
+        None => true,
+    }
+}
+
+/// Per alive row: Σ of entry values minus the row cost — the row's
+/// contribution ceiling, used by the admissible pruning bound.
+pub(crate) fn row_full_values(m: &KcMatrix, model: &CostModel<'_>) -> Vec<i64> {
+    let mut out = vec![0i64; m.rows().len()];
     for (i, r) in m.rows().iter().enumerate() {
         if !r.alive {
             continue;
@@ -139,45 +273,9 @@ pub fn best_rectangle_with(
             .iter()
             .map(|&(_, id)| (model.cube_value)(id) as i64)
             .sum();
-        row_full_value[i] = sum - (model.row_cost)(&r.cokernel);
+        out[i] = sum - (model.row_cost)(&r.cokernel);
     }
-
-    if cfg.greedy_seed {
-        greedy_sweep(m, model, cfg, &mut best);
-    }
-
-    // Branch and bound over column sets ordered by leftmost column.
-    let ncols = m.cols().len();
-    let mut state = Search {
-        m,
-        model,
-        cfg,
-        row_full_value: &row_full_value,
-        stats: &mut stats,
-        best: &mut best,
-        cols: Vec::new(),
-        scratch: Vec::new(),
-        seen: FxHashSet::default(),
-    };
-    for c0 in 0..ncols {
-        if let Some((proc, nprocs)) = cfg.stripe {
-            if (c0 as u32) % nprocs != proc {
-                continue;
-            }
-        }
-        let rows0: Vec<RowIdx> = m.cols()[c0].rows.clone();
-        if rows0.is_empty() {
-            continue;
-        }
-        if state.exhausted() {
-            break;
-        }
-        state.cols.clear();
-        state.cols.push(c0);
-        state.explore(0, rows0);
-    }
-    stats.budget_exhausted = stats.visited >= cfg.budget;
-    (best, stats)
+    out
 }
 
 struct Search<'a> {
@@ -185,21 +283,27 @@ struct Search<'a> {
     model: &'a CostModel<'a>,
     cfg: &'a SearchConfig,
     row_full_value: &'a [i64],
-    stats: &'a mut SearchStats,
-    best: &'a mut Option<Rectangle>,
+    col_sets: &'a [RowSet],
+    /// Column sets fully expanded so far.
+    visited: u64,
+    /// Set when an expansion was denied by the budget.
+    truncated: bool,
+    best: Option<Rectangle>,
     /// Current column set (shared across the recursion as a stack).
     cols: Vec<ColIdx>,
-    /// Per-depth row-intersection buffers, reused between branches.
-    scratch: Vec<Vec<RowIdx>>,
+    /// Per-depth row-support buffers, reused between branches.
+    scratch: Vec<RowSet>,
+    /// Per-depth candidate-column bitsets (universe = column count).
+    cand: Vec<RowSet>,
+    /// Reusable row-index buffer for exact evaluation.
+    rows_buf: Vec<RowIdx>,
     /// Reusable dedup set for exact evaluation.
     seen: FxHashSet<CubeId>,
+    /// Reusable root support buffer for the leftmost-column loop.
+    root: RowSet,
 }
 
 impl Search<'_> {
-    fn exhausted(&self) -> bool {
-        self.stats.visited >= self.cfg.budget
-    }
-
     fn best_value(&self) -> i64 {
         self.best.as_ref().map_or(0, |b| b.value)
     }
@@ -207,62 +311,63 @@ impl Search<'_> {
     /// Expands the current column set (`self.cols`) whose supporting
     /// rows are `rows`. `depth` indexes the scratch pool. Returns the
     /// `rows` buffer so the caller can pool it.
-    fn explore(&mut self, depth: usize, rows: Vec<RowIdx>) -> Vec<RowIdx> {
-        self.stats.visited += 1;
-        if self.exhausted() {
+    fn explore(&mut self, depth: usize, rows: RowSet) -> RowSet {
+        if self.visited >= self.cfg.budget {
+            self.truncated = true;
             return rows;
         }
+        self.visited += 1;
 
         if self.cols.len() >= self.cfg.min_cols {
             // Cheap gate first: the duplicate-blind value is an upper
             // bound on the exact value, so the exact (allocating) pass
             // only runs on candidates that could beat the best.
-            let col_cost: i64 = self
-                .cols
-                .iter()
-                .map(|&c| (self.model.col_cost)(&self.m.cols()[c].cube))
-                .sum();
-            let mut approx: i64 = -col_cost;
-            for &r in &rows {
-                let row = &self.m.rows()[r];
-                let mut contrib: i64 = -(self.model.row_cost)(&row.cokernel);
-                for &c in &self.cols {
-                    let id = row.entry(c).expect("row supports all cols");
-                    contrib += (self.model.cube_value)(id) as i64;
-                }
-                if contrib > 0 {
-                    approx += contrib;
-                }
-            }
+            let approx = approx_value(self.m, self.model, &self.cols, &rows);
             if approx > self.best_value() {
+                self.rows_buf.clear();
+                rows.collect_into(&mut self.rows_buf);
                 self.seen.clear();
-                if let Some(rect) =
-                    evaluate_with(self.m, self.model, &self.cols, &rows, &mut self.seen)
-                {
+                if let Some(rect) = evaluate_with(
+                    self.m,
+                    self.model,
+                    &self.cols,
+                    &self.rows_buf,
+                    &mut self.seen,
+                ) {
                     if rect.value > self.best_value() {
-                        *self.best = Some(rect);
+                        self.best = Some(rect);
                     }
                 }
             }
         }
 
-        // Extend with columns to the right of the current rightmost.
+        // Extend with columns to the right of the current rightmost. A
+        // column intersects the support only if some support row has an
+        // entry in it, so enumerate the rows' entries (marked into a
+        // column bitset, which dedups and sorts for free) instead of
+        // intersecting against every column of the matrix.
         let from = self.cols.last().copied().unwrap_or(0) + 1;
         if self.scratch.len() <= depth {
-            self.scratch.resize_with(depth + 1, Vec::new);
+            self.scratch.resize_with(depth + 1, RowSet::new);
+            self.cand.resize_with(depth + 1, RowSet::new);
         }
-        for c in from..self.m.cols().len() {
+        let mut cand = std::mem::take(&mut self.cand[depth]);
+        cand.reset(self.m.cols().len());
+        for r in &rows {
+            for &(c, _) in &self.m.rows()[r].entries {
+                if c >= from {
+                    cand.insert(c);
+                }
+            }
+        }
+        for c in &cand {
             // rows ∩ rows(c), into the per-depth scratch buffer.
             let mut shared = std::mem::take(&mut self.scratch[depth]);
-            shared.clear();
-            intersect_into(&rows, &self.m.cols()[c].rows, &mut shared);
-            if shared.is_empty() {
-                self.scratch[depth] = shared;
-                continue;
-            }
+            shared.assign_and(&rows, &self.col_sets[c]);
+            debug_assert!(!shared.is_empty(), "candidate columns share a row");
             // Admissible bound: every surviving row can contribute at
             // most its full-row value; column costs only grow.
-            let ub: i64 = shared.iter().map(|&r| self.row_full_value[r].max(0)).sum();
+            let ub: i64 = shared.iter().map(|r| self.row_full_value[r].max(0)).sum();
             if ub <= self.best_value() {
                 self.scratch[depth] = shared;
                 continue;
@@ -271,35 +376,50 @@ impl Search<'_> {
             let buf = self.explore(depth + 1, shared);
             self.scratch[depth] = buf;
             self.cols.pop();
-            if self.exhausted() {
+            if self.truncated {
+                // Terminal unwind — skip restoring the candidate pool.
                 return rows;
             }
         }
+        self.cand[depth] = cand;
         rows
     }
 }
 
-/// `out = a ∩ b` over sorted slices, reusing `out`'s allocation.
-fn intersect_into(a: &[RowIdx], b: &[RowIdx], out: &mut Vec<RowIdx>) {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
+/// Duplicate-blind value of `(cols, rows)`: per-row contributions
+/// clamped at zero, minus column costs. An upper bound on the exact
+/// value (cube dedup only lowers it), cheap enough to gate the exact
+/// pass.
+pub(crate) fn approx_value(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cols: &[ColIdx],
+    rows: &RowSet,
+) -> i64 {
+    let col_cost: i64 = cols
+        .iter()
+        .map(|&c| (model.col_cost)(&m.cols()[c].cube))
+        .sum();
+    let mut approx: i64 = -col_cost;
+    for r in rows {
+        let row = &m.rows()[r];
+        let mut contrib: i64 = -(model.row_cost)(&row.cokernel);
+        for &c in cols {
+            let id = row.entry(c).expect("row supports all cols");
+            contrib += (model.cube_value)(id) as i64;
+        }
+        if contrib > 0 {
+            approx += contrib;
         }
     }
+    approx
 }
 
 /// Exact evaluation of the optimal rectangle for a fixed column set:
 /// keeps the rows with positive contribution and counts each covered
 /// cube once. Returns `None` when no row subset yields positive value.
 /// `seen` is a caller-provided (cleared) dedup buffer.
-fn evaluate_with(
+pub(crate) fn evaluate_with(
     m: &KcMatrix,
     model: &CostModel<'_>,
     cols: &[ColIdx],
@@ -349,42 +469,92 @@ fn evaluate_with(
     })
 }
 
-/// Greedy seed: for every alive row, take its full column set as the
-/// candidate kernel and evaluate the optimal rectangle for it. O(rows ×
-/// cols); seeds the branch-and-bound with a strong lower bound and is
-/// the fallback answer when the budget dies.
+/// Re-validates a previous-pass rectangle against the *current* matrix:
+/// recomputes the support of its column set and the exact value. Returns
+/// `None` when the columns vanished, the support is empty, or the value
+/// is no longer positive.
+pub(crate) fn revalidate_seed(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    seed: &Rectangle,
+) -> Option<Rectangle> {
+    if seed.cols.len() < cfg.min_cols || seed.cols.iter().any(|&c| c >= m.cols().len()) {
+        return None;
+    }
+    let mut support = m.cols()[seed.cols[0]].rows.clone();
+    for &c in &seed.cols[1..] {
+        support = KcMatrix::intersect_rows(&support, &m.cols()[c].rows);
+        if support.is_empty() {
+            return None;
+        }
+    }
+    if support.is_empty() {
+        return None;
+    }
+    let mut seen = FxHashSet::default();
+    evaluate_with(m, model, &seed.cols, &support, &mut seen)
+}
+
+/// Reusable buffers for [`greedy_row`]; one per sweeping thread.
+#[derive(Default)]
+pub(crate) struct GreedyBufs {
+    seen: FxHashSet<CubeId>,
+    support: RowSet,
+    rows_buf: Vec<RowIdx>,
+    cols: Vec<ColIdx>,
+}
+
+/// One step of the greedy sweep: takes row `r`'s full column set as the
+/// candidate kernel and evaluates the optimal rectangle for it. Returns
+/// `None` for dead, too-narrow, stripe-rejected, or worthless rows.
+pub(crate) fn greedy_row(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    col_sets: &[RowSet],
+    r: RowIdx,
+    bufs: &mut GreedyBufs,
+) -> Option<Rectangle> {
+    let row = &m.rows()[r];
+    if !row.alive || row.entries.len() < cfg.min_cols {
+        return None;
+    }
+    bufs.cols.clear();
+    bufs.cols.extend(row.entries.iter().map(|&(c, _)| c));
+    // Stripe filter applies to the leftmost column for consistency with
+    // the exact search.
+    if !stripe_admits(cfg, bufs.cols[0]) {
+        return None;
+    }
+    // Supporting rows: intersection of the column row-sets.
+    bufs.support.copy_from(&col_sets[bufs.cols[0]]);
+    for &c in &bufs.cols[1..] {
+        bufs.support.and_with(&col_sets[c]);
+        if bufs.support.is_empty() {
+            return None;
+        }
+    }
+    bufs.rows_buf.clear();
+    bufs.support.collect_into(&mut bufs.rows_buf);
+    bufs.seen.clear();
+    evaluate_with(m, model, &bufs.cols, &bufs.rows_buf, &mut bufs.seen)
+}
+
+/// Greedy seed: [`greedy_row`] over every row, keeping the first
+/// strictly better rectangle. O(rows × cols); seeds the branch-and-bound
+/// with a strong lower bound and is the fallback answer when the budget
+/// dies.
 fn greedy_sweep(
     m: &KcMatrix,
     model: &CostModel<'_>,
     cfg: &SearchConfig,
+    col_sets: &[RowSet],
     best: &mut Option<Rectangle>,
 ) {
-    let mut seen: FxHashSet<CubeId> = FxHashSet::default();
-    for row in m.rows().iter().filter(|r| r.alive) {
-        if row.entries.len() < cfg.min_cols {
-            continue;
-        }
-        let cols: Vec<ColIdx> = row.entries.iter().map(|&(c, _)| c).collect();
-        if let Some((proc, nprocs)) = cfg.stripe {
-            // Stripe filter applies to the leftmost column for
-            // consistency with the exact search.
-            if (cols[0] as u32) % nprocs != proc {
-                continue;
-            }
-        }
-        // Supporting rows: intersection of the column row-lists.
-        let mut support = m.cols()[cols[0]].rows.clone();
-        for &c in &cols[1..] {
-            support = KcMatrix::intersect_rows(&support, &m.cols()[c].rows);
-            if support.is_empty() {
-                break;
-            }
-        }
-        if support.is_empty() {
-            continue;
-        }
-        seen.clear();
-        if let Some(rect) = evaluate_with(m, model, &cols, &support, &mut seen) {
+    let mut bufs = GreedyBufs::default();
+    for r in 0..m.rows().len() {
+        if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut bufs) {
             if rect.value > best.as_ref().map_or(0, |b| b.value) {
                 *best = Some(rect);
             }
@@ -541,8 +711,43 @@ mod tests {
             },
         );
         assert!(stats.budget_exhausted);
+        assert_eq!(stats.visited, 1);
         // Greedy still finds the a+b rectangle here (it is a full row).
         assert_eq!(best.unwrap().value, 8);
+    }
+
+    #[test]
+    fn completing_exactly_at_budget_is_not_exhausted() {
+        // Run once unbounded to learn the exact expansion count, then
+        // re-run with the budget set to precisely that count: the search
+        // still completes, so it must NOT report exhaustion.
+        let (m, _reg, w) = paper_matrix();
+        let (_, free) = best_rectangle(&m, &|id| w[id as usize], &SearchConfig::default());
+        assert!(free.visited > 1);
+        let (best, stats) = best_rectangle(
+            &m,
+            &|id| w[id as usize],
+            &SearchConfig {
+                budget: free.visited,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(
+            !stats.budget_exhausted,
+            "final expansion completed the search"
+        );
+        assert_eq!(stats.visited, free.visited);
+        assert_eq!(best.unwrap().value, 8);
+        // One fewer and the search is genuinely truncated.
+        let (_, short) = best_rectangle(
+            &m,
+            &|id| w[id as usize],
+            &SearchConfig {
+                budget: free.visited - 1,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(short.budget_exhausted);
     }
 
     #[test]
@@ -624,5 +829,102 @@ mod tests {
             .0
             .unwrap();
         assert_eq!(best.value, 3);
+    }
+
+    #[test]
+    fn seed_survives_when_still_best() {
+        // Seed the search with the known optimum: the result must be
+        // unchanged (the seed re-validates to the same rectangle).
+        let (m, _reg, w) = paper_matrix();
+        let value_of = |id: CubeId| w[id as usize];
+        let (best, _) = best_rectangle(&m, &value_of, &SearchConfig::default());
+        let best = best.unwrap();
+        let (seeded, _) =
+            best_rectangle_seeded(&m, &value_of, &SearchConfig::default(), Some(&best));
+        assert_eq!(seeded.unwrap().value, best.value);
+    }
+
+    #[test]
+    fn stale_seed_is_ignored() {
+        let (m, _reg, w) = paper_matrix();
+        let value_of = |id: CubeId| w[id as usize];
+        // A seed pointing at out-of-range columns must not panic or
+        // perturb the result.
+        let stale = Rectangle {
+            rows: vec![0],
+            cols: vec![9999, 10000],
+            value: 123,
+        };
+        let (best, _) =
+            best_rectangle_seeded(&m, &value_of, &SearchConfig::default(), Some(&stale));
+        assert_eq!(best.unwrap().value, 8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_is_thread_count_independent() {
+        let (m, _reg, w) = paper_matrix();
+        let value_of = |id: CubeId| w[id as usize];
+        let (seq_best, _) = best_rectangle(&m, &value_of, &SearchConfig::default());
+        let seq_best = seq_best.unwrap();
+        let mut prior: Option<Rectangle> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = SearchConfig {
+                par_threads: threads,
+                ..SearchConfig::default()
+            };
+            let (par_best, stats) = best_rectangle(&m, &value_of, &cfg);
+            let par_best = par_best.unwrap();
+            assert!(!stats.budget_exhausted);
+            assert_eq!(par_best.value, seq_best.value, "threads={threads}");
+            if let Some(p) = &prior {
+                assert_eq!(&par_best, p, "threads={threads} changed the result");
+            }
+            prior = Some(par_best);
+        }
+    }
+
+    #[test]
+    fn parallel_budget_truncation_returns_greedy_deterministically() {
+        let (m, _reg, w) = paper_matrix();
+        let value_of = |id: CubeId| w[id as usize];
+        let mut prior: Option<Rectangle> = None;
+        for threads in [1usize, 4] {
+            let cfg = SearchConfig {
+                budget: 1,
+                par_threads: threads,
+                ..SearchConfig::default()
+            };
+            let (best, stats) = best_rectangle(&m, &value_of, &cfg);
+            assert!(stats.budget_exhausted);
+            let best = best.unwrap();
+            assert_eq!(best.value, 8); // greedy finds a+b (a full row)
+            if let Some(p) = &prior {
+                assert_eq!(&best, p);
+            }
+            prior = Some(best);
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_total_and_value_first() {
+        let a = Rectangle {
+            rows: vec![1, 2],
+            cols: vec![0, 3],
+            value: 5,
+        };
+        let b = Rectangle {
+            rows: vec![0, 9],
+            cols: vec![1, 2],
+            value: 4,
+        };
+        assert!(canonical_better(&a, &b)); // higher value wins
+        let c = Rectangle {
+            rows: vec![1, 2],
+            cols: vec![0, 4],
+            value: 5,
+        };
+        assert!(canonical_better(&a, &c)); // tie → smaller cols
+        assert!(!canonical_better(&c, &a));
+        assert!(!canonical_better(&a, &a.clone())); // irreflexive
     }
 }

@@ -4,7 +4,8 @@
 //! Table 5 under arbitrary operation sequences.
 
 use pf_kcmatrix::{
-    best_rectangle, CubeRegistry, CubeState, CubeStates, KcMatrix, LabelGen, SearchConfig,
+    best_rectangle, reference, CubeRegistry, CubeState, CubeStates, KcMatrix, LabelGen,
+    SearchConfig,
 };
 use pf_sop::kernel::KernelConfig;
 use pf_sop::{Cube, Lit, Sop};
@@ -148,6 +149,63 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The bitset engine is a drop-in replacement for the legacy vec
+    /// search: identical rectangle, value, and stats on arbitrary
+    /// matrices, with and without stripes, for min_cols ∈ {1, 2}.
+    #[test]
+    fn bitset_search_equals_vec_search(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4),
+        striped in any::<bool>(),
+        proc in 0u32..4,
+        nprocs in 1u32..4,
+        min_cols in 1usize..3,
+        tight_budget in any::<bool>(),
+        budget in 1u64..40,
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let cfg = SearchConfig {
+            stripe: striped.then_some((proc % nprocs, nprocs)),
+            min_cols,
+            budget: if tight_budget { budget } else { SearchConfig::default().budget },
+            ..SearchConfig::default()
+        };
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let (bit, bit_stats) = best_rectangle(&m, &value_of, &cfg);
+        let (vec, vec_stats) = reference::best_rectangle(&m, &value_of, &cfg);
+        prop_assert_eq!(bit, vec);
+        prop_assert_eq!(bit_stats.visited, vec_stats.visited);
+        prop_assert_eq!(bit_stats.budget_exhausted, vec_stats.budget_exhausted);
+    }
+
+    /// The parallel engine returns the same `Rectangle` no matter the
+    /// thread count, and its value matches the sequential optimum.
+    #[test]
+    fn parallel_search_is_thread_count_independent(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4),
+        min_cols in 1usize..3,
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let base = SearchConfig { min_cols, ..SearchConfig::default() };
+        let (seq, _) = best_rectangle(&m, &value_of, &base);
+        let (one, _) = best_rectangle(
+            &m,
+            &value_of,
+            &SearchConfig { par_threads: 1, ..base.clone() },
+        );
+        let (four, _) = best_rectangle(
+            &m,
+            &value_of,
+            &SearchConfig { par_threads: 4, ..base },
+        );
+        prop_assert_eq!(&one, &four, "1 vs 4 threads must agree exactly");
+        prop_assert_eq!(
+            one.as_ref().map(|r| r.value),
+            seq.map(|r| r.value),
+            "parallel value must match the sequential optimum"
+        );
     }
 
     /// Tombstoning a node's rows leaves the matrix consistent.

@@ -70,6 +70,10 @@ pub struct JobSpec {
     /// Processors / partitions for the parallel drivers (ignored by
     /// `seq`). Validated against the host's parallelism at submit time.
     pub procs: usize,
+    /// Intra-matrix rectangle-search threads per driver worker
+    /// (`SearchConfig::par_threads`). `0` keeps the classic sequential
+    /// search. Clamped to the host's parallelism at submit time.
+    pub par_threads: usize,
     /// Per-job deadline; expiry (including time spent queued) turns the
     /// job into a structured timeout response.
     pub deadline: Option<Duration>,
@@ -82,6 +86,7 @@ impl JobSpec {
             algorithm,
             workload: workload.into(),
             procs: 2,
+            par_threads: 0,
             deadline: None,
         }
     }

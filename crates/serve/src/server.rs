@@ -7,7 +7,7 @@
 //! → {"op":"ping"}
 //! ← {"status":"ok"}
 //! → {"op":"submit","algorithm":"lshaped","workload":"gen:misex3@0.1",
-//!    "procs":2,"deadline_ms":5000}
+//!    "procs":2,"par_threads":4,"deadline_ms":5000}
 //! ← {"id":1,"status":"completed","metrics":{"lc_before":…,"lc_after":…,
 //!    "saved":…,"extractions":…,"queue_wait_us":…,"run_us":…,"phases":{…}}}
 //! → {"op":"metrics"}
@@ -516,6 +516,12 @@ fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
             .as_u64()
             .ok_or("\"procs\" must be a non-negative integer")? as usize,
     };
+    let par_threads = match request.get("par_threads") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or("\"par_threads\" must be a non-negative integer")? as usize,
+    };
     let deadline = match request.get("deadline_ms") {
         None | Some(Json::Null) => None,
         Some(v) => Some(Duration::from_millis(
@@ -526,6 +532,7 @@ fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
         algorithm,
         workload,
         procs,
+        par_threads,
         deadline,
     })
 }
@@ -656,6 +663,30 @@ mod tests {
         let m = r.get("metrics").unwrap();
         assert!(m.get("lc_before").and_then(Json::as_u64).unwrap() > 0);
         assert!(m.get("run_us").is_some());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn submit_with_par_threads_parses_and_completes() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let responses = request_lines(
+            addr,
+            &[
+                concat!(
+                    r#"{"op":"submit","algorithm":"seq","#,
+                    r#""workload":"gen:misex3@0.05","par_threads":2}"#
+                )
+                .to_string(),
+                r#"{"op":"submit","algorithm":"seq","workload":"gen:misex3@0.05","par_threads":"x"}"#
+                    .to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("protocol round-trip");
+        let ok = parse(&responses[0]).unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("completed"));
+        let bad = parse(&responses[1]).unwrap();
+        assert_eq!(bad.get("status").and_then(Json::as_str), Some("rejected"));
         handle.join().unwrap();
     }
 

@@ -165,6 +165,8 @@ impl Client {
                 return Err(Rejection::Invalid(msg));
             }
         }
+        // 0 is meaningful (classic sequential search), so only clamp.
+        spec.par_threads = spec.par_threads.min(self.inner.max_procs.max(1));
         let strikes = self.inner.strikes(&spec.fingerprint());
         if strikes >= self.inner.poison_threshold {
             m.quarantined.inc();

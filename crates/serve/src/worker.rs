@@ -12,10 +12,11 @@ use std::time::Instant;
 /// driver's barrier points. Blocking; returns the driver's report.
 pub fn run_extraction(spec: &JobSpec, ctl: &RunCtl) -> Result<ExtractReport, String> {
     let mut nw = resolve_workload(&spec.workload)?;
-    let extract = ExtractConfig {
+    let mut extract = ExtractConfig {
         ctl: ctl.clone(),
         ..ExtractConfig::default()
     };
+    extract.search.par_threads = spec.par_threads;
     let report = match spec.algorithm {
         Algorithm::Seq => pf_core::extract_kernels(&mut nw, &[], &extract),
         Algorithm::Replicated => replicated_extract(

@@ -12,12 +12,34 @@
 //! exists so `cargo bench` and bench compilation under `cargo test`
 //! keep working; treat its numbers as indicative only.
 //!
+//! Passing `--test` to the bench binary (`cargo bench -- --test`)
+//! mirrors real criterion's smoke mode: every benchmark still runs, but
+//! with the minimum sample count, so CI can verify benches execute
+//! without paying for a full measurement.
+//!
 //! [`criterion`]: https://docs.rs/criterion
 
 use std::time::{Duration, Instant};
 
 /// Re-export so `criterion::black_box` callers keep working.
 pub use std::hint::black_box;
+
+/// True when the bench binary was invoked with `--test` (as `cargo
+/// bench -- --test` does in real criterion): run every benchmark as a
+/// minimal smoke pass instead of a full measurement.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Clamps a requested sample count, forcing the smoke-mode minimum when
+/// `--test` was passed.
+fn effective_sample_size(n: usize) -> usize {
+    if test_mode() {
+        2
+    } else {
+        n.max(2)
+    }
+}
 
 /// Identifier for one benchmark within a group.
 #[derive(Clone, Debug)]
@@ -91,14 +113,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 30 }
+        Criterion {
+            sample_size: effective_sample_size(30),
+        }
     }
 }
 
 impl Criterion {
     /// Configures the per-benchmark sample count (builder style).
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(2);
+        self.sample_size = effective_sample_size(n);
         self
     }
 
@@ -139,7 +163,7 @@ pub struct BenchmarkGroup<'a> {
 impl BenchmarkGroup<'_> {
     /// Overrides the sample count for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        self.sample_size = effective_sample_size(n);
         self
     }
 
@@ -227,6 +251,14 @@ mod tests {
         g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &k| b.iter(|| k * 2));
         g.bench_function("plain", |b| b.iter(|| 1 + 1));
         g.finish();
+    }
+
+    #[test]
+    fn sample_size_clamps_to_minimum() {
+        // Outside `--test` mode the floor is 2; requests above it pass
+        // through unchanged.
+        assert_eq!(effective_sample_size(0), 2);
+        assert_eq!(effective_sample_size(30), 30);
     }
 
     #[test]

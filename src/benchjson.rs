@@ -1,0 +1,272 @@
+//! `parafactor bench-json` — a machine-readable performance snapshot.
+//!
+//! Emits `BENCH_rect.json`: median nanoseconds per rectangle search for
+//! the legacy vec engine, the bitset engine, and the parallel engine at
+//! 1/2/4/8 threads, plus end-to-end extraction wall time per driver at
+//! dalu scale 0.35 and 1.0. The checked-in copy at the repo root is the
+//! perf trajectory baseline; refresh it with `parafactor bench-json`
+//! after touching the search core. `--quick` shrinks scales and reps so
+//! CI can smoke the subcommand in seconds.
+
+use pf_kcmatrix::{best_rectangle, reference, CubeRegistry, KcMatrix, LabelGen, SearchConfig};
+use pf_serve::Json;
+use pf_workloads::{generate, profile_by_name, scale_profile};
+use std::time::Instant;
+
+/// Options for the `bench-json` subcommand.
+pub struct BenchJsonOptions {
+    /// Smaller scales and fewer repetitions — smoke mode for CI.
+    pub quick: bool,
+    /// Output path (`BENCH_rect.json` by default).
+    pub out: String,
+}
+
+impl Default for BenchJsonOptions {
+    fn default() -> Self {
+        BenchJsonOptions {
+            quick: false,
+            out: "BENCH_rect.json".to_string(),
+        }
+    }
+}
+
+/// Builds the KC matrix (and weights) of the dalu workload at `scale`.
+fn dalu_matrix(scale: f64) -> (KcMatrix, Vec<u32>) {
+    let nw = generate(&scale_profile(
+        &profile_by_name("dalu").expect("dalu profile exists"),
+        scale,
+    ));
+    let reg = CubeRegistry::new();
+    let mut m = KcMatrix::new();
+    let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+    let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+    for n in nw.node_ids() {
+        m.add_node_kernels(
+            n,
+            nw.func(n),
+            &pf_sop::kernel::KernelConfig::default(),
+            &reg,
+            &mut rl,
+            &mut cl,
+        );
+    }
+    let w = reg.weights_snapshot();
+    (m, w)
+}
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// One full search over `m` with the given thread count (0 = classic
+/// sequential engine).
+fn timed_search(m: &KcMatrix, w: &[u32], par_threads: usize, reps: usize) -> u64 {
+    let cfg = SearchConfig {
+        par_threads,
+        ..SearchConfig::default()
+    };
+    median_ns(reps, || {
+        let (best, _) = best_rectangle(m, &|id| w[id as usize], &cfg);
+        std::hint::black_box(best);
+    })
+}
+
+/// End-to-end extraction wall time (milliseconds, median of `reps`) for
+/// one driver on a fresh clone of `nw`.
+fn timed_extract(
+    nw: &pf_network::Network,
+    driver: &str,
+    procs: usize,
+    par_threads: usize,
+    reps: usize,
+) -> f64 {
+    use pf_core::{
+        extract_kernels, independent_extract, lshaped_extract, replicated_extract, ExtractConfig,
+        IndependentConfig, LShapedConfig, ReplicatedConfig,
+    };
+    let mut extract = ExtractConfig::default();
+    extract.search.par_threads = par_threads;
+    let ns = median_ns(reps, || {
+        let mut work = nw.clone();
+        let report = match driver {
+            "seq" => extract_kernels(&mut work, &[], &extract),
+            "replicated" => replicated_extract(
+                &mut work,
+                &ReplicatedConfig {
+                    procs,
+                    extract: extract.clone(),
+                    ..ReplicatedConfig::default()
+                },
+            ),
+            "independent" => independent_extract(
+                &mut work,
+                &IndependentConfig {
+                    procs,
+                    extract: extract.clone(),
+                    ..IndependentConfig::default()
+                },
+            ),
+            "lshaped" => lshaped_extract(
+                &mut work,
+                &LShapedConfig {
+                    procs,
+                    extract: extract.clone(),
+                    ..LShapedConfig::default()
+                },
+            ),
+            other => unreachable!("unknown driver {other}"),
+        };
+        std::hint::black_box(report.lc_after);
+    });
+    ns as f64 / 1e6
+}
+
+/// Runs every measurement and renders the JSON document.
+pub fn run(opts: &BenchJsonOptions) -> Json {
+    let (micro_scale, big_scale, micro_reps, thread_reps) = if opts.quick {
+        (0.08, 0.08, 3, 3)
+    } else {
+        (0.35, 1.0, 15, 7)
+    };
+    let e2e_scales: &[f64] = if opts.quick { &[0.08] } else { &[0.35, 1.0] };
+
+    // Micro: one full search, legacy vec engine vs bitset engine.
+    eprintln!("bench-json: rect_search micro @ dalu scale {micro_scale}");
+    let (m, w) = dalu_matrix(micro_scale);
+    let cfg = SearchConfig::default();
+    let vec_ns = median_ns(micro_reps, || {
+        let (best, _) = reference::best_rectangle(&m, &|id| w[id as usize], &cfg);
+        std::hint::black_box(best);
+    });
+    let bitset_ns = timed_search(&m, &w, 0, micro_reps);
+    let speedup = vec_ns as f64 / bitset_ns.max(1) as f64;
+    eprintln!("bench-json:   vec {vec_ns} ns, bitset {bitset_ns} ns ({speedup:.2}x)");
+
+    // Threads: the parallel engine on the big matrix.
+    eprintln!("bench-json: parallel search @ dalu scale {big_scale}");
+    let (mb, wb) = dalu_matrix(big_scale);
+    let mut thread_members: Vec<(String, Json)> = vec![(
+        "seq_ns".to_string(),
+        Json::u64(timed_search(&mb, &wb, 0, thread_reps)),
+    )];
+    for t in [1usize, 2, 4, 8] {
+        let ns = timed_search(&mb, &wb, t, thread_reps);
+        eprintln!("bench-json:   {t} thread(s): {ns} ns");
+        thread_members.push((format!("t{t}_ns"), Json::u64(ns)));
+    }
+
+    // End-to-end: every driver at each scale.
+    let mut e2e_members: Vec<(String, Json)> = Vec::new();
+    for &scale in e2e_scales {
+        let nw = generate(&scale_profile(
+            &profile_by_name("dalu").expect("dalu profile exists"),
+            scale,
+        ));
+        // Medians need repetition, but the big scale runs for seconds —
+        // one observation is the honest budget there.
+        let reps = if scale < 0.5 { 3 } else { 1 };
+        let mut drivers: Vec<(String, Json)> = Vec::new();
+        for driver in ["seq", "replicated", "independent", "lshaped"] {
+            let ms = timed_extract(&nw, driver, 4, 0, reps);
+            eprintln!("bench-json: e2e {driver} @ {scale}: {ms:.1} ms");
+            drivers.push((driver.to_string(), Json::num(ms)));
+        }
+        e2e_members.push((format!("scale_{scale}"), Json::Obj(drivers)));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Json::obj([
+        ("schema", Json::str("parafactor/bench_rect/v1")),
+        ("workload", Json::str("gen:dalu")),
+        ("quick", Json::Bool(opts.quick)),
+        // Thread-scaling numbers are only meaningful relative to this:
+        // on a single-core host the t2/t4/t8 rows measure pure engine
+        // overhead, not parallel speedup.
+        ("cpu_cores", Json::u64(cores as u64)),
+        (
+            "rect_search",
+            Json::obj([
+                ("scale", Json::num(micro_scale)),
+                ("vec_ns", Json::u64(vec_ns)),
+                ("bitset_ns", Json::u64(bitset_ns)),
+                ("speedup_vec_over_bitset", Json::num(speedup)),
+            ]),
+        ),
+        (
+            "par_search",
+            Json::obj([
+                ("scale", Json::num(big_scale)),
+                ("threads", Json::Obj(thread_members)),
+            ]),
+        ),
+        ("extract_e2e_ms", Json::Obj(e2e_members)),
+    ])
+}
+
+/// CLI entry point: parses `bench-json` arguments, runs the
+/// measurements, writes the file, and prints the document. Returns an
+/// error message on bad arguments or an unwritable output path.
+pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
+    let mut opts = BenchJsonOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                opts.quick = true;
+                i += 1;
+            }
+            "--out" => {
+                opts.out = args.get(i + 1).ok_or("--out needs a value")?.clone();
+                i += 2;
+            }
+            other => return Err(format!("unknown bench-json option {other:?}")),
+        }
+    }
+    let doc = run(&opts);
+    let text = doc.to_string();
+    std::fs::write(&opts.out, format!("{text}\n"))
+        .map_err(|e| format!("cannot write {}: {e}", opts.out))?;
+    println!("{text}");
+    eprintln!("bench-json: wrote {}", opts.out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_the_schema() {
+        let doc = run(&BenchJsonOptions {
+            quick: true,
+            out: String::new(),
+        });
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("parafactor/bench_rect/v1")
+        );
+        let micro = doc.get("rect_search").expect("rect_search present");
+        assert!(micro.get("vec_ns").and_then(Json::as_u64).unwrap() > 0);
+        assert!(micro.get("bitset_ns").and_then(Json::as_u64).unwrap() > 0);
+        let threads = doc
+            .get("par_search")
+            .and_then(|p| p.get("threads"))
+            .expect("threads table");
+        for key in ["seq_ns", "t1_ns", "t2_ns", "t4_ns", "t8_ns"] {
+            assert!(
+                threads.get(key).and_then(Json::as_u64).unwrap() > 0,
+                "{key}"
+            );
+        }
+        assert!(doc.get("extract_e2e_ms").is_some());
+    }
+}

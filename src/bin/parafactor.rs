@@ -6,8 +6,9 @@
 //! parafactor serve  [--addr A] [--workers N] [--queue N] [--max-procs N]
 //!                   [--max-conns N] [--idle-timeout-ms N]
 //!                   [--fault-plan SPEC] [--fault-seed N]
-//! parafactor submit [--addr A] [-a ALG] [-p N] [--deadline-ms N]
-//!                   [--retries N] <WORKLOAD>
+//! parafactor submit [--addr A] [-a ALG] [-p N] [--par-threads N]
+//!                   [--deadline-ms N] [--retries N] <WORKLOAD>
+//! parafactor bench-json [--quick] [--out FILE]
 //!
 //! INPUT                 circuit file (.blif, or the native text format),
 //!                       or gen:<profile>[@scale] for a synthetic circuit
@@ -16,6 +17,8 @@
 //!                       lshaped-seq | lshaped-cx | iterative | script
 //!                       [default: seq]
 //! -p, --procs N         processors / partitions            [default: 4]
+//!     --par-threads N   intra-matrix search threads per worker; 0 keeps
+//!                       the classic sequential search      [default: 0]
 //! -o, --output FILE     write the optimized circuit (format by extension:
 //!                       .blif or anything else = native text)
 //!     --objective OBJ   area | timing | power               [default: area]
@@ -34,7 +37,9 @@
 //! service and prints the JSON response; queue-full rejections are
 //! retried up to --retries times with exponential backoff. For both
 //! commands procs must be >= 1 and is capped at the host's available
-//! parallelism.
+//! parallelism; --par-threads is likewise capped (0 stays 0). bench-json
+//! measures the rectangle-search engines and the four drivers end to end
+//! and writes BENCH_rect.json (--quick shrinks scales/reps for CI).
 //! ```
 
 use parafactor::core::script::{run_script, ScriptConfig};
@@ -59,6 +64,7 @@ struct Options {
     input: String,
     algorithm: String,
     procs: usize,
+    par_threads: usize,
     output: Option<String>,
     objective: String,
     run_cx: bool,
@@ -87,6 +93,7 @@ fn parse_args() -> Options {
         input: String::new(),
         algorithm: "seq".into(),
         procs: 4,
+        par_threads: 0,
         output: None,
         objective: "area".into(),
         run_cx: false,
@@ -107,6 +114,12 @@ fn parse_args() -> Options {
             "-p" | "--procs" => {
                 opts.procs = need("--procs").parse().unwrap_or_else(|_| {
                     eprintln!("error: --procs must be a positive integer");
+                    usage()
+                })
+            }
+            "--par-threads" => {
+                opts.par_threads = need("--par-threads").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --par-threads must be a non-negative integer");
                     usage()
                 })
             }
@@ -252,6 +265,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut algorithm = "seq".to_string();
     let mut procs = 2usize;
+    let mut par_threads = 0usize;
     let mut deadline_ms: Option<u64> = None;
     let mut retries = 4u32;
     let mut workload: Option<String> = None;
@@ -274,6 +288,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             "-p" | "--procs" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => procs = n,
                 None => return bad("--procs must be an integer".into()),
+            },
+            "--par-threads" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => par_threads = n,
+                None => return bad("--par-threads must be a non-negative integer".into()),
             },
             "--deadline-ms" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) => deadline_ms = Some(n),
@@ -312,6 +330,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         ("algorithm".to_string(), Json::str(algorithm)),
         ("workload".to_string(), Json::str(workload)),
         ("procs".to_string(), Json::u64(procs as u64)),
+        ("par_threads".to_string(), Json::u64(par_threads as u64)),
     ];
     if let Some(ms) = deadline_ms {
         request.push(("deadline_ms".to_string(), Json::u64(ms)));
@@ -368,6 +387,15 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&argv[1..]),
         Some("submit") => return cmd_submit(&argv[1..]),
+        Some("bench-json") => {
+            return match parafactor::benchjson::cmd_bench_json(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {}
     }
     let mut opts = parse_args();
@@ -380,6 +408,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // 0 is meaningful for --par-threads (classic search), so only cap.
+    opts.par_threads = opts.par_threads.min(default_max_procs());
     let nw = match load_circuit(&opts) {
         Ok(nw) => nw,
         Err(e) => {
@@ -405,10 +435,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let extract_cfg = ExtractConfig {
+    let mut extract_cfg = ExtractConfig {
         objective: objective.clone(),
         ..ExtractConfig::default()
     };
+    extract_cfg.search.par_threads = opts.par_threads;
 
     let report = match opts.algorithm.as_str() {
         "seq" => extract_kernels(&mut work, &[], &extract_cfg),

@@ -15,6 +15,8 @@
 //! covering, and the min-cut circuit partitioner — is implemented in the
 //! sibling crates re-exported below.
 
+pub mod benchjson;
+
 pub use pf_core as core;
 pub use pf_kcmatrix as kcmatrix;
 pub use pf_network as network;
