@@ -183,6 +183,36 @@ fn fault_plane(c: &mut Criterion) {
     g.finish();
 }
 
+fn trace_plane(c: &mut Criterion) {
+    // The observability contract, mirroring `fault_plane`: a span
+    // start/end pair on a *disarmed* tracer must cost one inlined
+    // `Option` test each — cheap enough to leave compiled into every
+    // driver. The armed variants price the real recording path.
+    let mut g = c.benchmark_group("trace_plane");
+    let disarmed = pf_core::Tracer::disarmed();
+    let mut lane = disarmed.lane("bench");
+    g.bench_function("span_disarmed", |b| {
+        b.iter(|| {
+            let s = black_box(&lane).start(black_box("cover"));
+            lane.end_with(s, || vec![("value", 1)]);
+        })
+    });
+    g.bench_function("event_disarmed", |b| {
+        b.iter(|| lane.event(black_box("search"), || vec![("visited", 100)]))
+    });
+    let armed = pf_core::Tracer::with_capacity(1024);
+    let mut armed_lane = armed.lane("bench");
+    g.bench_function("span_armed", |b| {
+        b.iter(|| {
+            let s = black_box(&armed_lane).start(black_box("cover"));
+            armed_lane.end_with(s, || vec![("value", 1)]);
+        })
+    });
+    g.finish();
+    drop(armed_lane);
+    let _ = armed.take(); // keep the armed trace from accumulating
+}
+
 fn end_to_end(c: &mut Criterion) {
     let nw = bench_circuit(0.08);
     let mut g = c.benchmark_group("extract");
@@ -229,6 +259,7 @@ criterion_group!(
     partition,
     simulation,
     fault_plane,
+    trace_plane,
     end_to_end
 );
 criterion_main!(benches);

@@ -10,14 +10,14 @@
 //! cover problem", demonstrated.
 
 use crate::merge::{merge_worker_results, NewNode, WorkerResult};
-use crate::report::ExtractReport;
+use crate::report::{ExtractReport, PhaseTiming};
 use pf_kcmatrix::CubeLitMatrix;
 use pf_network::{Network, SignalId};
 use pf_partition::{partition_network, PartitionConfig};
 use pf_sop::fx::FxHashMap;
 use pf_sop::{Cube, Sop};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Options for [`extract_common_cubes`].
 #[derive(Clone, Debug)]
@@ -59,14 +59,17 @@ pub fn extract_common_cubes(
         ..Default::default()
     };
     let mut counter = 0usize;
+    let mut matrix_time = Duration::ZERO;
 
     while report.extractions < cfg.max_extractions {
         // Rebuild per pass: cube extraction converges in few passes and
         // the matrix is linear in the literal count.
+        let build_start = Instant::now();
         let mut m = CubeLitMatrix::new();
         for &t in &targets {
             m.add_node(t, nw.func(t));
         }
+        matrix_time += build_start.elapsed();
         let Some(best) = m.best_common_cube(cfg.max_pairs) else {
             break;
         };
@@ -111,6 +114,11 @@ pub fn extract_common_cubes(
 
     report.lc_after = nw.literal_count();
     report.elapsed = start.elapsed();
+    report.setup = matrix_time;
+    report.phases = vec![
+        PhaseTiming::new("matrix", matrix_time),
+        PhaseTiming::new("cover", report.elapsed.saturating_sub(matrix_time)),
+    ];
     report
 }
 
@@ -128,6 +136,7 @@ pub fn independent_extract_cubes(
     let n0 = nw.num_signals() as u32;
     let partition = partition_network(nw, p, pcfg);
     let parts: Vec<Vec<SignalId>> = (0..p).map(|q| partition.part_nodes(q)).collect();
+    let partition_elapsed = start.elapsed();
 
     let results: Mutex<Vec<(WorkerResult, ExtractReport)>> = Mutex::new(Vec::new());
     let nw_ref: &Network = nw;
@@ -168,6 +177,7 @@ pub fn independent_extract_cubes(
         }
     });
 
+    let extract_elapsed = start.elapsed().saturating_sub(partition_elapsed);
     let mut worker_results = Vec::new();
     let mut extractions = 0usize;
     let mut total_value = 0i64;
@@ -177,13 +187,21 @@ pub fn independent_extract_cubes(
         total_value += rep.total_value;
     }
     merge_worker_results(nw, worker_results).expect("disjoint parts merge");
+    let elapsed = start.elapsed();
+    let merge_elapsed = elapsed.saturating_sub(partition_elapsed + extract_elapsed);
 
     ExtractReport {
         lc_before,
         lc_after: nw.literal_count(),
         extractions,
         total_value,
-        elapsed: start.elapsed(),
+        elapsed,
+        setup: partition_elapsed,
+        phases: vec![
+            PhaseTiming::new("partition", partition_elapsed),
+            PhaseTiming::new("extract", extract_elapsed),
+            PhaseTiming::new("merge", merge_elapsed),
+        ],
         ..Default::default()
     }
 }

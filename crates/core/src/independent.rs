@@ -42,17 +42,28 @@ impl Default for IndependentConfig {
 
 /// Runs Algorithm I on the network, in place.
 pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> ExtractReport {
+    // Driver-level lane: partition and merge happen here; the per-worker
+    // extract spans come from each worker's nested `extract_kernels`
+    // (whose config — and therefore the shared Tracer — is cloned).
+    // Opened before the clock so registration cost stays out of phases.
+    let mut lane = cfg.extract.trace.lane("independent");
     let start = Instant::now();
     let p = cfg.procs.max(1);
     let lc_before = nw.literal_count();
     let n0 = nw.num_signals() as u32;
 
+    let partition_span = lane.start("partition");
     let partition = partition_network(nw, p, &cfg.partition);
     let parts: Vec<Vec<SignalId>> = (0..p).map(|q| partition.part_nodes(q)).collect();
+    lane.end_with(partition_span, || vec![("parts", p as i64)]);
     let partition_elapsed = start.elapsed();
 
     let results: Mutex<Vec<(WorkerResult, ExtractReport)>> = Mutex::new(Vec::new());
     let nw_ref: &Network = nw;
+    // Driver-level extract span: brackets spawn + all workers + join, so
+    // it matches the report's `extract` phase (worker lanes carry their
+    // own nested matrix/cover spans).
+    let extract_span = lane.start("extract");
     std::thread::scope(|s| {
         for (pid, part) in parts.iter().enumerate() {
             if part.is_empty() {
@@ -97,6 +108,7 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
         }
     });
 
+    lane.end_with(extract_span, || vec![("parts", p as i64)]);
     let extract_elapsed = start.elapsed().saturating_sub(partition_elapsed);
 
     // Between the workers' scope join and the merge: a panic injected
@@ -125,7 +137,9 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
     // (e.g. injected at `independent:merge`) never reaches a worker
     // report, so fold the shared flag in directly.
     cancelled |= cfg.extract.ctl.is_cancelled();
+    let merge_span = lane.start("merge");
     merge_worker_results(nw, worker_results).expect("merge of disjoint parts");
+    lane.end(merge_span);
     let elapsed = start.elapsed();
     let merge_elapsed = elapsed.saturating_sub(partition_elapsed + extract_elapsed);
 

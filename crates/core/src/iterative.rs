@@ -13,12 +13,12 @@
 //! while each round stays embarrassingly parallel.
 
 use crate::independent::{independent_extract, IndependentConfig};
-use crate::report::ExtractReport;
+use crate::report::{ExtractReport, PhaseTiming};
 use pf_network::resub::resubstitute;
 use pf_network::transform::sweep;
 use pf_network::Network;
 use pf_partition::PartitionConfig;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Options for [`iterative_extract`].
 #[derive(Clone, Debug)]
@@ -41,6 +41,7 @@ impl Default for IterativeConfig {
 
 /// Runs `rounds` of repartition → independent extraction → resub/sweep.
 pub fn iterative_extract(nw: &mut Network, cfg: &IterativeConfig) -> ExtractReport {
+    let mut lane = cfg.inner.extract.trace.lane("iterative");
     let start = Instant::now();
     let lc_before = nw.literal_count();
     let mut extractions = 0usize;
@@ -48,6 +49,7 @@ pub fn iterative_extract(nw: &mut Network, cfg: &IterativeConfig) -> ExtractRepo
     let mut budget_exhausted = false;
     let mut timed_out = false;
     let mut cancelled = false;
+    let mut extract_time = Duration::ZERO;
 
     for round in 0..cfg.rounds.max(1) {
         let mut round_cfg = cfg.inner.clone();
@@ -59,15 +61,22 @@ pub fn iterative_extract(nw: &mut Network, cfg: &IterativeConfig) -> ExtractRepo
         };
         round_cfg.extract.name_prefix = format!("r{round}_{}", cfg.inner.extract.name_prefix);
         let before_round = nw.literal_count();
+        // One driver-level span per round: the nested Algorithm-I run
+        // adds its own partition/extract/merge spans on separate lanes.
+        let round_span = lane.start("extract");
         let rep = independent_extract(nw, &round_cfg);
+        lane.end_with(round_span, || vec![("round", round as i64)]);
+        extract_time += rep.elapsed;
         extractions += rep.extractions;
         total_value += rep.total_value;
         budget_exhausted |= rep.budget_exhausted;
         timed_out |= rep.timed_out;
         cancelled |= rep.cancelled;
         // Merge duplicated kernels across the old partition boundary.
+        let cleanup_span = lane.start("cleanup");
         let _ = resubstitute(nw);
         let _ = sweep(nw);
+        lane.end_with(cleanup_span, || vec![("round", round as i64)]);
         if timed_out || cancelled {
             break; // the shared RunCtl stopped the round early
         }
@@ -76,15 +85,23 @@ pub fn iterative_extract(nw: &mut Network, cfg: &IterativeConfig) -> ExtractRepo
         }
     }
 
+    let elapsed = start.elapsed();
     ExtractReport {
         lc_before,
         lc_after: nw.literal_count(),
         extractions,
         total_value,
-        elapsed: start.elapsed(),
+        elapsed,
         budget_exhausted,
         timed_out,
         cancelled,
+        phases: vec![
+            // `extract` is the summed Algorithm-I round time; everything
+            // else (resub + sweep between rounds, loop overhead) is the
+            // cleanup phase, so the two always cover `elapsed`.
+            PhaseTiming::new("extract", extract_time.min(elapsed)),
+            PhaseTiming::new("cleanup", elapsed.saturating_sub(extract_time)),
+        ],
         ..Default::default()
     }
 }

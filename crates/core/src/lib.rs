@@ -40,7 +40,10 @@
 //!   paper's reference [3]) layered over Algorithm I;
 //! * [`fault`] — a seeded, deterministic fault-injection plane riding on
 //!   [`ctl`]'s barrier checkpoints (panic / latency / forced cancel at
-//!   named sites), compiled to a no-op when no plan is attached.
+//!   named sites), compiled to a no-op when no plan is attached;
+//! * [`trace`] — a span/event recorder threaded through every driver
+//!   (per-worker ring-buffer lanes, phase + per-pass search spans),
+//!   a single branch per hook when disarmed, like [`fault`].
 
 pub mod cost;
 pub mod ctl;
@@ -56,6 +59,7 @@ pub mod replicated;
 pub mod report;
 pub mod script;
 pub mod seq;
+pub mod trace;
 
 pub use cost::Objective;
 pub use ctl::{RunCtl, StopReason};
@@ -69,3 +73,4 @@ pub use model::{predicted_speedup, SparsityFactors};
 pub use replicated::{replicated_extract, ReplicatedConfig};
 pub use report::{ExtractReport, PhaseTiming};
 pub use seq::{extract_kernels, ExtractConfig};
+pub use trace::{Lane, Span, Trace, TraceEvent, Tracer};

@@ -37,6 +37,7 @@ use crate::ctl::StopReason;
 use crate::merge::{merge_worker_results, NewNode, WorkerResult};
 use crate::report::{ExtractReport, PhaseTiming};
 use crate::seq::ExtractConfig;
+use crate::trace::Lane;
 use parking_lot::Mutex;
 use pf_kcmatrix::registry::ConcurrentCubeStates;
 use pf_kcmatrix::{
@@ -201,6 +202,8 @@ struct Worker<'a> {
     /// Rectangle committed by this worker's previous extraction —
     /// re-validated against the current matrix to seed the next search.
     prev_best: Option<Rectangle>,
+    /// This processor's trace lane (`L<pid>`); inert when disarmed.
+    lane: Lane,
 }
 
 impl Worker<'_> {
@@ -340,6 +343,7 @@ impl Worker<'_> {
             let w = weights.get(id as usize).copied().unwrap_or(0);
             states.value_for(id, w, pid)
         };
+        let pass = self.lane.start("search");
         let (rect, stats) = best_rectangle_seeded(
             &self.matrix,
             &value_of,
@@ -347,6 +351,7 @@ impl Worker<'_> {
             self.prev_best.as_ref(),
         );
         self.budget_exhausted |= stats.budget_exhausted;
+        crate::seq::end_search_span(&mut self.lane, pass, rect.as_ref(), &stats);
         let Some(rect) = rect else {
             self.dirty = false;
             self.seen_releases = releases_now;
@@ -421,6 +426,7 @@ impl Worker<'_> {
     /// Commits a claimed rectangle: creates the kernel node, divides own
     /// rows, ships foreign rows to their owners.
     fn extract(&mut self, rect: Rectangle, value: i64) {
+        let apply_span = self.lane.start("apply");
         self.prev_best = Some(rect.clone());
         let kernel = rect.kernel(&self.matrix);
         let x_var = self.id_base + self.new_nodes.len() as u32;
@@ -529,6 +535,7 @@ impl Worker<'_> {
         self.extractions += 1;
         self.total_value += value;
         self.dirty = true;
+        self.lane.end_with(apply_span, || vec![("value", value)]);
     }
 
     /// Drains the mailbox; returns whether anything was processed.
@@ -648,6 +655,7 @@ fn setup<'a>(
             shipped: 0,
             budget_exhausted: false,
             prev_best: None,
+            lane: cfg.extract.trace.lane(&format!("L{pid}")),
         });
     }
 
@@ -700,10 +708,12 @@ fn setup<'a>(
 
 /// Runs Algorithm L on the network, in place.
 pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
+    let mut lane = cfg.extract.trace.lane("lshaped");
     let start = Instant::now();
     let p = cfg.procs.max(1);
     let lc_before = nw.literal_count();
 
+    let setup_span = lane.start("setup");
     let partition = partition_network(nw, p, &cfg.partition);
     let parts: Vec<Vec<SignalId>> = (0..p).map(|q| partition.part_nodes(q)).collect();
     let node_owner: FxHashMap<SignalId, ProcId> = parts
@@ -716,13 +726,16 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
     let states = SharedStates::new();
     let transport = Transport::new(p);
     let workers = setup(nw, &parts, &node_owner, &registry, &states, &transport, cfg);
+    lane.end_with(setup_span, || vec![("parts", p as i64)]);
     let setup_elapsed = start.elapsed();
 
+    let extract_span = lane.start("extract");
     let (results, stopped) = if cfg.sequential {
         run_sequential(workers, &transport)
     } else {
         run_threaded(workers, &transport, p)
     };
+    lane.end_with(extract_span, || vec![("parts", p as i64)]);
     let extract_elapsed = start.elapsed().saturating_sub(setup_elapsed);
 
     let mut extractions = 0;
@@ -737,10 +750,12 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
         shipped += s;
         exhausted |= b;
     }
+    let merge_span = lane.start("merge");
     let created = merge_worker_results(nw, worker_results).expect("L-shaped merge");
     // A kernel node whose cross-partition divisions all came up empty is
     // dead logic; SIS's scripts would sweep it, we do it here.
     crate::merge::remove_dead_nodes(nw, &created);
+    lane.end(merge_span);
 
     // `stopped` is what the workers actually observed; the reason comes
     // from the control handle (re-read here, after the fact, which is

@@ -23,7 +23,7 @@
 //!   of the §5.3 re-check: a vanished cube is simply dropped).
 
 use crate::merge::{merge_worker_results, NewNode, WorkerResult};
-use crate::report::ExtractReport;
+use crate::report::{ExtractReport, PhaseTiming};
 use parking_lot::Mutex;
 use pf_kcmatrix::registry::ConcurrentCubeStates;
 use pf_kcmatrix::{CubeLitMatrix, CubeRegistry, ProcId};
@@ -417,6 +417,7 @@ pub fn lshaped_extract_cubes(nw: &mut Network, cfg: &LShapedCxConfig) -> Extract
     for (w, rows) in workers.iter_mut().zip(overlaps) {
         w.foreign_rows = rows;
     }
+    let setup_elapsed = start.elapsed();
 
     let results: Vec<(WorkerResult, usize, i64, usize)> = if cfg.sequential {
         loop {
@@ -466,6 +467,7 @@ pub fn lshaped_extract_cubes(nw: &mut Network, cfg: &LShapedCxConfig) -> Extract
         v.sort_by_key(|(pid, _)| *pid);
         v.into_iter().map(|(_, r)| r).collect()
     };
+    let extract_elapsed = start.elapsed().saturating_sub(setup_elapsed);
 
     let mut extractions = 0;
     let mut total_value = 0;
@@ -479,14 +481,22 @@ pub fn lshaped_extract_cubes(nw: &mut Network, cfg: &LShapedCxConfig) -> Extract
     }
     let created = merge_worker_results(nw, worker_results).expect("L-cx merge");
     crate::merge::remove_dead_nodes(nw, &created);
+    let elapsed = start.elapsed();
+    let merge_elapsed = elapsed.saturating_sub(setup_elapsed + extract_elapsed);
 
     ExtractReport {
         lc_before,
         lc_after: nw.literal_count(),
         extractions,
         total_value,
-        elapsed: start.elapsed(),
+        elapsed,
         shipped_rectangles: shipped,
+        setup: setup_elapsed,
+        phases: vec![
+            PhaseTiming::new("setup", setup_elapsed),
+            PhaseTiming::new("extract", extract_elapsed),
+            PhaseTiming::new("merge", merge_elapsed),
+        ],
         ..Default::default()
     }
 }

@@ -97,6 +97,11 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
             let replicate_elapsed = &replicate_elapsed;
             let targets = &targets;
             let cfg = &cfg;
+            // Lane opened (and the replicate span started) driver-side,
+            // so the span covers thread-spawn latency — which the report
+            // attributes to the replicate phase too.
+            let mut lane = cfg.extract.trace.lane(&format!("r{pid}"));
+            let replicate_span = lane.start("replicate");
             s.spawn(move || {
                 // The replica: full circuit and full matrix per worker.
                 // Matrix generation itself uses the §3 parallel scheme
@@ -104,16 +109,20 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
                 // so all replicas are bit-identical by construction.
                 let mut replica = nw_ref.clone();
                 let mut engine = Engine::new_parallel(&replica, targets, cfg.extract.clone(), p);
+                lane.end(replicate_span);
                 if pid == 0 {
                     *replicate_elapsed.lock().unwrap() = start.elapsed();
                 }
+                let cover_span = lane.start("cover");
                 let mut extractions = 0usize;
                 let mut total_value = 0i64;
                 loop {
-                    let (rect, ex) = engine.search(Some((pid as u32, p as u32)));
-                    if ex {
+                    let pass = lane.start("search");
+                    let (rect, stats) = engine.search(Some((pid as u32, p as u32)));
+                    if stats.budget_exhausted {
                         exhausted_any.store(true, Ordering::Relaxed);
                     }
+                    crate::seq::end_search_span(&mut lane, pass, rect.as_ref(), &stats);
                     candidates.lock().unwrap()[pid] = rect;
                     barrier.wait();
                     if pid == 0 {
@@ -151,12 +160,15 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
                             // Every replica applies the same extraction —
                             // identical deterministic state on all workers.
                             total_value += rect.value;
+                            let apply_span = lane.start("apply");
                             engine.apply(&mut replica, &rect);
+                            lane.end_with(apply_span, || vec![("value", rect.value)]);
                             extractions += 1;
                         }
                     }
                     barrier.wait();
                 }
+                lane.end(cover_span);
                 if pid == 0 {
                     *outcome.lock().unwrap() = Some((replica, extractions, total_value));
                 }

@@ -52,7 +52,8 @@ pub struct ExtractReport {
     /// construction (Algorithm R). Part of `elapsed`.
     pub setup: Duration,
     /// Per-phase wall-clock breakdown of `elapsed`, in execution order.
-    /// Empty for drivers that predate phase accounting.
+    /// Every driver fills this in; the phase durations sum to `elapsed`
+    /// within measurement tolerance (see [`ExtractReport::phases_total`]).
     pub phases: Vec<PhaseTiming>,
 }
 
@@ -75,6 +76,14 @@ impl ExtractReport {
     /// cancelled).
     pub fn completed(&self) -> bool {
         !self.timed_out && !self.cancelled
+    }
+
+    /// Sum of all phase durations. Drivers construct phases so this
+    /// covers `elapsed` (each phase is measured against the same clock
+    /// and the last phase absorbs the remainder), so
+    /// `phases_total()` ≈ `elapsed` for every completed report.
+    pub fn phases_total(&self) -> Duration {
+        self.phases.iter().map(|p| p.elapsed).sum()
     }
 
     /// Looks up a phase timing by name.

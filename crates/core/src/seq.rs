@@ -10,10 +10,11 @@
 use crate::cost::Objective;
 use crate::ctl::RunCtl;
 use crate::report::{ExtractReport, PhaseTiming};
+use crate::trace::{Lane, Tracer};
 use pf_kcmatrix::rectangle::CostModel;
 use pf_kcmatrix::{
     best_rectangle_seeded, best_rectangle_with_seed, CubeRegistry, KcMatrix, LabelGen, Rectangle,
-    SearchConfig,
+    SearchConfig, SearchStats,
 };
 use pf_network::{Network, SignalId};
 use pf_sop::fx::FxHashMap;
@@ -43,6 +44,10 @@ pub struct ExtractConfig {
     /// checked at the cover-loop head. Cloning the config shares the
     /// handle, so every worker of a parallel driver stops together.
     pub ctl: RunCtl,
+    /// Span/event recorder. Disarmed by default (every hook is one
+    /// branch); cloning the config shares the trace, so nested and
+    /// parallel drivers all record into the same timeline.
+    pub trace: Tracer,
 }
 
 impl Default for ExtractConfig {
@@ -55,6 +60,7 @@ impl Default for ExtractConfig {
             extract_from_new: true,
             objective: None,
             ctl: RunCtl::new(),
+            trace: Tracer::disarmed(),
         }
     }
 }
@@ -214,14 +220,16 @@ impl Engine {
     }
 
     /// Searches for the best rectangle; `stripe` optionally restricts
-    /// the leftmost column as in Algorithm R.
-    pub fn search(&self, stripe: Option<(u32, u32)>) -> (Option<Rectangle>, bool) {
+    /// the leftmost column as in Algorithm R. Returns the full
+    /// [`SearchStats`] (visited / pruned / bound-update counters) so
+    /// callers can trace per-pass search behaviour.
+    pub fn search(&self, stripe: Option<(u32, u32)>) -> (Option<Rectangle>, SearchStats) {
         let cfg = SearchConfig {
             stripe,
             ..self.cfg.search.clone()
         };
         let seed = self.prev_best.as_ref();
-        let (rect, stats) = match &self.cfg.objective {
+        match &self.cfg.objective {
             None => {
                 let w = &self.weights;
                 best_rectangle_seeded(&self.matrix, &|id| w[id as usize], &cfg, seed)
@@ -235,8 +243,7 @@ impl Engine {
                 };
                 best_rectangle_with_seed(&self.matrix, &model, &cfg, seed)
             }
-        };
-        (rect, stats.budget_exhausted)
+        }
     }
 
     /// Applies a rectangle: creates the kernel node, rewrites every
@@ -343,6 +350,30 @@ impl Engine {
     }
 }
 
+/// Ends a per-pass `search` span, attaching the chosen rectangle's
+/// value/dims and the search counters. Shared by every driver so the
+/// span vocabulary stays identical (docs/OBSERVABILITY.md).
+pub(crate) fn end_search_span(
+    lane: &mut Lane,
+    span: crate::trace::Span,
+    rect: Option<&Rectangle>,
+    stats: &SearchStats,
+) {
+    lane.end_with(span, || {
+        let mut args = vec![
+            ("visited", stats.visited as i64),
+            ("pruned", stats.pruned as i64),
+            ("bound_updates", stats.bound_updates as i64),
+        ];
+        if let Some(r) = rect {
+            args.push(("value", r.value));
+            args.push(("rows", r.rows.len() as i64));
+            args.push(("cols", r.cols.len() as i64));
+        }
+        args
+    });
+}
+
 /// Runs kernel extraction to completion on `targets` (or on all internal
 /// nodes when `targets` is empty). Returns the report.
 ///
@@ -367,6 +398,10 @@ pub fn extract_kernels(
     } else {
         targets.to_vec()
     };
+    // Lane registration is profiling-harness cost, not driver cost:
+    // open it before the clock starts so traced runs keep phase spans
+    // covering essentially all of `elapsed`.
+    let mut lane = cfg.trace.lane(&cfg.name_prefix);
     let start = Instant::now();
     let lc_before = nw.literal_count();
     let mut report = ExtractReport {
@@ -375,13 +410,21 @@ pub fn extract_kernels(
         ..Default::default()
     };
     // A job whose deadline already passed (e.g. it sat in a queue) skips
-    // even the matrix build.
+    // even the matrix build. Still report well-formed phases: everything
+    // spent so far was pre-matrix bookkeeping.
     if report.note_stop(&cfg.ctl) {
         report.elapsed = start.elapsed();
+        report.phases = vec![
+            PhaseTiming::new("matrix", report.elapsed),
+            PhaseTiming::new("cover", std::time::Duration::ZERO),
+        ];
         return report;
     }
+    let matrix_span = lane.start("matrix");
     let mut engine = Engine::new(nw, &targets, cfg.clone());
+    lane.end(matrix_span);
     let matrix_elapsed = start.elapsed();
+    let cover_span = lane.start("cover");
     while engine.extractions() < cfg.max_extractions {
         // The cover-loop head is the driver's barrier checkpoint, and
         // therefore also its fault-injection site.
@@ -389,13 +432,18 @@ pub fn extract_kernels(
         if report.note_stop(&cfg.ctl) {
             break;
         }
-        let (rect, exhausted) = engine.search(None);
-        report.budget_exhausted |= exhausted;
+        let pass = lane.start("search");
+        let (rect, stats) = engine.search(None);
+        report.budget_exhausted |= stats.budget_exhausted;
+        end_search_span(&mut lane, pass, rect.as_ref(), &stats);
         let Some(rect) = rect else { break };
         report.total_value += rect.value;
+        let apply_span = lane.start("apply");
         engine.apply(nw, &rect);
+        lane.end_with(apply_span, || vec![("value", rect.value)]);
         report.extractions += 1;
     }
+    lane.end(cover_span);
     report.lc_after = nw.literal_count();
     report.elapsed = start.elapsed();
     report.setup = matrix_elapsed;

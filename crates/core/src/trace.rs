@@ -1,0 +1,406 @@
+//! Span/event tracing for the extraction drivers.
+//!
+//! The paper's argument is built on *where time goes* (Table 1's 61%
+//! figure, Tables 2–4's per-algorithm breakdowns); this module records
+//! exactly that, cheaply enough to leave compiled in everywhere.
+//!
+//! Design mirrors [`crate::ctl::RunCtl::fault_point`]: a [`Tracer`]
+//! wraps `Option<Arc<..>>`, so every hook on a **disarmed** tracer is a
+//! single pointer-null branch — proved by the `trace_plane` microbench
+//! next to `fault_plane`. When armed, each worker thread opens a
+//! [`Lane`]: a plain owned ring buffer written without any
+//! synchronisation on the hot path (lock-free by construction — the
+//! shared registry is locked only at lane open/flush). Lanes flush into
+//! the shared trace on drop; [`Tracer::take`] collects the merged,
+//! time-sorted event list.
+//!
+//! Span names are stable and machine-readable. Phase spans reuse the
+//! exact [`crate::report::PhaseTiming`] names (`matrix`, `cover`,
+//! `replicate`, `partition`, `extract`, `merge`, `setup`); per-pass
+//! spans are `search` / `apply` with the chosen rectangle's
+//! value/rows/cols and the [`pf_kcmatrix::SearchStats`] counters
+//! (`visited`, `pruned`, `bound_updates`) as integer args. See
+//! `docs/OBSERVABILITY.md` for the full vocabulary.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Events kept per lane before the ring wraps (most recent win).
+pub const DEFAULT_LANE_CAPACITY: usize = 8192;
+
+/// One completed span (or instantaneous event, `dur_ns == 0`).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Stable span name (phase names, `search`, `apply`, …).
+    pub name: &'static str,
+    /// Lane (≈ thread) the event was recorded on.
+    pub lane: u32,
+    /// Start, as nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instantaneous events).
+    pub dur_ns: u64,
+    /// Small integer payload, e.g. `("value", 8)`, `("visited", 152)`.
+    pub args: Vec<(&'static str, i64)>,
+}
+
+/// A finished trace: every flushed event, time-sorted, plus loss info.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All events, sorted by `start_ns` (ties broken by lane).
+    pub events: Vec<TraceEvent>,
+    /// Lane labels, indexed by lane id (`events[i].lane`).
+    pub lanes: Vec<String>,
+    /// Events lost to ring-buffer wrap-around across all lanes.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Total nanoseconds covered by events named `name`.
+    pub fn span_ns(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.dur_ns)
+            .sum()
+    }
+}
+
+struct TraceShared {
+    epoch: Instant,
+    lane_capacity: usize,
+    next_lane: AtomicU32,
+    dropped: AtomicU64,
+    /// Flushed lane buffers; locked only at lane registration/flush.
+    done: Mutex<DoneState>,
+}
+
+#[derive(Default)]
+struct DoneState {
+    events: Vec<TraceEvent>,
+    labels: Vec<(u32, String)>,
+}
+
+/// Cheap cloneable handle; `None` inside = disarmed (the default).
+///
+/// Stored on `ExtractConfig`, so cloning a config (replicated workers,
+/// independent partitions, nested drivers) shares one trace.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TraceShared>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("armed", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The disarmed tracer: every hook is a single branch.
+    pub fn disarmed() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An armed tracer with the default per-lane ring capacity.
+    pub fn armed() -> Self {
+        Self::with_capacity(DEFAULT_LANE_CAPACITY)
+    }
+
+    /// An armed tracer keeping at most `lane_capacity` events per lane
+    /// (the most recent win; older events count into `Trace::dropped`).
+    pub fn with_capacity(lane_capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TraceShared {
+                epoch: Instant::now(),
+                lane_capacity: lane_capacity.max(1),
+                next_lane: AtomicU32::new(0),
+                dropped: AtomicU64::new(0),
+                done: Mutex::new(DoneState::default()),
+            })),
+        }
+    }
+
+    /// Whether any hook will record. One branch — callers may also just
+    /// call the hooks unconditionally.
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a lane (one per recording thread). Disarmed tracers hand
+    /// out inert lanes for free; armed lane registration takes the
+    /// shared lock once (cold).
+    #[inline]
+    pub fn lane(&self, label: &str) -> Lane {
+        match &self.inner {
+            None => Lane {
+                shared: None,
+                id: 0,
+                buf: Vec::new(),
+                write: 0,
+                wrapped: false,
+            },
+            Some(shared) => Self::lane_slow(shared, label),
+        }
+    }
+
+    #[cold]
+    fn lane_slow(shared: &Arc<TraceShared>, label: &str) -> Lane {
+        let id = shared.next_lane.fetch_add(1, Relaxed);
+        shared
+            .done
+            .lock()
+            .expect("trace registry poisoned")
+            .labels
+            .push((id, label.to_string()));
+        Lane {
+            shared: Some(Arc::clone(shared)),
+            id,
+            buf: Vec::new(),
+            write: 0,
+            wrapped: false,
+        }
+    }
+
+    /// Collects everything flushed so far into a time-sorted [`Trace`].
+    /// Lanes still open keep their buffered events; flush them first by
+    /// dropping them (drivers do — their lanes die before they return).
+    pub fn take(&self) -> Trace {
+        let Some(shared) = &self.inner else {
+            return Trace::default();
+        };
+        let mut done = shared.done.lock().expect("trace registry poisoned");
+        let mut events = std::mem::take(&mut done.events);
+        let labels = std::mem::take(&mut done.labels);
+        drop(done);
+        events.sort_by_key(|e| (e.start_ns, e.lane));
+        let nlanes = labels.iter().map(|&(id, _)| id + 1).max().unwrap_or(0);
+        let mut lanes = vec![String::new(); nlanes as usize];
+        for (id, label) in labels {
+            lanes[id as usize] = label;
+        }
+        Trace {
+            events,
+            lanes,
+            dropped: shared.dropped.swap(0, Relaxed),
+        }
+    }
+}
+
+/// An in-flight span: name plus armed-only start instant. Finish it
+/// with [`Lane::end`] / [`Lane::end_with`]; dropping it records
+/// nothing.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// One thread's event ring. The hot path (`start`/`end`/`end_with`)
+/// touches only owned memory — no locks, no atomics; disarmed lanes
+/// reduce every call to a branch on `shared`.
+pub struct Lane {
+    shared: Option<Arc<TraceShared>>,
+    id: u32,
+    buf: Vec<TraceEvent>,
+    /// Next ring slot once `buf` is at capacity.
+    write: usize,
+    wrapped: bool,
+}
+
+impl Lane {
+    /// Starts a span. Disarmed: one branch, no clock read.
+    #[inline]
+    pub fn start(&self, name: &'static str) -> Span {
+        Span {
+            name,
+            start: if self.shared.is_some() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Ends a span with no args.
+    #[inline]
+    pub fn end(&mut self, span: Span) {
+        if let Some(start) = span.start {
+            self.push_slow(span.name, start, Instant::now(), Vec::new());
+        }
+    }
+
+    /// Ends a span with args built lazily — the closure never runs on a
+    /// disarmed lane, so arg construction costs nothing when tracing is
+    /// off.
+    #[inline]
+    pub fn end_with<F>(&mut self, span: Span, args: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, i64)>,
+    {
+        if let Some(start) = span.start {
+            // Sample the end first so arg construction (allocation) does
+            // not inflate the span.
+            let end = Instant::now();
+            let args = args();
+            self.push_slow(span.name, start, end, args);
+        }
+    }
+
+    /// Records an instantaneous event (duration 0), args built lazily.
+    #[inline]
+    pub fn event<F>(&mut self, name: &'static str, args: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, i64)>,
+    {
+        if self.shared.is_some() {
+            let args = args();
+            let now = Instant::now();
+            self.push_slow(name, now, now, args);
+        }
+    }
+
+    #[cold]
+    fn push_slow(
+        &mut self,
+        name: &'static str,
+        start: Instant,
+        end: Instant,
+        args: Vec<(&'static str, i64)>,
+    ) {
+        let shared = self.shared.as_ref().expect("armed lane");
+        let start_ns = start.saturating_duration_since(shared.epoch).as_nanos() as u64;
+        let end_ns = end.saturating_duration_since(shared.epoch).as_nanos() as u64;
+        let ev = TraceEvent {
+            name,
+            lane: self.id,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            args,
+        };
+        if self.buf.len() < shared.lane_capacity {
+            self.buf.push(ev);
+        } else {
+            // Ring wrap: keep the most recent events, count the loss.
+            self.buf[self.write] = ev;
+            self.write = (self.write + 1) % self.buf.len();
+            self.wrapped = true;
+            shared.dropped.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+impl Drop for Lane {
+    fn drop(&mut self) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut done = shared.done.lock().expect("trace registry poisoned");
+        if self.wrapped {
+            // Rotate so the flushed slice is chronological.
+            done.events.extend_from_slice(&self.buf[self.write..]);
+            done.events.extend_from_slice(&self.buf[..self.write]);
+        } else {
+            done.events.append(&mut self.buf);
+        }
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_lane_records_nothing() {
+        let t = Tracer::disarmed();
+        let mut lane = t.lane("x");
+        let s = lane.start("matrix");
+        lane.end(s);
+        lane.event("search", || panic!("args closure must not run disarmed"));
+        drop(lane);
+        let trace = t.take();
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn armed_lane_records_spans_and_events() {
+        let t = Tracer::armed();
+        let mut lane = t.lane("seq");
+        let s = lane.start("cover");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        lane.end_with(s, || vec![("value", 8), ("rows", 4)]);
+        lane.event("apply", || vec![("value", 8)]);
+        drop(lane);
+        let trace = t.take();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.lanes, vec!["seq".to_string()]);
+        let cover = &trace.events[0];
+        assert_eq!(cover.name, "cover");
+        assert!(cover.dur_ns >= 1_000_000);
+        assert_eq!(cover.args, vec![("value", 8), ("rows", 4)]);
+        let apply = &trace.events[1];
+        assert_eq!(apply.name, "apply");
+        assert_eq!(apply.dur_ns, 0);
+        // Events are time-sorted.
+        assert!(trace.events[0].start_ns <= trace.events[1].start_ns);
+    }
+
+    #[test]
+    fn ring_wraps_keep_most_recent_and_count_drops() {
+        let t = Tracer::with_capacity(4);
+        let mut lane = t.lane("w");
+        for _ in 0..10 {
+            let s = lane.start("search");
+            lane.end(s);
+        }
+        drop(lane);
+        let trace = t.take();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.dropped, 6);
+        // Chronological even after wrap.
+        for pair in trace.events.windows(2) {
+            assert!(pair[0].start_ns <= pair[1].start_ns);
+        }
+    }
+
+    #[test]
+    fn lanes_merge_across_threads() {
+        let t = Tracer::armed();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    let mut lane = t.lane(&format!("p{i}"));
+                    let sp = lane.start("extract");
+                    lane.end(sp);
+                });
+            }
+        });
+        let trace = t.take();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.lanes.len(), 4);
+        let mut lanes: Vec<u32> = trace.events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes.len(), 4, "each thread got its own lane");
+    }
+
+    #[test]
+    fn take_drains_and_second_take_is_empty() {
+        let t = Tracer::armed();
+        let mut lane = t.lane("a");
+        let s = lane.start("setup");
+        lane.end(s);
+        drop(lane);
+        assert_eq!(t.take().events.len(), 1);
+        assert!(t.take().events.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Release-mode guard that a disarmed trace hook stays branch-cheap.
+//!
+//! The tracing contract (see `pf_core::trace` and `docs/OBSERVABILITY.md`)
+//! is that a span start/end pair on a disarmed [`pf_core::Tracer`]
+//! compiles down to one inlined `Option` test each — the same deal
+//! [`pf_core::RunCtl::fault_point`] makes. This test prices a disarmed
+//! span pair against that accepted baseline; if someone accidentally
+//! makes the disarmed path allocate, read the clock, or run the lazy
+//! args closure, the pair blows past the budget and CI fails.
+//!
+//! Ignored by default (it is timing-sensitive and only meaningful in
+//! release mode); the bench-smoke CI job runs it with
+//! `cargo test --release -p pf-core --test trace_overhead -- --ignored`.
+
+use pf_core::{RunCtl, Tracer};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore = "timing-sensitive; run in release via the CI bench-smoke job"]
+fn disarmed_span_pair_is_branch_cheap() {
+    const N: u32 = 5_000_000;
+
+    // Baseline: the accepted zero-cost hook (a disarmed fault point is
+    // one pointer-null branch). Warm up once, then time.
+    let ctl = RunCtl::new();
+    for _ in 0..N / 10 {
+        black_box(&ctl).fault_point(black_box("seq:cover"));
+    }
+    let t0 = Instant::now();
+    for _ in 0..N {
+        black_box(&ctl).fault_point(black_box("seq:cover"));
+    }
+    let baseline = t0.elapsed();
+
+    let tracer = Tracer::disarmed();
+    let mut lane = tracer.lane("guard");
+    for _ in 0..N / 10 {
+        let s = black_box(&lane).start(black_box("cover"));
+        lane.end_with(s, || vec![("value", 1)]);
+    }
+    let t1 = Instant::now();
+    for _ in 0..N {
+        let s = black_box(&lane).start(black_box("cover"));
+        lane.end_with(s, || vec![("value", 1)]);
+        lane.event(black_box("search"), || vec![("visited", 100)]);
+    }
+    let hooks = t1.elapsed();
+
+    // Budget: three disarmed hooks (start + end_with + event) may cost
+    // at most 10x one fault_point branch, plus a 10ns-per-iteration
+    // floor to absorb timer jitter on slow CI machines. A regression
+    // that allocates the args vec or reads the clock costs >50ns per
+    // hook and lands far outside this.
+    let budget = baseline * 10 + Duration::from_nanos(10) * N;
+    assert!(
+        hooks <= budget,
+        "disarmed trace hooks are no longer branch-cheap: \
+         {N} iterations took {hooks:?} (budget {budget:?}, \
+         fault_point baseline {baseline:?})"
+    );
+
+    // And they really recorded nothing.
+    drop(lane);
+    assert!(tracer.take().events.is_empty());
+}

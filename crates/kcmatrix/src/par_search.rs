@@ -81,6 +81,11 @@ struct WorkerResult {
     explore_best: Option<Rectangle>,
     /// Expansions completed (reported in [`SearchStats::visited`]).
     expansions: u64,
+    /// Subtrees this worker cut with the shared bound.
+    pruned: u64,
+    /// Times this worker actually raised the shared bound (greedy
+    /// publishes included).
+    bound_updates: u64,
 }
 
 /// Runs the parallel search. `init_best` is the re-validated
@@ -146,6 +151,8 @@ pub(crate) fn search(
     let stats = SearchStats {
         visited,
         budget_exhausted: shared.truncated.load(Relaxed),
+        pruned: results.iter().map(|r| r.pruned).sum(),
+        bound_updates: results.iter().map(|r| r.bound_updates).sum(),
     };
     if stats.budget_exhausted {
         // The explored set is interleaving-dependent; discard it.
@@ -175,6 +182,7 @@ fn run_worker(
     // is published to the shared bound immediately so phase-2 workers
     // prune against it as early as possible.
     let mut greedy_best: Option<Rectangle> = None;
+    let mut bound_updates = 0u64;
     let mut bufs = GreedyBufs::default();
     loop {
         let start = shared.greedy_next.fetch_add(shared.greedy_chunk, Relaxed);
@@ -184,7 +192,9 @@ fn run_worker(
         let end = (start + shared.greedy_chunk).min(shared.greedy_rows);
         for r in start..end {
             if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut bufs) {
-                shared.bound.fetch_max(rect.value, Relaxed);
+                if shared.bound.fetch_max(rect.value, Relaxed) < rect.value {
+                    bound_updates += 1;
+                }
                 if greedy_best
                     .as_ref()
                     .is_none_or(|b| canonical_better(&rect, b))
@@ -207,6 +217,8 @@ fn run_worker(
         truncated: &shared.truncated,
         stopped: false,
         expansions: 0,
+        pruned: 0,
+        bound_updates: 0,
         best: None,
         cols: Vec::new(),
         scratch: Vec::new(),
@@ -235,6 +247,8 @@ fn run_worker(
         greedy_best,
         explore_best: search.best,
         expansions: search.expansions,
+        pruned: search.pruned,
+        bound_updates: bound_updates + search.bound_updates,
     }
 }
 
@@ -254,6 +268,10 @@ struct ParSearch<'a> {
     stopped: bool,
     /// Expansions *completed* by this worker (reported in stats).
     expansions: u64,
+    /// Subtrees cut by the shared-bound prune.
+    pruned: u64,
+    /// Times this worker's evaluations raised the shared bound.
+    bound_updates: u64,
     /// Local canonical best; merged across workers by the caller.
     best: Option<Rectangle>,
     cols: Vec<ColIdx>,
@@ -295,7 +313,9 @@ impl ParSearch<'_> {
                     &self.rows_buf,
                     &mut self.seen,
                 ) {
-                    self.bound.fetch_max(rect.value, Relaxed);
+                    if self.bound.fetch_max(rect.value, Relaxed) < rect.value {
+                        self.bound_updates += 1;
+                    }
                     if self
                         .best
                         .as_ref()
@@ -331,6 +351,7 @@ impl ParSearch<'_> {
             // Rule 2: strict prune — subtrees that could still tie the
             // bound are kept alive.
             if ub <= 0 || ub < self.bound.load(Relaxed) {
+                self.pruned += 1;
                 self.scratch[depth] = shared;
                 continue;
             }

@@ -113,6 +113,13 @@ pub struct SearchStats {
     /// truncation the parallel engine discards partial worker bests and
     /// returns the deterministic greedy/seed result.
     pub budget_exhausted: bool,
+    /// Subtrees cut by the admissible pruning bound before expansion.
+    /// Like `visited`, the parallel-mode count depends on bound-arrival
+    /// timing.
+    pub pruned: u64,
+    /// Times the best-so-far value (sequential) or the shared atomic
+    /// bound (parallel, including greedy publishes) was actually raised.
+    pub bound_updates: u64,
 }
 
 /// The cost functions defining a rectangle's value. The default (area)
@@ -224,6 +231,8 @@ pub fn best_rectangle_with_seed(
         col_sets: &col_sets,
         visited: 0,
         truncated: false,
+        pruned: 0,
+        bound_updates: 0,
         best,
         cols: Vec::new(),
         scratch: Vec::new(),
@@ -248,6 +257,8 @@ pub fn best_rectangle_with_seed(
     let stats = SearchStats {
         visited: state.visited,
         budget_exhausted: state.truncated,
+        pruned: state.pruned,
+        bound_updates: state.bound_updates,
     };
     (state.best, stats)
 }
@@ -288,6 +299,10 @@ struct Search<'a> {
     visited: u64,
     /// Set when an expansion was denied by the budget.
     truncated: bool,
+    /// Subtrees cut by the admissible bound.
+    pruned: u64,
+    /// Times `best` was replaced by a strictly better rectangle.
+    bound_updates: u64,
     best: Option<Rectangle>,
     /// Current column set (shared across the recursion as a stack).
     cols: Vec<ColIdx>,
@@ -336,6 +351,7 @@ impl Search<'_> {
                 ) {
                     if rect.value > self.best_value() {
                         self.best = Some(rect);
+                        self.bound_updates += 1;
                     }
                 }
             }
@@ -369,6 +385,7 @@ impl Search<'_> {
             // most its full-row value; column costs only grow.
             let ub: i64 = shared.iter().map(|r| self.row_full_value[r].max(0)).sum();
             if ub <= self.best_value() {
+                self.pruned += 1;
                 self.scratch[depth] = shared;
                 continue;
             }

@@ -221,6 +221,54 @@ impl JobReport {
     }
 }
 
+/// One finished job's timeline entry, kept in the service's last-N ring
+/// and returned by the `trace` wire verb: who ran, how it ended, and
+/// where the time went (the driver's per-phase breakdown).
+#[derive(Clone, Debug)]
+pub struct JobTimeline {
+    /// Service-assigned job id.
+    pub id: u64,
+    /// Which driver ran.
+    pub algorithm: Algorithm,
+    /// The workload spec as submitted.
+    pub workload: String,
+    /// Outcome status (`completed` / `timed_out` / `drained` / `failed`).
+    pub status: &'static str,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Wall-clock of the run (zero for jobs that never ran).
+    pub run_time: Duration,
+    /// The driver's phase breakdown, in execution order (empty for jobs
+    /// that never produced a report).
+    pub phases: Vec<(&'static str, Duration)>,
+}
+
+impl JobTimeline {
+    /// Renders one timeline entry for the `trace` response.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::u64(self.id)),
+            ("algorithm", Json::str(self.algorithm.as_str())),
+            ("workload", Json::str(self.workload.clone())),
+            ("status", Json::str(self.status)),
+            (
+                "queue_wait_us",
+                Json::u64(self.queue_wait.as_micros() as u64),
+            ),
+            ("run_us", Json::u64(self.run_time.as_micros() as u64)),
+            (
+                "phases",
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .map(|(n, d)| (n.to_string(), Json::u64(d.as_micros() as u64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 fn parse_workload(spec: &str) -> Result<(pf_workloads::CircuitProfile, f64), String> {
     let Some(genspec) = spec.strip_prefix("gen:") else {
         return Err(format!(

@@ -21,6 +21,7 @@
 
 use crate::json::Json;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A monotonically increasing counter.
@@ -89,22 +90,34 @@ impl Histogram {
             .unwrap_or(0)
     }
 
-    /// Approximate quantile (upper bound of the bucket holding it), in
-    /// microseconds. `q` in [0, 1].
+    /// Largest sample seen, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (upper bound of the bucket holding it,
+    /// clamped to the observed maximum), in microseconds. `q` in [0, 1].
+    ///
+    /// The clamp matters: a raw bucket upper bound (`2^(i+1)`) can exceed
+    /// every recorded sample — a snapshot would then report a p50/p99
+    /// *above* `max_us`. Clamping to the true maximum keeps every
+    /// quantile ≤ `max_us`, and since bucket bounds grow monotonically
+    /// with rank the quantiles stay monotone (p50 ≤ p90 ≤ p99 ≤ max).
     pub fn quantile_us(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
         }
+        let max = self.max_us();
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return 1u64 << (i + 1);
+                return (1u64 << (i + 1)).min(max);
             }
         }
-        self.max_us.load(Ordering::Relaxed)
+        max
     }
 
     /// JSON snapshot: count, mean, p50/p90/p99 (approximate), max.
@@ -129,10 +142,41 @@ pub struct AlgorithmMetrics {
     pub wall: Histogram,
     /// Total literals saved by completed runs.
     pub literals_saved: AtomicI64,
+    /// Per-phase wall-clock histograms, keyed by the driver's
+    /// `PhaseTiming` names (`matrix`, `cover`, `partition`, …). The lock
+    /// is held only to fetch/insert the `Arc`; recording into a
+    /// histogram stays lock-free, so `to_json` snapshots can race
+    /// concurrent `record_phase` calls.
+    phases: Mutex<Vec<(String, Arc<Histogram>)>>,
 }
 
 impl AlgorithmMetrics {
+    /// The histogram for phase `name`, created on first use. Insertion
+    /// order is preserved in snapshots (drivers report phases in
+    /// execution order).
+    pub fn phase(&self, name: &str) -> Arc<Histogram> {
+        let mut phases = self.phases.lock().expect("phase registry poisoned");
+        if let Some((_, h)) = phases.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        phases.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Records one phase duration.
+    pub fn record_phase(&self, name: &str, d: Duration) {
+        self.phase(name).record(d);
+    }
+
     fn to_json(&self) -> Json {
+        let phases: Vec<(String, Json)> = self
+            .phases
+            .lock()
+            .expect("phase registry poisoned")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.to_json()))
+            .collect();
         Json::obj([
             ("runs", Json::u64(self.runs.get())),
             ("wall", self.wall.to_json()),
@@ -140,6 +184,7 @@ impl AlgorithmMetrics {
                 "literals_saved",
                 Json::num(self.literals_saved.load(Ordering::Relaxed) as f64),
             ),
+            ("phases", Json::Obj(phases)),
         ])
     }
 }
@@ -285,7 +330,37 @@ mod tests {
         let h = Histogram::default();
         h.record(Duration::ZERO);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile_us(0.5), 2);
+        // Bucket 0's upper bound is 2 µs, but the only sample is 0 µs —
+        // the clamp keeps the quantile at the observed maximum.
+        assert_eq!(h.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_the_observed_max() {
+        // A single 3 µs sample lands in bucket 1 (upper bound 4 µs);
+        // before the clamp every quantile reported 4 > max.
+        let h = Histogram::default();
+        h.record(Duration::from_micros(3));
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert!(h.quantile_us(q) <= h.max_us(), "q={q}");
+        }
+        assert_eq!(h.quantile_us(0.99), 3);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::default();
+        for us in [1u64, 7, 33, 129, 5000, 70_000, 70_001] {
+            h.record(Duration::from_micros(us));
+        }
+        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile_us(q))
+            .collect();
+        for pair in qs.windows(2) {
+            assert!(pair[0] <= pair[1], "quantiles out of order: {qs:?}");
+        }
+        assert!(*qs.last().unwrap() <= h.max_us());
     }
 
     #[test]
@@ -330,5 +405,116 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn per_phase_histograms_appear_in_the_snapshot_in_order() {
+        let m = Metrics::default();
+        let alg = &m.per_algorithm[2]; // independent
+        alg.record_phase("partition", Duration::from_micros(10));
+        alg.record_phase("extract", Duration::from_micros(500));
+        alg.record_phase("merge", Duration::from_micros(20));
+        alg.record_phase("extract", Duration::from_micros(700));
+        let j = m.to_json(0);
+        let phases = j
+            .get("algorithms")
+            .and_then(|a| a.get("independent"))
+            .and_then(|a| a.get("phases"))
+            .unwrap();
+        let Json::Obj(members) = phases else {
+            panic!("phases must be an object")
+        };
+        let names: Vec<&str> = members.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["partition", "extract", "merge"]);
+        assert_eq!(
+            phases
+                .get("extract")
+                .unwrap()
+                .get("count")
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let p99 = phases
+            .get("extract")
+            .unwrap()
+            .get("p99_us")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let max = phases
+            .get("extract")
+            .unwrap()
+            .get("max_us")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(p99 <= max);
+    }
+
+    #[test]
+    fn snapshots_race_concurrent_records_without_breaking_invariants() {
+        // Writers hammer counters + histograms (preserving the balance
+        // identity at every step) while a reader snapshots; afterwards
+        // the registry must balance and every quantile must respect max.
+        let m = Arc::new(Metrics::default());
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        m.submitted.inc();
+                        m.accepted.inc();
+                        m.completed.inc();
+                        let alg = &m.per_algorithm[t % 4];
+                        alg.wall.record(Duration::from_micros(i * 37 % 9000));
+                        alg.record_phase("extract", Duration::from_micros(i % 300));
+                        m.queue_wait.record(Duration::from_micros(i % 50));
+                    }
+                });
+            }
+            let m = Arc::clone(&m);
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let j = m.to_json(0);
+                    // Snapshots are well-formed mid-flight.
+                    assert!(j.get("algorithms").is_some());
+                    let q = j.get("queue_wait").unwrap();
+                    let p99 = q.get("p99_us").and_then(Json::as_u64).unwrap();
+                    let max = q.get("max_us").and_then(Json::as_u64).unwrap();
+                    assert!(p99 <= max, "mid-flight snapshot: p99 {p99} > max {max}");
+                }
+            });
+        });
+        assert!(m.balanced());
+        for alg in &m.per_algorithm {
+            let h = alg.phase("extract");
+            assert!(h.quantile_us(0.5) <= h.quantile_us(0.99));
+            assert!(h.quantile_us(0.99) <= h.max_us());
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Under any random sample set, quantiles are monotone in `q`
+        /// and never exceed the observed maximum.
+        #[test]
+        fn quantiles_monotone_and_bounded(samples in prop::collection::vec(0u64..10_000_000, 1..64)) {
+            let h = Histogram::default();
+            for &us in &samples {
+                h.record(Duration::from_micros(us));
+            }
+            let true_max = *samples.iter().max().unwrap();
+            prop_assert_eq!(h.max_us(), true_max);
+            let mut prev = 0u64;
+            for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let v = h.quantile_us(q);
+                prop_assert!(v >= prev, "q={} gave {} < {}", q, v, prev);
+                prop_assert!(v <= true_max, "q={} gave {} > max {}", q, v, true_max);
+                prev = v;
+            }
+        }
     }
 }

@@ -12,6 +12,8 @@
 //!    "saved":…,"extractions":…,"queue_wait_us":…,"run_us":…,"phases":{…}}}
 //! → {"op":"metrics"}
 //! ← {"status":"ok","metrics":{…registry snapshot…}}
+//! → {"op":"trace","n":5}        (last-N finished-job timelines; n defaults to 16)
+//! ← {"status":"ok","jobs":[{"id":…,"algorithm":…,"status":…,"run_us":…,"phases":{…}},…]}
 //! → {"op":"shutdown"}            ("mode":"now" aborts instead of draining)
 //! ← {"status":"ok","metrics":{…final snapshot…}}
 //! ```
@@ -439,6 +441,17 @@ fn handle_line(line: &str, client: &Client, service: &Service, stop: &StopSignal
             false,
         ),
         Some("submit") => (handle_submit(&request, client), false),
+        Some("trace") => {
+            let n = request
+                .get("n")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .unwrap_or(16);
+            (
+                Json::obj([("status", Json::str("ok")), ("jobs", client.trace_json(n))]),
+                false,
+            )
+        }
         Some("shutdown") => {
             // Drain (default) or abort, then answer with the final
             // snapshot. Setting `stop` afterwards keeps the snapshot
@@ -512,15 +525,11 @@ fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
         .to_string();
     let procs = match request.get("procs") {
         None => 2,
-        Some(v) => v
-            .as_u64()
-            .ok_or("\"procs\" must be a non-negative integer")? as usize,
+        Some(v) => checked_count(v, "procs")?,
     };
     let par_threads = match request.get("par_threads") {
         None => 0,
-        Some(v) => v
-            .as_u64()
-            .ok_or("\"par_threads\" must be a non-negative integer")? as usize,
+        Some(v) => checked_count(v, "par_threads")?,
     };
     let deadline = match request.get("deadline_ms") {
         None | Some(Json::Null) => None,
@@ -535,6 +544,17 @@ fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
         par_threads,
         deadline,
     })
+}
+
+/// Parses a processor/thread count, range-checking *before* narrowing:
+/// a bare `as usize` would silently truncate a large u64 on 32-bit
+/// targets and then pass the service's clamp validation with a mangled
+/// value. Out-of-range counts are answered `rejected_invalid` instead.
+fn checked_count(v: &Json, field: &str) -> Result<usize, String> {
+    let n = v
+        .as_u64()
+        .ok_or_else(|| format!("{field:?} must be a non-negative integer"))?;
+    usize::try_from(n).map_err(|_| format!("{field:?} value {n} does not fit this platform"))
 }
 
 fn rejection_json(rejection: &Rejection) -> Json {
@@ -687,6 +707,77 @@ mod tests {
         assert_eq!(ok.get("status").and_then(Json::as_str), Some("completed"));
         let bad = parse(&responses[1]).unwrap();
         assert_eq!(bad.get("status").and_then(Json::as_str), Some("rejected"));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn trace_returns_last_n_job_timelines() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let responses = request_lines(
+            addr,
+            &[
+                r#"{"op":"trace"}"#.to_string(),
+                r#"{"op":"submit","algorithm":"independent","workload":"gen:misex3@0.05","procs":2}"#
+                    .to_string(),
+                r#"{"op":"submit","algorithm":"seq","workload":"gen:misex3@0.05"}"#.to_string(),
+                r#"{"op":"trace","n":1}"#.to_string(),
+                r#"{"op":"trace"}"#.to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("protocol round-trip");
+        // Empty before any job finished.
+        let empty = parse(&responses[0]).unwrap();
+        assert_eq!(empty.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(empty.get("jobs"), Some(&Json::Arr(Vec::new())));
+        // n=1 keeps only the most recent job (the seq one).
+        let one = parse(&responses[3]).unwrap();
+        let Some(Json::Arr(jobs)) = one.get("jobs") else {
+            panic!("jobs must be an array")
+        };
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].get("algorithm").and_then(Json::as_str), Some("seq"));
+        // Default n returns both, oldest first, with phase breakdowns.
+        let both = parse(&responses[4]).unwrap();
+        let Some(Json::Arr(jobs)) = both.get("jobs") else {
+            panic!("jobs must be an array")
+        };
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs[0].get("algorithm").and_then(Json::as_str),
+            Some("independent")
+        );
+        assert_eq!(
+            jobs[0].get("status").and_then(Json::as_str),
+            Some("completed")
+        );
+        let phases = jobs[0].get("phases").expect("phases object");
+        assert!(phases.get("partition").is_some());
+        assert!(phases.get("merge").is_some());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn counts_beyond_the_platform_range_are_rejected_invalid() {
+        // 2^53 is exactly representable in the wire's f64 numbers but
+        // (on 32-bit targets) not in usize; either way it must answer a
+        // structured rejection, never truncate.
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let request = format!(
+            "{{\"op\":\"submit\",\"algorithm\":\"seq\",\"workload\":\"gen:misex3@0.05\",\"procs\":{}}}",
+            1u64 << 53
+        );
+        let responses = request_lines(addr, &[request, r#"{"op":"shutdown"}"#.to_string()])
+            .expect("round-trip");
+        let r = parse(&responses[0]).unwrap();
+        // 2^53 fits 64-bit usize, so on this platform it is clamped and
+        // completes; the invariant under test is "never mangled": the
+        // response is either completed (clamped) or rejected as invalid.
+        let status = r.get("status").and_then(Json::as_str).unwrap();
+        assert!(
+            status == "completed" || status == "rejected",
+            "unexpected status {status}"
+        );
         handle.join().unwrap();
     }
 

@@ -19,17 +19,21 @@
 //! [`ServiceConfig::fault_plan`] rides into every job's `RunCtl`, which
 //! is how the chaos tests stress all of the above.
 
-use crate::job::{ctl_for, validate_workload, JobOutcome, JobSpec, Rejection};
+use crate::job::{ctl_for, validate_workload, JobOutcome, JobSpec, JobTimeline, Rejection};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::retry::RetryPolicy;
 use crate::supervisor::{self, SupervisorSignal};
 use parking_lot::Mutex;
 use pf_core::{FaultPlan, RunCtl};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// How many finished-job timelines the service keeps for the `trace`
+/// verb (a bounded ring: oldest entries fall off).
+pub const TIMELINE_CAPACITY: usize = 64;
 
 /// Service construction options.
 #[derive(Clone, Debug)]
@@ -101,9 +105,21 @@ pub(crate) struct Inner {
     /// Panic strikes per job fingerprint (poison-pill detection).
     pub(crate) poison: Mutex<HashMap<String, u32>>,
     pub(crate) sup: SupervisorSignal,
+    /// Ring of the last [`TIMELINE_CAPACITY`] finished-job timelines.
+    pub(crate) timelines: Mutex<VecDeque<JobTimeline>>,
 }
 
 impl Inner {
+    /// Appends a finished job to the timeline ring, evicting the oldest
+    /// entry at capacity.
+    pub(crate) fn record_timeline(&self, t: JobTimeline) {
+        let mut ring = self.timelines.lock();
+        if ring.len() == TIMELINE_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(t);
+    }
+
     /// Records one panic strike against a fingerprint.
     pub(crate) fn strike(&self, fingerprint: &str) {
         *self
@@ -238,6 +254,15 @@ impl Client {
     pub fn metrics_json(&self) -> crate::json::Json {
         self.inner.metrics.to_json(self.inner.queue.depth())
     }
+
+    /// The last `n` finished-job timelines (oldest first), as the JSON
+    /// array the `trace` wire verb answers with. `n` is clamped to the
+    /// ring capacity ([`TIMELINE_CAPACITY`]).
+    pub fn trace_json(&self, n: usize) -> crate::json::Json {
+        let ring = self.inner.timelines.lock();
+        let skip = ring.len().saturating_sub(n.min(TIMELINE_CAPACITY));
+        crate::json::Json::Arr(ring.iter().skip(skip).map(JobTimeline::to_json).collect())
+    }
 }
 
 /// The running service: owns the supervised worker pool. Create with
@@ -269,6 +294,7 @@ impl Service {
             poison_threshold: cfg.poison_threshold.max(1),
             poison: Mutex::new(HashMap::new()),
             sup: SupervisorSignal::default(),
+            timelines: Mutex::new(VecDeque::with_capacity(TIMELINE_CAPACITY)),
         });
         let pool = Arc::new(Mutex::new(Vec::with_capacity(inner.desired_workers)));
         for i in 0..inner.desired_workers {
@@ -714,6 +740,56 @@ mod tests {
         }
         service.shutdown();
         assert_eq!(client.metrics().workers_alive.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn timeline_ring_records_outcomes_and_is_bounded() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let tickets: Vec<_> = (0..3)
+            .map(|_| client.submit(small(Algorithm::Seq)).expect("accepted"))
+            .collect();
+        let mut doomed = small(Algorithm::Replicated);
+        doomed.deadline = Some(Duration::ZERO);
+        let t_doomed = client.submit(doomed).expect("accepted");
+        for t in tickets {
+            t.wait();
+        }
+        t_doomed.wait();
+        service.shutdown();
+
+        // Asking for more than recorded returns everything, oldest first.
+        let crate::json::Json::Arr(all) = client.trace_json(100) else {
+            panic!("trace_json must be an array")
+        };
+        assert_eq!(all.len(), 4);
+        for entry in &all[..3] {
+            assert_eq!(
+                entry.get("status").and_then(crate::json::Json::as_str),
+                Some("completed")
+            );
+            // Completed entries carry the driver's phase breakdown.
+            assert!(matches!(
+                entry.get("phases"),
+                Some(crate::json::Json::Obj(members)) if !members.is_empty()
+            ));
+        }
+        assert_eq!(
+            all[3].get("status").and_then(crate::json::Json::as_str),
+            Some("timed_out")
+        );
+        // n clamps the window to the most recent entries.
+        let crate::json::Json::Arr(last) = client.trace_json(2) else {
+            panic!("trace_json must be an array")
+        };
+        assert_eq!(last.len(), 2);
+        assert_eq!(
+            last[1].get("algorithm").and_then(crate::json::Json::as_str),
+            Some("replicated")
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! [`Rejection::Quarantined`]: crate::job::Rejection::Quarantined
 
 use crate::error::ServeError;
-use crate::job::JobOutcome;
+use crate::job::{JobOutcome, JobTimeline};
 use crate::service::{Inner, QueuedJob};
 use crate::worker;
 use parking_lot::{Condvar, Mutex};
@@ -167,13 +167,43 @@ fn worker_loop(inner: &Inner) {
                 alg.wall.record(jr.run_time);
                 alg.literals_saved
                     .fetch_add(jr.report.saved() as i64, Ordering::Relaxed);
+                for p in &jr.report.phases {
+                    alg.record_phase(p.name, p.elapsed);
+                }
             }
             JobOutcome::TimedOut(_) => m.timed_out.inc(),
             JobOutcome::Drained => m.drained.inc(),
             JobOutcome::Failed { .. } => m.failed.inc(),
         }
+        inner.record_timeline(timeline_for(&job, queue_wait, &outcome));
         // A client that gave up (dropped the ticket) is fine.
         let _ = job.responder.send(outcome);
+    }
+}
+
+/// Builds the `trace`-verb timeline entry for a finished job. Jobs that
+/// produced a report (completed / timed out) carry its phase breakdown;
+/// drained and failed jobs keep an empty one.
+fn timeline_for(job: &QueuedJob, queue_wait: Duration, outcome: &JobOutcome) -> JobTimeline {
+    let (run_time, phases) = match outcome {
+        JobOutcome::Completed(jr) | JobOutcome::TimedOut(jr) => (
+            jr.run_time,
+            jr.report
+                .phases
+                .iter()
+                .map(|p| (p.name, p.elapsed))
+                .collect(),
+        ),
+        JobOutcome::Drained | JobOutcome::Failed { .. } => (Duration::ZERO, Vec::new()),
+    };
+    JobTimeline {
+        id: job.id,
+        algorithm: job.spec.algorithm,
+        workload: job.spec.workload.clone(),
+        status: outcome.status(),
+        queue_wait,
+        run_time,
+        phases,
     }
 }
 

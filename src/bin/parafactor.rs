@@ -9,6 +9,8 @@
 //! parafactor submit [--addr A] [-a ALG] [-p N] [--par-threads N]
 //!                   [--deadline-ms N] [--retries N] <WORKLOAD>
 //! parafactor bench-json [--quick] [--out FILE]
+//! parafactor profile [-a ALG] [-p N] [--par-threads N] [--seed N]
+//!                   [-o FILE] <INPUT>
 //!
 //! INPUT                 circuit file (.blif, or the native text format),
 //!                       or gen:<profile>[@scale] for a synthetic circuit
@@ -40,6 +42,10 @@
 //! parallelism; --par-threads is likewise capped (0 stays 0). bench-json
 //! measures the rectangle-search engines and the four drivers end to end
 //! and writes BENCH_rect.json (--quick shrinks scales/reps for CI).
+//! profile runs one extraction with span tracing armed and writes the
+//! timeline as Chrome Trace Event Format JSON — load it in
+//! chrome://tracing or Perfetto — to stdout or -o FILE (span vocabulary
+//! in docs/OBSERVABILITY.md; a run summary goes to stderr).
 //! ```
 
 use parafactor::core::script::{run_script, ScriptConfig};
@@ -47,7 +53,7 @@ use parafactor::core::FaultPlan;
 use parafactor::core::{
     extract_common_cubes, extract_kernels, independent_extract, iterative_extract, lshaped_extract,
     lshaped_extract_cubes, replicated_extract, CubeExtractConfig, ExtractConfig, IndependentConfig,
-    IterativeConfig, LShapedConfig, LShapedCxConfig, Objective, ReplicatedConfig,
+    IterativeConfig, LShapedConfig, LShapedCxConfig, Objective, ReplicatedConfig, Trace, Tracer,
 };
 use parafactor::network::blif::{read_blif, write_blif};
 use parafactor::network::io::{read_network, write_network};
@@ -382,11 +388,246 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     }
 }
 
+/// `parafactor profile`: run one extraction with tracing armed and emit
+/// the merged span timeline as Chrome Trace Event Format JSON, loadable
+/// in chrome://tracing or Perfetto.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let mut opts = Options {
+        input: String::new(),
+        algorithm: "seq".into(),
+        procs: 4,
+        par_threads: 0,
+        output: None,
+        objective: "area".into(),
+        run_cx: false,
+        seed: None,
+        show_stats: false,
+        verify: false,
+    };
+    let bad = |msg: String| -> ExitCode {
+        eprintln!("error: {msg}");
+        ExitCode::FAILURE
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "-a" | "--algorithm" => match value(i) {
+                Some(v) => opts.algorithm = v.clone(),
+                None => return bad("--algorithm needs a value".into()),
+            },
+            "-p" | "--procs" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => opts.procs = n,
+                None => return bad("--procs must be an integer".into()),
+            },
+            "--par-threads" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => opts.par_threads = n,
+                None => return bad("--par-threads must be a non-negative integer".into()),
+            },
+            "-o" | "--output" => match value(i) {
+                Some(v) => opts.output = Some(v.clone()),
+                None => return bad("--output needs a value".into()),
+            },
+            "--seed" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => opts.seed = Some(n),
+                None => return bad("--seed must be an integer".into()),
+            },
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                return bad(format!("unknown profile option {other:?}"))
+            }
+            other => {
+                if !opts.input.is_empty() {
+                    return bad("more than one input given".into());
+                }
+                opts.input = other.to_string();
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    if opts.input.is_empty() {
+        return bad("no input given (a .blif file or gen:<profile>[@scale])".into());
+    }
+    opts.procs = match validate_procs(opts.procs, default_max_procs()) {
+        Ok(p) => p,
+        Err(e) => return bad(format!("--procs: {e}")),
+    };
+    opts.par_threads = opts.par_threads.min(default_max_procs());
+    let mut work = match load_circuit(&opts) {
+        Ok(nw) => nw,
+        Err(e) => return bad(e),
+    };
+
+    let tracer = Tracer::armed();
+    let mut extract_cfg = ExtractConfig {
+        trace: tracer.clone(),
+        ..ExtractConfig::default()
+    };
+    extract_cfg.search.par_threads = opts.par_threads;
+    let report = match opts.algorithm.as_str() {
+        "seq" => extract_kernels(&mut work, &[], &extract_cfg),
+        "replicated" => replicated_extract(
+            &mut work,
+            &ReplicatedConfig {
+                procs: opts.procs,
+                extract: extract_cfg,
+                ..ReplicatedConfig::default()
+            },
+        ),
+        "independent" => independent_extract(
+            &mut work,
+            &IndependentConfig {
+                procs: opts.procs,
+                extract: extract_cfg,
+                ..IndependentConfig::default()
+            },
+        ),
+        "lshaped" | "lshaped-seq" => lshaped_extract(
+            &mut work,
+            &LShapedConfig {
+                procs: opts.procs,
+                sequential: opts.algorithm == "lshaped-seq",
+                extract: extract_cfg,
+                ..LShapedConfig::default()
+            },
+        ),
+        "iterative" => iterative_extract(
+            &mut work,
+            &IterativeConfig {
+                inner: IndependentConfig {
+                    procs: opts.procs,
+                    extract: extract_cfg,
+                    ..IndependentConfig::default()
+                },
+                ..IterativeConfig::default()
+            },
+        ),
+        other => {
+            return bad(format!(
+                "profile supports seq | replicated | independent | lshaped | lshaped-seq \
+                 | iterative, not {other:?}"
+            ))
+        }
+    };
+    let trace = tracer.take();
+
+    // Coverage: for each reported phase, sum that phase's spans per lane
+    // and take the best lane (the driver-level one — parallel workers
+    // duplicate phase spans, so summing across lanes would double-count;
+    // iterative drivers emit several spans per phase on one lane, so a
+    // single max would undercount). Cap at the phase's reported time.
+    let covered_ns: u64 = report
+        .phases
+        .iter()
+        .map(|p| {
+            let mut per_lane = std::collections::HashMap::new();
+            for e in trace.events.iter().filter(|e| e.name == p.name) {
+                *per_lane.entry(e.lane).or_insert(0u64) += e.dur_ns;
+            }
+            per_lane
+                .into_values()
+                .max()
+                .unwrap_or(0)
+                .min(p.elapsed.as_nanos() as u64)
+        })
+        .sum();
+    let elapsed_ns = report.elapsed.as_nanos() as u64;
+    let coverage = if elapsed_ns == 0 {
+        100.0
+    } else {
+        100.0 * covered_ns as f64 / elapsed_ns as f64
+    };
+
+    let json = trace_event_json(&trace, &opts, &report).to_string();
+    match &opts.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                return bad(format!("cannot write {path}: {e}"));
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "profile: {} on {}: {} events in {} lanes, {} extractions, \
+         phase spans cover {coverage:.1}% of {:.3?}",
+        opts.algorithm,
+        opts.input,
+        trace.events.len(),
+        trace.lanes.len(),
+        report.extractions,
+        report.elapsed,
+    );
+    if trace.dropped > 0 {
+        eprintln!(
+            "profile: warning: {} events lost to lane ring wrap-around",
+            trace.dropped
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Renders a [`Trace`] in Chrome Trace Event Format: `thread_name`
+/// metadata per lane, then one complete (`ph:"X"`) event per span with
+/// `ts`/`dur` in microseconds.
+fn trace_event_json(
+    trace: &Trace,
+    opts: &Options,
+    report: &parafactor::core::ExtractReport,
+) -> Json {
+    let mut events = Vec::with_capacity(trace.lanes.len() + trace.events.len());
+    for (tid, label) in trace.lanes.iter().enumerate() {
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(0)),
+            ("tid", Json::u64(tid as u64)),
+            ("args", Json::obj([("name", Json::str(label.clone()))])),
+        ]));
+    }
+    for e in &trace.events {
+        let args = Json::Obj(
+            e.args
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Json::Num(v as f64)))
+                .collect(),
+        );
+        events.push(Json::obj([
+            ("name", Json::str(e.name)),
+            ("ph", Json::str("X")),
+            ("pid", Json::u64(0)),
+            ("tid", Json::u64(u64::from(e.lane))),
+            ("ts", Json::Num(e.start_ns as f64 / 1000.0)),
+            ("dur", Json::Num(e.dur_ns as f64 / 1000.0)),
+            ("args", args),
+        ]));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([
+                ("algorithm", Json::str(opts.algorithm.clone())),
+                ("workload", Json::str(opts.input.clone())),
+                ("elapsed_us", Json::u64(report.elapsed.as_micros() as u64)),
+                ("extractions", Json::u64(report.extractions as u64)),
+                ("lc_before", Json::u64(report.lc_before as u64)),
+                ("lc_after", Json::u64(report.lc_after as u64)),
+                ("dropped_events", Json::u64(trace.dropped)),
+            ]),
+        ),
+    ])
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&argv[1..]),
         Some("submit") => return cmd_submit(&argv[1..]),
+        Some("profile") => return cmd_profile(&argv[1..]),
         Some("bench-json") => {
             return match parafactor::benchjson::cmd_bench_json(&argv[1..]) {
                 Ok(()) => ExitCode::SUCCESS,

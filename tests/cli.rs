@@ -105,6 +105,114 @@ fn objective_flag_accepted() {
 }
 
 #[test]
+fn profile_emits_chrome_trace_event_json() {
+    use parafactor::serve::{json, Json};
+    // Integration tests run with the package root as cwd, so the
+    // shipped example circuit resolves relatively.
+    let out = bin()
+        .args(["profile", "examples/shared_kernels.blif"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = json::parse(stdout.trim()).expect("stdout is one JSON document");
+
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents array missing: {stdout}");
+    };
+    assert!(!events.is_empty());
+    let mut span_names = Vec::new();
+    let mut covered_us = 0.0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let name = ev.get("name").and_then(Json::as_str).expect("name");
+        match ph {
+            // Metadata: lane labels ride on thread_name records.
+            "M" => assert_eq!(name, "thread_name"),
+            // Complete events need ts + dur (µs since the trace epoch).
+            "X" => {
+                assert!(ev.get("ts").and_then(Json::as_f64).is_some(), "{stdout}");
+                let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+                span_names.push(name.to_string());
+                // seq runs on one lane, so plain summing is exact.
+                if name == "matrix" || name == "cover" {
+                    covered_us += dur;
+                }
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    for expected in ["matrix", "cover", "search", "apply"] {
+        assert!(
+            span_names.iter().any(|n| n == expected),
+            "span {expected:?} missing from {span_names:?}"
+        );
+    }
+    // The acceptance bar: phase spans account for >= 95% of elapsed.
+    let elapsed_us = doc
+        .get("otherData")
+        .and_then(|o| o.get("elapsed_us"))
+        .and_then(Json::as_u64)
+        .expect("otherData.elapsed_us");
+    assert!(
+        covered_us >= 0.95 * elapsed_us as f64,
+        "phase spans cover only {covered_us:.1}µs of {elapsed_us}µs"
+    );
+}
+
+#[test]
+fn profile_runs_parallel_drivers_and_writes_files() {
+    use parafactor::serve::{json, Json};
+    let dir = std::env::temp_dir().join("parafactor_profile_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for alg in ["replicated", "independent", "lshaped", "iterative"] {
+        let path = dir.join(format!("{alg}.json"));
+        let out = bin()
+            .args([
+                "profile",
+                "-a",
+                alg,
+                "-p",
+                "2",
+                "-o",
+                path.to_str().unwrap(),
+                "gen:misex3@0.08",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{alg}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(text.trim()).expect("file is one JSON document");
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("{alg}: traceEvents missing");
+        };
+        assert!(!events.is_empty(), "{alg}");
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("algorithm"))
+                .and_then(Json::as_str),
+            Some(alg)
+        );
+    }
+}
+
+#[test]
+fn profile_rejects_untraceable_algorithms() {
+    let out = bin()
+        .args(["profile", "-a", "script", "gen:misex3@0.05"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("profile supports"), "{stderr}");
+}
+
+#[test]
 fn help_exits_with_usage() {
     let out = bin().arg("--help").output().expect("binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
