@@ -70,7 +70,8 @@ pub use iterative::{iterative_extract, IterativeConfig};
 pub use lshaped::{lshaped_extract, LShapedConfig};
 pub use lshaped_cx::{lshaped_extract_cubes, LShapedCxConfig};
 pub use model::{predicted_speedup, SparsityFactors};
+pub use pf_kcmatrix::{CeilingUpdate, SearchPool};
 pub use replicated::{replicated_extract, ReplicatedConfig};
 pub use report::{ExtractReport, PhaseTiming};
-pub use seq::{extract_kernels, ExtractConfig};
+pub use seq::{extract_kernels, extract_kernels_pooled, ExtractConfig};
 pub use trace::{Lane, Span, Trace, TraceEvent, Tracer};

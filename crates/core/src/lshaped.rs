@@ -41,8 +41,8 @@ use crate::trace::Lane;
 use parking_lot::Mutex;
 use pf_kcmatrix::registry::ConcurrentCubeStates;
 use pf_kcmatrix::{
-    best_rectangle_seeded, CubeId, CubeRegistry, CubeState, KcMatrix, LabelGen, ProcId, Rectangle,
-    SearchConfig,
+    best_rectangle_pooled, best_rectangle_seeded, CeilingUpdate, CubeId, CubeRegistry, CubeState,
+    KcMatrix, LabelGen, ProcId, Rectangle, SearchConfig, SearchPool,
 };
 use pf_network::{Network, SignalId};
 use pf_partition::{partition_network, PartitionConfig};
@@ -202,6 +202,12 @@ struct Worker<'a> {
     /// Rectangle committed by this worker's previous extraction —
     /// re-validated against the current matrix to seed the next search.
     prev_best: Option<Rectangle>,
+    /// Persistent search executor (present iff `par_threads ≥ 1`),
+    /// reusing parked workers and scratch across this worker's passes.
+    /// Cross-pass ceilings stay **off** here: `CubeStates::release`
+    /// (COVERED → FREE) can *raise* cube values between passes, which
+    /// would make a remembered upper bound unsound.
+    pool: Option<SearchPool>,
     /// This processor's trace lane (`L<pid>`); inert when disarmed.
     lane: Lane,
 }
@@ -344,12 +350,22 @@ impl Worker<'_> {
             states.value_for(id, w, pid)
         };
         let pass = self.lane.start("search");
-        let (rect, stats) = best_rectangle_seeded(
-            &self.matrix,
-            &value_of,
-            &search_cfg,
-            self.prev_best.as_ref(),
-        );
+        let (rect, stats) = match self.pool.as_mut() {
+            Some(pool) => best_rectangle_pooled(
+                &self.matrix,
+                &value_of,
+                &search_cfg,
+                self.prev_best.as_ref(),
+                pool,
+                CeilingUpdate::Off,
+            ),
+            None => best_rectangle_seeded(
+                &self.matrix,
+                &value_of,
+                &search_cfg,
+                self.prev_best.as_ref(),
+            ),
+        };
         self.budget_exhausted |= stats.budget_exhausted;
         crate::seq::end_search_span(&mut self.lane, pass, rect.as_ref(), &stats);
         let Some(rect) = rect else {
@@ -655,6 +671,13 @@ fn setup<'a>(
             shipped: 0,
             budget_exhausted: false,
             prev_best: None,
+            pool: {
+                let mut pool = (cfg.extract.search.par_threads >= 1).then(SearchPool::new);
+                if let Some(p) = pool.as_mut() {
+                    p.warm(cfg.extract.search.par_threads);
+                }
+                pool
+            },
             lane: cfg.extract.trace.lane(&format!("L{pid}")),
         });
     }

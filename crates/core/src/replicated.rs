@@ -109,6 +109,12 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
                 // so all replicas are bit-identical by construction.
                 let mut replica = nw_ref.clone();
                 let mut engine = Engine::new_parallel(&replica, targets, cfg.extract.clone(), p);
+                // With `search.par_threads ≥ 1` each replica owns a
+                // persistent search pool; pre-spawn its workers inside
+                // the replicate span so no cover pass pays spawn cost.
+                // The per-replica stripe is constant, so the pool's
+                // cross-pass ceilings stay valid between iterations.
+                engine.warm_pool();
                 lane.end(replicate_span);
                 if pid == 0 {
                     *replicate_elapsed.lock().unwrap() = start.elapsed();

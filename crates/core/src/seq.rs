@@ -13,11 +13,12 @@ use crate::report::{ExtractReport, PhaseTiming};
 use crate::trace::{Lane, Tracer};
 use pf_kcmatrix::rectangle::CostModel;
 use pf_kcmatrix::{
-    best_rectangle_seeded, best_rectangle_with_seed, CubeRegistry, KcMatrix, LabelGen, Rectangle,
-    SearchConfig, SearchStats,
+    best_rectangle_pooled, best_rectangle_pooled_with, best_rectangle_seeded,
+    best_rectangle_with_seed, CeilingUpdate, ColIdx, CubeRegistry, KcMatrix, LabelGen, Rectangle,
+    SearchConfig, SearchPool, SearchStats,
 };
 use pf_network::{Network, SignalId};
-use pf_sop::fx::FxHashMap;
+use pf_sop::fx::{FxHashMap, FxHashSet};
 use pf_sop::kernel::KernelConfig;
 use pf_sop::{Cube, Sop};
 use std::time::Instant;
@@ -83,6 +84,31 @@ pub struct Engine {
     /// cover loop — re-validated against the current matrix and used to
     /// seed the next search's pruning bound.
     prev_best: Option<Rectangle>,
+    /// Persistent search executor, present iff `search.par_threads ≥ 1`:
+    /// long-lived workers with reusable scratch and cross-pass
+    /// per-column ceilings, replacing per-pass thread spawns.
+    pool: Option<SearchPool>,
+    /// Columns invalidated by [`Engine::apply`] since the last search —
+    /// the pool's ceiling dirty set.
+    dirty_cols: Vec<ColIdx>,
+    /// Whether the pool has yet to see this engine's matrix (first
+    /// search resets the ceilings instead of patching them).
+    pool_fresh: bool,
+}
+
+/// Starts the fresh-name counter past every `{prefix}{N}` already in the
+/// network, so [`Engine::apply`] almost never probes occupied names
+/// (each probe used to cost a `format!` + lookup per collision).
+fn counter_past_existing(nw: &Network, prefix: &str) -> usize {
+    let mut next = 0usize;
+    for id in nw.signal_ids() {
+        if let Some(tail) = nw.name(id).strip_prefix(prefix) {
+            if let Ok(n) = tail.parse::<usize>() {
+                next = next.max(n + 1);
+            }
+        }
+    }
+    next
 }
 
 impl Engine {
@@ -103,6 +129,8 @@ impl Engine {
             );
         }
         let weights = registry.weights_snapshot();
+        let counter = counter_past_existing(nw, &cfg.name_prefix);
+        let pool = (cfg.search.par_threads >= 1).then(SearchPool::new);
         let mut engine = Engine {
             matrix,
             registry,
@@ -111,10 +139,13 @@ impl Engine {
             col_labels,
             targets: targets.to_vec(),
             cfg,
-            counter: 0,
+            counter,
             applied: 0,
             wvals: Vec::new(),
             prev_best: None,
+            pool,
+            dirty_cols: Vec::new(),
+            pool_fresh: true,
         };
         engine.refresh_wvals();
         engine
@@ -186,6 +217,8 @@ impl Engine {
             );
         }
         let weights = registry.weights_snapshot();
+        let counter = counter_past_existing(nw, &cfg.name_prefix);
+        let pool = (cfg.search.par_threads >= 1).then(SearchPool::new);
         let mut engine = Engine {
             matrix,
             registry,
@@ -194,24 +227,54 @@ impl Engine {
             col_labels,
             targets: targets.to_vec(),
             cfg,
-            counter: 0,
+            counter,
             applied: 0,
             wvals: Vec::new(),
             prev_best: None,
+            pool,
+            dirty_cols: Vec::new(),
+            pool_fresh: true,
         };
         engine.refresh_wvals();
         engine
     }
 
-    /// Extends the weighted-value cache for newly interned cubes.
+    /// Extends the weighted-value cache for newly interned cubes, one
+    /// registry lock for the whole batch (not one lock + clone per id).
     fn refresh_wvals(&mut self) {
         let Some(obj) = &self.cfg.objective else {
             return;
         };
-        while self.wvals.len() < self.weights.len() {
-            let (_, cube) = self.registry.cube(self.wvals.len() as u32);
-            self.wvals.push(obj.cube_weight(&cube));
+        let wvals = &mut self.wvals;
+        self.registry.for_each_from(wvals.len(), |_, cube| {
+            wvals.push(obj.cube_weight(cube));
+        });
+    }
+
+    /// Pre-spawns the pool's background workers (no-op for a pool-less
+    /// engine or `par_threads ≤ 1`). Drivers call this before their
+    /// measured cover loop so no pass pays spawn latency.
+    pub fn warm_pool(&mut self) {
+        let threads = self.cfg.search.par_threads;
+        if let Some(pool) = self.pool.as_mut() {
+            pool.warm(threads);
         }
+    }
+
+    /// Hands an existing pool to this engine (replacing any own pool),
+    /// reusing its warmed threads and scratch; its ceilings are reset on
+    /// the first search. Only meaningful when `par_threads ≥ 1`.
+    pub fn adopt_pool(&mut self, pool: SearchPool) {
+        if self.cfg.search.par_threads >= 1 {
+            self.pool = Some(pool);
+            self.pool_fresh = true;
+        }
+    }
+
+    /// Takes the engine's pool back out (e.g. to reuse it for the next
+    /// job on this worker thread).
+    pub fn take_pool(&mut self) -> Option<SearchPool> {
+        self.pool.take()
     }
 
     /// The matrix (for inspection / rendering).
@@ -223,12 +286,48 @@ impl Engine {
     /// the leftmost column as in Algorithm R. Returns the full
     /// [`SearchStats`] (visited / pruned / bound-update counters) so
     /// callers can trace per-pass search behaviour.
-    pub fn search(&self, stripe: Option<(u32, u32)>) -> (Option<Rectangle>, SearchStats) {
+    pub fn search(&mut self, stripe: Option<(u32, u32)>) -> (Option<Rectangle>, SearchStats) {
         let cfg = SearchConfig {
             stripe,
             ..self.cfg.search.clone()
         };
         let seed = self.prev_best.as_ref();
+        if let Some(pool) = self.pool.as_mut() {
+            // Pooled pass: the first one over this matrix resets the
+            // ceilings; later ones only invalidate the columns `apply`
+            // dirtied, so unchanged leftmost-column subtrees prune from
+            // their surviving ceilings immediately.
+            let update = if self.pool_fresh {
+                CeilingUpdate::Reset
+            } else {
+                CeilingUpdate::Dirty(&self.dirty_cols)
+            };
+            let out = match &self.cfg.objective {
+                None => {
+                    let w = &self.weights;
+                    best_rectangle_pooled(
+                        &self.matrix,
+                        &|id| w[id as usize],
+                        &cfg,
+                        seed,
+                        pool,
+                        update,
+                    )
+                }
+                Some(obj) => {
+                    let wv = &self.wvals;
+                    let model = CostModel {
+                        cube_value: &|id| wv[id as usize],
+                        row_cost: &|cok| obj.row_cost(cok),
+                        col_cost: &|cube| obj.col_cost(cube),
+                    };
+                    best_rectangle_pooled_with(&self.matrix, &model, &cfg, seed, pool, update)
+                }
+            };
+            self.pool_fresh = false;
+            self.dirty_cols.clear();
+            return out;
+        }
         match &self.cfg.objective {
             None => {
                 let w = &self.weights;
@@ -271,8 +370,9 @@ impl Engine {
             .expect("extracted node name is fresh");
         let x_lit = nw.var(x).lit();
 
-        // Group chosen rows by node: covered cubes and replacement cubes.
-        let mut by_node: FxHashMap<SignalId, (Vec<Cube>, Vec<Cube>)> = FxHashMap::default();
+        // Group chosen rows by node: covered cubes (hashed — the filter
+        // below probes once per remaining cube) and replacement cubes.
+        let mut by_node: FxHashMap<SignalId, (FxHashSet<Cube>, Vec<Cube>)> = FxHashMap::default();
         for &r in &rect.rows {
             let row = &self.matrix.rows()[r];
             let entry = by_node.entry(row.node).or_default();
@@ -281,7 +381,7 @@ impl Engine {
                     .cokernel
                     .product(&self.matrix.cols()[c].cube)
                     .expect("disjoint by construction");
-                entry.0.push(covered);
+                entry.0.insert(covered);
             }
             entry.1.push(
                 row.cokernel
@@ -295,12 +395,29 @@ impl Engine {
             let f = nw.func(node);
             let remaining = f
                 .iter()
-                .filter(|c| !covered.contains(c))
+                .filter(|c| !covered.contains(*c))
                 .cloned()
                 .chain(additions);
             let f_new = Sop::from_cubes(remaining);
             nw.set_func(node, f_new).expect("node exists");
             affected.push(node);
+        }
+
+        // Ceiling bookkeeping (pooled engines only): every column with an
+        // entry in a row about to be tombstoned goes dirty now, and every
+        // column of a row appended below goes dirty after. Clean columns
+        // keep byte-identical subtrees — their support rows, entry cubes
+        // and values are all untouched — so their ceilings stay sound.
+        let rows_before = self.matrix.rows().len();
+        if self.pool.is_some() {
+            let nodes: FxHashSet<SignalId> = affected.iter().copied().collect();
+            for row in self.matrix.rows() {
+                if row.alive && nodes.contains(&row.node) {
+                    for &(c, _) in &row.entries {
+                        self.dirty_cols.push(c);
+                    }
+                }
+            }
         }
 
         // Refresh matrix rows for the affected nodes…
@@ -326,6 +443,15 @@ impl Engine {
                 &mut self.row_labels,
                 &mut self.col_labels,
             );
+        }
+        if self.pool.is_some() {
+            for row in &self.matrix.rows()[rows_before..] {
+                for &(c, _) in &row.entries {
+                    self.dirty_cols.push(c);
+                }
+            }
+            self.dirty_cols.sort_unstable();
+            self.dirty_cols.dedup();
         }
         self.registry.extend_weights(&mut self.weights);
         self.refresh_wvals();
@@ -393,6 +519,25 @@ pub fn extract_kernels(
     targets: &[SignalId],
     cfg: &ExtractConfig,
 ) -> ExtractReport {
+    let mut pool = None;
+    extract_kernels_pooled(nw, targets, cfg, &mut pool)
+}
+
+/// [`extract_kernels`] with an externally owned [`SearchPool`] slot: a
+/// pool left in `*pool` is adopted (reusing its warmed threads and
+/// scratch across jobs — the resident-service pattern), and the engine's
+/// pool is handed back through the slot when the run ends. When
+/// `par_threads` is 0 the slot is ignored and the classic spawn-free
+/// sequential engine runs as before.
+///
+/// Phases: `matrix` (build), `pool` (pool adoption + worker pre-spawn,
+/// before the cover clock starts), `cover` (the extraction loop).
+pub fn extract_kernels_pooled(
+    nw: &mut Network,
+    targets: &[SignalId],
+    cfg: &ExtractConfig,
+    pool: &mut Option<SearchPool>,
+) -> ExtractReport {
     let targets: Vec<SignalId> = if targets.is_empty() {
         nw.node_ids().collect()
     } else {
@@ -416,6 +561,7 @@ pub fn extract_kernels(
         report.elapsed = start.elapsed();
         report.phases = vec![
             PhaseTiming::new("matrix", report.elapsed),
+            PhaseTiming::new("pool", std::time::Duration::ZERO),
             PhaseTiming::new("cover", std::time::Duration::ZERO),
         ];
         return report;
@@ -424,6 +570,17 @@ pub fn extract_kernels(
     let mut engine = Engine::new(nw, &targets, cfg.clone());
     lane.end(matrix_span);
     let matrix_elapsed = start.elapsed();
+    // Pool setup is deliberately its own phase, outside the cover clock:
+    // adopting a still-warm pool from the previous job (or pre-spawning
+    // this run's workers) is exactly the setup cost the persistent
+    // executor amortizes away.
+    let pool_span = lane.start("pool");
+    if let Some(prev) = pool.take() {
+        engine.adopt_pool(prev);
+    }
+    engine.warm_pool();
+    lane.end(pool_span);
+    let pool_elapsed = start.elapsed().saturating_sub(matrix_elapsed);
     let cover_span = lane.start("cover");
     while engine.extractions() < cfg.max_extractions {
         // The cover-loop head is the driver's barrier checkpoint, and
@@ -444,12 +601,17 @@ pub fn extract_kernels(
         report.extractions += 1;
     }
     lane.end(cover_span);
+    *pool = engine.take_pool();
     report.lc_after = nw.literal_count();
     report.elapsed = start.elapsed();
     report.setup = matrix_elapsed;
     report.phases = vec![
         PhaseTiming::new("matrix", matrix_elapsed),
-        PhaseTiming::new("cover", report.elapsed.saturating_sub(matrix_elapsed)),
+        PhaseTiming::new("pool", pool_elapsed),
+        PhaseTiming::new(
+            "cover",
+            report.elapsed.saturating_sub(matrix_elapsed + pool_elapsed),
+        ),
     ];
     report
 }
@@ -558,11 +720,90 @@ mod tests {
     fn phases_cover_elapsed() {
         let (mut nw, _) = example_1_1();
         let report = extract_kernels(&mut nw, &[], &ExtractConfig::default());
-        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases.len(), 3);
         assert_eq!(report.phases[0].name, "matrix");
-        assert_eq!(report.phases[1].name, "cover");
+        assert_eq!(report.phases[1].name, "pool");
+        assert_eq!(report.phases[2].name, "cover");
         let sum: std::time::Duration = report.phases.iter().map(|p| p.elapsed).sum();
         assert!(sum <= report.elapsed + std::time::Duration::from_millis(1));
+    }
+
+    #[test]
+    fn pooled_engine_matches_classic_across_thread_counts() {
+        // Byte-identical extraction across engine modes: classic
+        // sequential (par_threads = 0) vs the pooled executor at several
+        // widths, on the paper network where the canonical parallel
+        // winner coincides with the classic one at every pass.
+        let (classic_nw, _) = example_1_1();
+        let mut classic = classic_nw.clone();
+        let classic_report = extract_kernels(&mut classic, &[], &ExtractConfig::default());
+        for threads in [1usize, 2, 4] {
+            let mut cfg = ExtractConfig::default();
+            cfg.search.par_threads = threads;
+            let (mut nw, _) = example_1_1();
+            let report = extract_kernels(&mut nw, &[], &cfg);
+            assert_eq!(
+                report.lc_after, classic_report.lc_after,
+                "threads={threads}"
+            );
+            assert_eq!(report.total_value, classic_report.total_value);
+            assert_eq!(report.extractions, classic_report.extractions);
+            // Byte-identical networks: same nodes, names and functions.
+            let dump = |n: &Network| {
+                let mut v: Vec<String> = n
+                    .node_ids()
+                    .map(|id| format!("{}={:?}", n.name(id), n.func(id)))
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(dump(&nw), dump(&classic), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_run_reuses_one_pool_and_never_respawns_mid_cover() {
+        let mut cfg = ExtractConfig::default();
+        cfg.search.par_threads = 2;
+        let (mut nw, _) = example_1_1();
+        let mut pool = None;
+        let report = extract_kernels_pooled(&mut nw, &[], &cfg, &mut pool);
+        assert_eq!(report.lc_after, 21);
+        let pool = pool.expect("pooled run hands the pool back");
+        // One background worker for a 2-wide run, spawned exactly once
+        // (in the pool phase), however many passes the cover loop ran.
+        assert_eq!(pool.spawned_threads(), 1);
+        assert!(pool.passes() >= report.extractions as u64);
+    }
+
+    #[test]
+    fn pool_slot_survives_across_jobs() {
+        let mut cfg = ExtractConfig::default();
+        cfg.search.par_threads = 2;
+        let mut pool = None;
+        let mut last_lc = 0;
+        for _ in 0..3 {
+            let (mut nw, _) = example_1_1();
+            let report = extract_kernels_pooled(&mut nw, &[], &cfg, &mut pool);
+            last_lc = report.lc_after;
+        }
+        assert_eq!(last_lc, 21);
+        // Three jobs, one pool, one spawn: jobs 2 and 3 adopted it warm.
+        assert_eq!(pool.expect("slot refilled").spawned_threads(), 1);
+    }
+
+    #[test]
+    fn fresh_name_counter_skips_existing_extraction_names() {
+        // A network that already contains kx_0/kx_7 (e.g. from an earlier
+        // extraction pass) must not make apply probe 8 occupied names.
+        let (mut nw, _) = example_1_1();
+        let report1 = extract_kernels(&mut nw, &[], &ExtractConfig::default());
+        assert!(report1.extractions > 0);
+        // Second run over the already-extracted network: new names start
+        // past the existing kx_* block and extraction still converges.
+        let report2 = extract_kernels(&mut nw, &[], &ExtractConfig::default());
+        assert!(report2.lc_after <= report1.lc_after);
+        assert!(nw.validate().is_ok());
     }
 
     #[test]

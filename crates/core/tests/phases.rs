@@ -41,7 +41,7 @@ fn assert_phases_cover(report: &ExtractReport, expect_names: &[&str], who: &str)
 fn seq_phases_cover_elapsed() {
     let (mut nw, _) = example_1_1();
     let report = extract_kernels(&mut nw, &[], &ExtractConfig::default());
-    assert_phases_cover(&report, &["matrix", "cover"], "seq");
+    assert_phases_cover(&report, &["matrix", "pool", "cover"], "seq");
 }
 
 #[test]
@@ -53,7 +53,7 @@ fn seq_expired_deadline_still_reports_phases() {
     };
     let report = extract_kernels(&mut nw, &[], &cfg);
     assert!(report.timed_out);
-    assert_phases_cover(&report, &["matrix", "cover"], "seq early-return");
+    assert_phases_cover(&report, &["matrix", "pool", "cover"], "seq early-return");
 }
 
 #[test]

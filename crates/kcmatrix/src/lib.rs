@@ -27,6 +27,7 @@
 pub mod cube_matrix;
 pub mod matrix;
 mod par_search;
+pub mod pool;
 pub mod rectangle;
 pub mod reference;
 pub mod registry;
@@ -34,9 +35,10 @@ pub mod rowset;
 
 pub use cube_matrix::{CommonCube, CubeLitMatrix};
 pub use matrix::{ColIdx, KcCol, KcMatrix, KcRow, LabelGen, RowIdx};
+pub use pool::{CeilingUpdate, SearchPool};
 pub use rectangle::{
-    best_rectangle, best_rectangle_seeded, best_rectangle_with, best_rectangle_with_seed,
-    CostModel, Rectangle, SearchConfig, SearchStats,
+    best_rectangle, best_rectangle_pooled, best_rectangle_pooled_with, best_rectangle_seeded,
+    best_rectangle_with, best_rectangle_with_seed, CostModel, Rectangle, SearchConfig, SearchStats,
 };
 pub use registry::{CubeId, CubeRegistry, CubeState, CubeStates, ProcId};
 pub use rowset::RowSet;

@@ -1,6 +1,15 @@
 //! Parallel rectangle search: a chunked work queue over leftmost
-//! columns, drained by scoped worker threads sharing an atomic pruning
-//! bound.
+//! columns, drained by workers sharing a pruning bound.
+//!
+//! Two executors drive the same worker body ([`run_worker`]):
+//!
+//! * [`search`] — the original per-call executor: scoped threads spawned
+//!   for every pass, fresh scratch per worker. Kept as the differential
+//!   oracle for the pooled executor.
+//! * [`crate::pool::SearchPool`] — the persistent executor: long-lived
+//!   parked workers with owned scratch reused across passes, plus
+//!   cross-pass per-column value ceilings. Zero spawns per pass once
+//!   warm.
 //!
 //! ## Determinism rules
 //!
@@ -28,10 +37,20 @@
 //!    always completes (greedy work is not budget-charged), and the
 //!    merge is canonical — so the fallback is deterministic too.
 //!
-//! The shared bound is an `AtomicI64` updated with `fetch_max`: any
-//! worker's improvement immediately tightens every other worker's
-//! admissible prune. All atomics use relaxed ordering — they carry
-//! monotone scalars, never publish memory.
+//! The same three rules extend to the pool's cross-pass ceilings: a
+//! leftmost-column task is skipped only when a *sound upper bound* on
+//! its whole subtree (recorded on a previous pass over unchanged
+//! columns) is strictly below the current shared bound, so no
+//! maximum-value rectangle — and no canonical tie — is ever lost. See
+//! [`crate::pool`] for the ceiling invariants.
+//!
+//! In the multi-worker case the shared bound is an `AtomicI64` updated
+//! with `fetch_max`: any worker's improvement immediately tightens every
+//! other worker's admissible prune. All atomics use relaxed ordering —
+//! they carry monotone scalars, never publish memory. Single-worker
+//! passes from the pool substitute plain [`Cell`]s (the [`PassSync`]
+//! abstraction): same algorithm, same enumeration order, no atomic
+//! traffic.
 
 use crate::matrix::{ColIdx, KcMatrix, RowIdx};
 use crate::rectangle::{
@@ -41,6 +60,7 @@ use crate::rectangle::{
 use crate::registry::CubeId;
 use crate::rowset::RowSet;
 use pf_sop::fx::FxHashSet;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::thread;
 
@@ -50,9 +70,10 @@ use std::thread;
 /// comfortable middle for matrices with hundreds of columns.
 const CHUNKS_PER_WORKER: usize = 4;
 
-/// Shared worker coordination state: the two task queues (greedy row
-/// chunks, then explore column chunks) and the pruning/budget atomics.
-struct Shared<'a> {
+/// The two task queues of one pass: greedy row chunks, then explore
+/// column chunks. Claim counters are atomic but cold (one `fetch_add`
+/// per chunk, not per expansion).
+pub(crate) struct Queue<'a> {
     /// Leftmost-column explore tasks (admissible, non-empty support).
     tasks: &'a [ColIdx],
     /// Explore tasks claimed per `fetch_add`.
@@ -65,33 +86,199 @@ struct Shared<'a> {
     greedy_chunk: usize,
     /// Next unclaimed greedy row.
     greedy_next: AtomicUsize,
-    /// Lower bound on the best value found anywhere (`fetch_max`).
+}
+
+impl<'a> Queue<'a> {
+    pub(crate) fn new(tasks: &'a [ColIdx], nthreads: usize, greedy_rows: usize) -> Self {
+        Queue {
+            tasks,
+            chunk: (tasks.len() / (nthreads * CHUNKS_PER_WORKER)).max(1),
+            next: AtomicUsize::new(0),
+            greedy_rows,
+            greedy_chunk: (greedy_rows / (nthreads * CHUNKS_PER_WORKER)).max(1),
+            greedy_next: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Per-pass synchronisation — the pruning bound, the budget ticket
+/// counter and the truncation flag — abstracted so a single-worker
+/// pooled pass can run on plain cells instead of atomics. The per-node
+/// `fetch_add`/`load` traffic is exactly the 1-thread overhead the pool
+/// exists to eliminate; the algorithm is identical either way.
+pub(crate) trait PassSync {
+    /// Current lower bound on the best value found anywhere.
+    fn bound(&self) -> i64;
+    /// Monotone max-update of the bound; whether it actually rose.
+    fn raise_bound(&self, v: i64) -> bool;
+    /// Claims one expansion ticket; returns the pre-increment count.
+    fn ticket(&self) -> u64;
+    /// Whether some worker had an expansion denied by the budget.
+    fn is_truncated(&self) -> bool;
+    /// Records a denied expansion.
+    fn set_truncated(&self);
+}
+
+/// Multi-worker [`PassSync`] over shared atomics.
+pub(crate) struct AtomicSync {
     bound: AtomicI64,
-    /// Expansion tickets charged against the budget.
     visited: AtomicU64,
-    /// Set by whichever worker first has an expansion denied.
     truncated: AtomicBool,
 }
 
-/// One worker's contribution, merged canonically by [`search`].
-struct WorkerResult {
+impl AtomicSync {
+    pub(crate) fn new(init_bound: i64) -> Self {
+        AtomicSync {
+            bound: AtomicI64::new(init_bound),
+            visited: AtomicU64::new(0),
+            truncated: AtomicBool::new(false),
+        }
+    }
+}
+
+impl PassSync for AtomicSync {
+    #[inline]
+    fn bound(&self) -> i64 {
+        self.bound.load(Relaxed)
+    }
+    #[inline]
+    fn raise_bound(&self, v: i64) -> bool {
+        self.bound.fetch_max(v, Relaxed) < v
+    }
+    #[inline]
+    fn ticket(&self) -> u64 {
+        self.visited.fetch_add(1, Relaxed)
+    }
+    #[inline]
+    fn is_truncated(&self) -> bool {
+        self.truncated.load(Relaxed)
+    }
+    #[inline]
+    fn set_truncated(&self) {
+        self.truncated.store(true, Relaxed);
+    }
+}
+
+/// Single-worker [`PassSync`] over plain cells — no atomic traffic.
+/// Sound only when exactly one worker runs the pass (the pool's
+/// 1-thread fast path); results equal the atomic run because the
+/// enumeration order and pruning rules are identical.
+pub(crate) struct SoloSync {
+    bound: Cell<i64>,
+    visited: Cell<u64>,
+    truncated: Cell<bool>,
+}
+
+impl SoloSync {
+    pub(crate) fn new(init_bound: i64) -> Self {
+        SoloSync {
+            bound: Cell::new(init_bound),
+            visited: Cell::new(0),
+            truncated: Cell::new(false),
+        }
+    }
+}
+
+impl PassSync for SoloSync {
+    #[inline]
+    fn bound(&self) -> i64 {
+        self.bound.get()
+    }
+    #[inline]
+    fn raise_bound(&self, v: i64) -> bool {
+        if v > self.bound.get() {
+            self.bound.set(v);
+            true
+        } else {
+            false
+        }
+    }
+    #[inline]
+    fn ticket(&self) -> u64 {
+        let t = self.visited.get();
+        self.visited.set(t + 1);
+        t
+    }
+    #[inline]
+    fn is_truncated(&self) -> bool {
+        self.truncated.get()
+    }
+    #[inline]
+    fn set_truncated(&self) {
+        self.truncated.set(true);
+    }
+}
+
+/// One worker's owned buffers: greedy evaluation buffers, the
+/// branch-and-bound column stack, per-depth row-set and candidate
+/// pools, and the exact-evaluation scratch. Everything here is
+/// capacity-retaining, which is the point — a pool worker reuses its
+/// scratch across every pass of an extraction run instead of
+/// reallocating per call.
+#[derive(Default)]
+pub(crate) struct WorkerScratch {
+    greedy: GreedyBufs,
+    cols: Vec<ColIdx>,
+    depths: Vec<RowSet>,
+    cand: Vec<RowSet>,
+    rows_buf: Vec<RowIdx>,
+    seen: FxHashSet<CubeId>,
+    root: RowSet,
+}
+
+/// Read-only view of the surviving per-column ceilings for one pass
+/// (see [`crate::pool`]). `None` entries (invalid) force exploration.
+pub(crate) struct CeilingsView<'a> {
+    pub(crate) vals: &'a [i64],
+    pub(crate) valid: &'a [bool],
+}
+
+impl CeilingsView<'_> {
+    #[inline]
+    fn get(&self, c: ColIdx) -> Option<i64> {
+        if self.valid.get(c).copied().unwrap_or(false) {
+            Some(self.vals[c])
+        } else {
+            None
+        }
+    }
+}
+
+/// One worker's contribution, merged canonically by [`merge_results`].
+pub(crate) struct WorkerResult {
     /// Canonical best over this worker's greedy rows (always complete).
     greedy_best: Option<Rectangle>,
     /// Canonical best over this worker's explored column sets.
     explore_best: Option<Rectangle>,
     /// Expansions completed (reported in [`SearchStats::visited`]).
     expansions: u64,
-    /// Subtrees this worker cut with the shared bound.
+    /// Subtrees this worker cut with the shared bound (including whole
+    /// tasks skipped via a surviving ceiling).
     pruned: u64,
     /// Times this worker actually raised the shared bound (greedy
     /// publishes included).
     bound_updates: u64,
+    /// Fresh (column, ceiling) pairs for tasks this worker explored to
+    /// completion — empty when ceilings are off.
+    ceil_out: Vec<(ColIdx, i64)>,
 }
 
-/// Runs the parallel search. `init_best` is the re-validated
-/// previous-pass seed (not the greedy result — the greedy sweep runs
-/// *inside* the parallel region, striped across workers); it starts the
-/// shared bound and joins the canonical merge and truncation fallback.
+/// The admissible leftmost-column task list for one pass.
+pub(crate) fn admissible_tasks(
+    m: &KcMatrix,
+    cfg: &SearchConfig,
+    col_sets: &[RowSet],
+) -> Vec<ColIdx> {
+    (0..m.cols().len())
+        .filter(|&c| stripe_admits(cfg, c) && !col_sets[c].is_empty())
+        .collect()
+}
+
+/// Runs the spawn-per-call parallel search. `init_best` is the
+/// re-validated previous-pass seed (not the greedy result — the greedy
+/// sweep runs *inside* the parallel region, striped across workers); it
+/// starts the shared bound and joins the canonical merge and truncation
+/// fallback.
 pub(crate) fn search(
     m: &KcMatrix,
     model: &CostModel<'_>,
@@ -100,9 +287,7 @@ pub(crate) fn search(
     col_sets: &[RowSet],
     init_best: Option<Rectangle>,
 ) -> (Option<Rectangle>, SearchStats) {
-    let tasks: Vec<ColIdx> = (0..m.cols().len())
-        .filter(|&c| stripe_admits(cfg, c) && !col_sets[c].is_empty())
-        .collect();
+    let tasks = admissible_tasks(m, cfg, col_sets);
     if tasks.is_empty() {
         // No admissible leftmost column ⇒ the greedy sweep (whose rows
         // need an admissible leftmost column too) finds nothing either.
@@ -110,25 +295,42 @@ pub(crate) fn search(
     }
     let nthreads = cfg.par_threads.min(tasks.len()).max(1);
     let greedy_rows = if cfg.greedy_seed { m.rows().len() } else { 0 };
-    let shared = Shared {
-        tasks: &tasks,
-        chunk: (tasks.len() / (nthreads * CHUNKS_PER_WORKER)).max(1),
-        next: AtomicUsize::new(0),
-        greedy_rows,
-        greedy_chunk: (greedy_rows / (nthreads * CHUNKS_PER_WORKER)).max(1),
-        greedy_next: AtomicUsize::new(0),
-        bound: AtomicI64::new(init_best.as_ref().map_or(0, |b| b.value)),
-        visited: AtomicU64::new(0),
-        truncated: AtomicBool::new(false),
-    };
+    let queue = Queue::new(&tasks, nthreads, greedy_rows);
+    let sync = AtomicSync::new(init_best.as_ref().map_or(0, |b| b.value));
 
     // One worker runs inline on the calling thread: `par_threads = 1`
     // then costs no spawn at all, and N threads cost N − 1 spawns.
     let results: Vec<WorkerResult> = thread::scope(|s| {
         let handles: Vec<_> = (1..nthreads)
-            .map(|_| s.spawn(|| run_worker(m, model, cfg, row_full_value, col_sets, &shared)))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut ws = WorkerScratch::default();
+                    run_worker(
+                        m,
+                        model,
+                        cfg,
+                        row_full_value,
+                        col_sets,
+                        &queue,
+                        &sync,
+                        &mut ws,
+                        None,
+                    )
+                })
+            })
             .collect();
-        let mut results = vec![run_worker(m, model, cfg, row_full_value, col_sets, &shared)];
+        let mut ws = WorkerScratch::default();
+        let mut results = vec![run_worker(
+            m,
+            model,
+            cfg,
+            row_full_value,
+            col_sets,
+            &queue,
+            &sync,
+            &mut ws,
+            None,
+        )];
         results.extend(
             handles
                 .into_iter()
@@ -137,6 +339,20 @@ pub(crate) fn search(
         results
     });
 
+    let (best, stats, _) = merge_results(results, init_best, sync.is_truncated());
+    (best, stats)
+}
+
+/// Canonical reduction over per-worker results: rule-3 greedy fallback
+/// on truncation, otherwise the (value, cols, rows) merge over greedy
+/// and explore bests. Also concatenates the workers' fresh ceilings
+/// (meaningful only to the pooled executor, and only when the pass
+/// completed).
+pub(crate) fn merge_results(
+    results: Vec<WorkerResult>,
+    init_best: Option<Rectangle>,
+    truncated: bool,
+) -> (Option<Rectangle>, SearchStats, Vec<(ColIdx, i64)>) {
     // Rule 3: greedy tasks all completed, so this merge is deterministic
     // even when the budget truncated exploration.
     let mut greedy_best = init_best;
@@ -147,35 +363,46 @@ pub(crate) fn search(
             }
         }
     }
-    let visited = results.iter().map(|r| r.expansions).sum();
     let stats = SearchStats {
-        visited,
-        budget_exhausted: shared.truncated.load(Relaxed),
+        visited: results.iter().map(|r| r.expansions).sum(),
+        budget_exhausted: truncated,
         pruned: results.iter().map(|r| r.pruned).sum(),
         bound_updates: results.iter().map(|r| r.bound_updates).sum(),
     };
-    if stats.budget_exhausted {
-        // The explored set is interleaving-dependent; discard it.
-        return (greedy_best, stats);
+    if truncated {
+        // The explored set is interleaving-dependent; discard it. The
+        // recorded ceilings are incomplete too — the caller must not
+        // commit them (the pool invalidates everything on truncation).
+        return (greedy_best, stats, Vec::new());
     }
     let mut best = greedy_best;
+    let mut ceil_out = Vec::new();
     for r in results {
         if let Some(c) = r.explore_best {
             if best.as_ref().is_none_or(|b| canonical_better(&c, b)) {
                 best = Some(c);
             }
         }
+        ceil_out.extend(r.ceil_out);
     }
-    (best, stats)
+    (best, stats, ceil_out)
 }
 
-fn run_worker(
+/// One worker's pass: greedy phase over its row chunks, then
+/// branch-and-bound over its claimed leftmost-column tasks. Shared by
+/// the spawn executor (fresh scratch, atomics, no ceilings) and the
+/// pooled executor (persistent scratch, cells at one thread, ceilings).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_worker<S: PassSync>(
     m: &KcMatrix,
     model: &CostModel<'_>,
     cfg: &SearchConfig,
     row_full_value: &[i64],
     col_sets: &[RowSet],
-    shared: &Shared<'_>,
+    queue: &Queue<'_>,
+    sync: &S,
+    ws: &mut WorkerScratch,
+    ceil: Option<&CeilingsView<'_>>,
 ) -> WorkerResult {
     // Phase 1: greedy rows. Never aborted — rule 3 needs the complete
     // greedy result even when another worker trips the budget. Each find
@@ -183,16 +410,15 @@ fn run_worker(
     // prune against it as early as possible.
     let mut greedy_best: Option<Rectangle> = None;
     let mut bound_updates = 0u64;
-    let mut bufs = GreedyBufs::default();
     loop {
-        let start = shared.greedy_next.fetch_add(shared.greedy_chunk, Relaxed);
-        if start >= shared.greedy_rows {
+        let start = queue.greedy_next.fetch_add(queue.greedy_chunk, Relaxed);
+        if start >= queue.greedy_rows {
             break;
         }
-        let end = (start + shared.greedy_chunk).min(shared.greedy_rows);
+        let end = (start + queue.greedy_chunk).min(queue.greedy_rows);
         for r in start..end {
-            if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut bufs) {
-                if shared.bound.fetch_max(rect.value, Relaxed) < rect.value {
+            if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut ws.greedy) {
+                if sync.raise_bound(rect.value) {
                     bound_updates += 1;
                 }
                 if greedy_best
@@ -206,65 +432,82 @@ fn run_worker(
     }
 
     // Phase 2: branch-and-bound explore tasks.
+    let mut root = std::mem::take(&mut ws.root);
+    let mut ceil_out: Vec<(ColIdx, i64)> = Vec::new();
     let mut search = ParSearch {
         m,
         model,
         cfg,
         row_full_value,
         col_sets,
-        bound: &shared.bound,
-        shared_visited: &shared.visited,
-        truncated: &shared.truncated,
+        sync,
         stopped: false,
         expansions: 0,
         pruned: 0,
         bound_updates: 0,
+        task_ceil: 0,
         best: None,
-        cols: Vec::new(),
-        scratch: Vec::new(),
-        cand: Vec::new(),
-        rows_buf: Vec::new(),
-        seen: FxHashSet::default(),
+        cols: &mut ws.cols,
+        scratch: &mut ws.depths,
+        cand: &mut ws.cand,
+        rows_buf: &mut ws.rows_buf,
+        seen: &mut ws.seen,
     };
-    let mut root = RowSet::new();
     'queue: loop {
-        let start = shared.next.fetch_add(shared.chunk, Relaxed);
-        if start >= shared.tasks.len() {
+        let start = queue.next.fetch_add(queue.chunk, Relaxed);
+        if start >= queue.tasks.len() {
             break;
         }
-        let end = (start + shared.chunk).min(shared.tasks.len());
-        for &c0 in &shared.tasks[start..end] {
-            if search.stopped || search.truncated.load(Relaxed) {
+        let end = (start + queue.chunk).min(queue.tasks.len());
+        for &c0 in &queue.tasks[start..end] {
+            if search.stopped || sync.is_truncated() {
                 break 'queue;
             }
+            if let Some(cv) = ceil.and_then(|view| view.get(c0)) {
+                // Cross-pass prune: `cv` upper-bounds every rectangle
+                // whose leftmost column is `c0` (the subtree is
+                // unchanged since it was recorded). Strictly below the
+                // bound — or unable to go positive at all — means the
+                // subtree cannot hold the canonical winner nor tie it.
+                // The surviving ceiling stays valid for the next pass.
+                if cv <= 0 || cv < sync.bound() {
+                    search.pruned += 1;
+                    continue;
+                }
+            }
+            search.task_ceil = 0;
             search.cols.clear();
             search.cols.push(c0);
             root.copy_from(&col_sets[c0]);
             root = search.explore(0, root);
+            if ceil.is_some() && !search.stopped {
+                // Task completed: its running ceiling is a sound upper
+                // bound on the whole subtree, fresh for the next pass.
+                ceil_out.push((c0, search.task_ceil));
+            }
         }
     }
+    ws.root = root;
     WorkerResult {
         greedy_best,
         explore_best: search.best,
         expansions: search.expansions,
         pruned: search.pruned,
         bound_updates: bound_updates + search.bound_updates,
+        ceil_out,
     }
 }
 
-struct ParSearch<'a> {
+struct ParSearch<'a, S: PassSync> {
     m: &'a KcMatrix,
     model: &'a CostModel<'a>,
     cfg: &'a SearchConfig,
     row_full_value: &'a [i64],
     col_sets: &'a [RowSet],
-    /// Shared lower bound on the best value found anywhere.
-    bound: &'a AtomicI64,
-    /// Shared expansion counter the budget is charged against.
-    shared_visited: &'a AtomicU64,
-    /// Set by whichever worker first has an expansion denied.
-    truncated: &'a AtomicBool,
-    /// Local mirror of `truncated`: once set, unwind without exploring.
+    /// Shared bound / budget tickets / truncation flag for this pass.
+    sync: &'a S,
+    /// Local mirror of the truncation flag: once set, unwind without
+    /// exploring.
     stopped: bool,
     /// Expansions *completed* by this worker (reported in stats).
     expansions: u64,
@@ -272,25 +515,33 @@ struct ParSearch<'a> {
     pruned: u64,
     /// Times this worker's evaluations raised the shared bound.
     bound_updates: u64,
+    /// Running upper bound on the best value anywhere in the current
+    /// leftmost-column task's subtree: the max over every node's
+    /// duplicate-blind `approx` (≥ the exact value of any rectangle on
+    /// that column set) and every pruned child's admissible `ub`
+    /// (≥ anything in the pruned branch). Sound regardless of
+    /// bound-arrival timing — that is what makes it reusable as a
+    /// cross-pass ceiling.
+    task_ceil: i64,
     /// Local canonical best; merged across workers by the caller.
     best: Option<Rectangle>,
-    cols: Vec<ColIdx>,
-    scratch: Vec<RowSet>,
+    cols: &'a mut Vec<ColIdx>,
+    scratch: &'a mut Vec<RowSet>,
     /// Per-depth candidate-column bitsets (universe = column count).
-    cand: Vec<RowSet>,
-    rows_buf: Vec<RowIdx>,
-    seen: FxHashSet<CubeId>,
+    cand: &'a mut Vec<RowSet>,
+    rows_buf: &'a mut Vec<RowIdx>,
+    seen: &'a mut FxHashSet<CubeId>,
 }
 
-impl ParSearch<'_> {
+impl<S: PassSync> ParSearch<'_, S> {
     fn explore(&mut self, depth: usize, rows: RowSet) -> RowSet {
-        if self.truncated.load(Relaxed) {
+        if self.sync.is_truncated() {
             self.stopped = true;
             return rows;
         }
-        let ticket = self.shared_visited.fetch_add(1, Relaxed);
+        let ticket = self.sync.ticket();
         if ticket >= self.cfg.budget {
-            self.truncated.store(true, Relaxed);
+            self.sync.set_truncated();
             self.stopped = true;
             return rows;
         }
@@ -301,19 +552,18 @@ impl ParSearch<'_> {
             // duplicate-blind upper bound could *tie* the shared bound
             // (`>=`, not `>`), so every maximum-value rectangle reaches
             // the canonical merge regardless of bound timing.
-            let approx = approx_value(self.m, self.model, &self.cols, &rows);
-            if approx > 0 && approx >= self.bound.load(Relaxed) {
+            let approx = approx_value(self.m, self.model, self.cols, &rows);
+            // `approx` upper-bounds every rectangle on this exact
+            // column set, so it feeds the task ceiling.
+            self.task_ceil = self.task_ceil.max(approx);
+            if approx > 0 && approx >= self.sync.bound() {
                 self.rows_buf.clear();
-                rows.collect_into(&mut self.rows_buf);
+                rows.collect_into(self.rows_buf);
                 self.seen.clear();
-                if let Some(rect) = evaluate_with(
-                    self.m,
-                    self.model,
-                    &self.cols,
-                    &self.rows_buf,
-                    &mut self.seen,
-                ) {
-                    if self.bound.fetch_max(rect.value, Relaxed) < rect.value {
+                if let Some(rect) =
+                    evaluate_with(self.m, self.model, self.cols, self.rows_buf, self.seen)
+                {
+                    if self.sync.raise_bound(rect.value) {
                         self.bound_updates += 1;
                     }
                     if self
@@ -349,9 +599,11 @@ impl ParSearch<'_> {
             shared.assign_and(&rows, &self.col_sets[c]);
             let ub: i64 = shared.iter().map(|r| self.row_full_value[r].max(0)).sum();
             // Rule 2: strict prune — subtrees that could still tie the
-            // bound are kept alive.
-            if ub <= 0 || ub < self.bound.load(Relaxed) {
+            // bound are kept alive. The admissible `ub` covers the
+            // pruned branch in the task ceiling.
+            if ub <= 0 || ub < self.sync.bound() {
                 self.pruned += 1;
+                self.task_ceil = self.task_ceil.max(ub);
                 self.scratch[depth] = shared;
                 continue;
             }

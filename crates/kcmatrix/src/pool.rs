@@ -1,0 +1,845 @@
+//! Persistent parallel search executor: a [`SearchPool`] of long-lived
+//! workers plus cross-pass per-column value ceilings.
+//!
+//! The extraction loop calls the rectangle search hundreds of times per
+//! circuit, and [`crate::par_search::search`] pays two per-pass taxes
+//! for that: `N − 1` thread spawns, and cold scratch (greedy buffers,
+//! per-depth row sets, visited sets) reallocated by every worker on
+//! every call. This module makes the steady-state pass spawn-free and
+//! allocation-free:
+//!
+//! * workers are spawned once ([`SearchPool::warm`], or lazily on the
+//!   first pass that needs them) and park on a condvar between passes;
+//! * each worker — including the inline worker 0, which runs on the
+//!   calling thread — owns one [`WorkerScratch`] for its whole life, so
+//!   buffer capacities survive across passes (and across jobs, when the
+//!   pool itself is reused by a resident service);
+//! * a 1-thread pass touches no locks, no condvars and no atomics at
+//!   all: it runs the worker body inline over plain `Cell` state.
+//!
+//! # Cross-pass ceilings
+//!
+//! After `Engine::apply`, only the rows and columns intersecting the
+//! applied rectangle change — every other leftmost-column subtree would
+//! be re-explored bit-identically. The pool therefore remembers, per
+//! leftmost column, a **ceiling**: a sound upper bound on the value of
+//! any rectangle rooted at that column, recorded when the column's task
+//! ran to completion. On the next pass the caller declares which
+//! columns are dirty ([`CeilingUpdate::Dirty`]) and a surviving (clean,
+//! valid) ceiling strictly below the pass's shared bound prunes the
+//! whole task before it starts.
+//!
+//! ## Invariants
+//!
+//! 1. **Admissibility.** A task's recorded ceiling is the running max
+//!    of `approx_value` over every expanded node of its subtree and of
+//!    the admissible `ub` of every bound-pruned edge. Any positive
+//!    -value rectangle in the subtree either sits at an expanded node
+//!    (its exact value ≤ that node's `approx`) or below a pruned edge
+//!    (its value ≤ that edge's `ub`) — so the ceiling bounds them all,
+//!    regardless of how the shared bound moved while the task ran.
+//! 2. **Staleness.** A ceiling is only consulted while its column's
+//!    subtree is byte-identical to when it was recorded. The caller
+//!    must mark dirty every column that gained or lost a row, or whose
+//!    rows' values changed; [`CeilingUpdate::Off`] and truncated passes
+//!    invalidate everything (a truncated pass completes no task set
+//!    worth trusting, and its explored prefix is interleaving-
+//!    dependent). A fingerprint of `(min_cols, stripe)` guards against
+//!    config drift between passes — `approx` and task admission depend
+//!    on both.
+//! 3. **Determinism.** The skip test is `ceiling < bound` (strict) or
+//!    `ceiling ≤ 0`: identical in spirit to the in-pass strict prune,
+//!    so a subtree that could still *tie* the final winner is always
+//!    re-explored and the canonical (value, cols, rows) merge sees the
+//!    same candidate set as a cold pass. Warm and cold passes return
+//!    byte-identical rectangles; only `SearchStats` (visited/pruned
+//!    counts) differ.
+//!
+//! The ceilings are *task-level* pruning state. They are never used to
+//! seed the shared lower bound — they are upper bounds, and feeding one
+//! into the bound could prune a true maximum elsewhere. The bound is
+//! seeded, as always, from the re-validated previous-pass rectangle.
+
+use crate::matrix::{ColIdx, KcMatrix};
+use crate::par_search::{
+    admissible_tasks, merge_results, run_worker, AtomicSync, CeilingsView, PassSync, Queue,
+    SoloSync, WorkerScratch,
+};
+use crate::rectangle::{
+    revalidate_seed, row_full_values, CostModel, Rectangle, SearchConfig, SearchStats,
+};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How a pooled pass should treat the stored per-column ceilings.
+pub enum CeilingUpdate<'a> {
+    /// Ceilings off: drop any stored state and record none. For callers
+    /// whose cube values can *rise* between passes (e.g. the L-shaped
+    /// engine's COVERED→FREE release) or whose matrix identity is
+    /// unknown (a pool reused across jobs).
+    Off,
+    /// First pass over a fresh matrix: reset all ceilings to invalid,
+    /// record fresh ones.
+    Reset,
+    /// Incremental pass: the matrix changed only in these columns (and
+    /// in rows appended since the last pass — the caller must include
+    /// the appended rows' columns). Clean columns keep their ceilings.
+    Dirty(&'a [ColIdx]),
+}
+
+/// Type-erased pass body handed to the parked workers. The `'static` is
+/// a lie told via [`std::mem::transmute`] in [`SearchPool::run_pass`],
+/// made sound because the caller blocks until every participant
+/// finished the pass — no borrow in the closure outlives the call.
+type Job = Arc<dyn Fn(usize, &mut WorkerScratch) + Send + Sync + 'static>;
+
+/// [`Job`] before the lifetime lie: the same closure object still
+/// carrying its real borrows.
+type BorrowedJob<'a> = Arc<dyn Fn(usize, &mut WorkerScratch) + Send + Sync + 'a>;
+
+struct PoolState {
+    /// Bumped once per multi-worker pass; sleeping workers wake on it.
+    epoch: u64,
+    job: Option<Job>,
+    /// Background workers participating in the current pass. A worker
+    /// with `idx > participants` skips the epoch without touching
+    /// `active` (a pass may use fewer workers than exist).
+    participants: usize,
+    /// Participants still running the current pass.
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between passes.
+    work_cv: Condvar,
+    /// The caller parks here until `active == 0`.
+    done_cv: Condvar,
+}
+
+/// Per-column cross-pass ceilings (see the module docs).
+#[derive(Default)]
+struct Ceilings {
+    vals: Vec<i64>,
+    valid: Vec<bool>,
+    /// `(min_cols, stripe)` the ceilings were recorded under; a
+    /// mismatch invalidates everything.
+    fingerprint: Option<(usize, Option<(u32, u32)>)>,
+}
+
+impl Ceilings {
+    fn invalidate_all(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.fingerprint = None;
+    }
+
+    fn reset(&mut self, ncols: usize) {
+        self.vals.clear();
+        self.vals.resize(ncols, 0);
+        self.valid.clear();
+        self.valid.resize(ncols, false);
+        self.fingerprint = None;
+    }
+}
+
+/// A persistent pool of rectangle-search workers with owned scratch and
+/// cross-pass pruning state. Create one per extraction run (or adopt
+/// one per resident worker thread), drive every pass through
+/// [`crate::rectangle::best_rectangle_pooled`], and drop it when done —
+/// `Drop` joins the background threads.
+pub struct SearchPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Worker 0's scratch — the inline worker on the calling thread.
+    solo: WorkerScratch,
+    spawned: u64,
+    passes: u64,
+    ceil: Ceilings,
+}
+
+impl Default for SearchPool {
+    fn default() -> Self {
+        SearchPool::new()
+    }
+}
+
+impl SearchPool {
+    /// A pool with no background threads yet; they are spawned lazily
+    /// by the first pass that needs them (or eagerly by [`warm`]).
+    ///
+    /// [`warm`]: SearchPool::warm
+    pub fn new() -> Self {
+        SearchPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    job: None,
+                    participants: 0,
+                    active: 0,
+                    panicked: false,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            handles: Vec::new(),
+            solo: WorkerScratch::default(),
+            spawned: 0,
+            passes: 0,
+            ceil: Ceilings::default(),
+        }
+    }
+
+    /// Eagerly spawns the background workers an `nthreads`-wide pass
+    /// will use, so the first search pays no spawn latency. Call before
+    /// the measured region starts.
+    pub fn warm(&mut self, nthreads: usize) {
+        self.ensure_bg(nthreads.saturating_sub(1));
+    }
+
+    /// Background (parked) worker threads currently alive.
+    pub fn bg_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Total threads ever spawned by this pool — the warm-pool
+    /// regression metric: repeated passes must not move it.
+    pub fn spawned_threads(&self) -> u64 {
+        self.spawned
+    }
+
+    /// Search passes executed through this pool.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Drops all stored ceilings (e.g. before reusing the pool on a
+    /// different matrix). Equivalent to the next pass running with
+    /// [`CeilingUpdate::Off`] then [`CeilingUpdate::Reset`].
+    pub fn invalidate_ceilings(&mut self) {
+        self.ceil.invalidate_all();
+    }
+
+    fn ensure_bg(&mut self, nbg: usize) {
+        while self.handles.len() < nbg {
+            let idx = self.handles.len() + 1; // worker 0 is inline
+            let shared = Arc::clone(&self.shared);
+            let start_epoch = shared.state.lock().epoch;
+            self.spawned += 1;
+            let h = std::thread::Builder::new()
+                .name(format!("pf-search-{idx}"))
+                .spawn(move || worker_loop(shared, idx, start_epoch))
+                .expect("spawn search pool worker");
+            self.handles.push(h);
+        }
+    }
+
+    /// Runs `f(worker_index, scratch)` on `nworkers` workers: index 0
+    /// inline on the calling thread, the rest on parked pool threads.
+    /// Blocks until all participants return. Panics (after the pass
+    /// fully drains) if any worker panicked.
+    fn run_pass<F>(&mut self, nworkers: usize, f: &F)
+    where
+        F: Fn(usize, &mut WorkerScratch) + Sync,
+    {
+        self.passes += 1;
+        let nbg = nworkers.saturating_sub(1);
+        if nbg == 0 {
+            // 1-thread fast path: no locks, no wakeups, no atomics.
+            f(0, &mut self.solo);
+            return;
+        }
+        self.ensure_bg(nbg);
+
+        // Erase the closure's borrows; sound because this function does
+        // not return until `active == 0` (every participant is done and
+        // has dropped its clone of the job).
+        let job: Job = {
+            let arc: BorrowedJob<'_> = Arc::new(f);
+            #[allow(clippy::missing_transmute_annotations)]
+            unsafe {
+                std::mem::transmute(arc)
+            }
+        };
+        {
+            let mut st = self.shared.state.lock();
+            st.job = Some(job);
+            st.participants = nbg;
+            st.active = nbg;
+            st.panicked = false;
+            st.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+
+        f(0, &mut self.solo);
+
+        let mut st = self.shared.state.lock();
+        while st.active > 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        assert!(!panicked, "search worker panicked");
+    }
+}
+
+impl Drop for SearchPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, idx: usize, start_epoch: u64) {
+    // The worker's whole point: scratch allocated once, reused across
+    // every pass (and every job) until the pool is dropped.
+    let mut scratch = WorkerScratch::default();
+    let mut seen_epoch = start_epoch;
+    loop {
+        let (job, participate) = {
+            let mut st = shared.state.lock();
+            while !st.shutdown && st.epoch == seen_epoch {
+                shared.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_epoch = st.epoch;
+            // A worker past the pass's width skips without touching
+            // `active` — it was never counted in.
+            if idx <= st.participants {
+                (st.job.clone(), true)
+            } else {
+                (None, false)
+            }
+        };
+        if !participate {
+            continue;
+        }
+        let job = job.expect("participant woken without a job");
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(idx, &mut scratch)));
+        drop(job);
+        let mut st = shared.state.lock();
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// One rectangle-search pass on the pool. Mirrors
+/// [`crate::par_search::search`] exactly — same tasks, same greedy
+/// striping, same canonical merge and truncation fallback — plus the
+/// ceiling lifecycle described in the module docs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pool_search(
+    pool: &mut SearchPool,
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    row_full_value: &[i64],
+    col_sets: &[crate::rowset::RowSet],
+    init_best: Option<Rectangle>,
+    update: CeilingUpdate<'_>,
+) -> (Option<Rectangle>, SearchStats) {
+    let ncols = m.cols().len();
+    // Ceiling prologue: decide whether this pass consults and records
+    // ceilings, and apply the caller-declared invalidation.
+    let enabled = match update {
+        CeilingUpdate::Off => {
+            pool.ceil.invalidate_all();
+            false
+        }
+        CeilingUpdate::Reset => {
+            pool.ceil.reset(ncols);
+            true
+        }
+        CeilingUpdate::Dirty(dirty) => {
+            let fp = Some((cfg.min_cols, cfg.stripe));
+            if pool.ceil.fingerprint != fp || pool.ceil.vals.len() > ncols {
+                // Config drift or a shrunk matrix (should not happen —
+                // rows are tombstoned, columns appended): start over.
+                pool.ceil.reset(ncols);
+            } else {
+                // New columns arrive invalid; dirty columns flip off.
+                pool.ceil.vals.resize(ncols, 0);
+                pool.ceil.valid.resize(ncols, false);
+                for &c in dirty {
+                    if let Some(v) = pool.ceil.valid.get_mut(c) {
+                        *v = false;
+                    }
+                }
+            }
+            true
+        }
+    };
+
+    let tasks = admissible_tasks(m, cfg, col_sets);
+    if tasks.is_empty() {
+        return (init_best, SearchStats::default());
+    }
+    let nthreads = cfg.par_threads.min(tasks.len()).max(1);
+    let greedy_rows = if cfg.greedy_seed { m.rows().len() } else { 0 };
+    let queue = Queue::new(&tasks, nthreads, greedy_rows);
+    let init_bound = init_best.as_ref().map_or(0, |b| b.value);
+
+    // Move the ceilings out of the pool so `run_pass(&mut pool)` and
+    // the read-only view can coexist.
+    let mut ceil = std::mem::take(&mut pool.ceil);
+    let view = if enabled {
+        Some(CeilingsView {
+            vals: &ceil.vals,
+            valid: &ceil.valid,
+        })
+    } else {
+        None
+    };
+
+    let (best, stats, ceil_out, truncated) = if nthreads == 1 {
+        // Atomic-free pass straight on the caller's thread; identical
+        // enumeration and pruning, so identical results.
+        pool.passes += 1;
+        let sync = SoloSync::new(init_bound);
+        let result = run_worker(
+            m,
+            model,
+            cfg,
+            row_full_value,
+            col_sets,
+            &queue,
+            &sync,
+            &mut pool.solo,
+            view.as_ref(),
+        );
+        let truncated = sync.is_truncated();
+        let (best, stats, ceil_out) = merge_results(vec![result], init_best, truncated);
+        (best, stats, ceil_out, truncated)
+    } else {
+        let sync = AtomicSync::new(init_bound);
+        let slots: Vec<Mutex<Option<crate::par_search::WorkerResult>>> =
+            (0..nthreads).map(|_| Mutex::new(None)).collect();
+        let view_ref = view.as_ref();
+        pool.run_pass(nthreads, &|idx: usize, ws: &mut WorkerScratch| {
+            let r = run_worker(
+                m,
+                model,
+                cfg,
+                row_full_value,
+                col_sets,
+                &queue,
+                &sync,
+                ws,
+                view_ref,
+            );
+            *slots[idx].lock() = Some(r);
+        });
+        let results: Vec<_> = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every pass worker reports"))
+            .collect();
+        let truncated = sync.is_truncated();
+        let (best, stats, ceil_out) = merge_results(results, init_best, truncated);
+        (best, stats, ceil_out, truncated)
+    };
+
+    // Ceiling epilogue: commit the freshly recorded ceilings — unless
+    // the pass truncated, in which case nothing finished cleanly and
+    // every stored ceiling dies with it (invariant 2).
+    if enabled {
+        if truncated {
+            ceil.invalidate_all();
+        } else {
+            for (c, v) in ceil_out {
+                ceil.vals[c] = v;
+                ceil.valid[c] = true;
+            }
+            ceil.fingerprint = Some((cfg.min_cols, cfg.stripe));
+        }
+    }
+    pool.ceil = ceil;
+
+    (best, stats)
+}
+
+/// [`pool_search`] with seed revalidation — the pooled twin of
+/// [`crate::rectangle::best_rectangle_with_seed`].
+pub(crate) fn pool_search_seeded(
+    pool: &mut SearchPool,
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+    update: CeilingUpdate<'_>,
+) -> (Option<Rectangle>, SearchStats) {
+    let row_full_value = row_full_values(m, model);
+    let col_sets = m.col_row_sets();
+    let best = seed.and_then(|s| revalidate_seed(m, model, cfg, s));
+    pool_search(
+        pool,
+        m,
+        model,
+        cfg,
+        &row_full_value,
+        &col_sets,
+        best,
+        update,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::LabelGen;
+    use crate::rectangle::{best_rectangle_seeded, SearchConfig};
+    use crate::registry::CubeRegistry;
+    use pf_sop::kernel::KernelConfig;
+    use pf_sop::{Cube, Lit, Sop};
+
+    fn cube(ids: &[u32]) -> Cube {
+        Cube::from_lits(ids.iter().map(|&i| Lit::pos(i)))
+    }
+
+    fn sop(cubes: &[&[u32]]) -> Sop {
+        Sop::from_cubes(cubes.iter().map(|c| cube(c)))
+    }
+
+    /// The paper's network N (Eq. 1) — same fixture as the rectangle
+    /// tests: F (id 10), G (id 9), H (id 8), vars a=1 … g=7.
+    fn paper_matrix() -> (KcMatrix, Vec<u32>) {
+        let reg = CubeRegistry::new();
+        let mut m = KcMatrix::new();
+        let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        let f = sop(&[
+            &[1, 6],
+            &[2, 6],
+            &[1, 7],
+            &[3, 7],
+            &[1, 4, 5],
+            &[2, 4, 5],
+            &[3, 4, 5],
+        ]);
+        let g = sop(&[&[1, 6], &[2, 6], &[1, 3, 5], &[2, 3, 5]]);
+        let h = sop(&[&[1, 4, 5], &[3, 4, 5]]);
+        let kc = KernelConfig::default();
+        m.add_node_kernels(10, &f, &kc, &reg, &mut rl, &mut cl);
+        m.add_node_kernels(9, &g, &kc, &reg, &mut rl, &mut cl);
+        m.add_node_kernels(8, &h, &kc, &reg, &mut rl, &mut cl);
+        let weights = reg.weights_snapshot();
+        (m, weights)
+    }
+
+    #[test]
+    fn one_thread_pass_spawns_no_threads() {
+        let (m, w) = paper_matrix();
+        let mut pool = SearchPool::new();
+        let cfg = SearchConfig {
+            par_threads: 1,
+            ..SearchConfig::default()
+        };
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        for _ in 0..5 {
+            let _ = crate::rectangle::best_rectangle_pooled(
+                &m,
+                &value_of,
+                &cfg,
+                None,
+                &mut pool,
+                CeilingUpdate::Off,
+            );
+        }
+        assert_eq!(pool.spawned_threads(), 0, "t1 passes must never spawn");
+        assert_eq!(pool.bg_threads(), 0);
+        assert_eq!(pool.passes(), 5);
+    }
+
+    #[test]
+    fn warm_pool_never_respawns() {
+        let (m, w) = paper_matrix();
+        let mut pool = SearchPool::new();
+        let cfg = SearchConfig {
+            par_threads: 4,
+            ..SearchConfig::default()
+        };
+        pool.warm(4);
+        let after_warm = pool.spawned_threads();
+        assert!(after_warm <= 3);
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        let mut rects = Vec::new();
+        for _ in 0..8 {
+            let (r, _) = crate::rectangle::best_rectangle_pooled(
+                &m,
+                &value_of,
+                &cfg,
+                None,
+                &mut pool,
+                CeilingUpdate::Off,
+            );
+            rects.push(r);
+        }
+        assert_eq!(
+            pool.spawned_threads(),
+            after_warm,
+            "warm pool must not spawn per pass"
+        );
+        // Every warm pass returns the same canonical rectangle.
+        for r in &rects[1..] {
+            assert_eq!(r, &rects[0]);
+        }
+    }
+
+    #[test]
+    fn pooled_matches_spawn_executor() {
+        let (m, w) = paper_matrix();
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        for threads in [1usize, 2, 4] {
+            let cfg = SearchConfig {
+                par_threads: threads,
+                ..SearchConfig::default()
+            };
+            let (spawn_rect, spawn_stats) = best_rectangle_seeded(&m, &value_of, &cfg, None);
+            let mut pool = SearchPool::new();
+            let (pool_rect, pool_stats) = crate::rectangle::best_rectangle_pooled(
+                &m,
+                &value_of,
+                &cfg,
+                None,
+                &mut pool,
+                CeilingUpdate::Off,
+            );
+            assert_eq!(pool_rect, spawn_rect, "threads={threads}");
+            assert_eq!(
+                pool_stats.budget_exhausted, spawn_stats.budget_exhausted,
+                "threads={threads}"
+            );
+            if threads == 1 {
+                // Deterministic single-worker schedule: stats line up too.
+                assert_eq!(pool_stats.visited, spawn_stats.visited);
+            }
+        }
+    }
+
+    #[test]
+    fn ceilings_preserve_results_across_identical_passes() {
+        let (m, w) = paper_matrix();
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            par_threads: 1,
+            ..SearchConfig::default()
+        };
+        let mut pool = SearchPool::new();
+        let (cold, _) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            None,
+            &mut pool,
+            CeilingUpdate::Reset,
+        );
+        // Nothing dirty: every surviving ceiling may prune, and the
+        // result must still be byte-identical.
+        let (warm, warm_stats) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            None,
+            &mut pool,
+            CeilingUpdate::Dirty(&[]),
+        );
+        assert_eq!(cold, warm);
+        // Seeding the warm pass with the cold winner makes the bound
+        // tight from the start — ceilings then prune almost everything.
+        let (seeded, seeded_stats) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            cold.as_ref(),
+            &mut pool,
+            CeilingUpdate::Dirty(&[]),
+        );
+        assert_eq!(cold, seeded);
+        assert!(seeded_stats.visited <= warm_stats.visited);
+    }
+
+    #[test]
+    fn off_update_invalidates_stored_ceilings() {
+        let (m, w) = paper_matrix();
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            par_threads: 1,
+            ..SearchConfig::default()
+        };
+        let mut pool = SearchPool::new();
+        let _ = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            None,
+            &mut pool,
+            CeilingUpdate::Reset,
+        );
+        assert!(pool.ceil.valid.iter().any(|&v| v));
+        let _ = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            None,
+            &mut pool,
+            CeilingUpdate::Off,
+        );
+        assert!(pool.ceil.valid.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_resets_ceilings() {
+        let (m, w) = paper_matrix();
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        let mut pool = SearchPool::new();
+        let cfg1 = SearchConfig {
+            par_threads: 1,
+            min_cols: 2,
+            ..SearchConfig::default()
+        };
+        let _ = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg1,
+            None,
+            &mut pool,
+            CeilingUpdate::Reset,
+        );
+        // min_cols changed: stored ceilings are meaningless; Dirty(&[])
+        // must behave like Reset, and the result must match a fresh
+        // search under the new config.
+        let cfg2 = SearchConfig {
+            par_threads: 1,
+            min_cols: 1,
+            ..SearchConfig::default()
+        };
+        let (warm, _) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg2,
+            None,
+            &mut pool,
+            CeilingUpdate::Dirty(&[]),
+        );
+        let (cold, _) = best_rectangle_seeded(&m, &value_of, &cfg2, None);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn truncated_pass_invalidates_ceilings_and_falls_back() {
+        let (m, w) = paper_matrix();
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            par_threads: 1,
+            budget: 1,
+            ..SearchConfig::default()
+        };
+        let mut pool = SearchPool::new();
+        let (rect, stats) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            None,
+            &mut pool,
+            CeilingUpdate::Reset,
+        );
+        assert!(stats.budget_exhausted);
+        // Rule 3: the greedy fallback still yields a rectangle here.
+        assert!(rect.is_some());
+        assert!(pool.ceil.valid.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives_drop() {
+        let mut pool = SearchPool::new();
+        pool.warm(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_pass(2, &|idx, _ws| {
+                if idx == 1 {
+                    panic!("injected");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still drain and drop cleanly afterwards.
+        drop(pool);
+    }
+
+    #[test]
+    fn surplus_workers_skip_narrow_passes() {
+        // 4-wide warm pool running 2-wide passes: the two surplus
+        // workers must not corrupt the active count.
+        let mut pool = SearchPool::new();
+        pool.warm(4);
+        for _ in 0..6 {
+            let hits = Mutex::new(0usize);
+            pool.run_pass(2, &|_idx, _ws| {
+                *hits.lock() += 1;
+            });
+            assert_eq!(*hits.lock(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_returns_seed() {
+        let m = KcMatrix::new();
+        let mut pool = SearchPool::new();
+        let cfg = SearchConfig {
+            par_threads: 2,
+            ..SearchConfig::default()
+        };
+        let value_of = |_id: crate::registry::CubeId| 1u32;
+        let (rect, stats) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            None,
+            &mut pool,
+            CeilingUpdate::Reset,
+        );
+        assert!(rect.is_none());
+        assert_eq!(stats.visited, 0);
+        assert_eq!(pool.spawned_threads(), 0);
+    }
+
+    #[test]
+    fn kernel_of_best_matches_reference() {
+        // Smoke: pooled winner's kernel extraction works end to end.
+        let (m, w) = paper_matrix();
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            par_threads: 2,
+            ..SearchConfig::default()
+        };
+        let mut pool = SearchPool::new();
+        let (rect, _) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            None,
+            &mut pool,
+            CeilingUpdate::Reset,
+        );
+        let rect = rect.expect("paper matrix has a rectangle");
+        let kernel = rect.kernel(&m);
+        assert!(kernel.cubes().len() >= 2);
+        assert!(!kernel.cubes().iter().any(Cube::is_empty));
+    }
+}

@@ -28,6 +28,7 @@
 //! [`crate::reference`] as a differential-testing oracle.
 
 use crate::matrix::{ColIdx, KcMatrix, RowIdx};
+use crate::pool::{CeilingUpdate, SearchPool};
 use crate::registry::CubeId;
 use crate::rowset::RowSet;
 use pf_sop::fx::FxHashSet;
@@ -261,6 +262,36 @@ pub fn best_rectangle_with_seed(
         bound_updates: state.bound_updates,
     };
     (state.best, stats)
+}
+
+/// [`best_rectangle_seeded`] executed on a persistent [`SearchPool`]
+/// instead of per-call spawned threads: zero thread spawns on a warm
+/// pool, per-worker scratch reused across passes, and optional
+/// cross-pass per-column ceilings driven by `update` (see
+/// [`crate::pool`]). Results are byte-identical to the spawn executor
+/// for every thread count and every `update` mode.
+pub fn best_rectangle_pooled(
+    m: &KcMatrix,
+    value_of: &(dyn Fn(CubeId) -> u32 + Sync),
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+    pool: &mut SearchPool,
+    update: CeilingUpdate<'_>,
+) -> (Option<Rectangle>, SearchStats) {
+    let model = CostModel::area(value_of);
+    best_rectangle_pooled_with(m, &model, cfg, seed, pool, update)
+}
+
+/// [`best_rectangle_pooled`] under an explicit [`CostModel`].
+pub fn best_rectangle_pooled_with(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+    pool: &mut SearchPool,
+    update: CeilingUpdate<'_>,
+) -> (Option<Rectangle>, SearchStats) {
+    crate::pool::pool_search_seeded(pool, m, model, cfg, seed, update)
 }
 
 /// Whether the stripe filter admits `c` as a leftmost column.

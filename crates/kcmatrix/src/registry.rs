@@ -21,8 +21,9 @@
 //! from both banking the same literals.
 
 use parking_lot::Mutex;
-use pf_sop::fx::FxHashMap;
+use pf_sop::fx::{FxHashMap, FxHasher};
 use pf_sop::Cube;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Dense id of an interned network cube.
@@ -51,16 +52,63 @@ const OWNER_MASK: u32 = 0xFFFF;
 ///
 /// Interning is mutex-protected (it happens during matrix construction,
 /// off the hot search path); lookups of weight by id are lock-free.
+///
+/// The index maps the *hash* of `(node, cube)` to the ids sharing it,
+/// and candidate hits are confirmed against the owned `cubes` table —
+/// so a hit costs zero clones, and a miss clones the cube exactly once
+/// (into `cubes`; the map key is just the hash). Batch readers use
+/// [`CubeRegistry::for_each_from`] to walk new entries under one lock
+/// acquisition instead of one lock + clone per id.
 #[derive(Default)]
 pub struct CubeRegistry {
     inner: Mutex<RegistryInner>,
 }
 
+/// Ids sharing one `(node, cube)` hash. Almost always a single id;
+/// `Many` keeps collisions correct without a per-entry `Vec`.
+enum IdList {
+    One(CubeId),
+    Many(Vec<CubeId>),
+}
+
+impl IdList {
+    fn push(&mut self, id: CubeId) {
+        match self {
+            IdList::One(first) => *self = IdList::Many(vec![*first, id]),
+            IdList::Many(v) => v.push(id),
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = CubeId> + '_ {
+        match self {
+            IdList::One(id) => std::slice::from_ref(id).iter().copied(),
+            IdList::Many(v) => v.as_slice().iter().copied(),
+        }
+    }
+}
+
 #[derive(Default)]
 struct RegistryInner {
-    ids: FxHashMap<(u32, Cube), CubeId>,
+    index: FxHashMap<u64, IdList>,
     weights: Vec<u32>,
     cubes: Vec<(u32, Cube)>,
+}
+
+fn key_hash(node: u32, cube: &Cube) -> u64 {
+    let mut h = FxHasher::default();
+    node.hash(&mut h);
+    cube.hash(&mut h);
+    h.finish()
+}
+
+impl RegistryInner {
+    fn find(&self, h: u64, node: u32, cube: &Cube) -> Option<CubeId> {
+        let list = self.index.get(&h)?;
+        list.iter().find(|&id| {
+            let (n, c) = &self.cubes[id as usize];
+            *n == node && c == cube
+        })
+    }
 }
 
 impl CubeRegistry {
@@ -70,29 +118,47 @@ impl CubeRegistry {
     }
 
     /// Interns the cube `cube` of node `node`, returning its id. The
-    /// weight recorded is the cube's literal count.
+    /// weight recorded is the cube's literal count. A hit clones
+    /// nothing; a miss clones the cube once.
     pub fn intern(&self, node: u32, cube: &Cube) -> CubeId {
+        let h = key_hash(node, cube);
         let mut g = self.inner.lock();
-        if let Some(&id) = g.ids.get(&(node, cube.clone())) {
+        if let Some(id) = g.find(h, node, cube) {
             return id;
         }
         let id = g.weights.len() as CubeId;
         g.weights.push(cube.len() as u32);
         g.cubes.push((node, cube.clone()));
-        g.ids.insert((node, cube.clone()), id);
+        g.index
+            .entry(h)
+            .and_modify(|list| list.push(id))
+            .or_insert(IdList::One(id));
         id
     }
 
     /// The `(node, cube)` behind an id — the reverse of
     /// [`CubeRegistry::intern`]. Used by weighted cost models to value
-    /// cubes by their literals.
+    /// cubes by their literals. Clones; batch readers should prefer
+    /// [`CubeRegistry::for_each_from`].
     pub fn cube(&self, id: CubeId) -> (u32, Cube) {
         self.inner.lock().cubes[id as usize].clone()
     }
 
-    /// Looks up an already-interned cube.
+    /// Looks up an already-interned cube (clone-free).
     pub fn lookup(&self, node: u32, cube: &Cube) -> Option<CubeId> {
-        self.inner.lock().ids.get(&(node, cube.clone())).copied()
+        let h = key_hash(node, cube);
+        self.inner.lock().find(h, node, cube)
+    }
+
+    /// Visits every cube with id ≥ `from` in id order, under a single
+    /// lock acquisition and without cloning — the batch form of
+    /// [`CubeRegistry::cube`] for incremental caches (`f` receives the
+    /// node and the cube).
+    pub fn for_each_from(&self, from: usize, mut f: impl FnMut(u32, &Cube)) {
+        let g = self.inner.lock();
+        for (node, cube) in g.cubes.iter().skip(from) {
+            f(*node, cube);
+        }
     }
 
     /// The literal weight of a cube.
@@ -376,6 +442,31 @@ mod tests {
         let id1 = reg.intern(0, &cube(&[1, 2]));
         let id2 = reg.intern(1, &cube(&[1, 2]));
         assert_ne!(id1, id2);
+    }
+
+    #[test]
+    fn for_each_from_visits_only_the_tail_in_id_order() {
+        let reg = CubeRegistry::new();
+        reg.intern(0, &cube(&[1]));
+        reg.intern(0, &cube(&[1, 2]));
+        reg.intern(1, &cube(&[3]));
+        let mut seen = Vec::new();
+        reg.for_each_from(1, |node, c| seen.push((node, c.len())));
+        assert_eq!(seen, vec![(0, 2), (1, 1)]);
+        // From the end: nothing.
+        let mut none = 0;
+        reg.for_each_from(3, |_, _| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn id_list_handles_hash_collisions() {
+        // Force the Many path directly: distinct cubes pushed under one
+        // hash must all stay findable.
+        let mut list = IdList::One(0);
+        list.push(1);
+        list.push(2);
+        assert_eq!(list.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

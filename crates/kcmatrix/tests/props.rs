@@ -4,8 +4,8 @@
 //! Table 5 under arbitrary operation sequences.
 
 use pf_kcmatrix::{
-    best_rectangle, reference, CubeRegistry, CubeState, CubeStates, KcMatrix, LabelGen,
-    SearchConfig,
+    best_rectangle, best_rectangle_pooled, reference, CeilingUpdate, CubeRegistry, CubeState,
+    CubeStates, KcMatrix, LabelGen, SearchConfig, SearchPool,
 };
 use pf_sop::kernel::KernelConfig;
 use pf_sop::{Cube, Lit, Sop};
@@ -206,6 +206,121 @@ proptest! {
             seq.map(|r| r.value),
             "parallel value must match the sequential optimum"
         );
+    }
+
+    /// The pooled engine is a drop-in replacement for the spawn-per-pass
+    /// parallel engine: identical `Rectangle` for every thread count, and
+    /// identical enumeration (visited / budget flag) at one thread, where
+    /// the pooled pass runs the very same worker loop inline.
+    #[test]
+    fn pooled_search_equals_spawn_search(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4),
+        min_cols in 1usize..3,
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let (classic, _) = best_rectangle(
+            &m,
+            &value_of,
+            &SearchConfig { min_cols, ..SearchConfig::default() },
+        );
+        for threads in [1usize, 2, 4] {
+            let cfg = SearchConfig {
+                par_threads: threads,
+                min_cols,
+                ..SearchConfig::default()
+            };
+            let (spawn, spawn_stats) = best_rectangle(&m, &value_of, &cfg);
+            let mut pool = SearchPool::new();
+            let (pooled, pooled_stats) =
+                best_rectangle_pooled(&m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Off);
+            prop_assert_eq!(&pooled, &spawn, "threads={}", threads);
+            prop_assert_eq!(
+                pooled_stats.budget_exhausted, spawn_stats.budget_exhausted,
+                "threads={}", threads
+            );
+            if threads == 1 {
+                prop_assert_eq!(pooled_stats.visited, spawn_stats.visited);
+            }
+            prop_assert_eq!(
+                pooled.as_ref().map(|r| r.value),
+                classic.as_ref().map(|r| r.value),
+                "threads={}: pooled value must match the classic optimum", threads
+            );
+        }
+    }
+
+    /// A warm pool is stateless across passes unless ceilings say
+    /// otherwise: repeated identical passes through one pool return the
+    /// same rectangle, both with ceilings off and with the
+    /// `Reset` → `Dirty(&[])` cross-pass protocol (no mutation, nothing
+    /// dirty, so ceilings may only prune work — never change the result).
+    #[test]
+    fn warm_pool_repeats_are_identical(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4),
+        threads in 1usize..5,
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let cfg = SearchConfig { par_threads: threads, ..SearchConfig::default() };
+        let mut pool = SearchPool::new();
+        let (first, _) =
+            best_rectangle_pooled(&m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Off);
+        // Pass widths are clamped to the available tasks, so the first
+        // pass may spawn fewer than `threads - 1` background workers —
+        // but identical repeats must never spawn another thread.
+        let spawned_cold = pool.spawned_threads();
+        prop_assert!(spawned_cold <= threads.saturating_sub(1) as u64);
+        for _ in 0..2 {
+            let (again, _) =
+                best_rectangle_pooled(&m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Off);
+            prop_assert_eq!(&again, &first);
+        }
+        let (reset, _) =
+            best_rectangle_pooled(&m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Reset);
+        prop_assert_eq!(&reset, &first);
+        for _ in 0..2 {
+            let (ceiled, _) = best_rectangle_pooled(
+                &m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Dirty(&[]),
+            );
+            prop_assert_eq!(&ceiled, &first);
+        }
+        prop_assert_eq!(pool.spawned_threads(), spawned_cold, "warm repeats spawned threads");
+    }
+
+    /// Ceiling invalidation is sound across matrix mutation: after
+    /// tombstoning the best rectangle's rows (the cover loop's mutation
+    /// shape), a pooled pass told only those rows' columns are dirty
+    /// finds exactly what a fresh spawn search finds on the new matrix.
+    #[test]
+    fn dirty_column_ceilings_survive_mutation(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 2..4),
+        threads in 1usize..4,
+    ) {
+        let (mut m, w) = build_matrix(&funcs);
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let cfg = SearchConfig { par_threads: threads, ..SearchConfig::default() };
+        let mut pool = SearchPool::new();
+        let (first, _) =
+            best_rectangle_pooled(&m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Reset);
+        let Some(rect) = first else { return Ok(()) };
+        // Tombstone the winning rows; their columns are exactly the
+        // dirty set (no rows were appended).
+        let mut dirty: Vec<pf_kcmatrix::ColIdx> = rect
+            .rows
+            .iter()
+            .flat_map(|&r| m.rows()[r].entries.iter().map(|&(c, _)| c))
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &r in &rect.rows {
+            m.tombstone_row(r);
+        }
+        let (fresh, _) = best_rectangle(&m, &value_of, &cfg);
+        let (ceiled, _) = best_rectangle_pooled(
+            &m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Dirty(&dirty),
+        );
+        prop_assert_eq!(&ceiled, &fresh, "threads={}", threads);
     }
 
     /// Tombstoning a node's rows leaves the matrix consistent.

@@ -232,6 +232,9 @@ pub struct Metrics {
     /// Worker threads currently alive (gauge; the supervisor holds this
     /// at the configured pool size).
     pub workers_alive: AtomicI64,
+    /// Resident background search-pool threads across all workers
+    /// (gauge; parked between pooled `Seq` jobs, reused warm).
+    pub search_pool_threads: AtomicI64,
     /// Per-algorithm completed-run metrics, indexed by
     /// [`ALGORITHMS`](crate::job::ALGORITHMS) order.
     pub per_algorithm: [AlgorithmMetrics; 4],
@@ -283,6 +286,10 @@ impl Metrics {
             (
                 "workers_alive",
                 Json::num(self.workers_alive.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "search_pool_threads",
+                Json::num(self.search_pool_threads.load(Ordering::Relaxed) as f64),
             ),
             ("queue_wait", self.queue_wait.to_json()),
             (

@@ -132,9 +132,45 @@ pub(crate) fn spawn_worker(inner: &Arc<Inner>, idx: usize) -> Result<JoinHandle<
         })
 }
 
+/// Tracks this worker thread's resident [`pf_core::SearchPool`] and
+/// mirrors its background-thread count into the `search_pool_threads`
+/// gauge. The `Drop` impl settles the gauge even when the worker thread
+/// dies (the pool itself joins its threads on drop).
+struct PoolSlot<'a> {
+    pool: Option<pf_core::SearchPool>,
+    reported: i64,
+    metrics: &'a crate::metrics::Metrics,
+}
+
+impl PoolSlot<'_> {
+    fn sync_gauge(&mut self) {
+        let now = self.pool.as_ref().map_or(0, |p| p.bg_threads() as i64);
+        self.metrics
+            .search_pool_threads
+            .fetch_add(now - self.reported, Ordering::Relaxed);
+        self.reported = now;
+    }
+}
+
+impl Drop for PoolSlot<'_> {
+    fn drop(&mut self) {
+        self.metrics
+            .search_pool_threads
+            .fetch_sub(self.reported, Ordering::Relaxed);
+    }
+}
+
 /// The worker body: pop, run, answer, repeat until the queue closes.
 fn worker_loop(inner: &Inner) {
     let m = &inner.metrics;
+    // One search pool per worker thread, resident across jobs: pooled
+    // Seq jobs adopt it (warm threads, retained scratch) and hand it
+    // back; the gauge tracks its parked background threads.
+    let mut slot = PoolSlot {
+        pool: None,
+        reported: 0,
+        metrics: m,
+    };
     while let Some(job) = inner.queue.pop() {
         let queue_wait = job.accepted_at.elapsed();
         m.queue_wait.record(queue_wait);
@@ -150,7 +186,9 @@ fn worker_loop(inner: &Inner) {
             job.ctl
                 .fault_point(&format!("serve:pickup:{}", job.spec.fingerprint()));
         }
-        let (outcome, panicked) = worker::execute_tracked(&job.spec, &job.ctl, queue_wait);
+        let (outcome, panicked) =
+            worker::execute_tracked(&job.spec, &job.ctl, queue_wait, &mut slot.pool);
+        slot.sync_gauge();
         guard.disarm();
 
         if panicked {

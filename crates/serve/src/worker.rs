@@ -4,13 +4,24 @@
 use crate::job::{resolve_workload, Algorithm, JobOutcome, JobReport, JobSpec};
 use pf_core::{
     independent_extract, lshaped_extract, replicated_extract, ExtractConfig, ExtractReport,
-    IndependentConfig, LShapedConfig, ReplicatedConfig, RunCtl,
+    IndependentConfig, LShapedConfig, ReplicatedConfig, RunCtl, SearchPool,
 };
 use std::time::Instant;
 
 /// Runs the extraction a spec describes, observing `ctl` at the
 /// driver's barrier points. Blocking; returns the driver's report.
-pub fn run_extraction(spec: &JobSpec, ctl: &RunCtl) -> Result<ExtractReport, String> {
+///
+/// `pool` is this worker thread's resident [`SearchPool`] slot: a
+/// `Seq` job with `par_threads ≥ 1` adopts the pool left by the
+/// previous job (warmed threads, retained scratch) and hands it back
+/// when done. Other algorithms own their pools per run (their engines
+/// live on driver-spawned threads), so the slot passes through
+/// untouched.
+pub fn run_extraction(
+    spec: &JobSpec,
+    ctl: &RunCtl,
+    pool: &mut Option<SearchPool>,
+) -> Result<ExtractReport, String> {
     let mut nw = resolve_workload(&spec.workload)?;
     let mut extract = ExtractConfig {
         ctl: ctl.clone(),
@@ -18,7 +29,7 @@ pub fn run_extraction(spec: &JobSpec, ctl: &RunCtl) -> Result<ExtractReport, Str
     };
     extract.search.par_threads = spec.par_threads;
     let report = match spec.algorithm {
-        Algorithm::Seq => pf_core::extract_kernels(&mut nw, &[], &extract),
+        Algorithm::Seq => pf_core::extract_kernels_pooled(&mut nw, &[], &extract, pool),
         Algorithm::Replicated => replicated_extract(
             &mut nw,
             &ReplicatedConfig {
@@ -52,7 +63,7 @@ pub fn run_extraction(spec: &JobSpec, ctl: &RunCtl) -> Result<ExtractReport, Str
 /// accept timestamp). Panics inside the extraction are caught and become
 /// [`JobOutcome::Failed`].
 pub fn execute(spec: &JobSpec, ctl: &RunCtl, queue_wait: std::time::Duration) -> JobOutcome {
-    execute_tracked(spec, ctl, queue_wait).0
+    execute_tracked(spec, ctl, queue_wait, &mut None).0
 }
 
 /// [`execute`], additionally reporting whether the extraction *panicked*
@@ -62,18 +73,25 @@ pub fn execute_tracked(
     spec: &JobSpec,
     ctl: &RunCtl,
     queue_wait: std::time::Duration,
+    pool: &mut Option<SearchPool>,
 ) -> (JobOutcome, bool) {
     let started = Instant::now();
-    let result =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_extraction(spec, ctl)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_extraction(spec, ctl, pool)
+    }));
     let run_time = started.elapsed();
     match result {
-        Err(payload) => (
-            JobOutcome::Failed {
-                message: panic_message(payload),
-            },
-            true,
-        ),
+        Err(payload) => {
+            // The pool may hold workers mid-pass or poisoned state from
+            // the unwound job — drop it; the next job starts fresh.
+            *pool = None;
+            (
+                JobOutcome::Failed {
+                    message: panic_message(payload),
+                },
+                true,
+            )
+        }
         Ok(Err(msg)) => (JobOutcome::Failed { message: msg }, false),
         Ok(Ok(report)) => {
             let jr = JobReport {
@@ -150,6 +168,24 @@ mod tests {
             JobOutcome::Drained => {}
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn seq_pooled_jobs_reuse_the_worker_pool() {
+        let spec = JobSpec {
+            par_threads: 2,
+            ..JobSpec::new(Algorithm::Seq, "gen:misex3@0.05")
+        };
+        let mut pool = None;
+        for _ in 0..2 {
+            let (outcome, panicked) =
+                execute_tracked(&spec, &RunCtl::new(), Duration::ZERO, &mut pool);
+            assert!(!panicked);
+            assert!(matches!(outcome, JobOutcome::Completed(_)));
+        }
+        // Both jobs ran through one pool: its single background worker
+        // was spawned by the first job and adopted warm by the second.
+        assert_eq!(pool.expect("slot refilled").spawned_threads(), 1);
     }
 
     #[test]

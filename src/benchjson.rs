@@ -8,7 +8,10 @@
 //! after touching the search core. `--quick` shrinks scales and reps so
 //! CI can smoke the subcommand in seconds.
 
-use pf_kcmatrix::{best_rectangle, reference, CubeRegistry, KcMatrix, LabelGen, SearchConfig};
+use pf_kcmatrix::{
+    best_rectangle, best_rectangle_pooled, reference, CeilingUpdate, CubeRegistry, KcMatrix,
+    LabelGen, SearchConfig, SearchPool,
+};
 use pf_serve::Json;
 use pf_workloads::{generate, profile_by_name, scale_profile};
 use std::time::Instant;
@@ -19,6 +22,9 @@ pub struct BenchJsonOptions {
     pub quick: bool,
     /// Output path (`BENCH_rect.json` by default).
     pub out: String,
+    /// Fail (exit non-zero) when the pooled one-thread per-pass median
+    /// exceeds the sequential engine's by more than this many percent.
+    pub assert_pooled_overhead: Option<f64>,
 }
 
 impl Default for BenchJsonOptions {
@@ -26,6 +32,7 @@ impl Default for BenchJsonOptions {
         BenchJsonOptions {
             quick: false,
             out: "BENCH_rect.json".to_string(),
+            assert_pooled_overhead: None,
         }
     }
 }
@@ -151,18 +158,60 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
     let speedup = vec_ns as f64 / bitset_ns.max(1) as f64;
     eprintln!("bench-json:   vec {vec_ns} ns, bitset {bitset_ns} ns ({speedup:.2}x)");
 
-    // Threads: the parallel engine on the big matrix.
+    // Threads: the parallel engine on the big matrix. The seq / pooled-t1
+    // pair backs the overhead gate, so it gets extra repetitions — a
+    // noisy median there would flake the CI assertion.
+    let overhead_reps = thread_reps.max(25);
     eprintln!("bench-json: parallel search @ dalu scale {big_scale}");
     let (mb, wb) = dalu_matrix(big_scale);
-    let mut thread_members: Vec<(String, Json)> = vec![(
-        "seq_ns".to_string(),
-        Json::u64(timed_search(&mb, &wb, 0, thread_reps)),
-    )];
+    let seq_ns = timed_search(&mb, &wb, 0, overhead_reps);
+    let mut thread_members: Vec<(String, Json)> = vec![("seq_ns".to_string(), Json::u64(seq_ns))];
     for t in [1usize, 2, 4, 8] {
         let ns = timed_search(&mb, &wb, t, thread_reps);
         eprintln!("bench-json:   {t} thread(s): {ns} ns");
         thread_members.push((format!("t{t}_ns"), Json::u64(ns)));
     }
+
+    // Pooled: the same engine through a resident SearchPool (warmed
+    // before the clock, ceilings off so every pass does identical work —
+    // this isolates pool overhead from cross-pass ceiling wins).
+    let mut pooled_members: Vec<(String, Json)> = Vec::new();
+    let mut pooled_t1_ns = 0u64;
+    for t in [1usize, 2, 4, 8] {
+        let cfg = SearchConfig {
+            par_threads: t,
+            ..SearchConfig::default()
+        };
+        let mut pool = SearchPool::new();
+        pool.warm(t);
+        let reps = if t == 1 { overhead_reps } else { thread_reps };
+        let ns = median_ns(reps, || {
+            let (best, _) = best_rectangle_pooled(
+                &mb,
+                &|id| wb[id as usize],
+                &cfg,
+                None,
+                &mut pool,
+                CeilingUpdate::Off,
+            );
+            std::hint::black_box(best);
+        });
+        eprintln!("bench-json:   pooled {t} thread(s): {ns} ns");
+        if t == 1 {
+            pooled_t1_ns = ns;
+        }
+        pooled_members.push((format!("t{t}_ns"), Json::u64(ns)));
+    }
+    let pooled_overhead_t1_pct =
+        (pooled_t1_ns as f64 - seq_ns as f64) / seq_ns.max(1) as f64 * 100.0;
+    eprintln!(
+        "bench-json:   pooled t1 vs seq: {pooled_overhead_t1_pct:+.2}% \
+         ({pooled_t1_ns} vs {seq_ns} ns)"
+    );
+    pooled_members.push((
+        "pooled_overhead_t1_pct".to_string(),
+        Json::num(pooled_overhead_t1_pct),
+    ));
 
     // End-to-end: every driver at each scale.
     let mut e2e_members: Vec<(String, Json)> = Vec::new();
@@ -206,6 +255,7 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
             Json::obj([
                 ("scale", Json::num(big_scale)),
                 ("threads", Json::Obj(thread_members)),
+                ("pooled", Json::Obj(pooled_members)),
             ]),
         ),
         ("extract_e2e_ms", Json::Obj(e2e_members)),
@@ -228,6 +278,16 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
                 opts.out = args.get(i + 1).ok_or("--out needs a value")?.clone();
                 i += 2;
             }
+            "--assert-pooled-overhead" => {
+                let pct = args
+                    .get(i + 1)
+                    .ok_or("--assert-pooled-overhead needs a percentage")?;
+                opts.assert_pooled_overhead = Some(
+                    pct.parse::<f64>()
+                        .map_err(|e| format!("bad --assert-pooled-overhead {pct:?}: {e}"))?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown bench-json option {other:?}")),
         }
     }
@@ -237,6 +297,20 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot write {}: {e}", opts.out))?;
     println!("{text}");
     eprintln!("bench-json: wrote {}", opts.out);
+    if let Some(limit) = opts.assert_pooled_overhead {
+        let got = doc
+            .get("par_search")
+            .and_then(|p| p.get("pooled"))
+            .and_then(|p| p.get("pooled_overhead_t1_pct"))
+            .and_then(Json::as_f64)
+            .ok_or("pooled_overhead_t1_pct missing from the document")?;
+        if got > limit {
+            return Err(format!(
+                "pooled one-thread overhead {got:.2}% exceeds the {limit}% limit"
+            ));
+        }
+        eprintln!("bench-json: pooled t1 overhead {got:.2}% within {limit}% limit");
+    }
     Ok(())
 }
 
@@ -248,7 +322,7 @@ mod tests {
     fn quick_run_produces_the_schema() {
         let doc = run(&BenchJsonOptions {
             quick: true,
-            out: String::new(),
+            ..BenchJsonOptions::default()
         });
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
@@ -267,6 +341,18 @@ mod tests {
                 "{key}"
             );
         }
+        let pooled = doc
+            .get("par_search")
+            .and_then(|p| p.get("pooled"))
+            .expect("pooled table");
+        for key in ["t1_ns", "t2_ns", "t4_ns", "t8_ns"] {
+            assert!(pooled.get(key).and_then(Json::as_u64).unwrap() > 0, "{key}");
+        }
+        assert!(pooled
+            .get("pooled_overhead_t1_pct")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .is_finite());
         assert!(doc.get("extract_e2e_ms").is_some());
     }
 }

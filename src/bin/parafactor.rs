@@ -9,6 +9,7 @@
 //! parafactor submit [--addr A] [-a ALG] [-p N] [--par-threads N]
 //!                   [--deadline-ms N] [--retries N] <WORKLOAD>
 //! parafactor bench-json [--quick] [--out FILE]
+//!                   [--assert-pooled-overhead PCT]
 //! parafactor profile [-a ALG] [-p N] [--par-threads N] [--seed N]
 //!                   [-o FILE] <INPUT>
 //!
@@ -40,8 +41,11 @@
 //! retried up to --retries times with exponential backoff. For both
 //! commands procs must be >= 1 and is capped at the host's available
 //! parallelism; --par-threads is likewise capped (0 stays 0). bench-json
-//! measures the rectangle-search engines and the four drivers end to end
-//! and writes BENCH_rect.json (--quick shrinks scales/reps for CI).
+//! measures the rectangle-search engines (spawn-per-pass and pooled) and
+//! the four drivers end to end and writes BENCH_rect.json (--quick
+//! shrinks scales/reps for CI; --assert-pooled-overhead PCT exits
+//! non-zero when the pooled one-thread median exceeds the sequential
+//! engine's by more than PCT percent).
 //! profile runs one extraction with span tracing armed and writes the
 //! timeline as Chrome Trace Event Format JSON — load it in
 //! chrome://tracing or Perfetto — to stdout or -o FILE (span vocabulary
