@@ -1,0 +1,444 @@
+//! Delta-submit support: classify which cones of a resubmitted network
+//! changed against a cached base job, and splice the base's factored
+//! cones into the new network so only the dirty cones need re-extraction.
+//!
+//! ## The name interface
+//!
+//! Signal *names* are the stable identity across submissions — signal
+//! ids are declaration-order-dependent and mean nothing between two
+//! independently built networks. A cone digest ([`cone_digest`]) is
+//! therefore computed over a node's function with every literal spelled
+//! as `(referenced signal name, phase)` and cubes/literals sorted, so
+//! two nodes digest equally iff their local functions are identical *as
+//! functions of named signals*, whatever ids either network assigned.
+//!
+//! ## Correctness argument
+//!
+//! Extraction rewrites each node to an algebraically equal form (helper
+//! nodes included), so a base node's factored cone computes the same
+//! function of its named fanins as the original did. If a resubmitted
+//! network's node has the same local function over the same names
+//! (digest-clean), substituting the base's factored cone — with every
+//! literal re-resolved by name in the spliced network — preserves the
+//! new network's semantics exactly, regardless of what changed
+//! elsewhere. The spliced result is therefore *functionally equivalent*
+//! to a cold run of the new network, though not byte-identical (the
+//! cold run could have discovered different shared divisors), which is
+//! why delta results are never admitted to the exact-hit cache.
+//!
+//! Anything that breaks the name interface — a new node reusing an
+//! extraction-helper name, a clean cone referencing a base signal the
+//! new network no longer declares, a splice that fails validation —
+//! surfaces as an `Err` and the caller falls back to a full cold run.
+
+use crate::CachedResult;
+use pf_kcmatrix::{Digest, DigestBuilder};
+use pf_network::{Network, SignalId, SignalKind};
+use pf_sop::{Cube, Lit, Sop};
+use std::collections::{HashMap, HashSet};
+
+/// Name-canonical digest of one node's local function: cube literals
+/// are spelled as `(signal name, phase)` and sorted, so the digest is
+/// invariant under signal-id renumbering between networks.
+pub fn cone_digest(nw: &Network, id: SignalId) -> Digest {
+    let mut cubes: Vec<Vec<(&str, bool)>> = nw
+        .func(id)
+        .iter()
+        .map(|cube| {
+            let mut lits: Vec<(&str, bool)> = cube
+                .iter()
+                .map(|l| (nw.name(l.var().index()), l.is_negated()))
+                .collect();
+            lits.sort_unstable();
+            lits
+        })
+        .collect();
+    cubes.sort_unstable();
+    let mut b = DigestBuilder::new();
+    b.write_u64(cubes.len() as u64);
+    for cube in cubes {
+        b.write_u64(cube.len() as u64);
+        for (name, negated) in cube {
+            b.write_str(name);
+            b.write_bytes(&[negated as u8]);
+        }
+    }
+    b.finish()
+}
+
+/// Per-node [`cone_digest`] map (`node name → digest`) of a network —
+/// the classification baseline stored with every cached cold result.
+pub fn cone_digests(nw: &Network) -> HashMap<String, Digest> {
+    nw.node_ids()
+        .map(|n| (nw.name(n).to_string(), cone_digest(nw, n)))
+        .collect()
+}
+
+/// The outcome of classifying a resubmitted network against a base:
+/// which node names keep the base's factored cones and which must be
+/// re-extracted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaPlan {
+    /// Nodes whose local function is unchanged — their factored forms
+    /// are copied from the base.
+    pub clean: Vec<String>,
+    /// Changed or newly added nodes — extraction targets after splicing.
+    pub dirty: Vec<String>,
+}
+
+/// Classifies every node of `new` as clean or dirty against the cached
+/// base. Errs (→ caller falls back to a cold run) when a name of `new`
+/// collides with an extraction-created helper of the base, which would
+/// corrupt the copied cones' references.
+pub fn classify(base: &CachedResult, new: &Network) -> Result<DeltaPlan, String> {
+    let mut plan = DeltaPlan::default();
+    for s in new.signal_ids() {
+        let name = new.name(s);
+        let known = base.cone_digests.contains_key(name);
+        if !known
+            && base
+                .network
+                .find(name)
+                .is_some_and(|b| base.network.kind(b) == SignalKind::Node)
+        {
+            return Err(format!(
+                "signal {name:?} collides with an extraction-created node of the base"
+            ));
+        }
+        if new.kind(s) != SignalKind::Node {
+            continue;
+        }
+        match base.cone_digests.get(name) {
+            Some(d) if *d == cone_digest(new, s) => plan.clean.push(name.to_string()),
+            _ => plan.dirty.push(name.to_string()),
+        }
+    }
+    Ok(plan)
+}
+
+/// Rewrites `sop` from `from`'s id space into `to`'s, resolving every
+/// literal by signal name. Errs when `to` does not declare a referenced
+/// name (a clean cone depending on a signal the new network dropped).
+fn remap(sop: &Sop, from: &Network, to: &Network) -> Result<Sop, String> {
+    let mut cubes = Vec::with_capacity(sop.num_cubes());
+    for cube in sop.iter() {
+        let mut lits = Vec::with_capacity(cube.len());
+        for l in cube.iter() {
+            let name = from.name(l.var().index());
+            let id = to
+                .find(name)
+                .ok_or_else(|| format!("referenced signal {name:?} not in spliced network"))?;
+            lits.push(Lit::new(to.var(id), l.is_negated()));
+        }
+        cubes.push(Cube::from_lits(lits));
+    }
+    Ok(Sop::from_cubes(cubes))
+}
+
+/// Builds the spliced network: `new`'s declaration order and outputs,
+/// clean cones replaced by the base's factored forms (plus whichever
+/// extraction helpers they reach), dirty cones keeping `new`'s original
+/// functions. Validates the result and prunes helpers nothing reaches.
+pub fn splice(base: &Network, new: &Network, plan: &DeltaPlan) -> Result<Network, String> {
+    let clean: HashSet<&str> = plan.clean.iter().map(String::as_str).collect();
+    let err = |e: pf_network::NetworkError| format!("splice failed: {e}");
+
+    // The base nodes a clean cone can reach (fanin closure, nodes
+    // only): the helpers worth carrying over. Base nodes the new
+    // network dropped stay dropped — they may reference signals that
+    // no longer exist.
+    let mut needed: HashSet<SignalId> = HashSet::new();
+    let mut work: Vec<SignalId> = Vec::new();
+    for name in &plan.clean {
+        let b = base
+            .find(name)
+            .ok_or_else(|| format!("clean node {name:?} missing from base"))?;
+        work.push(b);
+    }
+    while let Some(n) = work.pop() {
+        for fi in base.fanins(n) {
+            if base.kind(fi) == SignalKind::Node && needed.insert(fi) {
+                work.push(fi);
+            }
+        }
+    }
+
+    // Phase 1: declare everything (placeholder functions), so name
+    // resolution sees the complete signal set — clean cones may
+    // forward-reference helpers and dirty nodes alike.
+    let mut out = Network::new();
+    for i in new.input_ids() {
+        out.add_input(new.name(i)).map_err(err)?;
+    }
+    for n in new.node_ids() {
+        out.add_node(new.name(n), Sop::zero()).map_err(err)?;
+    }
+    let mut helpers = Vec::new();
+    for n in base.node_ids() {
+        if needed.contains(&n) && out.find(base.name(n)).is_none() {
+            out.add_node(base.name(n), Sop::zero()).map_err(err)?;
+            helpers.push(n);
+        }
+    }
+
+    // Phase 2: fill in functions, re-resolving every literal by name.
+    for n in new.node_ids() {
+        let name = new.name(n);
+        let func = if clean.contains(name) {
+            let b = base
+                .find(name)
+                .ok_or_else(|| format!("clean node {name:?} missing from base"))?;
+            remap(base.func(b), base, &out)?
+        } else {
+            remap(new.func(n), new, &out)?
+        };
+        out.set_func(out.find(name).expect("declared above"), func)
+            .map_err(err)?;
+    }
+    for &h in &helpers {
+        let func = remap(base.func(h), base, &out)?;
+        out.set_func(out.find(base.name(h)).expect("declared above"), func)
+            .map_err(err)?;
+    }
+    for &o in new.outputs() {
+        let id = out.find(new.name(o)).expect("all new signals declared");
+        out.mark_output(id).map_err(err)?;
+    }
+    out.validate()
+        .map_err(|e| format!("spliced network invalid: {e}"))?;
+    prune(&out, new)
+}
+
+/// Drops base helpers no retained cone reaches (helpers of cones the
+/// dirty overwrite orphaned). Every node named in `new` is kept — the
+/// splice contract is "`new`'s nodes, some with factored bodies" — so
+/// the closure is seeded with all of them plus the outputs.
+fn prune(out: &Network, new: &Network) -> Result<Network, String> {
+    let err = |e: pf_network::NetworkError| format!("prune failed: {e}");
+    let mut keep: HashSet<SignalId> = out
+        .node_ids()
+        .filter(|&n| new.find(out.name(n)).is_some())
+        .collect();
+    let mut work: Vec<SignalId> = keep.iter().copied().collect();
+    while let Some(n) = work.pop() {
+        for fi in out.fanins(n) {
+            if out.kind(fi) == SignalKind::Node && keep.insert(fi) {
+                work.push(fi);
+            }
+        }
+    }
+    if out.node_ids().all(|n| keep.contains(&n)) {
+        return Ok(out.clone());
+    }
+    let mut pruned = Network::new();
+    for i in out.input_ids() {
+        pruned.add_input(out.name(i)).map_err(err)?;
+    }
+    for n in out.node_ids().filter(|n| keep.contains(n)) {
+        pruned.add_node(out.name(n), Sop::zero()).map_err(err)?;
+    }
+    for n in out.node_ids().filter(|n| keep.contains(n)) {
+        let func = remap(out.func(n), out, &pruned)?;
+        pruned
+            .set_func(pruned.find(out.name(n)).expect("declared above"), func)
+            .map_err(err)?;
+    }
+    for &o in out.outputs() {
+        let id = pruned
+            .find(out.name(o))
+            .ok_or_else(|| format!("output {:?} pruned away", out.name(o)))?;
+        pruned.mark_output(id).map_err(err)?;
+    }
+    pruned
+        .validate()
+        .map_err(|e| format!("pruned network invalid: {e}"))?;
+    Ok(pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CachedResult;
+
+    fn sop_of(nw: &Network, cubes: &[&[(&str, bool)]]) -> Sop {
+        Sop::from_cubes(cubes.iter().map(|c| {
+            Cube::from_lits(
+                c.iter()
+                    .map(|(n, neg)| Lit::new(nw.var(nw.find(n).unwrap()), *neg)),
+            )
+        }))
+    }
+
+    /// f = ab + ac, g = ab + d — extraction would share ab.
+    fn base_network() -> Network {
+        let mut nw = Network::new();
+        for n in ["a", "b", "c", "d"] {
+            nw.add_input(n).unwrap();
+        }
+        let f_sop = sop_of(
+            &nw,
+            &[&[("a", false), ("b", false)], &[("a", false), ("c", false)]],
+        );
+        let f = nw.add_node("f", f_sop).unwrap();
+        let g_sop = sop_of(&nw, &[&[("a", false), ("b", false)], &[("d", false)]]);
+        let g = nw.add_node("g", g_sop).unwrap();
+        nw.mark_output(f).unwrap();
+        nw.mark_output(g).unwrap();
+        nw
+    }
+
+    /// A hand-factored version of [`base_network`]: helper k0 = ab.
+    fn base_factored() -> Network {
+        let mut nw = Network::new();
+        for n in ["a", "b", "c", "d"] {
+            nw.add_input(n).unwrap();
+        }
+        let k0 = nw
+            .add_node("k0", sop_of(&nw, &[&[("a", false), ("b", false)]]))
+            .unwrap();
+        let _ = k0;
+        let f_sop = sop_of(&nw, &[&[("k0", false)], &[("a", false), ("c", false)]]);
+        let f = nw.add_node("f", f_sop).unwrap();
+        let g_sop = sop_of(&nw, &[&[("k0", false)], &[("d", false)]]);
+        let g = nw.add_node("g", g_sop).unwrap();
+        nw.mark_output(f).unwrap();
+        nw.mark_output(g).unwrap();
+        nw
+    }
+
+    fn cached_base() -> CachedResult {
+        let original = base_network();
+        CachedResult {
+            cone_digests: cone_digests(&original),
+            network: base_factored(),
+            lc_before: original.literal_count(),
+            lc_after: base_factored().literal_count(),
+            extractions: 1,
+            total_value: 1,
+        }
+    }
+
+    #[test]
+    fn cone_digest_is_id_invariant() {
+        let nw1 = base_network();
+        // Same functions, different declaration order → different ids.
+        let mut nw2 = Network::new();
+        for n in ["d", "c", "b", "a"] {
+            nw2.add_input(n).unwrap();
+        }
+        let g_sop = sop_of(&nw2, &[&[("d", false)], &[("b", false), ("a", false)]]);
+        let g = nw2.add_node("g", g_sop).unwrap();
+        let f_sop = sop_of(
+            &nw2,
+            &[&[("c", false), ("a", false)], &[("b", false), ("a", false)]],
+        );
+        let f = nw2.add_node("f", f_sop).unwrap();
+        nw2.mark_output(g).unwrap();
+        nw2.mark_output(f).unwrap();
+        let d1 = cone_digests(&nw1);
+        let d2 = cone_digests(&nw2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn classify_splits_clean_and_dirty() {
+        let base = cached_base();
+        // Change g, keep f, add h.
+        let mut new = base_network();
+        let g = new.find("g").unwrap();
+        let g_sop = sop_of(&new, &[&[("d", false)]]);
+        new.set_func(g, g_sop).unwrap();
+        let h_sop = sop_of(&new, &[&[("c", false), ("d", false)]]);
+        let h = new.add_node("h", h_sop).unwrap();
+        new.mark_output(h).unwrap();
+        let plan = classify(&base, &new).unwrap();
+        assert_eq!(plan.clean, vec!["f".to_string()]);
+        assert_eq!(plan.dirty, vec!["g".to_string(), "h".to_string()]);
+    }
+
+    #[test]
+    fn helper_name_collision_falls_back() {
+        let base = cached_base();
+        let mut new = base_network();
+        let k0_sop = sop_of(&new, &[&[("a", false)]]);
+        let k0 = new.add_node("k0", k0_sop).unwrap();
+        new.mark_output(k0).unwrap();
+        assert!(classify(&base, &new).is_err());
+    }
+
+    #[test]
+    fn splice_preserves_new_semantics() {
+        let base = cached_base();
+        let mut new = base_network();
+        let g = new.find("g").unwrap();
+        let g_sop = sop_of(&new, &[&[("b", false), ("d", true)]]);
+        new.set_func(g, g_sop).unwrap();
+        let plan = classify(&base, &new).unwrap();
+        assert_eq!(plan.clean, vec!["f".to_string()]);
+        let spliced = splice(&base.network, &new, &plan).unwrap();
+        assert!(spliced.validate().is_ok());
+        // f got the factored body (references helper k0), g the new one.
+        let f = spliced.find("f").unwrap();
+        let k0 = spliced.find("k0").expect("helper kept");
+        assert!(spliced.fanins(f).contains(&k0));
+        let g = spliced.find("g").unwrap();
+        let want = sop_of(&spliced, &[&[("b", false), ("d", true)]]);
+        assert_eq!(spliced.func(g), &want);
+        assert_eq!(spliced.outputs().len(), 2);
+    }
+
+    #[test]
+    fn splice_prunes_orphaned_helpers() {
+        let base = cached_base();
+        // Both f and g change → helper k0 serves no one.
+        let mut new = base_network();
+        let f = new.find("f").unwrap();
+        let g = new.find("g").unwrap();
+        let f_sop = sop_of(&new, &[&[("a", false)]]);
+        let g_sop = sop_of(&new, &[&[("b", false)]]);
+        new.set_func(f, f_sop).unwrap();
+        new.set_func(g, g_sop).unwrap();
+        let plan = classify(&base, &new).unwrap();
+        assert!(plan.clean.is_empty());
+        let spliced = splice(&base.network, &new, &plan).unwrap();
+        assert!(spliced.find("k0").is_none(), "orphaned helper pruned");
+        assert_eq!(spliced.node_ids().count(), 2);
+    }
+
+    #[test]
+    fn splice_fails_when_clean_cone_loses_a_signal() {
+        let base = cached_base();
+        // A network that renames input a → q but keeps f's *shape* is
+        // dirty anyway; instead drop input d and g (which used it), keep
+        // clean f — then force g clean by copying the base digest set.
+        let mut new = Network::new();
+        for n in ["a", "b", "c"] {
+            new.add_input(n).unwrap();
+        }
+        let f_sop = sop_of(
+            &new,
+            &[&[("a", false), ("b", false)], &[("a", false), ("c", false)]],
+        );
+        let f = new.add_node("f", f_sop).unwrap();
+        // g references d in the base; declare a same-named node here so
+        // classify sees it, with the base's exact function impossible to
+        // express (no d input) — so it classifies dirty and splice works.
+        new.mark_output(f).unwrap();
+        let plan = classify(&base, &new).unwrap();
+        assert_eq!(plan.clean, vec!["f".to_string()]);
+        // Splicing works: f's factored cone only needs a, b, c, k0.
+        let spliced = splice(&base.network, &new, &plan).unwrap();
+        assert!(spliced.find("k0").is_some());
+        // Now corrupt the plan to claim a cone depending on the missing
+        // input d is clean — remap must refuse.
+        let bad = DeltaPlan {
+            clean: vec!["f".to_string(), "g".to_string()],
+            dirty: vec![],
+        };
+        let mut new_with_g = new.clone();
+        let g_sop = sop_of(&new_with_g, &[&[("a", false)]]);
+        let g = new_with_g.add_node("g", g_sop).unwrap();
+        new_with_g.mark_output(g).unwrap();
+        assert!(splice(&base.network, &new_with_g, &bad).is_err());
+    }
+}

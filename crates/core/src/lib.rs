@@ -45,6 +45,7 @@
 //!   (per-worker ring-buffer lanes, phase + per-pass search spans),
 //!   a single branch per hook when disarmed, like [`fault`].
 
+pub mod cached;
 pub mod cost;
 pub mod ctl;
 pub mod cx;
@@ -61,6 +62,7 @@ pub mod script;
 pub mod seq;
 pub mod trace;
 
+pub use cached::{extract_kernels_cached, run_cached, try_replay, CacheEvents, CacheHandle};
 pub use cost::Objective;
 pub use ctl::{RunCtl, StopReason};
 pub use cx::{extract_common_cubes, independent_extract_cubes, CubeExtractConfig};

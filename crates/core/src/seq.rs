@@ -11,11 +11,12 @@ use crate::cost::Objective;
 use crate::ctl::RunCtl;
 use crate::report::{ExtractReport, PhaseTiming};
 use crate::trace::{Lane, Tracer};
+use pf_cache::WarmStart;
 use pf_kcmatrix::rectangle::CostModel;
 use pf_kcmatrix::{
     best_rectangle_pooled, best_rectangle_pooled_with, best_rectangle_seeded,
-    best_rectangle_with_seed, CeilingUpdate, ColIdx, CubeRegistry, KcMatrix, LabelGen, Rectangle,
-    SearchConfig, SearchPool, SearchStats,
+    best_rectangle_with_seed, CeilingSnapshot, CeilingUpdate, ColIdx, CubeRegistry, KcMatrix,
+    LabelGen, Rectangle, SearchConfig, SearchPool, SearchStats,
 };
 use pf_network::{Network, SignalId};
 use pf_sop::fx::{FxHashMap, FxHashSet};
@@ -474,6 +475,35 @@ impl Engine {
     pub fn extractions(&self) -> usize {
         self.applied
     }
+
+    /// Seeds the engine from another run's warm-start hints, valid only
+    /// when this engine's matrix is byte-identical to the one the hints
+    /// were captured over (the cache guarantees this by keying hints on
+    /// the network content digest). Ceilings seed the pool (skipped for
+    /// pool-less engines; config drift self-guards via the snapshot's
+    /// embedded fingerprint); `best` seeds the first search's pruning
+    /// bound exactly like a previous pass's winner would — it is
+    /// re-validated against the matrix before use, and because it *is*
+    /// the first-pass winner of an identical matrix, the seeded search
+    /// returns the identical rectangle.
+    pub fn seed_warm_start(&mut self, ceilings: Option<&CeilingSnapshot>, best: Option<Rectangle>) {
+        if let (Some(pool), Some(snap)) = (self.pool.as_mut(), ceilings) {
+            pool.seed_ceilings(snap);
+            self.pool_fresh = false;
+            self.dirty_cols.clear();
+        }
+        if best.is_some() {
+            self.prev_best = best;
+        }
+    }
+
+    /// Exports the pool's current per-column ceilings for a future
+    /// warm start (`None` for pool-less engines or before any pooled
+    /// search). Meaningful as hints only right after the *first* search
+    /// pass — later passes describe the partially rewritten matrix.
+    pub fn export_warm_ceilings(&self) -> Option<CeilingSnapshot> {
+        self.pool.as_ref().and_then(|p| p.export_ceilings())
+    }
 }
 
 /// Ends a per-pass `search` span, attaching the chosen rectangle's
@@ -538,6 +568,23 @@ pub fn extract_kernels_pooled(
     cfg: &ExtractConfig,
     pool: &mut Option<SearchPool>,
 ) -> ExtractReport {
+    extract_kernels_warm(nw, targets, cfg, pool, None, None)
+}
+
+/// [`extract_kernels_pooled`] with warm-start plumbing: `warm` seeds the
+/// engine (first-pass ceilings + previous winner) before the cover loop,
+/// and `capture` receives this run's own hints right after the first
+/// pass — the only moment the ceilings describe the initial matrix. Both
+/// are correctness-neutral: a warm-seeded run extracts the byte-identical
+/// network a cold run would (see [`Engine::seed_warm_start`]).
+pub(crate) fn extract_kernels_warm(
+    nw: &mut Network,
+    targets: &[SignalId],
+    cfg: &ExtractConfig,
+    pool: &mut Option<SearchPool>,
+    warm: Option<&WarmStart>,
+    mut capture: Option<&mut Option<WarmStart>>,
+) -> ExtractReport {
     let targets: Vec<SignalId> = if targets.is_empty() {
         nw.node_ids().collect()
     } else {
@@ -579,9 +626,13 @@ pub fn extract_kernels_pooled(
         engine.adopt_pool(prev);
     }
     engine.warm_pool();
+    if let Some(w) = warm {
+        engine.seed_warm_start(w.ceilings.as_ref(), Some(w.best.clone()));
+    }
     lane.end(pool_span);
     let pool_elapsed = start.elapsed().saturating_sub(matrix_elapsed);
     let cover_span = lane.start("cover");
+    let mut first_pass = true;
     while engine.extractions() < cfg.max_extractions {
         // The cover-loop head is the driver's barrier checkpoint, and
         // therefore also its fault-injection site.
@@ -593,6 +644,15 @@ pub fn extract_kernels_pooled(
         let (rect, stats) = engine.search(None);
         report.budget_exhausted |= stats.budget_exhausted;
         end_search_span(&mut lane, pass, rect.as_ref(), &stats);
+        if first_pass {
+            first_pass = false;
+            if let (Some(cap), Some(r)) = (capture.as_deref_mut(), rect.as_ref()) {
+                *cap = Some(WarmStart {
+                    ceilings: engine.export_warm_ceilings(),
+                    best: r.clone(),
+                });
+            }
+        }
         let Some(rect) = rect else { break };
         report.total_value += rect.value;
         let apply_span = lane.start("apply");

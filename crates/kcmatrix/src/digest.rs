@@ -1,0 +1,265 @@
+//! Canonical content digests — the one hashing implementation shared by
+//! the extraction cache, poison-pill quarantine and (eventually) shard
+//! routing.
+//!
+//! A [`Digest`] is a 128-bit content address computed over *canonical*
+//! structure: cube literals are hashed in the sorted order [`Cube`]
+//! already maintains, SOP cubes in their canonical ascending order, and
+//! networks signal-by-signal in id order. Two byte-identical inputs
+//! always produce the same digest across runs, platforms and processes
+//! (the hash is a fixed-seed FNV-1a pair with an avalanche finisher —
+//! deliberately *not* `std::hash`, whose output is allowed to change
+//! between releases and is randomized for hash maps).
+//!
+//! The digest is a cache/routing key, not a cryptographic commitment:
+//! collisions are astronomically unlikely for the matrix sizes involved
+//! but not adversarially hard.
+
+use pf_network::{Network, SignalKind};
+use pf_sop::{Cube, Sop};
+use std::fmt;
+
+/// A 128-bit stable content digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(pub u64, pub u64);
+
+impl Digest {
+    /// Digest of a byte string.
+    pub fn of_bytes(bytes: &[u8]) -> Digest {
+        let mut h = DigestBuilder::new();
+        h.write_bytes(bytes);
+        h.finish()
+    }
+
+    /// Digest of a UTF-8 string.
+    pub fn of_str(s: &str) -> Digest {
+        Digest::of_bytes(s.as_bytes())
+    }
+
+    /// Folds another digest into this one (order-sensitive), producing
+    /// a combined key — e.g. `algorithm ⊕ content ⊕ procs`.
+    pub fn combine(self, other: Digest) -> Digest {
+        let mut h = DigestBuilder::new();
+        h.write_u64(self.0);
+        h.write_u64(self.1);
+        h.write_u64(other.0);
+        h.write_u64(other.1);
+        h.finish()
+    }
+
+    /// Lowercase hex rendering (32 chars), for logs and wire payloads.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental digest state. Feed it lengths before variable-size
+/// fields so concatenation ambiguity can't alias two inputs.
+pub struct DigestBuilder {
+    a: u64,
+    b: u64,
+}
+
+impl Default for DigestBuilder {
+    fn default() -> Self {
+        DigestBuilder::new()
+    }
+}
+
+impl DigestBuilder {
+    /// Fresh state with the fixed seeds.
+    pub fn new() -> Self {
+        DigestBuilder {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    /// Hashes raw bytes into both lanes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ byte as u64).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ (byte as u64).rotate_left(17)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes one `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, x: u64) {
+        self.write_bytes(&x.to_le_bytes());
+    }
+
+    /// Hashes one `u32`.
+    pub fn write_u32(&mut self, x: u32) {
+        self.write_bytes(&x.to_le_bytes());
+    }
+
+    /// Hashes a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finalizes with a splitmix-style avalanche so low-entropy inputs
+    /// (small literal codes) still spread across all 128 bits.
+    pub fn finish(self) -> Digest {
+        Digest(
+            mix(self.a ^ self.b.rotate_left(32)),
+            mix(self.b ^ self.a.rotate_left(32)),
+        )
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hashes one cube's sorted literals into `h`.
+fn write_cube(h: &mut DigestBuilder, cube: &Cube) {
+    h.write_u64(cube.len() as u64);
+    for l in cube.iter() {
+        h.write_u32(l.code());
+    }
+}
+
+/// Digest of a cube: its sorted literal codes.
+pub fn cube_digest(cube: &Cube) -> Digest {
+    let mut h = DigestBuilder::new();
+    write_cube(&mut h, cube);
+    h.finish()
+}
+
+/// Digest of an SOP — the canonical hash of its sorted cube literals.
+/// [`Sop`] keeps cubes sorted and duplicate-free, so equal functions
+/// digest equally regardless of how they were built.
+pub fn sop_digest(f: &Sop) -> Digest {
+    let mut h = DigestBuilder::new();
+    h.write_u64(f.num_cubes() as u64);
+    for cube in f.iter() {
+        write_cube(&mut h, cube);
+    }
+    h.finish()
+}
+
+/// Content digest of a whole network: every signal in id order (kind,
+/// name, and — for nodes — the canonical cube-literal hash of its
+/// function) plus the output list. Two networks built the same way
+/// digest identically; any change to any cone changes the digest.
+pub fn network_digest(nw: &Network) -> Digest {
+    let mut h = DigestBuilder::new();
+    h.write_u64(nw.num_signals() as u64);
+    for id in nw.signal_ids() {
+        h.write_str(nw.name(id));
+        match nw.kind(id) {
+            SignalKind::PrimaryInput => h.write_u32(1),
+            SignalKind::Node => {
+                h.write_u32(2);
+                let f = nw.func(id);
+                h.write_u64(f.num_cubes() as u64);
+                for cube in f.iter() {
+                    write_cube(&mut h, cube);
+                }
+            }
+        }
+    }
+    h.write_u64(nw.outputs().len() as u64);
+    for &o in nw.outputs() {
+        h.write_u32(o);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_sop::Lit;
+
+    fn cube(ids: &[u32]) -> Cube {
+        Cube::from_lits(ids.iter().map(|&i| Lit::pos(i)))
+    }
+
+    #[test]
+    fn equal_inputs_digest_equally() {
+        let a = Sop::from_cubes([cube(&[1, 2]), cube(&[3])]);
+        let b = Sop::from_cubes([cube(&[3]), cube(&[2, 1])]); // canonicalized
+        assert_eq!(sop_digest(&a), sop_digest(&b));
+        assert_eq!(cube_digest(&cube(&[5, 9])), cube_digest(&cube(&[9, 5])));
+    }
+
+    #[test]
+    fn different_inputs_digest_differently() {
+        assert_ne!(
+            sop_digest(&Sop::from_cube(cube(&[1]))),
+            sop_digest(&Sop::from_cube(cube(&[2])))
+        );
+        // Phase matters.
+        assert_ne!(
+            cube_digest(&Cube::single(Lit::pos(4))),
+            cube_digest(&Cube::single(Lit::neg(4)))
+        );
+        // Cube grouping matters: {ab} vs {a}+{b}.
+        assert_ne!(
+            sop_digest(&Sop::from_cube(cube(&[1, 2]))),
+            sop_digest(&Sop::from_cubes([cube(&[1]), cube(&[2])]))
+        );
+    }
+
+    #[test]
+    fn digest_is_stable_across_calls() {
+        let d1 = Digest::of_str("seq/gen:misex3@0.05");
+        let d2 = Digest::of_str("seq/gen:misex3@0.05");
+        assert_eq!(d1, d2);
+        assert_eq!(d1.to_hex().len(), 32);
+        assert_ne!(d1, Digest::of_str("seq/gen:misex3@0.06"));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = Digest::of_str("a");
+        let b = Digest::of_str("b");
+        assert_ne!(a.combine(b), b.combine(a));
+        assert_ne!(a.combine(b), a);
+    }
+
+    #[test]
+    fn network_digest_tracks_content() {
+        let mut nw = Network::new();
+        let a = nw.add_input("a").unwrap();
+        let b = nw.add_input("b").unwrap();
+        let f = nw
+            .add_node(
+                "f",
+                Sop::from_cubes([Cube::single(Lit::pos(a)), Cube::single(Lit::pos(b))]),
+            )
+            .unwrap();
+        nw.mark_output(f).unwrap();
+        let d0 = network_digest(&nw);
+        assert_eq!(d0, network_digest(&nw.clone()));
+        // Changing one cone changes the digest.
+        let mut changed = nw.clone();
+        changed
+            .set_func(f, Sop::from_cube(Cube::single(Lit::pos(a))))
+            .unwrap();
+        assert_ne!(d0, network_digest(&changed));
+    }
+}

@@ -25,6 +25,7 @@
 //!   sorted-vec search survives as the [`reference`] oracle.
 
 pub mod cube_matrix;
+pub mod digest;
 pub mod matrix;
 mod par_search;
 pub mod pool;
@@ -34,8 +35,9 @@ pub mod registry;
 pub mod rowset;
 
 pub use cube_matrix::{CommonCube, CubeLitMatrix};
+pub use digest::{cube_digest, network_digest, sop_digest, Digest, DigestBuilder};
 pub use matrix::{ColIdx, KcCol, KcMatrix, KcRow, LabelGen, RowIdx};
-pub use pool::{CeilingUpdate, SearchPool};
+pub use pool::{CeilingSnapshot, CeilingUpdate, SearchPool};
 pub use rectangle::{
     best_rectangle, best_rectangle_pooled, best_rectangle_pooled_with, best_rectangle_seeded,
     best_rectangle_with, best_rectangle_with_seed, CostModel, Rectangle, SearchConfig, SearchStats,

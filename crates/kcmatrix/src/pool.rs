@@ -130,6 +130,31 @@ struct Ceilings {
     fingerprint: Option<(usize, Option<(u32, u32)>)>,
 }
 
+/// A portable copy of a pool's per-column ceilings, for warm-starting a
+/// *different* pool over a byte-identical matrix (the cross-job half of
+/// the ceiling story — see [`SearchPool::export_ceilings`]).
+///
+/// Soundness is the caller's contract: a snapshot may only be seeded
+/// into a pass over a matrix byte-identical to the one it was recorded
+/// over (content-addressing in `pf-cache` is what establishes that).
+/// Config drift is still self-guarding — the embedded `(min_cols,
+/// stripe)` fingerprint makes a mismatched pass reset instead of
+/// consulting stale bounds — and determinism invariant 3 (strict skip
+/// test) keeps seeded passes byte-identical to cold ones.
+#[derive(Clone, Debug, Default)]
+pub struct CeilingSnapshot {
+    vals: Vec<i64>,
+    valid: Vec<bool>,
+    fingerprint: Option<(usize, Option<(u32, u32)>)>,
+}
+
+impl CeilingSnapshot {
+    /// Number of columns with a valid (consultable) ceiling.
+    pub fn valid_columns(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
 impl Ceilings {
     fn invalidate_all(&mut self) {
         self.valid.iter_mut().for_each(|v| *v = false);
@@ -221,6 +246,32 @@ impl SearchPool {
     /// [`CeilingUpdate::Off`] then [`CeilingUpdate::Reset`].
     pub fn invalidate_ceilings(&mut self) {
         self.ceil.invalidate_all();
+    }
+
+    /// Copies the current ceilings out for cross-job warm-starting, or
+    /// `None` when nothing consultable is stored (ceilings off,
+    /// invalidated, or no completed pass yet).
+    pub fn export_ceilings(&self) -> Option<CeilingSnapshot> {
+        if self.ceil.fingerprint.is_none() || !self.ceil.valid.iter().any(|&v| v) {
+            return None;
+        }
+        Some(CeilingSnapshot {
+            vals: self.ceil.vals.clone(),
+            valid: self.ceil.valid.clone(),
+            fingerprint: self.ceil.fingerprint,
+        })
+    }
+
+    /// Installs a snapshot exported by [`export_ceilings`], replacing
+    /// any stored ceilings. The next [`CeilingUpdate::Dirty`] pass
+    /// consults them; see [`CeilingSnapshot`] for the matrix-identity
+    /// contract the caller must uphold.
+    ///
+    /// [`export_ceilings`]: SearchPool::export_ceilings
+    pub fn seed_ceilings(&mut self, snap: &CeilingSnapshot) {
+        self.ceil.vals = snap.vals.clone();
+        self.ceil.valid = snap.valid.clone();
+        self.ceil.fingerprint = snap.fingerprint;
     }
 
     fn ensure_bg(&mut self, nbg: usize) {
@@ -673,6 +724,43 @@ mod tests {
         );
         assert_eq!(cold, seeded);
         assert!(seeded_stats.visited <= warm_stats.visited);
+    }
+
+    #[test]
+    fn exported_ceilings_warm_start_a_fresh_pool_identically() {
+        let (m, w) = paper_matrix();
+        let value_of = |id: crate::registry::CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            par_threads: 1,
+            ..SearchConfig::default()
+        };
+        let mut cold_pool = SearchPool::new();
+        let (cold, cold_stats) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            None,
+            &mut cold_pool,
+            CeilingUpdate::Reset,
+        );
+        let snap = cold_pool.export_ceilings().expect("completed pass records");
+        assert!(snap.valid_columns() > 0);
+        // A brand-new pool seeded with the snapshot over the identical
+        // matrix: byte-identical winner, no more work than cold.
+        let mut warm_pool = SearchPool::new();
+        warm_pool.seed_ceilings(&snap);
+        let (warm, warm_stats) = crate::rectangle::best_rectangle_pooled(
+            &m,
+            &value_of,
+            &cfg,
+            cold.as_ref(),
+            &mut warm_pool,
+            CeilingUpdate::Dirty(&[]),
+        );
+        assert_eq!(cold, warm);
+        assert!(warm_stats.visited <= cold_stats.visited);
+        // Fresh pool with nothing stored exports nothing.
+        assert!(SearchPool::new().export_ceilings().is_none());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::json::Json;
 use pf_core::{ExtractReport, RunCtl};
+use pf_kcmatrix::{Digest, DigestBuilder};
 use pf_network::Network;
 use std::time::Duration;
 
@@ -77,6 +78,12 @@ pub struct JobSpec {
     /// Per-job deadline; expiry (including time spent queued) turns the
     /// job into a structured timeout response.
     pub deadline: Option<Duration>,
+    /// Delta submission: the [`JobSpec::fingerprint`] of a previously
+    /// completed (and cached) base job this workload is a revision of.
+    /// The worker re-extracts only the cones that differ from the base
+    /// and splices the base's cached factored cones for the rest.
+    /// `seq` only; `None` is a plain full submission.
+    pub delta_from: Option<String>,
 }
 
 impl JobSpec {
@@ -88,16 +95,53 @@ impl JobSpec {
             procs: 2,
             par_threads: 0,
             deadline: None,
+            delta_from: None,
         }
     }
 
     /// The job's poison-tracking identity: what it *computes*
     /// (algorithm + workload), not how (procs/deadline). Two specs with
     /// the same fingerprint crash workers the same way, which is what
-    /// quarantine keys on.
+    /// quarantine keys on. Human-readable — used in failure messages and
+    /// fault-site names; [`JobSpec::poison_key`] is the keyed form.
     pub fn fingerprint(&self) -> String {
         format!("{}/{}", self.algorithm.as_str(), self.workload)
     }
+
+    /// The fingerprint as a canonical [`Digest`] — the *one* keying
+    /// implementation shared by the quarantine map, the extraction
+    /// cache, and any future shard routing, so the three can never
+    /// disagree about job identity.
+    pub fn poison_key(&self) -> Digest {
+        fingerprint_digest(self.algorithm, &self.workload)
+    }
+
+    /// The result-affecting execution parameters of this spec, as a
+    /// digest. Combined with the resolved network's content digest this
+    /// forms the exact-hit cache key: algorithm always matters, `procs`
+    /// only for the parallel drivers (`seq` ignores it), and
+    /// `par_threads` / `deadline` are result-invariant per the repo's
+    /// determinism tests (a timed-out run is never admitted anyway).
+    pub fn cache_param_digest(&self) -> Digest {
+        let mut b = DigestBuilder::new();
+        b.write_str("cache-key");
+        b.write_str(self.algorithm.as_str());
+        if self.algorithm != Algorithm::Seq {
+            b.write_u64(self.procs as u64);
+        }
+        b.finish()
+    }
+}
+
+/// [`JobSpec::poison_key`] for an (algorithm, workload) pair — exposed
+/// so `delta_from` fingerprints can be resolved to the base job's keys
+/// without constructing a full spec.
+pub fn fingerprint_digest(algorithm: Algorithm, workload: &str) -> Digest {
+    let mut b = DigestBuilder::new();
+    b.write_str("job-fingerprint");
+    b.write_str(algorithm.as_str());
+    b.write_str(workload);
+    b.finish()
 }
 
 /// Why a submission was turned away at the door.
@@ -345,6 +389,39 @@ mod tests {
             a.fingerprint(),
             JobSpec::new(Algorithm::Seq, "gen:dalu@0.2").fingerprint()
         );
+    }
+
+    #[test]
+    fn poison_key_is_the_shared_fingerprint_digest() {
+        let mut a = JobSpec::new(Algorithm::Lshaped, "gen:dalu@0.2");
+        let mut b = a.clone();
+        a.procs = 2;
+        b.procs = 8;
+        b.deadline = Some(Duration::from_secs(1));
+        assert_eq!(a.poison_key(), b.poison_key());
+        assert_eq!(
+            a.poison_key(),
+            fingerprint_digest(Algorithm::Lshaped, "gen:dalu@0.2")
+        );
+        assert_ne!(
+            a.poison_key(),
+            fingerprint_digest(Algorithm::Seq, "gen:dalu@0.2")
+        );
+    }
+
+    #[test]
+    fn cache_params_track_procs_only_for_parallel_drivers() {
+        let mut seq = JobSpec::new(Algorithm::Seq, "gen:dalu@0.2");
+        let mut seq8 = seq.clone();
+        seq.procs = 2;
+        seq8.procs = 8;
+        assert_eq!(seq.cache_param_digest(), seq8.cache_param_digest());
+        let mut rep = JobSpec::new(Algorithm::Replicated, "gen:dalu@0.2");
+        let mut rep8 = rep.clone();
+        rep.procs = 2;
+        rep8.procs = 8;
+        assert_ne!(rep.cache_param_digest(), rep8.cache_param_digest());
+        assert_ne!(seq.cache_param_digest(), rep.cache_param_digest());
     }
 
     #[test]

@@ -34,6 +34,13 @@ impl Counter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` (folding per-job cache event batches in one step).
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -235,6 +242,20 @@ pub struct Metrics {
     /// Resident background search-pool threads across all workers
     /// (gauge; parked between pooled `Seq` jobs, reused warm).
     pub search_pool_threads: AtomicI64,
+    /// Extraction-cache lookups (one per cache-eligible job). Satisfies
+    /// `cache_lookups == cache_hits + cache_misses`.
+    pub cache_lookups: Counter,
+    /// Jobs served outright from the extraction cache.
+    pub cache_hits: Counter,
+    /// Cache-eligible jobs that fell through to a real run.
+    pub cache_misses: Counter,
+    /// Cache result entries evicted (LRU capacity or TTL expiry).
+    pub cache_evictions: Counter,
+    /// Cold runs that found warm-start hints and seeded the engine.
+    pub cache_warm: Counter,
+    /// Delta submissions that actually took the splice path (exact hits
+    /// and full-run fallbacks are counted under their own outcomes).
+    pub delta_jobs: Counter,
     /// Per-algorithm completed-run metrics, indexed by
     /// [`ALGORITHMS`](crate::job::ALGORITHMS) order.
     pub per_algorithm: [AlgorithmMetrics; 4],
@@ -250,7 +271,9 @@ impl Metrics {
     }
 
     /// The accounting identity; holds exactly when no job is queued or
-    /// in flight (e.g. after shutdown, or any quiescent moment).
+    /// in flight (e.g. after shutdown, or any quiescent moment). The
+    /// cache clause is part of the identity: every cache lookup resolves
+    /// to exactly one of hit or miss.
     pub fn balanced(&self) -> bool {
         self.submitted.get() == self.accepted.get() + self.rejected()
             && self.accepted.get()
@@ -258,6 +281,7 @@ impl Metrics {
                     + self.timed_out.get()
                     + self.failed.get()
                     + self.drained.get()
+            && self.cache_lookups.get() == self.cache_hits.get() + self.cache_misses.get()
     }
 
     /// Snapshot as JSON; `queue_depth` is sampled by the caller (the
@@ -278,6 +302,12 @@ impl Metrics {
             ("respawns", Json::u64(self.respawns.get())),
             ("retries", Json::u64(self.retries.get())),
             ("conn_rejected", Json::u64(self.conn_rejected.get())),
+            ("cache_lookups", Json::u64(self.cache_lookups.get())),
+            ("cache_hits", Json::u64(self.cache_hits.get())),
+            ("cache_misses", Json::u64(self.cache_misses.get())),
+            ("cache_evictions", Json::u64(self.cache_evictions.get())),
+            ("cache_warm", Json::u64(self.cache_warm.get())),
+            ("delta_jobs", Json::u64(self.delta_jobs.get())),
             ("queue_depth", Json::u64(queue_depth as u64)),
             (
                 "in_flight",
@@ -386,6 +416,38 @@ mod tests {
         m.accepted.inc();
         m.drained.inc();
         assert!(m.balanced());
+        // The cache clause: a lookup must resolve to a hit or a miss.
+        m.cache_lookups.inc();
+        assert!(!m.balanced());
+        m.cache_hits.inc();
+        assert!(m.balanced());
+        m.cache_lookups.inc();
+        m.cache_misses.inc();
+        assert!(m.balanced());
+        // Evictions / warm seeds / delta jobs sit outside the identity.
+        m.cache_evictions.inc();
+        m.cache_warm.inc();
+        m.delta_jobs.inc();
+        assert!(m.balanced());
+    }
+
+    #[test]
+    fn cache_counters_appear_in_the_snapshot() {
+        let m = Metrics::default();
+        m.cache_lookups.inc();
+        m.cache_hits.inc();
+        let j = m.to_json(0);
+        for key in [
+            "cache_lookups",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cache_warm",
+            "delta_jobs",
+        ] {
+            assert!(j.get(key).and_then(Json::as_u64).is_some(), "{key}");
+        }
+        assert_eq!(j.get("cache_hits").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

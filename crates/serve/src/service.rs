@@ -19,13 +19,17 @@
 //! [`ServiceConfig::fault_plan`] rides into every job's `RunCtl`, which
 //! is how the chaos tests stress all of the above.
 
-use crate::job::{ctl_for, validate_workload, JobOutcome, JobSpec, JobTimeline, Rejection};
+use crate::job::{
+    ctl_for, validate_workload, Algorithm, JobOutcome, JobSpec, JobTimeline, Rejection,
+};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::retry::RetryPolicy;
 use crate::supervisor::{self, SupervisorSignal};
 use parking_lot::Mutex;
+use pf_cache::{CacheConfig, ExtractionCache};
 use pf_core::{FaultPlan, RunCtl};
+use pf_kcmatrix::Digest;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -51,6 +55,14 @@ pub struct ServiceConfig {
     /// Panic strikes (caught or worker-fatal) a job fingerprint may
     /// accumulate before further submissions are quarantined.
     pub poison_threshold: u32,
+    /// Capacity of the shared extraction cache (results memoized by
+    /// content digest; exact resubmissions replay without re-running).
+    /// `0` disables caching — and with it `delta_from` submissions.
+    pub cache_entries: usize,
+    /// Optional time-to-live for cached results; an expired entry counts
+    /// as a miss and an eviction. `None` (the default) keeps entries
+    /// until LRU pressure evicts them.
+    pub cache_ttl: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +73,8 @@ impl Default for ServiceConfig {
             max_procs: default_max_procs(),
             fault_plan: None,
             poison_threshold: 2,
+            cache_entries: 64,
+            cache_ttl: None,
         }
     }
 }
@@ -102,8 +116,13 @@ pub(crate) struct Inner {
     pub(crate) desired_workers: usize,
     pub(crate) fault_plan: Option<Arc<FaultPlan>>,
     pub(crate) poison_threshold: u32,
-    /// Panic strikes per job fingerprint (poison-pill detection).
-    pub(crate) poison: Mutex<HashMap<String, u32>>,
+    /// Panic strikes per job-fingerprint digest (poison-pill detection).
+    /// Keyed by [`JobSpec::poison_key`] — the same canonical digest
+    /// machinery the cache keys off, so quarantine, caching, and any
+    /// future shard routing agree on a job's identity.
+    pub(crate) poison: Mutex<HashMap<Digest, u32>>,
+    /// Shared extraction cache; `None` when `cache_entries` was 0.
+    pub(crate) cache: Option<Arc<ExtractionCache>>,
     pub(crate) sup: SupervisorSignal,
     /// Ring of the last [`TIMELINE_CAPACITY`] finished-job timelines.
     pub(crate) timelines: Mutex<VecDeque<JobTimeline>>,
@@ -120,18 +139,14 @@ impl Inner {
         ring.push_back(t);
     }
 
-    /// Records one panic strike against a fingerprint.
-    pub(crate) fn strike(&self, fingerprint: &str) {
-        *self
-            .poison
-            .lock()
-            .entry(fingerprint.to_string())
-            .or_insert(0) += 1;
+    /// Records one panic strike against a fingerprint digest.
+    pub(crate) fn strike(&self, key: Digest) {
+        *self.poison.lock().entry(key).or_insert(0) += 1;
     }
 
-    /// Strikes currently on record for a fingerprint.
-    pub(crate) fn strikes(&self, fingerprint: &str) -> u32 {
-        self.poison.lock().get(fingerprint).copied().unwrap_or(0)
+    /// Strikes currently on record for a fingerprint digest.
+    pub(crate) fn strikes(&self, key: Digest) -> u32 {
+        self.poison.lock().get(&key).copied().unwrap_or(0)
     }
 }
 
@@ -183,7 +198,13 @@ impl Client {
         }
         // 0 is meaningful (classic sequential search), so only clamp.
         spec.par_threads = spec.par_threads.min(self.inner.max_procs.max(1));
-        let strikes = self.inner.strikes(&spec.fingerprint());
+        if let Some(base) = &spec.delta_from {
+            if let Err(msg) = self.validate_delta(&spec, base) {
+                m.rejected_invalid.inc();
+                return Err(Rejection::Invalid(msg));
+            }
+        }
+        let strikes = self.inner.strikes(spec.poison_key());
         if strikes >= self.inner.poison_threshold {
             m.quarantined.inc();
             return Err(Rejection::Quarantined { strikes });
@@ -217,6 +238,23 @@ impl Client {
         }
     }
 
+    /// Structural checks for a delta submission: seq-only, the cache
+    /// must exist, and the base fingerprint must name a valid seq
+    /// workload (either `seq/<workload>` or a bare workload spec).
+    fn validate_delta(&self, spec: &JobSpec, base: &str) -> Result<(), String> {
+        if spec.algorithm != Algorithm::Seq {
+            return Err(format!(
+                "delta_from requires algorithm seq, not {}",
+                spec.algorithm.as_str()
+            ));
+        }
+        if self.inner.cache.is_none() {
+            return Err("delta_from requires the cache (cache_entries > 0)".to_string());
+        }
+        let base_workload = base.strip_prefix("seq/").unwrap_or(base);
+        validate_workload(base_workload).map_err(|msg| format!("delta_from base: {msg}"))
+    }
+
     /// [`submit`](Client::submit), retrying *retryable* rejections
     /// (backpressure only — see [`Rejection::retryable`]) with the
     /// policy's exponential backoff + jitter. Terminal rejections and
@@ -248,6 +286,11 @@ impl Client {
     /// The metrics registry (live counters).
     pub fn metrics(&self) -> &Metrics {
         &self.inner.metrics
+    }
+
+    /// The shared extraction cache, when one is configured.
+    pub fn cache(&self) -> Option<&ExtractionCache> {
+        self.inner.cache.as_deref()
     }
 
     /// JSON snapshot of the registry plus the live queue depth.
@@ -293,6 +336,12 @@ impl Service {
             fault_plan: cfg.fault_plan.clone(),
             poison_threshold: cfg.poison_threshold.max(1),
             poison: Mutex::new(HashMap::new()),
+            cache: (cfg.cache_entries > 0).then(|| {
+                Arc::new(ExtractionCache::new(CacheConfig {
+                    entries: cfg.cache_entries,
+                    ttl: cfg.cache_ttl,
+                }))
+            }),
             sup: SupervisorSignal::default(),
             timelines: Mutex::new(VecDeque::with_capacity(TIMELINE_CAPACITY)),
         });

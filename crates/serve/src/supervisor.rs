@@ -79,6 +79,7 @@ struct JobGuard<'a> {
     inner: &'a Inner,
     id: u64,
     fingerprint: String,
+    poison_key: pf_kcmatrix::Digest,
     responder: mpsc::Sender<JobOutcome>,
     armed: bool,
 }
@@ -89,6 +90,7 @@ impl<'a> JobGuard<'a> {
             inner,
             id: job.id,
             fingerprint: job.spec.fingerprint(),
+            poison_key: job.spec.poison_key(),
             responder: job.responder.clone(),
             armed: true,
         }
@@ -107,7 +109,7 @@ impl Drop for JobGuard<'_> {
         let m = &self.inner.metrics;
         m.panics.inc();
         m.failed.inc();
-        self.inner.strike(&self.fingerprint);
+        self.inner.strike(self.poison_key);
         self.inner.in_flight.lock().remove(&self.id);
         m.in_flight.fetch_sub(1, Ordering::Relaxed);
         let _ = self.responder.send(JobOutcome::Failed {
@@ -186,14 +188,35 @@ fn worker_loop(inner: &Inner) {
             job.ctl
                 .fault_point(&format!("serve:pickup:{}", job.spec.fingerprint()));
         }
-        let (outcome, panicked) =
-            worker::execute_tracked(&job.spec, &job.ctl, queue_wait, &mut slot.pool);
+        // A fingerprint with any strikes on record may still run (it is
+        // quarantined only at the threshold), but its results are never
+        // admitted to the cache: a job that panicked once cannot seed
+        // entries future submissions would trust.
+        let cache_ctx = inner.cache.as_deref().map(|cache| worker::CacheCtx {
+            cache,
+            admit: inner.strikes(job.spec.poison_key()) == 0,
+        });
+        let (outcome, panicked, cache_out) = worker::execute_tracked(
+            &job.spec,
+            &job.ctl,
+            queue_wait,
+            &mut slot.pool,
+            cache_ctx.as_ref(),
+        );
         slot.sync_gauge();
         guard.disarm();
 
         if panicked {
             m.panics.inc();
-            inner.strike(&job.spec.fingerprint());
+            inner.strike(job.spec.poison_key());
+        }
+        m.cache_lookups.add(cache_out.events.lookups);
+        m.cache_hits.add(cache_out.events.hits);
+        m.cache_misses.add(cache_out.events.misses);
+        m.cache_evictions.add(cache_out.events.evicted);
+        m.cache_warm.add(cache_out.events.warm);
+        if cache_out.delta {
+            m.delta_jobs.inc();
         }
         inner.in_flight.lock().remove(&job.id);
         m.in_flight.fetch_sub(1, Ordering::Relaxed);

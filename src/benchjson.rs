@@ -25,6 +25,9 @@ pub struct BenchJsonOptions {
     /// Fail (exit non-zero) when the pooled one-thread per-pass median
     /// exceeds the sequential engine's by more than this many percent.
     pub assert_pooled_overhead: Option<f64>,
+    /// Fail (exit non-zero) unless the warm cache-served network is
+    /// byte-identical to the cold run's.
+    pub assert_cache_identical: bool,
 }
 
 impl Default for BenchJsonOptions {
@@ -33,6 +36,7 @@ impl Default for BenchJsonOptions {
             quick: false,
             out: "BENCH_rect.json".to_string(),
             assert_pooled_overhead: None,
+            assert_cache_identical: false,
         }
     }
 }
@@ -213,6 +217,71 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
         Json::num(pooled_overhead_t1_pct),
     ));
 
+    // Cache: one cold extraction vs an exact-hit replay through the
+    // extraction cache — the repeat-submit path a resident service
+    // serves. The replay must be byte-identical to the cold result.
+    let cache_scale = micro_scale;
+    eprintln!("bench-json: cache warm-vs-cold @ dalu scale {cache_scale}");
+    let cache_members = {
+        use pf_cache::{CacheConfig, ExtractionCache};
+        use pf_core::{extract_kernels_cached, CacheHandle, ExtractConfig};
+        use pf_kcmatrix::{network_digest, Digest};
+        use pf_network::io::write_network;
+
+        let nw = generate(&scale_profile(
+            &profile_by_name("dalu").expect("dalu profile exists"),
+            cache_scale,
+        ));
+        let extract = ExtractConfig::default();
+        let cold_ns = median_ns(micro_reps, || {
+            let mut work = nw.clone();
+            let (report, _) = extract_kernels_cached(&mut work, &[], &extract, &mut None, None);
+            std::hint::black_box(report.lc_after);
+        });
+
+        let cache = ExtractionCache::new(CacheConfig::default());
+        let content = network_digest(&nw);
+        let handle = CacheHandle {
+            cache: &cache,
+            key: Digest::of_str("bench:seq").combine(content),
+            warm_key: content,
+            admit: true,
+        };
+        // Fill once (the cold run that seeds the cache), keep its output
+        // as the byte-identity reference.
+        let mut cold_net = nw.clone();
+        extract_kernels_cached(&mut cold_net, &[], &extract, &mut None, Some(&handle));
+        // Warm: every repetition is an exact hit.
+        let (mut hits, mut lookups) = (0u64, 0u64);
+        let mut warm_net = nw.clone();
+        let warm_ns = median_ns(micro_reps, || {
+            let mut work = nw.clone();
+            let (report, ev) =
+                extract_kernels_cached(&mut work, &[], &extract, &mut None, Some(&handle));
+            hits += ev.hits;
+            lookups += ev.lookups;
+            warm_net = work;
+            std::hint::black_box(report.lc_after);
+        });
+        let identical = write_network(&warm_net) == write_network(&cold_net);
+        let speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+        let hit_rate = hits as f64 / lookups.max(1) as f64;
+        eprintln!(
+            "bench-json:   cold {:.3} ms, warm {:.3} ms ({speedup:.1}x), \
+             hit rate {hit_rate:.2}, identical: {identical}",
+            cold_ns as f64 / 1e6,
+            warm_ns as f64 / 1e6,
+        );
+        Json::obj([
+            ("scale", Json::num(cache_scale)),
+            ("cold_ms", Json::num(cold_ns as f64 / 1e6)),
+            ("warm_ms", Json::num(warm_ns as f64 / 1e6)),
+            ("speedup_cold_over_warm", Json::num(speedup)),
+            ("hit_rate", Json::num(hit_rate)),
+            ("identical", Json::Bool(identical)),
+        ])
+    };
+
     // End-to-end: every driver at each scale.
     let mut e2e_members: Vec<(String, Json)> = Vec::new();
     for &scale in e2e_scales {
@@ -258,6 +327,7 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
                 ("pooled", Json::Obj(pooled_members)),
             ]),
         ),
+        ("cache", cache_members),
         ("extract_e2e_ms", Json::Obj(e2e_members)),
     ])
 }
@@ -288,6 +358,10 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
                 );
                 i += 2;
             }
+            "--assert-cache-identical" => {
+                opts.assert_cache_identical = true;
+                i += 1;
+            }
             other => return Err(format!("unknown bench-json option {other:?}")),
         }
     }
@@ -310,6 +384,20 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
             ));
         }
         eprintln!("bench-json: pooled t1 overhead {got:.2}% within {limit}% limit");
+    }
+    if opts.assert_cache_identical {
+        let identical = doc
+            .get("cache")
+            .and_then(|c| c.get("identical"))
+            .and_then(|v| match v {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            })
+            .ok_or("cache.identical missing from the document")?;
+        if !identical {
+            return Err("warm cache-served network differs from the cold run".to_string());
+        }
+        eprintln!("bench-json: warm cache replay is byte-identical to the cold run");
     }
     Ok(())
 }
@@ -353,6 +441,16 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap()
             .is_finite());
+        let cache = doc.get("cache").expect("cache section present");
+        assert!(cache.get("cold_ms").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(cache.get("warm_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(cache
+            .get("speedup_cold_over_warm")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .is_finite());
+        assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(cache.get("identical"), Some(&Json::Bool(true)));
         assert!(doc.get("extract_e2e_ms").is_some());
     }
 }

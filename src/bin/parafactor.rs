@@ -5,11 +5,14 @@
 //! parafactor [OPTIONS] <INPUT>
 //! parafactor serve  [--addr A] [--workers N] [--queue N] [--max-procs N]
 //!                   [--max-conns N] [--idle-timeout-ms N]
+//!                   [--cache-entries N] [--cache-ttl-secs N]
 //!                   [--fault-plan SPEC] [--fault-seed N]
 //! parafactor submit [--addr A] [-a ALG] [-p N] [--par-threads N]
-//!                   [--deadline-ms N] [--retries N] <WORKLOAD>
+//!                   [--deadline-ms N] [--retries N]
+//!                   [--delta-from BASE] <WORKLOAD>
 //! parafactor bench-json [--quick] [--out FILE]
 //!                   [--assert-pooled-overhead PCT]
+//!                   [--assert-cache-identical]
 //! parafactor profile [-a ALG] [-p N] [--par-threads N] [--seed N]
 //!                   [-o FILE] <INPUT>
 //!
@@ -40,12 +43,22 @@
 //! service and prints the JSON response; queue-full rejections are
 //! retried up to --retries times with exponential backoff. For both
 //! commands procs must be >= 1 and is capped at the host's available
-//! parallelism; --par-threads is likewise capped (0 stays 0). bench-json
+//! parallelism; --par-threads is likewise capped (0 stays 0).
+//! --cache-entries sizes the service's content-addressed result cache
+//! (0 disables it; default 64) and --cache-ttl-secs expires entries
+//! (0 = never, the default); an exact resubmission replays the memoized
+//! result byte-for-byte. submit --delta-from BASE marks the job as a
+//! delta against the fingerprint of a previously completed seq job
+//! (e.g. seq/gen:misex3@0.25): the service re-extracts only the cones
+//! whose functions changed and splices the rest from the cached base
+//! (details in docs/SERVICE.md "Caching & delta-submit"). bench-json
 //! measures the rectangle-search engines (spawn-per-pass and pooled) and
 //! the four drivers end to end and writes BENCH_rect.json (--quick
 //! shrinks scales/reps for CI; --assert-pooled-overhead PCT exits
 //! non-zero when the pooled one-thread median exceeds the sequential
-//! engine's by more than PCT percent).
+//! engine's by more than PCT percent; --assert-cache-identical exits
+//! non-zero unless the warm cache-served network is byte-identical to
+//! the cold run's).
 //! profile runs one extraction with span tracing armed and writes the
 //! timeline as Chrome Trace Event Format JSON — load it in
 //! chrome://tracing or Perfetto — to stdout or -o FILE (span vocabulary
@@ -234,6 +247,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(n) => server_cfg.idle_timeout = Some(std::time::Duration::from_millis(n)),
                 None => return bad("--idle-timeout-ms must be an integer (0 disables)".into()),
             },
+            "--cache-entries" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => cfg.cache_entries = n,
+                None => return bad("--cache-entries must be an integer (0 disables)".into()),
+            },
+            "--cache-ttl-secs" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => cfg.cache_ttl = None,
+                Some(n) => cfg.cache_ttl = Some(std::time::Duration::from_secs(n)),
+                None => return bad("--cache-ttl-secs must be an integer (0 = never)".into()),
+            },
             "--fault-plan" => match value(i) {
                 Some(v) => fault_spec = Some(v.clone()),
                 None => return bad("--fault-plan needs a value".into()),
@@ -278,6 +300,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut par_threads = 0usize;
     let mut deadline_ms: Option<u64> = None;
     let mut retries = 4u32;
+    let mut delta_from: Option<String> = None;
     let mut workload: Option<String> = None;
     let bad = |msg: String| -> ExitCode {
         eprintln!("error: {msg}");
@@ -310,6 +333,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             "--retries" => match value(i).and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) => retries = n,
                 None => return bad("--retries must be a non-negative integer".into()),
+            },
+            "--delta-from" => match value(i) {
+                Some(v) => delta_from = Some(v.clone()),
+                None => return bad("--delta-from needs a base fingerprint".into()),
             },
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
@@ -344,6 +371,9 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     ];
     if let Some(ms) = deadline_ms {
         request.push(("deadline_ms".to_string(), Json::u64(ms)));
+    }
+    if let Some(base) = delta_from {
+        request.push(("delta_from".to_string(), Json::str(base)));
     }
     let line = Json::Obj(request).to_string();
     // Retry only backpressure (`queue_full`): the service is healthy but

@@ -17,6 +17,7 @@
 
 pub mod benchjson;
 
+pub use pf_cache as cache;
 pub use pf_core as core;
 pub use pf_kcmatrix as kcmatrix;
 pub use pf_network as network;
