@@ -122,8 +122,14 @@ impl RunCtl {
         match plan.decide(site) {
             None => {}
             Some(FaultKind::Panic) => panic!("fault injected: panic at {site}"),
-            Some(FaultKind::Latency(extra)) => std::thread::sleep(extra),
+            Some(FaultKind::Latency(extra)) | Some(FaultKind::Stall(extra)) => {
+                std::thread::sleep(extra)
+            }
             Some(FaultKind::Cancel) => self.cancel(),
+            // Message-plane kinds are interpreted by the dist transports
+            // at their send/receive boundaries; at a plain checkpoint
+            // there is no message to drop or duplicate.
+            Some(FaultKind::Drop) | Some(FaultKind::Dup) => {}
         }
     }
 
@@ -264,6 +270,21 @@ mod tests {
         let cancelled = RunCtl::new();
         cancelled.cancel();
         assert!(cancelled.with_faults(plan).is_cancelled());
+    }
+
+    #[test]
+    fn message_kinds_are_inert_at_plain_checkpoints() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let plan = Arc::new(
+            FaultPlan::new(5)
+                .with_rule(FaultRule::drop_at("site").max_hits(1))
+                .with_rule(FaultRule::dup_at("site").max_hits(1)),
+        );
+        let ctl = RunCtl::new().with_faults(Arc::clone(&plan));
+        ctl.fault_point("site");
+        ctl.fault_point("site");
+        assert!(!ctl.should_stop(), "drop/dup never stop a run");
+        assert_eq!(plan.total_hits(), 2, "the draws are still consumed");
     }
 
     #[test]

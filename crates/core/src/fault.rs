@@ -27,12 +27,23 @@
 //! | `independent:merge` | Algorithm I, before merging worker results |
 //! | `lshaped:step` | Algorithm L's worker step loop |
 //! | `serve:pickup:FP` | pf-serve worker, job pickup (outside panic isolation) |
+//! | `dist:pickup:LEASE` | dist worker, sub-job pickup (outside panic isolation) |
+//! | `dist:send:wW` | dist transport, sub-job dispatch to worker `W` |
+//! | `dist:recv:wW` | dist transport, sub-job response from worker `W` |
 //!
-//! A panic injected at `seq:cover`, `independent:merge`, or
-//! `serve:pickup` is safe: it either stays on one thread or propagates
-//! cleanly through a scope join. Panics at `replicated:reduce` or
-//! `lshaped:step` can strand sibling threads at a barrier — inject
-//! latency or cancellation there instead.
+//! A panic injected at `seq:cover`, `independent:merge`,
+//! `serve:pickup`, or `dist:pickup` is safe: it either stays on one
+//! thread or propagates cleanly through a scope join. Panics at
+//! `replicated:reduce` or `lshaped:step` can strand sibling threads at
+//! a barrier — inject latency or cancellation there instead.
+//!
+//! The message-plane kinds (`drop` / `dup` / `stall:MS`) are interpreted
+//! by the dist transports at their `dist:send` / `dist:recv` boundaries:
+//! a dropped message forces the lease to expire and fail over, a
+//! duplicated one exercises exactly-once admission, and a stalled one
+//! delays delivery. At a plain [`RunCtl::fault_point`](crate::ctl::RunCtl)
+//! checkpoint `drop`/`dup` are inert and `stall` behaves like `latency`,
+//! so arming them never corrupts a driver.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -47,6 +58,28 @@ pub enum FaultKind {
     /// Call [`RunCtl::cancel`](crate::ctl::RunCtl::cancel) on the
     /// observing control, forcing a cooperative early stop.
     Cancel,
+    /// Message-plane fault: discard the message at this site (a dist
+    /// transport drops the sub-job or its response on the floor, so the
+    /// lease must expire and fail over). Inert at plain checkpoints.
+    Drop,
+    /// Message-plane fault: deliver the message at this site twice (the
+    /// coordinator's exactly-once admission must dedupe). Inert at plain
+    /// checkpoints.
+    Dup,
+    /// Message-plane fault: stall the message at this site for the given
+    /// duration before delivering it (long enough stalls expire the
+    /// lease). At a plain checkpoint this behaves like `Latency`.
+    Stall(Duration),
+}
+
+impl FaultKind {
+    /// Whether this kind targets the message plane (`drop` / `dup` /
+    /// `stall`). Transports interpret these at their send/receive
+    /// boundaries; [`RunCtl::fault_point`](crate::ctl::RunCtl) treats
+    /// `drop`/`dup` as inert and `stall` as latency.
+    pub fn is_message_fault(&self) -> bool {
+        matches!(self, FaultKind::Drop | FaultKind::Dup | FaultKind::Stall(_))
+    }
 }
 
 /// One injection rule: where, what, how often, and how many times.
@@ -89,6 +122,21 @@ impl FaultRule {
     /// A forced-cancellation rule for `site`.
     pub fn cancel_at(site: impl Into<String>) -> Self {
         Self::new(site, FaultKind::Cancel)
+    }
+
+    /// A message-drop rule for `site`.
+    pub fn drop_at(site: impl Into<String>) -> Self {
+        Self::new(site, FaultKind::Drop)
+    }
+
+    /// A message-duplication rule for `site`.
+    pub fn dup_at(site: impl Into<String>) -> Self {
+        Self::new(site, FaultKind::Dup)
+    }
+
+    /// A message-stall rule for `site`.
+    pub fn stall_at(site: impl Into<String>, delay: Duration) -> Self {
+        Self::new(site, FaultKind::Stall(delay))
     }
 
     /// Sets the firing probability (clamped to `[0, 1]`).
@@ -148,6 +196,7 @@ impl FaultPlan {
     /// plan := rule (';' rule)*
     /// rule := SITE '=' kind ('@' PROB)? ('#' MAX)?
     /// kind := 'panic' | 'cancel' | 'latency:' MILLIS
+    ///       | 'drop' | 'dup' | 'stall:' MILLIS
     /// ```
     ///
     /// e.g. `seq:cover=panic@0.5#3;lshaped:step=latency:5@0.2` — panic at
@@ -189,17 +238,23 @@ impl FaultPlan {
             let kind = match kind_str {
                 "panic" => FaultKind::Panic,
                 "cancel" => FaultKind::Cancel,
-                other => match other.strip_prefix("latency:") {
-                    Some(ms) => FaultKind::Latency(Duration::from_millis(
+                "drop" => FaultKind::Drop,
+                "dup" => FaultKind::Dup,
+                other => {
+                    let millis = |ms: &str| {
                         ms.parse::<u64>()
-                            .map_err(|_| format!("bad latency millis {ms:?} in {part:?}"))?,
-                    )),
-                    None => {
+                            .map_err(|_| format!("bad millis {ms:?} in {part:?}"))
+                    };
+                    if let Some(ms) = other.strip_prefix("latency:") {
+                        FaultKind::Latency(Duration::from_millis(millis(ms)?))
+                    } else if let Some(ms) = other.strip_prefix("stall:") {
+                        FaultKind::Stall(Duration::from_millis(millis(ms)?))
+                    } else {
                         return Err(format!(
-                            "unknown fault kind {other:?} (panic|cancel|latency:MS)"
-                        ))
+                            "unknown fault kind {other:?} (panic|cancel|latency:MS|drop|dup|stall:MS)"
+                        ));
                     }
-                },
+                }
             };
             plan = plan.with_rule(FaultRule {
                 site: site.to_string(),
@@ -380,6 +435,47 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_message_plane_kinds() {
+        let plan = FaultPlan::parse(
+            "dist:send:w0=drop#1;dist:recv=dup@0.5;dist:recv:w2=stall:7",
+            3,
+        )
+        .unwrap();
+        assert_eq!(plan.rules[0].rule.kind, FaultKind::Drop);
+        assert_eq!(plan.rules[0].rule.max_hits, 1);
+        assert_eq!(plan.rules[1].rule.kind, FaultKind::Dup);
+        assert!((plan.rules[1].rule.probability - 0.5).abs() < 1e-12);
+        assert_eq!(
+            plan.rules[2].rule.kind,
+            FaultKind::Stall(Duration::from_millis(7))
+        );
+        for kind in [
+            plan.rules[0].rule.kind.clone(),
+            plan.rules[1].rule.kind.clone(),
+            plan.rules[2].rule.kind.clone(),
+        ] {
+            assert!(kind.is_message_fault());
+        }
+        assert!(!FaultKind::Panic.is_message_fault());
+        assert!(!FaultKind::Latency(Duration::ZERO).is_message_fault());
+    }
+
+    #[test]
+    fn message_plane_builders_and_decide() {
+        let plan = FaultPlan::new(9)
+            .with_rule(FaultRule::drop_at("dist:send").max_hits(1))
+            .with_rule(FaultRule::dup_at("dist:recv").max_hits(1))
+            .with_rule(FaultRule::stall_at("dist:recv", Duration::from_millis(2)));
+        assert_eq!(plan.decide("dist:send:w1"), Some(FaultKind::Drop));
+        assert_eq!(plan.decide("dist:send:w1"), None, "drop rule exhausted");
+        assert_eq!(plan.decide("dist:recv:w0"), Some(FaultKind::Dup));
+        assert_eq!(
+            plan.decide("dist:recv:w0"),
+            Some(FaultKind::Stall(Duration::from_millis(2)))
+        );
+    }
+
+    #[test]
     fn parse_rejects_malformed_specs() {
         for bad in [
             "noequals",
@@ -388,6 +484,7 @@ mod tests {
             "x=panic@1.5",
             "x=panic@zero",
             "x=latency:abc",
+            "x=stall:abc",
             "x=panic#many",
         ] {
             assert!(FaultPlan::parse(bad, 0).is_err(), "{bad:?} parsed");

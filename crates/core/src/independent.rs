@@ -156,6 +156,8 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
         shipped_rectangles: 0,
         timed_out,
         cancelled,
+        degraded: false,
+        recovery_rects: 0,
         setup: partition_elapsed,
         phases: vec![
             PhaseTiming::new("partition", partition_elapsed),

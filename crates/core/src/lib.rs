@@ -49,6 +49,7 @@ pub mod cached;
 pub mod cost;
 pub mod ctl;
 pub mod cx;
+pub mod dist;
 pub mod fault;
 pub mod independent;
 pub mod iterative;
@@ -66,6 +67,10 @@ pub use cached::{extract_kernels_cached, run_cached, try_replay, CacheEvents, Ca
 pub use cost::Objective;
 pub use ctl::{RunCtl, StopReason};
 pub use cx::{extract_common_cubes, independent_extract_cubes, CubeExtractConfig};
+pub use dist::{
+    block_base_for, distributed_extract, execute_sub_job, frontier_nodes, DistConfig, DistEvent,
+    DistStats, DistTransport, LocalTransport, SubJob,
+};
 pub use fault::{FaultKind, FaultPlan, FaultRule};
 pub use independent::{independent_extract, IndependentConfig};
 pub use iterative::{iterative_extract, IterativeConfig};

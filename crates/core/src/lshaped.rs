@@ -804,6 +804,8 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
         shipped_rectangles: shipped,
         timed_out,
         cancelled,
+        degraded: false,
+        recovery_rects: 0,
         setup: setup_elapsed,
         phases: vec![
             PhaseTiming::new("setup", setup_elapsed),

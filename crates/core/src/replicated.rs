@@ -199,6 +199,8 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
         shipped_rectangles: 0,
         timed_out: timed_out.load(Ordering::Relaxed),
         cancelled: cancelled.load(Ordering::Relaxed),
+        degraded: false,
+        recovery_rects: 0,
         setup,
         phases: vec![
             PhaseTiming::new("replicate", setup),

@@ -47,6 +47,15 @@ pub struct ExtractReport {
     /// Whether the run was cancelled externally (via
     /// [`RunCtl::cancel`]) and stopped early.
     pub cancelled: bool,
+    /// Whether the run degraded to a lower-quality (but still correct)
+    /// result because an optional refinement step failed — the
+    /// distributed driver sets this when its boundary-recovery worker
+    /// died or exceeded its deadline and the coordinator fell back to
+    /// the Algorithm-I-quality merge.
+    pub degraded: bool,
+    /// Rectangles recovered by the distributed driver's boundary-recovery
+    /// phase (0 for every single-process driver, and for degraded runs).
+    pub recovery_rects: usize,
     /// Time spent before concurrent extraction began: partitioning,
     /// matrix generation and the B_ij exchange (Algorithm L), or replica
     /// construction (Algorithm R). Part of `elapsed`.

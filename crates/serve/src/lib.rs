@@ -27,6 +27,7 @@
 //! * **JSON-lines over TCP** — [`Server::bind`] + [`Server::run`]
 //!   (`std::net` only; protocol documented in `docs/SERVICE.md`).
 
+pub mod dist;
 pub mod error;
 pub mod job;
 pub mod json;
@@ -38,11 +39,12 @@ pub mod service;
 mod supervisor;
 pub mod worker;
 
+pub use dist::{dist_response, encode_sub_request, RemoteTransport};
 pub use error::ServeError;
 pub use job::{Algorithm, JobOutcome, JobReport, JobSpec, Rejection, ALGORITHMS};
 pub use json::Json;
 pub use metrics::{Counter, Histogram, Metrics};
 pub use queue::{BoundedQueue, PushError};
 pub use retry::RetryPolicy;
-pub use server::{request_lines, Server, ServerConfig};
+pub use server::{request_lines, request_lines_with_retry, transient_io, Server, ServerConfig};
 pub use service::{default_max_procs, validate_procs, Client, Service, ServiceConfig, Ticket};

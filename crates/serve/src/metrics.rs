@@ -13,6 +13,16 @@
 //! jobs). `drained` counts accepted jobs that shutdown (or an injected
 //! cancellation) cancelled before — or while — they ran.
 //!
+//! Distributed runs add a lease clause:
+//!
+//! ```text
+//! leases_issued = leases_resolved + leases_expired        (once idle)
+//! ```
+//!
+//! with `leases_stolen`, `failovers`, `degraded_jobs`, `recovery_rects`
+//! and `stale_results` outside the identity (they describe *how* leases
+//! resolved or expired, not whether).
+//!
 //! The self-healing counters sit outside the identity: `panics` counts
 //! panic events (caught or worker-fatal), `respawns` counts workers the
 //! supervisor brought back, `retries` counts in-process backpressure
@@ -256,6 +266,28 @@ pub struct Metrics {
     /// Delta submissions that actually took the splice path (exact hits
     /// and full-run fallbacks are counted under their own outcomes).
     pub delta_jobs: Counter,
+    /// Distributed-coordinator leases created (initial dispatches,
+    /// failovers, splits, inline fallbacks). Satisfies
+    /// `leases_issued == leases_resolved + leases_expired` at quiescence.
+    pub leases_issued: Counter,
+    /// Leases that produced the admitted sub-job result.
+    pub leases_resolved: Counter,
+    /// Leases that expired (deadline, worker death, failed sub-job, or
+    /// coordinator wind-down) before resolving.
+    pub leases_expired: Counter,
+    /// Leases created by splitting a repeatedly-expiring unit in two
+    /// (work stealing).
+    pub leases_stolen: Counter,
+    /// Failover re-dispatches after a lease expiry.
+    pub failovers: Counter,
+    /// Distributed units abandoned past their retry budget (result
+    /// stayed correct at degraded quality).
+    pub degraded_jobs: Counter,
+    /// Rectangles recovered by boundary-recovery sub-jobs.
+    pub recovery_rects: Counter,
+    /// Sub-job results that arrived for an inactive lease (late after
+    /// expiry, or duplicated in flight) and were ignored.
+    pub stale_results: Counter,
     /// Per-algorithm completed-run metrics, indexed by
     /// [`ALGORITHMS`](crate::job::ALGORITHMS) order.
     pub per_algorithm: [AlgorithmMetrics; 4],
@@ -282,6 +314,19 @@ impl Metrics {
                     + self.failed.get()
                     + self.drained.get()
             && self.cache_lookups.get() == self.cache_hits.get() + self.cache_misses.get()
+            && self.leases_issued.get() == self.leases_resolved.get() + self.leases_expired.get()
+    }
+
+    /// Folds one distributed run's lease statistics into the registry.
+    pub fn record_dist(&self, stats: &pf_core::DistStats) {
+        self.leases_issued.add(stats.leases_issued);
+        self.leases_resolved.add(stats.leases_resolved);
+        self.leases_expired.add(stats.leases_expired);
+        self.leases_stolen.add(stats.leases_stolen);
+        self.failovers.add(stats.failovers);
+        self.degraded_jobs.add(stats.degraded_jobs);
+        self.recovery_rects.add(stats.recovery_rects);
+        self.stale_results.add(stats.stale_results);
     }
 
     /// Snapshot as JSON; `queue_depth` is sampled by the caller (the
@@ -308,6 +353,14 @@ impl Metrics {
             ("cache_evictions", Json::u64(self.cache_evictions.get())),
             ("cache_warm", Json::u64(self.cache_warm.get())),
             ("delta_jobs", Json::u64(self.delta_jobs.get())),
+            ("leases_issued", Json::u64(self.leases_issued.get())),
+            ("leases_resolved", Json::u64(self.leases_resolved.get())),
+            ("leases_expired", Json::u64(self.leases_expired.get())),
+            ("leases_stolen", Json::u64(self.leases_stolen.get())),
+            ("failovers", Json::u64(self.failovers.get())),
+            ("degraded_jobs", Json::u64(self.degraded_jobs.get())),
+            ("recovery_rects", Json::u64(self.recovery_rects.get())),
+            ("stale_results", Json::u64(self.stale_results.get())),
             ("queue_depth", Json::u64(queue_depth as u64)),
             (
                 "in_flight",
@@ -429,6 +482,43 @@ mod tests {
         m.cache_warm.inc();
         m.delta_jobs.inc();
         assert!(m.balanced());
+        // The lease clause: every issued lease resolves or expires.
+        m.leases_issued.inc();
+        assert!(!m.balanced());
+        m.leases_resolved.inc();
+        assert!(m.balanced());
+        m.leases_issued.inc();
+        m.leases_expired.inc();
+        assert!(m.balanced());
+        // Splits / failovers / degradations sit outside the identity.
+        m.leases_stolen.inc();
+        m.failovers.inc();
+        m.degraded_jobs.inc();
+        m.recovery_rects.inc();
+        m.stale_results.inc();
+        assert!(m.balanced());
+    }
+
+    #[test]
+    fn record_dist_folds_lease_stats() {
+        let m = Metrics::default();
+        let stats = pf_core::DistStats {
+            leases_issued: 4,
+            leases_resolved: 3,
+            leases_expired: 1,
+            leases_stolen: 2,
+            failovers: 1,
+            degraded_jobs: 0,
+            recovery_rects: 5,
+            stale_results: 1,
+        };
+        m.record_dist(&stats);
+        assert!(m.balanced());
+        let j = m.to_json(0);
+        assert_eq!(j.get("leases_issued").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("failovers").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("recovery_rects").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("stale_results").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -1,11 +1,22 @@
 //! Retry with exponential backoff and deterministic jitter for
 //! backpressure rejections.
 //!
-//! The only retryable rejection is `queue_full`: it means the service is
-//! healthy but momentarily saturated, so the polite response is to back
-//! off and try again. `invalid`, `quarantined`, and `shutting_down` are
-//! terminal — retrying them is wasted load (see the retry-semantics
-//! table in `docs/SERVICE.md`).
+//! Three failure classes deserve a backed-off retry, because each means
+//! "healthy but momentarily saturated (or restarting)":
+//!
+//! * the `queue_full` rejection ([`crate::job::Rejection::retryable`],
+//!   honored by `Client::submit_with_retry`);
+//! * the accept gate's `overloaded` rejection line (wire clients only —
+//!   the in-process client never crosses the accept gate; `parafactor
+//!   submit` retries it alongside `queue_full`);
+//! * transient connect/read I/O errors — refused/reset/aborted/timed-out
+//!   connections ([`crate::server::transient_io`], honored by
+//!   [`crate::server::request_lines_with_retry`] and the distributed
+//!   driver's remote transport).
+//!
+//! `invalid`, `quarantined`, and `shutting_down` are terminal —
+//! retrying them is wasted load (see the retry-semantics table in
+//! `docs/SERVICE.md`).
 //!
 //! Jitter is *equal jitter* (half fixed, half random) drawn from a
 //! seeded splitmix64 stream, so a fleet of clients with distinct seeds

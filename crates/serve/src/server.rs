@@ -59,6 +59,11 @@ pub struct ServerConfig {
     pub idle_timeout: Option<Duration>,
     /// Concurrent-connection cap enforced at accept time.
     pub max_connections: usize,
+    /// Whether this server answers the `sub` op (distributed-extraction
+    /// worker mode). Off by default: a coordinator's sub requests carry
+    /// whole network snapshots, so only servers started explicitly as
+    /// workers (`parafactor serve --worker`) should execute them.
+    pub worker: bool,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +72,7 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             idle_timeout: Some(Duration::from_secs(60)),
             max_connections: 256,
+            worker: false,
         }
     }
 }
@@ -406,7 +412,7 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, is_shutdown) = handle_line(&line, client, service, stop);
+        let (response, is_shutdown) = handle_line(&line, client, service, stop, cfg);
         if write_line(&mut writer, &response).is_err() {
             break;
         }
@@ -418,7 +424,13 @@ fn handle_connection(
 
 /// Dispatches one request line; the bool says "this was a shutdown, stop
 /// the server".
-fn handle_line(line: &str, client: &Client, service: &Service, stop: &StopSignal) -> (Json, bool) {
+fn handle_line(
+    line: &str,
+    client: &Client,
+    service: &Service,
+    stop: &StopSignal,
+    cfg: &ServerConfig,
+) -> (Json, bool) {
     let request = match parse(line) {
         Ok(v) => v,
         Err(e) => {
@@ -441,6 +453,23 @@ fn handle_line(line: &str, client: &Client, service: &Service, stop: &StopSignal
             false,
         ),
         Some("submit") => (handle_submit(&request, client), false),
+        Some("sub") => {
+            if cfg.worker {
+                (crate::dist::handle_sub(&request), false)
+            } else {
+                (
+                    Json::obj([
+                        ("status", Json::str("error")),
+                        (
+                            "error",
+                            Json::str("worker mode is disabled (start with --worker)"),
+                        ),
+                    ]),
+                    false,
+                )
+            }
+        }
+        Some("dist") => (crate::dist::handle_dist(&request, client), false),
         Some("trace") => {
             let n = request
                 .get("n")
@@ -626,6 +655,48 @@ pub fn request_lines(addr: impl ToSocketAddrs, lines: &[String]) -> std::io::Res
         responses.push(response.trim_end().to_string());
     }
     Ok(responses)
+}
+
+/// Whether an I/O error is worth retrying: the connection-level
+/// failures a restarting or briefly saturated peer produces. Anything
+/// else (refused *permissions*, address errors, …) is terminal.
+pub fn transient_io(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind::*;
+    matches!(
+        e.kind(),
+        ConnectionRefused
+            | ConnectionReset
+            | ConnectionAborted
+            | BrokenPipe
+            | TimedOut
+            | WouldBlock
+            | Interrupted
+            | UnexpectedEof
+    )
+}
+
+/// [`request_lines`] with the same backoff-and-retry treatment
+/// [`crate::service::Client::submit_with_retry`] gives backpressure
+/// rejections: transient connect/read failures ([`transient_io`]) sleep
+/// the policy's jittered backoff and try the whole exchange again.
+/// Retrying the *connection* is safe — `request_lines` opens a fresh
+/// stream per call, and every request in the line protocol is answered
+/// before the next is sent, so a failed exchange never half-applies.
+pub fn request_lines_with_retry(
+    addr: impl ToSocketAddrs + Clone,
+    lines: &[String],
+    policy: &crate::retry::RetryPolicy,
+) -> std::io::Result<Vec<String>> {
+    let mut attempt = 0u32;
+    loop {
+        match request_lines(addr.clone(), lines) {
+            Err(e) if transient_io(&e) && attempt < policy.max_retries => {
+                std::thread::sleep(policy.backoff(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1041,6 +1112,157 @@ mod tests {
         }
         shutdown_server(addr);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn sub_op_is_gated_behind_worker_mode() {
+        // Default servers refuse sub-jobs; worker-mode servers run them.
+        let (plain, h0) = start_server(ServiceConfig::default());
+        let responses = request_lines(
+            plain,
+            &[
+                r#"{"op":"sub","lease":1,"network":"","targets":[]}"#.to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("round-trip");
+        let refused = parse(&responses[0]).unwrap();
+        assert_eq!(refused.get("status").and_then(Json::as_str), Some("error"));
+        assert!(refused
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("worker mode"));
+        h0.join().unwrap();
+
+        let (worker, h1) = start_server_with(
+            ServiceConfig::default(),
+            ServerConfig {
+                worker: true,
+                ..ServerConfig::default()
+            },
+        );
+        // A malformed sub-job answers a structured error (not a refusal),
+        // proving the op is live without shipping a whole network here.
+        let responses = request_lines(
+            worker,
+            &[
+                r#"{"op":"sub","lease":1,"network":"","targets":["x"]}"#.to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("round-trip");
+        let err = parse(&responses[0]).unwrap();
+        assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
+        assert!(err
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("target"));
+        h1.join().unwrap();
+    }
+
+    #[test]
+    fn dist_op_over_tcp_completes_and_reports_lease_metrics() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let responses = request_lines(
+            addr,
+            &[
+                r#"{"op":"dist","workload":"gen:misex3@0.05","workers":2}"#.to_string(),
+                r#"{"op":"metrics"}"#.to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("round-trip");
+        let r = parse(&responses[0]).unwrap();
+        assert_eq!(r.get("status").and_then(Json::as_str), Some("completed"));
+        let dist = r.get("dist").expect("dist stats");
+        assert_eq!(dist.get("balanced").and_then(Json::as_bool), Some(true));
+        let m = parse(&responses[1]).unwrap();
+        let metrics = m.get("metrics").unwrap();
+        assert!(metrics.get("leases_issued").and_then(Json::as_u64).unwrap() >= 2);
+        assert_eq!(
+            metrics.get("leases_issued").and_then(Json::as_u64),
+            Some(
+                metrics
+                    .get("leases_resolved")
+                    .and_then(Json::as_u64)
+                    .unwrap()
+                    + metrics
+                        .get("leases_expired")
+                        .and_then(Json::as_u64)
+                        .unwrap()
+            ),
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn transient_io_classifies_retryable_kinds() {
+        use std::io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::ConnectionRefused,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::BrokenPipe,
+            ErrorKind::TimedOut,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(transient_io(&Error::new(kind, "x")), "{kind:?}");
+        }
+        for kind in [
+            ErrorKind::PermissionDenied,
+            ErrorKind::AddrNotAvailable,
+            ErrorKind::InvalidInput,
+        ] {
+            assert!(!transient_io(&Error::new(kind, "x")), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn request_lines_with_retry_recovers_once_the_server_is_up() {
+        use crate::retry::RetryPolicy;
+        // Reserve a port, drop the listener, then bring a real server up
+        // on it while a retrying client is already knocking.
+        let probe = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = probe.local_addr().expect("addr");
+        drop(probe);
+        let starter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            let server =
+                Server::bind(addr, ServiceConfig::default()).expect("rebind the probed port");
+            server.run();
+        });
+        let policy = RetryPolicy {
+            max_retries: 40,
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(50),
+            seed: 7,
+        };
+        let responses = request_lines_with_retry(
+            addr,
+            &[
+                r#"{"op":"ping"}"#.to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+            &policy,
+        )
+        .expect("retries ride out the startup gap");
+        assert!(responses[0].contains("\"ok\""));
+        starter.join().unwrap();
+        // And a terminal error surfaces immediately: no listener will
+        // ever appear on the re-dropped port, so the budgeted retries
+        // exhaust and the last error comes back.
+        let gone = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let dead = gone.local_addr().expect("addr");
+        drop(gone);
+        let tight = RetryPolicy {
+            max_retries: 1,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 7,
+        };
+        assert!(request_lines_with_retry(dead, &[r#"{"op":"ping"}"#.to_string()], &tight).is_err());
     }
 
     #[test]

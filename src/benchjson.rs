@@ -7,6 +7,14 @@
 //! perf trajectory baseline; refresh it with `parafactor bench-json`
 //! after touching the search core. `--quick` shrinks scales and reps so
 //! CI can smoke the subcommand in seconds.
+//!
+//! `--partition` switches to the distributed-extraction snapshot
+//! (`BENCH_partition.json`): the sequential oracle's literal count, the
+//! Algorithm-I-quality result (distributed, boundary recovery off), and
+//! the recovered result at 1/2/4 workers, with wall times and the share
+//! of the partition quality gap that boundary recovery closed.
+//! `--assert-gap-closed PCT` turns the worst per-worker-count closure
+//! into a CI gate.
 
 use pf_kcmatrix::{
     best_rectangle, best_rectangle_pooled, reference, CeilingUpdate, CubeRegistry, KcMatrix,
@@ -28,6 +36,13 @@ pub struct BenchJsonOptions {
     /// Fail (exit non-zero) unless the warm cache-served network is
     /// byte-identical to the cold run's.
     pub assert_cache_identical: bool,
+    /// Measure the distributed-partition snapshot instead of the
+    /// rectangle-search one (`BENCH_partition.json` by default).
+    pub partition: bool,
+    /// Fail (exit non-zero) unless boundary recovery closes at least
+    /// this percentage of the Algorithm-I literal-count gap at every
+    /// multi-worker count. Implies `--partition`.
+    pub assert_gap_closed: Option<f64>,
 }
 
 impl Default for BenchJsonOptions {
@@ -37,6 +52,8 @@ impl Default for BenchJsonOptions {
             out: "BENCH_rect.json".to_string(),
             assert_pooled_overhead: None,
             assert_cache_identical: false,
+            partition: false,
+            assert_gap_closed: None,
         }
     }
 }
@@ -332,11 +349,134 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
     ])
 }
 
+/// Runs the distributed-partition measurements and renders the JSON
+/// document: the sequential oracle, then for each worker count the
+/// recovery-off run (Algorithm-I quality — cut rectangles are simply
+/// lost) against the recovery-on run, with the share of the literal
+/// gap that boundary recovery closed.
+pub fn run_partition(opts: &BenchJsonOptions) -> Json {
+    use pf_core::{
+        distributed_extract, extract_kernels, DistConfig, DistStats, ExtractConfig, LocalTransport,
+    };
+
+    let (scale, reps) = if opts.quick { (0.2, 1) } else { (0.5, 3) };
+    let nw = generate(&scale_profile(
+        &profile_by_name("dalu").expect("dalu profile exists"),
+        scale,
+    ));
+    eprintln!("bench-json: partition quality/scaling @ dalu scale {scale}");
+
+    // Sequential oracle: the quality ceiling every partitioned run is
+    // measured against.
+    let mut lc_seq = 0u64;
+    let seq_ns = median_ns(reps, || {
+        let mut work = nw.clone();
+        extract_kernels(&mut work, &[], &ExtractConfig::default());
+        lc_seq = work.literal_count() as u64;
+    });
+    eprintln!(
+        "bench-json:   seq oracle: lc {lc_seq}, {:.1} ms",
+        seq_ns as f64 / 1e6
+    );
+
+    let dist_run = |workers: usize, recovery: bool| {
+        let mut lc = 0u64;
+        let mut stats = DistStats::default();
+        let mut extract_ns = 0u64;
+        let ns = median_ns(reps, || {
+            let mut work = nw.clone();
+            let transport = LocalTransport::new(workers);
+            let cfg = DistConfig {
+                recovery,
+                ..DistConfig::default()
+            };
+            let (report, s) = distributed_extract(&mut work, &transport, &cfg);
+            assert!(
+                report.completed() && !report.degraded,
+                "fault-free benchmark run must land at full quality"
+            );
+            lc = work.literal_count() as u64;
+            extract_ns = report
+                .phases
+                .iter()
+                .find(|p| p.name == "extract")
+                .map_or(0, |p| p.elapsed.as_nanos() as u64);
+            stats = s;
+        });
+        (lc, ns, extract_ns, stats)
+    };
+
+    let mut dist_rows: Vec<(String, Json)> = Vec::new();
+    let mut worst_gap_closed = f64::INFINITY;
+    for workers in [1usize, 2, 4] {
+        let (lc_ind, ind_ns, _, _) = dist_run(workers, false);
+        let (lc_rec, rec_ns, extract_ns, stats) = dist_run(workers, true);
+        // Parts default to one per worker, so a single worker has no cut
+        // boundary and no gap; a zero gap counts as fully closed.
+        let gap = lc_ind as i64 - lc_seq as i64;
+        let gap_closed_pct = if gap <= 0 {
+            100.0
+        } else {
+            (lc_ind as i64 - lc_rec as i64) as f64 / gap as f64 * 100.0
+        };
+        if workers > 1 {
+            worst_gap_closed = worst_gap_closed.min(gap_closed_pct);
+        }
+        eprintln!(
+            "bench-json:   w{workers}: independent lc {lc_ind} ({:.1} ms), \
+             recovered lc {lc_rec} ({:.1} ms), gap closed {gap_closed_pct:.1}%",
+            ind_ns as f64 / 1e6,
+            rec_ns as f64 / 1e6,
+        );
+        dist_rows.push((
+            format!("w{workers}"),
+            Json::obj([
+                ("workers", Json::u64(workers as u64)),
+                ("lc_independent", Json::u64(lc_ind)),
+                ("lc_recovered", Json::u64(lc_rec)),
+                ("wall_ms_independent", Json::num(ind_ns as f64 / 1e6)),
+                ("wall_ms_recovered", Json::num(rec_ns as f64 / 1e6)),
+                // The leased-extraction phase alone — the part of the
+                // wall that spreads across workers (recovery is one
+                // serial lease, so total wall includes a fixed tail).
+                ("wall_ms_extract_phase", Json::num(extract_ns as f64 / 1e6)),
+                ("recovery_rects", Json::u64(stats.recovery_rects)),
+                ("leases_issued", Json::u64(stats.leases_issued)),
+                ("gap_closed_pct", Json::num(gap_closed_pct)),
+            ]),
+        ));
+    }
+    if !worst_gap_closed.is_finite() {
+        worst_gap_closed = 100.0;
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Json::obj([
+        ("schema", Json::str("parafactor/bench_partition/v1")),
+        ("workload", Json::str("gen:dalu")),
+        ("scale", Json::num(scale)),
+        ("quick", Json::Bool(opts.quick)),
+        // Wall-time scaling across worker counts is only meaningful
+        // relative to this.
+        ("cpu_cores", Json::u64(cores as u64)),
+        (
+            "seq",
+            Json::obj([
+                ("lc", Json::u64(lc_seq)),
+                ("wall_ms", Json::num(seq_ns as f64 / 1e6)),
+            ]),
+        ),
+        ("dist", Json::Obj(dist_rows)),
+        ("gap_closed_pct_min", Json::num(worst_gap_closed)),
+    ])
+}
+
 /// CLI entry point: parses `bench-json` arguments, runs the
 /// measurements, writes the file, and prints the document. Returns an
 /// error message on bad arguments or an unwritable output path.
 pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
     let mut opts = BenchJsonOptions::default();
+    let mut out_set = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -346,6 +486,22 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
             }
             "--out" => {
                 opts.out = args.get(i + 1).ok_or("--out needs a value")?.clone();
+                out_set = true;
+                i += 2;
+            }
+            "--partition" => {
+                opts.partition = true;
+                i += 1;
+            }
+            "--assert-gap-closed" => {
+                let pct = args
+                    .get(i + 1)
+                    .ok_or("--assert-gap-closed needs a percentage")?;
+                opts.assert_gap_closed = Some(
+                    pct.parse::<f64>()
+                        .map_err(|e| format!("bad --assert-gap-closed {pct:?}: {e}"))?,
+                );
+                opts.partition = true;
                 i += 2;
             }
             "--assert-pooled-overhead" => {
@@ -365,7 +521,20 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown bench-json option {other:?}")),
         }
     }
-    let doc = run(&opts);
+    if opts.partition && !out_set {
+        opts.out = "BENCH_partition.json".to_string();
+    }
+    if opts.partition && (opts.assert_pooled_overhead.is_some() || opts.assert_cache_identical) {
+        return Err(
+            "--assert-pooled-overhead/--assert-cache-identical only apply without --partition"
+                .to_string(),
+        );
+    }
+    let doc = if opts.partition {
+        run_partition(&opts)
+    } else {
+        run(&opts)
+    };
     let text = doc.to_string();
     std::fs::write(&opts.out, format!("{text}\n"))
         .map_err(|e| format!("cannot write {}: {e}", opts.out))?;
@@ -398,6 +567,19 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
             return Err("warm cache-served network differs from the cold run".to_string());
         }
         eprintln!("bench-json: warm cache replay is byte-identical to the cold run");
+    }
+    if let Some(min) = opts.assert_gap_closed {
+        let got = doc
+            .get("gap_closed_pct_min")
+            .and_then(Json::as_f64)
+            .ok_or("gap_closed_pct_min missing from the document")?;
+        if got < min {
+            return Err(format!(
+                "boundary recovery closed only {got:.1}% of the partition \
+                 literal gap, below the {min}% floor"
+            ));
+        }
+        eprintln!("bench-json: recovery closed >= {got:.1}% of the gap (floor {min}%)");
     }
     Ok(())
 }
@@ -452,5 +634,44 @@ mod tests {
         assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(1.0));
         assert_eq!(cache.get("identical"), Some(&Json::Bool(true)));
         assert!(doc.get("extract_e2e_ms").is_some());
+    }
+
+    #[test]
+    fn quick_partition_run_produces_the_schema() {
+        let doc = run_partition(&BenchJsonOptions {
+            quick: true,
+            partition: true,
+            ..BenchJsonOptions::default()
+        });
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("parafactor/bench_partition/v1")
+        );
+        let seq = doc.get("seq").expect("seq oracle present");
+        let lc_seq = seq.get("lc").and_then(Json::as_u64).unwrap();
+        assert!(lc_seq > 0);
+        for w in ["w1", "w2", "w4"] {
+            let row = doc
+                .get("dist")
+                .and_then(|d| d.get(w))
+                .unwrap_or_else(|| panic!("dist row {w} present"));
+            let lc_ind = row.get("lc_independent").and_then(Json::as_u64).unwrap();
+            let lc_rec = row.get("lc_recovered").and_then(Json::as_u64).unwrap();
+            // Recovery (extraction + resubstitution + sweep) can only
+            // improve on the independent result.
+            assert!(lc_rec <= lc_ind, "{w}: {lc_rec} vs {lc_ind}");
+            assert!(lc_rec > 0, "{w}");
+            assert!(row.get("leases_issued").and_then(Json::as_u64).unwrap() > 0);
+            assert!(row
+                .get("gap_closed_pct")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .is_finite());
+        }
+        assert!(doc
+            .get("gap_closed_pct_min")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .is_finite());
     }
 }

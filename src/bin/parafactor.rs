@@ -6,13 +6,17 @@
 //! parafactor serve  [--addr A] [--workers N] [--queue N] [--max-procs N]
 //!                   [--max-conns N] [--idle-timeout-ms N]
 //!                   [--cache-entries N] [--cache-ttl-secs N]
-//!                   [--fault-plan SPEC] [--fault-seed N]
+//!                   [--fault-plan SPEC] [--fault-seed N] [--worker]
 //! parafactor submit [--addr A] [-a ALG] [-p N] [--par-threads N]
 //!                   [--deadline-ms N] [--retries N]
 //!                   [--delta-from BASE] <WORKLOAD>
+//! parafactor dist   [--workers N | --peers A,B,…] [--parts N]
+//!                   [--no-recovery] [--lease-timeout-ms N]
+//!                   [--fault-plan SPEC] [--fault-seed N] <WORKLOAD>
 //! parafactor bench-json [--quick] [--out FILE]
 //!                   [--assert-pooled-overhead PCT]
 //!                   [--assert-cache-identical]
+//!                   [--partition] [--assert-gap-closed PCT]
 //! parafactor profile [-a ALG] [-p N] [--par-threads N] [--seed N]
 //!                   [-o FILE] <INPUT>
 //!
@@ -39,11 +43,14 @@
 //! concurrent connections, --idle-timeout-ms closes silent connections
 //! (0 disables), and --fault-plan injects deterministic faults for chaos
 //! testing (grammar: SITE=KIND[@PROB][#MAX][;...], KIND = panic | cancel |
-//! latency:MS — see docs/SERVICE.md). submit sends one job to a running
-//! service and prints the JSON response; queue-full rejections are
-//! retried up to --retries times with exponential backoff. For both
-//! commands procs must be >= 1 and is capped at the host's available
-//! parallelism; --par-threads is likewise capped (0 stays 0).
+//! latency:MS | drop | dup | stall:MS — see docs/SERVICE.md). --worker
+//! additionally answers the distributed driver's `sub` op (leased
+//! sub-jobs; raises the line cap to fit network snapshots). submit sends
+//! one job to a running service and prints the JSON response;
+//! queue-full and overloaded rejections, and transient connect/read
+//! errors, are retried up to --retries times with exponential backoff.
+//! For both commands procs must be >= 1 and is capped at the host's
+//! available parallelism; --par-threads is likewise capped (0 stays 0).
 //! --cache-entries sizes the service's content-addressed result cache
 //! (0 disables it; default 64) and --cache-ttl-secs expires entries
 //! (0 = never, the default); an exact resubmission replays the memoized
@@ -58,7 +65,22 @@
 //! non-zero when the pooled one-thread median exceeds the sequential
 //! engine's by more than PCT percent; --assert-cache-identical exits
 //! non-zero unless the warm cache-served network is byte-identical to
-//! the cold run's).
+//! the cold run's). bench-json --partition instead measures distributed
+//! partition extraction and writes BENCH_partition.json: the sequential
+//! oracle's literal count against the recovery-off (Algorithm-I
+//! quality) and recovery-on distributed runs at 1/2/4 workers;
+//! --assert-gap-closed PCT exits non-zero when boundary recovery closes
+//! less than PCT percent of the partition literal gap.
+//! dist runs fault-tolerant distributed partition extraction from this
+//! process as the coordinator: the workload is partitioned, each part is
+//! dispatched as a leased sub-job to in-process workers (--workers) or
+//! to remote --peers running `serve --worker`, expired leases fail over
+//! with jittered backoff, and a boundary-recovery pass re-extracts the
+//! rectangles the partition cut (skipped by --no-recovery; if the
+//! recovery lease exhausts its retries the result degrades to
+//! Algorithm-I quality and the report says so). Prints the same JSON the
+//! `dist` op answers, including the lease ledger (docs/SERVICE.md
+//! "Distributed extraction").
 //! profile runs one extraction with span tracing armed and writes the
 //! timeline as Chrome Trace Event Format JSON — load it in
 //! chrome://tracing or Perfetto — to stdout or -o FILE (span vocabulary
@@ -77,8 +99,8 @@ use parafactor::network::io::{read_network, write_network};
 use parafactor::network::sim::{equivalent_random, EquivConfig};
 use parafactor::network::{stats, Network};
 use parafactor::serve::{
-    default_max_procs, request_lines, validate_procs, Json, RetryPolicy, Server, ServerConfig,
-    ServiceConfig,
+    default_max_procs, request_lines_with_retry, validate_procs, Json, RetryPolicy, Server,
+    ServerConfig, ServiceConfig,
 };
 use parafactor::workloads::{generate, profile_by_name, scale_profile};
 use std::process::ExitCode;
@@ -264,6 +286,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(n) => fault_seed = n,
                 None => return bad("--fault-seed must be an integer".into()),
             },
+            "--worker" => {
+                // Sub requests carry whole network snapshots, so worker
+                // mode gets a roomier line cap.
+                server_cfg.worker = true;
+                server_cfg.max_line_bytes = server_cfg.max_line_bytes.max(8 << 20);
+                i += 1;
+                continue;
+            }
             "-h" | "--help" => usage(),
             other => return bad(format!("unknown serve option {other:?}")),
         }
@@ -376,37 +406,44 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         request.push(("delta_from".to_string(), Json::str(base)));
     }
     let line = Json::Obj(request).to_string();
-    // Retry only backpressure (`queue_full`): the service is healthy but
-    // momentarily saturated. Every other rejection is terminal.
+    // Retry what saturation looks like from here: `queue_full` and
+    // `overloaded` rejections (the service is healthy but momentarily
+    // full — queue or accept gate), plus transient connect/read errors
+    // (a peer mid-restart), all with the same jittered backoff. Every
+    // other rejection is terminal.
     let policy = RetryPolicy {
         max_retries: retries,
         ..RetryPolicy::default()
     };
     let mut attempt = 0u32;
     let response = loop {
-        let responses = match request_lines(addr.as_str(), std::slice::from_ref(&line)) {
-            Ok(r) => r,
-            Err(e) => return bad(format!("cannot reach service at {addr}: {e}")),
-        };
+        let responses =
+            match request_lines_with_retry(addr.as_str(), std::slice::from_ref(&line), &policy) {
+                Ok(r) => r,
+                Err(e) => return bad(format!("cannot reach service at {addr}: {e}")),
+            };
         let Some(response) = responses.into_iter().next() else {
             return bad(format!("service at {addr} closed the connection"));
         };
-        let backpressured = parafactor::serve::json::parse(&response)
+        let saturated = parafactor::serve::json::parse(&response)
             .ok()
-            .map(|v| {
-                v.get("status").and_then(Json::as_str) == Some("rejected")
-                    && v.get("reason").and_then(Json::as_str) == Some("queue_full")
+            .and_then(|v| {
+                (v.get("status").and_then(Json::as_str) == Some("rejected"))
+                    .then(|| v.get("reason").and_then(Json::as_str).map(str::to_string))
+                    .flatten()
             })
-            .unwrap_or(false);
-        if backpressured && attempt < policy.max_retries {
-            let backoff = policy.backoff(attempt);
-            attempt += 1;
-            eprintln!(
-                "queue full; retry {attempt}/{} in {backoff:.1?}",
-                policy.max_retries
-            );
-            std::thread::sleep(backoff);
-            continue;
+            .filter(|reason| reason == "queue_full" || reason == "overloaded");
+        if let Some(reason) = saturated {
+            if attempt < policy.max_retries {
+                let backoff = policy.backoff(attempt);
+                attempt += 1;
+                eprintln!(
+                    "{reason}; retry {attempt}/{} in {backoff:.1?}",
+                    policy.max_retries
+                );
+                std::thread::sleep(backoff);
+                continue;
+            }
         }
         break response;
     };
@@ -416,6 +453,126 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         .and_then(|v| v.get("status").map(|s| s.as_str() == Some("completed")))
         .unwrap_or(false);
     if completed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `parafactor dist`: run fault-tolerant distributed partition
+/// extraction with this process as the coordinator, over in-process
+/// workers or remote worker-mode servers. Prints the same JSON body the
+/// service's `dist` op answers.
+fn cmd_dist(args: &[String]) -> ExitCode {
+    let mut workers = 2usize;
+    let mut peers: Vec<String> = Vec::new();
+    let mut cfg = parafactor::core::DistConfig::default();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed = 0x5eed_u64;
+    let mut workload: Option<String> = None;
+    let bad = |msg: String| -> ExitCode {
+        eprintln!("error: {msg}");
+        ExitCode::FAILURE
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--workers" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n <= 64 => workers = n,
+                _ => return bad("--workers must be an integer (at most 64)".into()),
+            },
+            "--peers" => match value(i) {
+                Some(v) => peers = v.split(',').map(str::to_string).collect(),
+                None => return bad("--peers needs host:port[,host:port…]".into()),
+            },
+            "--parts" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => cfg.parts = n,
+                None => return bad("--parts must be an integer (0 = one per worker)".into()),
+            },
+            "--lease-timeout-ms" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.lease_timeout = std::time::Duration::from_millis(n),
+                _ => return bad("--lease-timeout-ms must be a positive integer".into()),
+            },
+            "--no-recovery" => {
+                cfg.recovery = false;
+                i += 1;
+                continue;
+            }
+            "--fault-plan" => match value(i) {
+                Some(v) => fault_spec = Some(v.clone()),
+                None => return bad("--fault-plan needs a value".into()),
+            },
+            "--fault-seed" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => fault_seed = n,
+                None => return bad("--fault-seed must be an integer".into()),
+            },
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                return bad(format!("unknown dist option {other:?}"))
+            }
+            other => {
+                if workload.is_some() {
+                    return bad("more than one workload given".into());
+                }
+                workload = Some(other.to_string());
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    let Some(workload) = workload else {
+        return bad("no workload given (e.g. gen:misex3@0.25)".into());
+    };
+    let mut nw = match load_circuit(&Options {
+        input: workload,
+        algorithm: "dist".into(),
+        procs: workers.max(1),
+        par_threads: 0,
+        output: None,
+        objective: "area".into(),
+        run_cx: false,
+        seed: None,
+        show_stats: false,
+        verify: false,
+    }) {
+        Ok(nw) => nw,
+        Err(e) => return bad(e),
+    };
+    let plan = match &fault_spec {
+        None => None,
+        Some(spec) => match FaultPlan::parse(spec, fault_seed) {
+            Ok(p) => {
+                eprintln!("parafactor dist: FAULT INJECTION ACTIVE ({spec})");
+                Some(std::sync::Arc::new(p))
+            }
+            Err(e) => return bad(format!("--fault-plan: {e}")),
+        },
+    };
+    let (report, stats) = if peers.is_empty() {
+        if let Some(p) = &plan {
+            cfg.extract.ctl = cfg
+                .extract
+                .ctl
+                .clone()
+                .with_faults(std::sync::Arc::clone(p));
+        }
+        let transport = parafactor::core::LocalTransport::with_faults(
+            workers,
+            plan,
+            std::time::Duration::from_millis(100),
+        );
+        parafactor::core::distributed_extract(&mut nw, &transport, &cfg)
+    } else {
+        let mut transport = parafactor::serve::RemoteTransport::new(peers);
+        if let Some(spec) = &fault_spec {
+            transport = transport.forward_faults(spec.clone(), fault_seed);
+        }
+        parafactor::core::distributed_extract(&mut nw, &transport, &cfg)
+    };
+    println!("{}", parafactor::serve::dist_response(&report, &stats));
+    if stats.balanced() && !report.cancelled {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -661,6 +818,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&argv[1..]),
         Some("submit") => return cmd_submit(&argv[1..]),
+        Some("dist") => return cmd_dist(&argv[1..]),
         Some("profile") => return cmd_profile(&argv[1..]),
         Some("bench-json") => {
             return match parafactor::benchjson::cmd_bench_json(&argv[1..]) {

@@ -150,6 +150,193 @@ fn assert_books_match(client: &parafactor::serve::Client, t: &Tally) {
     );
 }
 
+/// Prices how many `seq:cover` draws a job sequence makes, by running it
+/// against a probe plan whose only rule is a zero-cost latency (hits ==
+/// draws at probability 1). A second service can then arm an absorber
+/// rule capped at exactly that count, landing the *next* fault
+/// deterministically on the first cover checkpoint of the following job.
+fn price_cover_draws(config: ServiceConfig, jobs: &[JobSpec]) -> u64 {
+    let probe =
+        Arc::new(FaultPlan::new(1).with_rule(FaultRule::latency_at("seq:cover", Duration::ZERO)));
+    let service = Service::start(ServiceConfig {
+        fault_plan: Some(Arc::clone(&probe)),
+        ..config
+    });
+    let client = service.client();
+    for job in jobs {
+        let o = client.submit(job.clone()).expect("accepted").wait();
+        assert!(matches!(o, JobOutcome::Completed(_)), "probe job: {o:?}");
+    }
+    service.shutdown();
+    probe.hits("seq:cover")
+}
+
+/// Satellite: chaos on the delta-submit path. A panic inside the dirty-
+/// cone re-extraction must answer exactly once (Failed), admit neither
+/// the spliced network nor any partial entry, and leave the base entry
+/// serving exact hits.
+#[test]
+fn panic_mid_delta_splice_never_admits_partial_results() {
+    quiet_injected_panics();
+    const BASE: &str = "gen:misex3@0.1";
+    const NEXT: &str = "gen:dalu@0.2";
+    let config = || ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        poison_threshold: 100,
+        ..ServiceConfig::default()
+    };
+    let fill_draws = price_cover_draws(config(), &[spec(Algorithm::Seq, BASE)]);
+    assert!(fill_draws >= 1, "the fill never reached the cover loop");
+
+    // The absorber soaks exactly the fill's draws; the panic then lands
+    // on the delta job's first dirty-cone cover checkpoint.
+    let plan = Arc::new(
+        FaultPlan::new(1)
+            .with_rule(FaultRule::latency_at("seq:cover", Duration::ZERO).max_hits(fill_draws))
+            .with_rule(FaultRule::panic_at("seq:cover").max_hits(1)),
+    );
+    let service = Service::start(ServiceConfig {
+        fault_plan: Some(Arc::clone(&plan)),
+        ..config()
+    });
+    let client = service.client();
+    let cache = client.cache().expect("cache enabled by default");
+    let mut tally = Tally::default();
+
+    // Fill the base; its entry is the delta job's splice source.
+    let o = client
+        .submit(spec(Algorithm::Seq, BASE))
+        .expect("accepted")
+        .wait();
+    assert!(matches!(o, JobOutcome::Completed(_)), "{o:?}");
+    tally.absorb_outcome(&o);
+    assert_eq!(cache.len(), 1);
+
+    // The delta job: the base resolves, clean cones splice, and the
+    // dirty re-extraction panics before its first extraction.
+    let mut delta = spec(Algorithm::Seq, NEXT);
+    delta.delta_from = Some(format!("seq/{BASE}"));
+    let o = client.submit(delta).expect("accepted").wait();
+    assert!(
+        matches!(&o, JobOutcome::Failed { message } if message.contains("fault injected")),
+        "{o:?}"
+    );
+    tally.absorb_outcome(&o);
+    assert_eq!(
+        cache.len(),
+        1,
+        "a panicking delta job admitted a spliced or partial entry"
+    );
+
+    // The base entry survived untouched: an exact-hit resubmission
+    // replays from the cache — no driver run, no fault draw.
+    let o = client
+        .submit(spec(Algorithm::Seq, BASE))
+        .expect("accepted")
+        .wait();
+    match &o {
+        JobOutcome::Completed(jr) => assert_eq!(jr.report.phases[0].name, "cache"),
+        other => panic!("cache-served rerun: {other:?}"),
+    }
+    tally.absorb_outcome(&o);
+
+    // And the new workload's key is genuinely absent: a plain rerun
+    // misses. It runs clean (the panic budget is spent) but its struck
+    // fingerprint keeps it out of the cache.
+    let o = client
+        .submit(spec(Algorithm::Seq, NEXT))
+        .expect("accepted")
+        .wait();
+    assert!(matches!(o, JobOutcome::Completed(_)), "{o:?}");
+    tally.absorb_outcome(&o);
+    assert_eq!(cache.len(), 1);
+
+    service.shutdown();
+    assert_books_match(&client, &tally);
+    let m = client.metrics();
+    assert_eq!(m.panics.get(), 1);
+    assert_eq!(m.delta_jobs.get(), 0, "a failed splice is not a delta job");
+    assert_eq!(
+        m.cache_lookups.get(),
+        3,
+        "the panicked job reports no events"
+    );
+    assert_eq!(m.cache_hits.get(), 1);
+    assert_eq!(m.cache_misses.get(), 2);
+    assert_eq!(plan.hits("seq:cover"), fill_draws + 1);
+}
+
+/// Satellite: chaos on the warm-start path. Capacity-1 LRU evicts the
+/// first fill's result but keeps its warm hints, so its resubmission
+/// takes the warm-started cold path — where an injected cancellation
+/// must drain the job without admitting anything.
+#[test]
+fn cancelled_warm_start_jobs_drain_and_admit_nothing() {
+    quiet_injected_panics();
+    const A: &str = "gen:misex3@0.05";
+    const B: &str = "gen:dalu@0.05";
+    let config = || ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_entries: 1,
+        ..ServiceConfig::default()
+    };
+    let fills = [spec(Algorithm::Seq, A), spec(Algorithm::Seq, B)];
+    let fill_draws = price_cover_draws(config(), &fills);
+
+    let plan = Arc::new(
+        FaultPlan::new(2)
+            .with_rule(FaultRule::latency_at("seq:cover", Duration::ZERO).max_hits(fill_draws))
+            .with_rule(FaultRule::cancel_at("seq:cover").max_hits(1)),
+    );
+    let service = Service::start(ServiceConfig {
+        fault_plan: Some(Arc::clone(&plan)),
+        ..config()
+    });
+    let client = service.client();
+    let cache = client.cache().expect("cache enabled");
+    let mut tally = Tally::default();
+    for job in fills {
+        let o = client.submit(job).expect("accepted").wait();
+        assert!(matches!(o, JobOutcome::Completed(_)), "{o:?}");
+        tally.absorb_outcome(&o);
+    }
+    assert_eq!(cache.len(), 1, "capacity-1 LRU holds only the second fill");
+
+    // A's resubmission: exact miss (evicted), warm hints resident — and
+    // the first cover checkpoint cancels the run.
+    let o = client
+        .submit(spec(Algorithm::Seq, A))
+        .expect("accepted")
+        .wait();
+    assert!(matches!(o, JobOutcome::Drained), "{o:?}");
+    tally.absorb_outcome(&o);
+    assert_eq!(cache.len(), 1, "a drained warm-start run admitted an entry");
+
+    // Rerun A clean (the cancel budget is spent): it must miss — the
+    // drained run admitted nothing — then complete and be admitted,
+    // because a cancellation is not a poison strike.
+    let o = client
+        .submit(spec(Algorithm::Seq, A))
+        .expect("accepted")
+        .wait();
+    assert!(matches!(o, JobOutcome::Completed(_)), "{o:?}");
+    tally.absorb_outcome(&o);
+
+    service.shutdown();
+    assert_books_match(&client, &tally);
+    let m = client.metrics();
+    assert_eq!(m.drained.get(), 1);
+    assert_eq!(m.panics.get(), 0, "cancellation never panics");
+    assert_eq!(m.cache_lookups.get(), 4);
+    assert_eq!(m.cache_hits.get(), 0, "the drained run left nothing to hit");
+    assert_eq!(m.cache_misses.get(), 4);
+    assert_eq!(m.cache_warm.get(), 2, "both resubmissions warm-started");
+    assert_eq!(m.cache_evictions.get(), 2);
+    assert_eq!(cache.len(), 1);
+}
+
 #[test]
 fn poison_job_kills_workers_quarantines_and_the_pool_heals() {
     quiet_injected_panics();

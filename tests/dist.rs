@@ -1,0 +1,249 @@
+//! Distributed extraction end to end: the lease-based coordinator
+//! through the public facade, and the serve-layer `dist` op over real
+//! TCP, both under deterministic fault injection.
+//!
+//! The contract mirrors the chaos suite's, lifted to the distributed
+//! plane: killing any single worker (or the recovery worker) mid-run
+//! still yields exactly one answer, the result network stays well-formed
+//! and functionally equivalent to the input, and the lease ledger closes
+//! (`leases_issued == leases_resolved + leases_expired`).
+
+use parafactor::core::{distributed_extract, DistConfig, FaultPlan, FaultRule, LocalTransport};
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+use parafactor::network::Network;
+use parafactor::serve::json::parse;
+use parafactor::serve::{request_lines, Json, Server, ServerConfig, ServiceConfig};
+use parafactor::workloads::{generate, CircuitProfile};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Suppresses the default panic hook's stderr spew for injected panics
+/// and worker kill pills (they are the point here); real panics print.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let expected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("fault injected") || s.contains("killed"));
+            if !expected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn test_network() -> Network {
+    generate(&CircuitProfile::small("dist-integration", 23))
+}
+
+fn fast_cfg() -> DistConfig {
+    DistConfig {
+        lease_timeout: Duration::from_millis(1_500),
+        poll_interval: Duration::from_millis(2),
+        retry_backoff: Duration::from_millis(1),
+        ..DistConfig::default()
+    }
+}
+
+fn start_server(server_cfg: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind_with("127.0.0.1:0", ServiceConfig::default(), server_cfg)
+        .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr) {
+    let _ = request_lines(addr, &[r#"{"op":"shutdown"}"#.to_string()]);
+}
+
+/// Asserts the `dist` object of a response (or metrics snapshot) closes
+/// its lease ledger and reports itself balanced.
+fn assert_lease_ledger(dist: &Json) {
+    let get = |k: &str| {
+        dist.get(k)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("dist object missing {k}: {dist}"))
+    };
+    assert_eq!(
+        get("leases_issued"),
+        get("leases_resolved") + get("leases_expired"),
+        "lease ledger out of balance: {dist}"
+    );
+    assert_eq!(
+        dist.get("balanced").and_then(Json::as_bool),
+        Some(true),
+        "{dist}"
+    );
+}
+
+/// Killing one of two workers while its sub-job is in flight: the lease
+/// expires, the coordinator fails over to the survivor, and the run
+/// still lands exactly one full-quality answer.
+#[test]
+fn killing_a_worker_mid_run_yields_one_answer_and_a_well_formed_network() {
+    quiet_injected_panics();
+    let mut nw = test_network();
+    let original = nw.clone();
+    // Stall worker 0's pickup long enough for the kill pill (sent right
+    // after dispatch) to land while the sub-job is in flight.
+    let plan = Arc::new(
+        FaultPlan::new(29)
+            .with_rule(FaultRule::stall_at("dist:pickup", Duration::from_millis(50)).max_hits(1)),
+    );
+    let t = LocalTransport::with_faults(2, Some(plan), Duration::from_millis(50));
+    t.kill_worker(0);
+    let cfg = DistConfig {
+        lease_timeout: Duration::from_millis(400),
+        ..fast_cfg()
+    };
+    let (report, stats) = distributed_extract(&mut nw, &t, &cfg);
+    assert!(report.completed(), "the run must still answer");
+    assert!(report.lc_after < report.lc_before, "extraction happened");
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(
+        stats.leases_issued,
+        stats.leases_resolved + stats.leases_expired
+    );
+    assert_eq!(t.alive_count(), 1, "exactly the killed worker is gone");
+    assert!(nw.validate().is_ok(), "result network is well-formed");
+    assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
+}
+
+/// The `dist` op over TCP in local-worker mode, with a fault plan that
+/// panics one worker at pickup: the response reports failover and a
+/// balanced lease ledger, and the service metrics absorb the lease
+/// counters without breaking the balance identity.
+#[test]
+fn dist_op_fails_over_a_killed_worker_and_balances_the_books() {
+    quiet_injected_panics();
+    let (addr, handle) = start_server(ServerConfig::default());
+    let responses = request_lines(
+        addr,
+        &[
+            concat!(
+                r#"{"op":"dist","workload":"gen:misex3@0.1","workers":2,"#,
+                r#""lease_timeout_ms":400,"fault_plan":"dist:pickup=panic#1","fault_seed":31}"#
+            )
+            .to_string(),
+            r#"{"op":"metrics"}"#.to_string(),
+        ],
+    )
+    .expect("dist round-trip");
+    let r = parse(&responses[0]).expect("dist response is json");
+    assert_eq!(
+        r.get("status").and_then(Json::as_str),
+        Some("completed"),
+        "{r}"
+    );
+    let dist = r.get("dist").expect("dist stats");
+    assert_lease_ledger(dist);
+    assert!(
+        dist.get("failovers").and_then(Json::as_u64).unwrap() >= 1,
+        "the pickup panic never failed over: {dist}"
+    );
+    assert!(
+        dist.get("leases_expired").and_then(Json::as_u64).unwrap() >= 1,
+        "{dist}"
+    );
+
+    // The service metrics fold the same lease ledger and stay balanced.
+    let m = parse(&responses[1]).expect("metrics response is json");
+    let m = m.get("metrics").expect("metrics body");
+    let get = |k: &str| m.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(get("submitted"), 1);
+    assert_eq!(get("completed"), 1);
+    assert_eq!(
+        get("leases_issued"),
+        get("leases_resolved") + get("leases_expired"),
+        "{m}"
+    );
+    assert!(get("failovers") >= 1, "{m}");
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+/// Killing the recovery worker (every recovery attempt panics until the
+/// retry budget is gone) degrades gracefully: the `dist` op still
+/// completes, flags `degraded`, reports zero recovery rectangles, and
+/// keeps the ledger balanced.
+#[test]
+fn dist_op_degrades_gracefully_when_the_recovery_worker_dies() {
+    quiet_injected_panics();
+    let (addr, handle) = start_server(ServerConfig::default());
+    let responses = request_lines(
+        addr,
+        &[concat!(
+            r#"{"op":"dist","workload":"gen:misex3@0.1","workers":2,"#,
+            r#""fault_plan":"dist:recover=panic","fault_seed":3}"#
+        )
+        .to_string()],
+    )
+    .expect("dist round-trip");
+    let r = parse(&responses[0]).expect("dist response is json");
+    assert_eq!(
+        r.get("status").and_then(Json::as_str),
+        Some("completed"),
+        "degraded runs still answer: {r}"
+    );
+    let metrics = r.get("metrics").expect("metrics");
+    assert_eq!(
+        metrics.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "recovery loss must be flagged: {r}"
+    );
+    assert_eq!(
+        metrics.get("recovery_rects").and_then(Json::as_u64),
+        Some(0)
+    );
+    let dist = r.get("dist").expect("dist stats");
+    assert_lease_ledger(dist);
+    assert_eq!(dist.get("degraded_jobs").and_then(Json::as_u64), Some(1));
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+/// The `dist` op in remote-peer mode with one dead peer in the list: the
+/// coordinator marks it dead after the connect retries, fails its leases
+/// over to the live worker server, and completes.
+#[test]
+fn dist_op_with_a_dead_remote_peer_fails_over_to_the_live_one() {
+    quiet_injected_panics();
+    let (coordinator, coord_handle) = start_server(ServerConfig::default());
+    let (worker, worker_handle) = start_server(ServerConfig {
+        worker: true,
+        ..ServerConfig::default()
+    });
+    // A bound-then-dropped listener: connects to this port are refused
+    // deterministically, simulating a worker that died before the run.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().unwrap()
+    };
+    let line = format!(
+        r#"{{"op":"dist","workload":"gen:misex3@0.1","peers":["{dead}","{worker}"],"lease_timeout_ms":10000}}"#
+    );
+    let responses = request_lines(coordinator, &[line]).expect("dist round-trip");
+    let r = parse(&responses[0]).expect("dist response is json");
+    assert_eq!(
+        r.get("status").and_then(Json::as_str),
+        Some("completed"),
+        "{r}"
+    );
+    let dist = r.get("dist").expect("dist stats");
+    assert_lease_ledger(dist);
+    assert!(
+        dist.get("failovers").and_then(Json::as_u64).unwrap() >= 1,
+        "the dead peer's lease never failed over: {dist}"
+    );
+    let m = r.get("metrics").expect("metrics");
+    assert!(m.get("lc_after").and_then(Json::as_u64).unwrap() > 0);
+    shutdown(coordinator);
+    shutdown(worker);
+    coord_handle.join().unwrap();
+    worker_handle.join().unwrap();
+}
