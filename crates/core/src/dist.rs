@@ -901,11 +901,19 @@ pub fn distributed_extract(
     let mut extractions = 0usize;
     let mut total_value = 0i64;
     let mut budget_exhausted = false;
+    let mut passes = 0usize;
+    let mut batch_candidates = 0usize;
+    let mut batch_accepted = 0usize;
+    let mut batch_rejected = 0usize;
     let mut worker_results = Vec::with_capacity(results.len());
     for (wr, rep) in results {
         extractions += rep.extractions;
         total_value += rep.total_value;
         budget_exhausted |= rep.budget_exhausted;
+        passes += rep.passes;
+        batch_candidates += rep.batch_candidates;
+        batch_accepted += rep.batch_accepted;
+        batch_rejected += rep.batch_rejected;
         co.timed_out |= rep.timed_out;
         co.cancelled |= rep.cancelled;
         worker_results.push(wr);
@@ -945,6 +953,10 @@ pub fn distributed_extract(
                 extractions += rep.extractions;
                 total_value += rep.total_value;
                 budget_exhausted |= rep.budget_exhausted;
+                passes += rep.passes;
+                batch_candidates += rep.batch_candidates;
+                batch_accepted += rep.batch_accepted;
+                batch_rejected += rep.batch_rejected;
                 recovery_rects += rep.extractions;
                 merge_worker_results(nw, vec![wr]).expect("dist merge of recovery result");
                 merged_recovery = true;
@@ -978,6 +990,10 @@ pub fn distributed_extract(
         cancelled: co.cancelled,
         degraded,
         recovery_rects,
+        passes,
+        batch_candidates,
+        batch_accepted,
+        batch_rejected,
         setup: partition_elapsed,
         phases: vec![
             PhaseTiming::new("partition", partition_elapsed),

@@ -128,6 +128,10 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
     // part marks the whole run.
     let mut timed_out = false;
     let mut cancelled = false;
+    let mut passes = 0usize;
+    let mut batch_candidates = 0usize;
+    let mut batch_accepted = 0usize;
+    let mut batch_rejected = 0usize;
     for (wr, rep) in results.into_inner().unwrap() {
         worker_results.push(wr);
         extractions += rep.extractions;
@@ -135,6 +139,10 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
         budget_exhausted |= rep.budget_exhausted;
         timed_out |= rep.timed_out;
         cancelled |= rep.cancelled;
+        passes += rep.passes;
+        batch_candidates += rep.batch_candidates;
+        batch_accepted += rep.batch_accepted;
+        batch_rejected += rep.batch_rejected;
     }
     // A cancellation that lands between the workers' join and the merge
     // (e.g. injected at `independent:merge`) never reaches a worker
@@ -158,6 +166,10 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
         cancelled,
         degraded: false,
         recovery_rects: 0,
+        passes,
+        batch_candidates,
+        batch_accepted,
+        batch_rejected,
         setup: partition_elapsed,
         phases: vec![
             PhaseTiming::new("partition", partition_elapsed),

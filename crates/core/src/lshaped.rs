@@ -41,8 +41,8 @@ use crate::trace::Lane;
 use parking_lot::Mutex;
 use pf_kcmatrix::registry::ConcurrentCubeStates;
 use pf_kcmatrix::{
-    best_rectangle_pooled, best_rectangle_seeded, CeilingUpdate, CubeId, CubeRegistry, CubeState,
-    KcMatrix, LabelGen, ProcId, Rectangle, SearchConfig, SearchPool,
+    best_rectangles_pooled, best_rectangles_seeded, select_nonconflicting, CeilingUpdate, CubeId,
+    CubeRegistry, CubeState, KcMatrix, LabelGen, ProcId, Rectangle, SearchConfig, SearchPool,
 };
 use pf_network::{Network, SignalId};
 use pf_partition::{partition_network, PartitionConfig};
@@ -199,6 +199,13 @@ struct Worker<'a> {
     total_value: i64,
     shipped: usize,
     budget_exhausted: bool,
+    /// Search passes this worker ran (empty-handed ones included).
+    passes: usize,
+    /// Batch bookkeeping: candidates returned by the plural searches,
+    /// and how conflict selection / claim races split them.
+    batch_candidates: usize,
+    batch_accepted: usize,
+    batch_rejected: usize,
     /// Rectangle committed by this worker's previous extraction —
     /// re-validated against the current matrix to seed the next search.
     prev_best: Option<Rectangle>,
@@ -350,8 +357,11 @@ impl Worker<'_> {
             states.value_for(id, w, pid)
         };
         let pass = self.lane.start("search");
-        let (rect, stats) = match self.pool.as_mut() {
-            Some(pool) => best_rectangle_pooled(
+        // Plural search: the canonical top `search.topk` (the classic
+        // single winner when `topk ≤ 1` — the singular entry points are
+        // thin wrappers over the same plural engine).
+        let (rects, stats) = match self.pool.as_mut() {
+            Some(pool) => best_rectangles_pooled(
                 &self.matrix,
                 &value_of,
                 &search_cfg,
@@ -359,21 +369,66 @@ impl Worker<'_> {
                 pool,
                 CeilingUpdate::Off,
             ),
-            None => best_rectangle_seeded(
+            None => best_rectangles_seeded(
                 &self.matrix,
                 &value_of,
                 &search_cfg,
                 self.prev_best.as_ref(),
             ),
         };
+        self.passes += 1;
         self.budget_exhausted |= stats.budget_exhausted;
-        crate::seq::end_search_span(&mut self.lane, pass, rect.as_ref(), &stats);
-        let Some(rect) = rect else {
+        crate::seq::end_search_span(&mut self.lane, pass, rects.first(), &stats);
+        if rects.is_empty() {
             self.dirty = false;
             self.seen_releases = releases_now;
             return StepOutcome::Nothing;
-        };
+        }
 
+        // Local conflict-free selection (trivially the single winner
+        // when `topk ≤ 1`): node- and column-disjoint members keep their
+        // row/column indices and values valid across each other's
+        // commits, so they can be claimed and committed back-to-back
+        // without an intervening search.
+        let remaining = self
+            .cfg
+            .extract
+            .max_extractions
+            .saturating_sub(self.extractions);
+        let selected = select_nonconflicting(&self.matrix, &rects, remaining);
+        self.batch_candidates += rects.len();
+        self.batch_rejected += rects.len() - selected.len();
+
+        let mut committed = 0usize;
+        let mut conflicted = false;
+        let selected_len = selected.len();
+        for rect in selected {
+            // A claim race on any member aborts the rest of the batch:
+            // the rectangle landscape has shifted and must be
+            // re-searched before trusting the remaining members.
+            if self.try_commit(rect) {
+                committed += 1;
+                self.batch_accepted += 1;
+            } else {
+                conflicted = true;
+                break;
+            }
+        }
+        // Members lost to the claim race (and the rest of an aborted
+        // batch) count as rejected, so candidates = accepted + rejected.
+        self.batch_rejected += selected_len - committed;
+        if committed > 0 {
+            StepOutcome::Extracted
+        } else if conflicted {
+            StepOutcome::Conflicted
+        } else {
+            StepOutcome::Nothing
+        }
+    }
+
+    /// Claims, re-validates and commits one rectangle. Returns whether
+    /// it was committed (`false` = lost a claim race — Example 5.2).
+    fn try_commit(&mut self, rect: Rectangle) -> bool {
         // Claim every covered cube (speculative cover, Table 5).
         let mut ids: Vec<CubeId> = Vec::new();
         for &r in &rect.rows {
@@ -409,11 +464,11 @@ impl Worker<'_> {
             // Another processor banked some of these cubes between the
             // search and the claim (Example 5.2's race). Not idle — the
             // rectangle landscape has changed and must be re-searched.
-            return StepOutcome::Conflicted;
+            return false;
         }
 
         self.extract(rect, revalue);
-        StepOutcome::Extracted
+        true
     }
 
     /// Exact current value of a rectangle for this processor.
@@ -565,7 +620,7 @@ impl Worker<'_> {
     }
 
     /// Final result for the merge phase.
-    fn into_result(mut self) -> (WorkerResult, usize, i64, usize, bool) {
+    fn into_result(mut self) -> WorkerDone {
         self.rewritten.sort_unstable();
         self.rewritten.dedup();
         let rewritten = self
@@ -591,6 +646,12 @@ impl Worker<'_> {
             self.total_value,
             self.shipped,
             self.budget_exhausted,
+            [
+                self.passes,
+                self.batch_candidates,
+                self.batch_accepted,
+                self.batch_rejected,
+            ],
         )
     }
 }
@@ -670,6 +731,10 @@ fn setup<'a>(
             total_value: 0,
             shipped: 0,
             budget_exhausted: false,
+            passes: 0,
+            batch_candidates: 0,
+            batch_accepted: 0,
+            batch_rejected: 0,
             prev_best: None,
             pool: {
                 let mut pool = (cfg.extract.search.par_threads >= 1).then(SearchPool::new);
@@ -765,13 +830,19 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
     let mut total_value = 0;
     let mut shipped = 0;
     let mut exhausted = false;
+    let mut passes = 0usize;
+    let mut batch_counts = [0usize; 3];
     let mut worker_results = Vec::new();
-    for (wr, e, v, s, b) in results {
+    for (wr, e, v, s, b, [ps, bc, ba, br]) in results {
         worker_results.push(wr);
         extractions += e;
         total_value += v;
         shipped += s;
         exhausted |= b;
+        passes += ps;
+        batch_counts[0] += bc;
+        batch_counts[1] += ba;
+        batch_counts[2] += br;
     }
     let merge_span = lane.start("merge");
     let created = merge_worker_results(nw, worker_results).expect("L-shaped merge");
@@ -806,6 +877,10 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
         cancelled,
         degraded: false,
         recovery_rects: 0,
+        passes,
+        batch_candidates: batch_counts[0],
+        batch_accepted: batch_counts[1],
+        batch_rejected: batch_counts[2],
         setup: setup_elapsed,
         phases: vec![
             PhaseTiming::new("setup", setup_elapsed),
@@ -818,8 +893,9 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
 /// Deterministic round-robin driver (Table 4 mode). The second return
 /// is whether the run was stopped early by its [`RunCtl`](crate::ctl::RunCtl).
 /// Per-worker completion record: the worker's result plus its
-/// extraction count, value, shipped-rectangle count, and budget flag.
-type WorkerDone = (WorkerResult, usize, i64, usize, bool);
+/// extraction count, value, shipped-rectangle count, budget flag, and
+/// `[passes, batch_candidates, batch_accepted, batch_rejected]`.
+type WorkerDone = (WorkerResult, usize, i64, usize, bool, [usize; 4]);
 
 fn run_sequential(mut workers: Vec<Worker<'_>>, transport: &Transport) -> (Vec<WorkerDone>, bool) {
     let mut stopped = false;
@@ -1175,6 +1251,51 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn batched_lshaped_keeps_quality_and_counts() {
+        // Batched L-shaped workers pull top-K per search and commit the
+        // non-conflicting subset via claim/revalue, so quality must stay
+        // within tolerance of the one-per-pass run and the batch
+        // counters must balance (candidates = accepted + rejected).
+        let profile = pf_workloads::CircuitProfile::small("lbatch", 13);
+        let base = pf_workloads::generate(&profile);
+
+        let mut classic_nw = base.clone();
+        let classic = lshaped_extract(&mut classic_nw, &seq_cfg(2));
+        assert!(classic.extractions >= 1);
+
+        for topk in [4usize, 16] {
+            let mut nw = base.clone();
+            let original = nw.clone();
+            let mut cfg = seq_cfg(2);
+            cfg.extract.search.topk = topk;
+            let report = lshaped_extract(&mut nw, &cfg);
+            assert!(nw.validate().is_ok(), "topk={topk}");
+            assert!(
+                equivalent_random(&original, &nw, &EquivConfig::default()).unwrap(),
+                "topk={topk}"
+            );
+            assert!(report.passes >= 1, "topk={topk}");
+            assert_eq!(
+                report.batch_candidates,
+                report.batch_accepted + report.batch_rejected,
+                "topk={topk}"
+            );
+            assert!(
+                report.batch_accepted >= report.extractions.min(1),
+                "topk={topk}"
+            );
+            // Quality tolerance: within 1% of the one-per-pass L-shaped run.
+            let tol = classic.lc_after + classic.lc_after.div_ceil(100);
+            assert!(
+                report.lc_after <= tol,
+                "topk={topk}: lc {} vs classic {}",
+                report.lc_after,
+                classic.lc_after
+            );
         }
     }
 }

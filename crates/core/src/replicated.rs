@@ -17,7 +17,7 @@ use crate::report::{ExtractReport, PhaseTiming};
 use crate::seq::{Engine, ExtractConfig};
 use pf_kcmatrix::Rectangle;
 use pf_network::{Network, SignalId};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
@@ -51,7 +51,7 @@ impl Default for ReplicatedConfig {
 /// broken on the lexicographically smallest (cols, rows). Mirrors "the
 /// processor which owns the root of the search tree identifies the best
 /// rectangle and broadcasts it".
-fn pick_best(candidates: &[Option<Rectangle>]) -> Option<Rectangle> {
+fn pick_best(candidates: &[Vec<Rectangle>]) -> Option<Rectangle> {
     let mut best: Option<&Rectangle> = None;
     for r in candidates.iter().flatten() {
         best = Some(match best {
@@ -76,13 +76,21 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
     let targets: Vec<SignalId> = nw.node_ids().collect();
 
     let barrier = Barrier::new(p);
-    let candidates: Mutex<Vec<Option<Rectangle>>> = Mutex::new(vec![None; p]);
-    let decision: Mutex<Option<Rectangle>> = Mutex::new(None);
+    // Per-stripe candidate lists: one rectangle each classically, up to
+    // `search.topk` with batching. The decision broadcast is likewise a
+    // list — empty means stop.
+    let candidates: Mutex<Vec<Vec<Rectangle>>> = Mutex::new(vec![Vec::new(); p]);
+    let decision: Mutex<Vec<Rectangle>> = Mutex::new(Vec::new());
     let timed_out = AtomicBool::new(false);
     let cancelled = AtomicBool::new(false);
     let exhausted_any = AtomicBool::new(false);
+    let passes = AtomicUsize::new(0);
+    let batch_candidates = AtomicUsize::new(0);
+    let batch_accepted = AtomicUsize::new(0);
+    let batch_rejected = AtomicUsize::new(0);
     let outcome: Mutex<Option<(Network, usize, i64)>> = Mutex::new(None);
     let replicate_elapsed: Mutex<Duration> = Mutex::new(Duration::default());
+    let batching = cfg.extract.search.topk > 1;
     let nw_ref: &Network = nw;
 
     std::thread::scope(|s| {
@@ -93,6 +101,10 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
             let timed_out = &timed_out;
             let cancelled = &cancelled;
             let exhausted_any = &exhausted_any;
+            let passes = &passes;
+            let batch_candidates = &batch_candidates;
+            let batch_accepted = &batch_accepted;
+            let batch_rejected = &batch_rejected;
             let outcome = &outcome;
             let replicate_elapsed = &replicate_elapsed;
             let targets = &targets;
@@ -124,12 +136,16 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
                 let mut total_value = 0i64;
                 loop {
                     let pass = lane.start("search");
-                    let (rect, stats) = engine.search(Some((pid as u32, p as u32)));
+                    // The plural search: the per-stripe canonical top-K
+                    // (the classic single candidate when `topk ≤ 1` —
+                    // the singular entry points are thin wrappers over
+                    // the same plural engine).
+                    let (rects, stats) = engine.search_batch(Some((pid as u32, p as u32)));
                     if stats.budget_exhausted {
                         exhausted_any.store(true, Ordering::Relaxed);
                     }
-                    crate::seq::end_search_span(&mut lane, pass, rect.as_ref(), &stats);
-                    candidates.lock().unwrap()[pid] = rect;
+                    crate::seq::end_search_span(&mut lane, pass, rects.first(), &stats);
+                    candidates.lock().unwrap()[pid] = rects;
                     barrier.wait();
                     if pid == 0 {
                         // Reduction at the root of the search tree — the
@@ -138,39 +154,95 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
                         // latency or cancel here (a panic would strand
                         // the sibling replicas at the barrier).
                         cfg.extract.ctl.fault_point("replicated:reduce");
-                        let mut d = pick_best(&candidates.lock().unwrap());
+                        passes.fetch_add(1, Ordering::Relaxed);
+                        let mut stop = false;
                         if let Some(deadline) = cfg.deadline {
                             if start.elapsed() > deadline {
-                                d = None;
+                                stop = true;
                                 timed_out.store(true, Ordering::Relaxed);
                             }
                         }
                         match cfg.extract.ctl.stop_reason() {
                             Some(StopReason::DeadlineExpired) => {
-                                d = None;
+                                stop = true;
                                 timed_out.store(true, Ordering::Relaxed);
                             }
                             Some(StopReason::Cancelled) => {
-                                d = None;
+                                stop = true;
                                 cancelled.store(true, Ordering::Relaxed);
                             }
                             None => {}
                         }
+                        let d: Vec<Rectangle> = if stop {
+                            Vec::new()
+                        } else if batching {
+                            // Merge the per-stripe top-K lists into the
+                            // canonical global top-K (every global
+                            // member is in its own stripe's list, so
+                            // the merge is stripe-count independent),
+                            // then run the same select→apply→revalidate
+                            // drain the sequential engine uses — on pid
+                            // 0's own replica, whose matrix all other
+                            // replicas mirror. The full drained
+                            // sequence is broadcast; the siblings
+                            // replay it verbatim.
+                            let all: Vec<Rectangle> = {
+                                let cands = candidates.lock().unwrap();
+                                cands.iter().flatten().cloned().collect()
+                            };
+                            batch_candidates.fetch_add(all.len(), Ordering::Relaxed);
+                            let mut wave =
+                                pf_kcmatrix::canonical_top_k(&all, cfg.extract.search.topk);
+                            let mut sequence: Vec<Rectangle> = Vec::new();
+                            while !wave.is_empty() {
+                                let remaining = cfg
+                                    .extract
+                                    .max_extractions
+                                    .saturating_sub(extractions + sequence.len());
+                                if remaining == 0 {
+                                    break;
+                                }
+                                let sel = engine.select_batch(&wave, remaining);
+                                for rect in &sel {
+                                    let apply_span = lane.start("apply");
+                                    engine.apply(&mut replica, rect);
+                                    lane.end_with(apply_span, || vec![("value", rect.value)]);
+                                }
+                                wave = wave
+                                    .into_iter()
+                                    .filter(|c| !sel.contains(c))
+                                    .filter_map(|c| engine.revalidate(&c))
+                                    .collect();
+                                sequence.extend(sel);
+                            }
+                            batch_accepted.fetch_add(sequence.len(), Ordering::Relaxed);
+                            batch_rejected.fetch_add(
+                                all.len().saturating_sub(sequence.len()),
+                                Ordering::Relaxed,
+                            );
+                            sequence
+                        } else {
+                            pick_best(&candidates.lock().unwrap()).into_iter().collect()
+                        };
                         *decision.lock().unwrap() = d;
                     }
                     barrier.wait();
                     let chosen = decision.lock().unwrap().clone();
-                    match chosen {
-                        None => break,
-                        Some(rect) => {
-                            // Every replica applies the same extraction —
-                            // identical deterministic state on all workers.
-                            total_value += rect.value;
+                    if chosen.is_empty() {
+                        break;
+                    }
+                    // Every replica applies the same extraction(s), in
+                    // the same order — identical deterministic state on
+                    // all workers. Pid 0 already applied them during the
+                    // drain above (batching only), so it just accounts.
+                    for rect in &chosen {
+                        total_value += rect.value;
+                        if !(batching && pid == 0) {
                             let apply_span = lane.start("apply");
-                            engine.apply(&mut replica, &rect);
+                            engine.apply(&mut replica, rect);
                             lane.end_with(apply_span, || vec![("value", rect.value)]);
-                            extractions += 1;
                         }
+                        extractions += 1;
                     }
                     barrier.wait();
                 }
@@ -201,6 +273,10 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
         cancelled: cancelled.load(Ordering::Relaxed),
         degraded: false,
         recovery_rects: 0,
+        passes: passes.load(Ordering::Relaxed),
+        batch_candidates: batch_candidates.load(Ordering::Relaxed),
+        batch_accepted: batch_accepted.load(Ordering::Relaxed),
+        batch_rejected: batch_rejected.load(Ordering::Relaxed),
         setup,
         phases: vec![
             PhaseTiming::new("replicate", setup),
@@ -254,6 +330,36 @@ mod tests {
         assert_eq!(seq_report.lc_after, par_report.lc_after);
         assert_eq!(seq_report.total_value, par_report.total_value);
         assert_eq!(seq_report.extractions, par_report.extractions);
+    }
+
+    #[test]
+    fn batched_replicated_is_proc_count_invariant() {
+        // The per-stripe top-K lists merge to the canonical global
+        // top-K (every global member survives its own stripe's list),
+        // so the drained batch sequence — and the final network — are
+        // identical for any stripe count, and identical to the batched
+        // sequential engine.
+        let profile = pf_workloads::CircuitProfile::small("rbatch", 11);
+        let mut seq_cfg = crate::seq::ExtractConfig::default();
+        seq_cfg.search.topk = 8;
+        let mut seq_nw = pf_workloads::generate(&profile);
+        let seq_report = extract_kernels(&mut seq_nw, &[], &seq_cfg);
+        assert!(seq_report.extractions > 1);
+        for procs in [1usize, 2, 4] {
+            let mut cfg = ReplicatedConfig {
+                procs,
+                ..ReplicatedConfig::default()
+            };
+            cfg.extract.search.topk = 8;
+            let mut nw = pf_workloads::generate(&profile);
+            let report = replicated_extract(&mut nw, &cfg);
+            assert_eq!(report.lc_after, seq_report.lc_after, "procs={procs}");
+            assert_eq!(report.total_value, seq_report.total_value);
+            assert_eq!(report.extractions, seq_report.extractions);
+            assert_eq!(report.passes, seq_report.passes);
+            assert_eq!(report.batch_accepted, report.extractions);
+            assert!(nw.validate().is_ok());
+        }
     }
 
     #[test]
@@ -323,8 +429,8 @@ mod tests {
             cols: vec![1, 2],
             value: 5,
         };
-        let got1 = pick_best(&[Some(a.clone()), Some(b.clone())]).unwrap();
-        let got2 = pick_best(&[Some(b.clone()), Some(a.clone())]).unwrap();
+        let got1 = pick_best(&[vec![a.clone()], vec![b.clone()]]).unwrap();
+        let got2 = pick_best(&[vec![b.clone()], vec![a.clone()]]).unwrap();
         assert_eq!(got1, got2);
         assert_eq!(got1.cols, vec![0, 3]); // smaller cols wins the tie
     }
@@ -342,9 +448,9 @@ mod tests {
             value: 7,
         };
         assert_eq!(
-            pick_best(&[Some(small), Some(big.clone()), None]).unwrap(),
+            pick_best(&[vec![small], vec![big.clone()], vec![]]).unwrap(),
             big
         );
-        assert!(pick_best(&[None, None]).is_none());
+        assert!(pick_best(&[vec![], vec![]]).is_none());
     }
 }

@@ -56,6 +56,22 @@ pub struct ExtractReport {
     /// Rectangles recovered by the distributed driver's boundary-recovery
     /// phase (0 for every single-process driver, and for degraded runs).
     pub recovery_rects: usize,
+    /// Search→reduce→apply rounds executed (the final empty-handed
+    /// search included). With batching (`batch_rects > 1`) several
+    /// extractions ride one pass, so `passes < extractions + 1`; the
+    /// one-per-pass engine has `passes == extractions + 1` on completed
+    /// runs.
+    pub passes: usize,
+    /// Candidate rectangles the top-K searches returned across all
+    /// passes (per pass: at most `batch_rects`).
+    pub batch_candidates: usize,
+    /// Candidates that survived conflict selection and were applied.
+    /// Equals `extractions` for the drivers that batch; 0 when batching
+    /// is off (`batch_rects = 1` keeps the classic best-only engine).
+    pub batch_accepted: usize,
+    /// Candidates dropped by conflict selection (shared column/node with
+    /// an earlier pick, or past the remaining extraction budget).
+    pub batch_rejected: usize,
     /// Time spent before concurrent extraction began: partitioning,
     /// matrix generation and the B_ij exchange (Algorithm L), or replica
     /// construction (Algorithm R). Part of `elapsed`.
@@ -85,6 +101,16 @@ impl ExtractReport {
     /// cancelled).
     pub fn completed(&self) -> bool {
         !self.timed_out && !self.cancelled
+    }
+
+    /// Mean rectangles applied per search pass — the batching win
+    /// (`extractions / passes`); 0 before any pass ran.
+    pub fn rects_per_pass(&self) -> f64 {
+        if self.passes == 0 {
+            0.0
+        } else {
+            self.extractions as f64 / self.passes as f64
+        }
     }
 
     /// Sum of all phase durations. Drivers construct phases so this

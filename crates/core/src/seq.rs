@@ -15,8 +15,10 @@ use pf_cache::WarmStart;
 use pf_kcmatrix::rectangle::CostModel;
 use pf_kcmatrix::{
     best_rectangle_pooled, best_rectangle_pooled_with, best_rectangle_seeded,
-    best_rectangle_with_seed, CeilingSnapshot, CeilingUpdate, ColIdx, CubeRegistry, KcMatrix,
-    LabelGen, Rectangle, SearchConfig, SearchPool, SearchStats,
+    best_rectangle_with_seed, best_rectangles_pooled, best_rectangles_pooled_with,
+    best_rectangles_seeded, best_rectangles_with_seed, revalidate_rectangle, select_nonconflicting,
+    CeilingSnapshot, CeilingUpdate, ColIdx, CubeRegistry, KcMatrix, LabelGen, Rectangle,
+    SearchConfig, SearchPool, SearchStats,
 };
 use pf_network::{Network, SignalId};
 use pf_sop::fx::{FxHashMap, FxHashSet};
@@ -346,6 +348,97 @@ impl Engine {
         }
     }
 
+    /// Plural [`Engine::search`]: collects the canonical top
+    /// `search.topk` rectangles of this pass, best-first. Same pooled /
+    /// pool-less dispatch and ceiling bookkeeping as the singular
+    /// search; with `topk ≤ 1` the result is the singular winner alone.
+    pub fn search_batch(&mut self, stripe: Option<(u32, u32)>) -> (Vec<Rectangle>, SearchStats) {
+        let cfg = SearchConfig {
+            stripe,
+            ..self.cfg.search.clone()
+        };
+        let seed = self.prev_best.as_ref();
+        if let Some(pool) = self.pool.as_mut() {
+            let update = if self.pool_fresh {
+                CeilingUpdate::Reset
+            } else {
+                CeilingUpdate::Dirty(&self.dirty_cols)
+            };
+            let out = match &self.cfg.objective {
+                None => {
+                    let w = &self.weights;
+                    best_rectangles_pooled(
+                        &self.matrix,
+                        &|id| w[id as usize],
+                        &cfg,
+                        seed,
+                        pool,
+                        update,
+                    )
+                }
+                Some(obj) => {
+                    let wv = &self.wvals;
+                    let model = CostModel {
+                        cube_value: &|id| wv[id as usize],
+                        row_cost: &|cok| obj.row_cost(cok),
+                        col_cost: &|cube| obj.col_cost(cube),
+                    };
+                    best_rectangles_pooled_with(&self.matrix, &model, &cfg, seed, pool, update)
+                }
+            };
+            self.pool_fresh = false;
+            self.dirty_cols.clear();
+            return out;
+        }
+        match &self.cfg.objective {
+            None => {
+                let w = &self.weights;
+                best_rectangles_seeded(&self.matrix, &|id| w[id as usize], &cfg, seed)
+            }
+            Some(obj) => {
+                let wv = &self.wvals;
+                let model = CostModel {
+                    cube_value: &|id| wv[id as usize],
+                    row_cost: &|cok| obj.row_cost(cok),
+                    col_cost: &|cube| obj.col_cost(cube),
+                };
+                best_rectangles_with_seed(&self.matrix, &model, &cfg, seed)
+            }
+        }
+    }
+
+    /// Greedy maximal non-conflicting subset of `candidates` against the
+    /// engine's current matrix (see [`pf_kcmatrix::conflict`]), at most
+    /// `max` rectangles, in canonical order.
+    pub fn select_batch(&self, candidates: &[Rectangle], max: usize) -> Vec<Rectangle> {
+        select_nonconflicting(&self.matrix, candidates, max)
+    }
+
+    /// Re-validates a candidate's column set against the current matrix
+    /// (maximal support, exact value) — `None` when it no longer denotes
+    /// a positive-value extraction. Lets the batched cover loop drain
+    /// conflict-rejected candidates after a batch apply without another
+    /// search pass.
+    pub fn revalidate(&self, rect: &Rectangle) -> Option<Rectangle> {
+        match &self.cfg.objective {
+            None => {
+                let w = &self.weights;
+                let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+                let model = CostModel::area(&value_of);
+                revalidate_rectangle(&self.matrix, &model, &self.cfg.search, rect)
+            }
+            Some(obj) => {
+                let wv = &self.wvals;
+                let model = CostModel {
+                    cube_value: &|id| wv[id as usize],
+                    row_cost: &|cok| obj.row_cost(cok),
+                    col_cost: &|cube| obj.col_cost(cube),
+                };
+                revalidate_rectangle(&self.matrix, &model, &self.cfg.search, rect)
+            }
+        }
+    }
+
     /// Applies a rectangle: creates the kernel node, rewrites every
     /// covered row's node, refreshes the affected matrix rows. Returns
     /// the new node id.
@@ -633,32 +726,106 @@ pub(crate) fn extract_kernels_warm(
     let pool_elapsed = start.elapsed().saturating_sub(matrix_elapsed);
     let cover_span = lane.start("cover");
     let mut first_pass = true;
-    while engine.extractions() < cfg.max_extractions {
-        // The cover-loop head is the driver's barrier checkpoint, and
-        // therefore also its fault-injection site.
-        cfg.ctl.fault_point("seq:cover");
-        if report.note_stop(&cfg.ctl) {
-            break;
-        }
-        let pass = lane.start("search");
-        let (rect, stats) = engine.search(None);
-        report.budget_exhausted |= stats.budget_exhausted;
-        end_search_span(&mut lane, pass, rect.as_ref(), &stats);
-        if first_pass {
-            first_pass = false;
-            if let (Some(cap), Some(r)) = (capture.as_deref_mut(), rect.as_ref()) {
-                *cap = Some(WarmStart {
-                    ceilings: engine.export_warm_ceilings(),
-                    best: r.clone(),
-                });
+    if cfg.search.topk > 1 {
+        // Batched cover: each pass collects the canonical top-K
+        // rectangles, applies the greedy maximal non-conflicting subset
+        // (in canonical order, so quality-ordering is preserved within
+        // the batch), and only then searches again. Fewer passes, same
+        // greedy-first guarantee: the canonical best of each pass is
+        // always selected and applied.
+        while engine.extractions() < cfg.max_extractions {
+            cfg.ctl.fault_point("seq:cover");
+            if report.note_stop(&cfg.ctl) {
+                break;
             }
+            report.passes += 1;
+            let pass = lane.start("search");
+            let (cands, stats) = engine.search_batch(None);
+            report.budget_exhausted |= stats.budget_exhausted;
+            end_search_span(&mut lane, pass, cands.first(), &stats);
+            if first_pass {
+                first_pass = false;
+                if let (Some(cap), Some(r)) = (capture.as_deref_mut(), cands.first()) {
+                    *cap = Some(WarmStart {
+                        ceilings: engine.export_warm_ceilings(),
+                        best: r.clone(),
+                    });
+                }
+            }
+            if cands.is_empty() {
+                break;
+            }
+            report.batch_candidates += cands.len();
+            let cands_len = cands.len();
+            let mut accepted_this_pass = 0usize;
+            // Apply in waves: select the greedy maximal non-conflicting
+            // subset, apply it, then *re-validate* the rejected
+            // candidates against the updated matrix (their column sets
+            // survive; supports and values are recomputed exactly) and
+            // select again — all without paying another search. The
+            // wave loop terminates because each wave applies at least
+            // one rectangle and removes it from the pool.
+            let mut wave = cands;
+            while !wave.is_empty() && engine.extractions() < cfg.max_extractions {
+                let remaining = cfg.max_extractions - engine.extractions();
+                let selected = engine.select_batch(&wave, remaining);
+                // The canonical best never conflicts with the empty
+                // selection, so `selected` is non-empty here.
+                for rect in &selected {
+                    report.total_value += rect.value;
+                    let apply_span = lane.start("apply");
+                    engine.apply(nw, rect);
+                    lane.end_with(apply_span, || vec![("value", rect.value)]);
+                    report.extractions += 1;
+                    accepted_this_pass += 1;
+                }
+                wave = wave
+                    .into_iter()
+                    .filter(|c| !selected.contains(c))
+                    .filter_map(|c| engine.revalidate(&c))
+                    .collect();
+            }
+            report.batch_accepted += accepted_this_pass;
+            // A drained wave can apply more rectangles than the search
+            // returned candidates (a re-validated candidate applies
+            // under a fresh support), so the rejected count saturates.
+            report.batch_rejected += cands_len.saturating_sub(accepted_this_pass);
+            lane.event("batch", || {
+                vec![
+                    ("candidates", cands_len as i64),
+                    ("accepted", accepted_this_pass as i64),
+                ]
+            });
         }
-        let Some(rect) = rect else { break };
-        report.total_value += rect.value;
-        let apply_span = lane.start("apply");
-        engine.apply(nw, &rect);
-        lane.end_with(apply_span, || vec![("value", rect.value)]);
-        report.extractions += 1;
+    } else {
+        while engine.extractions() < cfg.max_extractions {
+            // The cover-loop head is the driver's barrier checkpoint, and
+            // therefore also its fault-injection site.
+            cfg.ctl.fault_point("seq:cover");
+            if report.note_stop(&cfg.ctl) {
+                break;
+            }
+            report.passes += 1;
+            let pass = lane.start("search");
+            let (rect, stats) = engine.search(None);
+            report.budget_exhausted |= stats.budget_exhausted;
+            end_search_span(&mut lane, pass, rect.as_ref(), &stats);
+            if first_pass {
+                first_pass = false;
+                if let (Some(cap), Some(r)) = (capture.as_deref_mut(), rect.as_ref()) {
+                    *cap = Some(WarmStart {
+                        ceilings: engine.export_warm_ceilings(),
+                        best: r.clone(),
+                    });
+                }
+            }
+            let Some(rect) = rect else { break };
+            report.total_value += rect.value;
+            let apply_span = lane.start("apply");
+            engine.apply(nw, &rect);
+            lane.end_with(apply_span, || vec![("value", rect.value)]);
+            report.extractions += 1;
+        }
     }
     lane.end(cover_span);
     *pool = engine.take_pool();
@@ -912,6 +1079,76 @@ mod tests {
         }
         extract_kernels(&mut nw2, &[], &ExtractConfig::default());
         assert_eq!(nw1.literal_count(), nw2.literal_count());
+    }
+
+    #[test]
+    fn batched_cover_keeps_quality_and_counts_passes() {
+        let (mut nw0, _) = example_1_1();
+        let oracle = extract_kernels(&mut nw0, &[], &ExtractConfig::default());
+        assert_eq!(oracle.passes, oracle.extractions + 1);
+        assert_eq!(oracle.batch_candidates, 0);
+        for topk in [2usize, 4, 16] {
+            let mut cfg = ExtractConfig::default();
+            cfg.search.topk = topk;
+            let (mut nw, _) = example_1_1();
+            let original = nw.clone();
+            let report = extract_kernels(&mut nw, &[], &cfg);
+            // The tiny paper network: every candidate overlaps F/G/H, so
+            // batching converges to the byte-same 21-literal result.
+            assert_eq!(report.lc_after, oracle.lc_after, "topk={topk}");
+            assert!(report.passes <= oracle.passes);
+            assert_eq!(report.batch_accepted, report.extractions);
+            assert_eq!(
+                report.batch_candidates,
+                report.batch_accepted + report.batch_rejected
+            );
+            assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
+            assert!(nw.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn batch_drain_cuts_passes_on_planted_kernels() {
+        // A network with node-disjoint planted kernels batches several
+        // extractions per pass; the drain loop re-validates rejected
+        // candidates so a pass keeps applying until the pool is dry.
+        let profile = pf_workloads::CircuitProfile::small("batchtest", 7);
+        let mut cfg = ExtractConfig::default();
+        let mut nw = pf_workloads::generate(&profile);
+        let oracle = extract_kernels(&mut nw, &[], &cfg);
+        assert!(oracle.extractions >= 4, "workload must have extractions");
+
+        cfg.search.topk = 16;
+        let mut nwb = pf_workloads::generate(&profile);
+        let report = extract_kernels(&mut nwb, &[], &cfg);
+        assert!(
+            report.passes < oracle.passes,
+            "batching must cut passes: {} vs {}",
+            report.passes,
+            oracle.passes
+        );
+        assert!(report.rects_per_pass() > 1.0);
+        // Quality parity within 1% of the one-per-pass oracle.
+        let tol = (oracle.lc_after as f64 * 0.01).ceil() as usize;
+        assert!(
+            report.lc_after <= oracle.lc_after + tol,
+            "batched {} vs oracle {}",
+            report.lc_after,
+            oracle.lc_after
+        );
+        assert!(nwb.validate().is_ok());
+    }
+
+    #[test]
+    fn batched_max_extractions_still_caps() {
+        let (mut nw, _) = example_1_1();
+        let mut cfg = ExtractConfig {
+            max_extractions: 2,
+            ..ExtractConfig::default()
+        };
+        cfg.search.topk = 8;
+        let report = extract_kernels(&mut nw, &[], &cfg);
+        assert!(report.extractions <= 2);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   on the deterministic parallel engine ([`par_search`]); the original
 //!   sorted-vec search survives as the [`reference`] oracle.
 
+pub mod conflict;
 pub mod cube_matrix;
 pub mod digest;
 pub mod matrix;
@@ -34,13 +35,16 @@ pub mod reference;
 pub mod registry;
 pub mod rowset;
 
+pub use conflict::{conflicts, select_nonconflicting};
 pub use cube_matrix::{CommonCube, CubeLitMatrix};
 pub use digest::{cube_digest, network_digest, sop_digest, Digest, DigestBuilder};
 pub use matrix::{ColIdx, KcCol, KcMatrix, KcRow, LabelGen, RowIdx};
 pub use pool::{CeilingSnapshot, CeilingUpdate, SearchPool};
 pub use rectangle::{
     best_rectangle, best_rectangle_pooled, best_rectangle_pooled_with, best_rectangle_seeded,
-    best_rectangle_with, best_rectangle_with_seed, CostModel, Rectangle, SearchConfig, SearchStats,
+    best_rectangle_with, best_rectangle_with_seed, best_rectangles_pooled,
+    best_rectangles_pooled_with, best_rectangles_seeded, best_rectangles_with_seed,
+    canonical_top_k, revalidate_rectangle, CostModel, Rectangle, SearchConfig, SearchStats,
 };
 pub use registry::{CubeId, CubeRegistry, CubeState, CubeStates, ProcId};
 pub use rowset::RowSet;

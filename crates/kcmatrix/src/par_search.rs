@@ -18,16 +18,20 @@
 //! reproduce. The parallel engine is instead deterministic by
 //! construction, for **any** thread count (including 1):
 //!
-//! 1. **Canonical winner.** Workers keep their local best under the
-//!    total (value, cols, rows) order ([`canonical_better`]) and the
-//!    merge applies the same order, so the reduction is independent of
-//!    which worker finishes first.
+//! 1. **Canonical winner.** Workers keep their local top-K under the
+//!    total (value, cols, rows) order ([`TopK`]) and the merge applies
+//!    the same order, so the reduction is independent of which worker
+//!    finishes first.
 //! 2. **Strict pruning.** A subtree is pruned only when its admissible
 //!    bound is *strictly below* the shared bound (`ub < bound`, not
-//!    `ub <= bound`). The shared bound never exceeds the true maximum
-//!    value, so every maximum-value rectangle is expanded and evaluated
-//!    no matter when other workers publish improvements; late bound
-//!    arrival can only cost wasted work, never change the winner.
+//!    `ub <= bound`). A worker publishes its local K-th best value —
+//!    never exceeding the global K-th best value (its local top-K are K
+//!    real rectangles at least that good) — so every member of the
+//!    global canonical top-K is expanded, evaluated, and retained in
+//!    some worker's local list no matter when other workers publish
+//!    improvements; late bound arrival can only cost wasted work, never
+//!    change the merged winners. With `topk = 1` this degenerates to
+//!    exactly the original best-only rules.
 //! 3. **Truncation fallback.** When the shared visit budget denies an
 //!    expansion, the set of visited column sets depends on thread
 //!    interleaving — so partial worker bests are discarded and the
@@ -54,8 +58,8 @@
 
 use crate::matrix::{ColIdx, KcMatrix, RowIdx};
 use crate::rectangle::{
-    approx_value, canonical_better, evaluate_with, greedy_row, stripe_admits, CostModel,
-    GreedyBufs, Rectangle, SearchConfig, SearchStats,
+    approx_value, evaluate_with, greedy_row, stripe_admits, CostModel, GreedyBufs, Rectangle,
+    SearchConfig, SearchStats, TopK,
 };
 use crate::registry::CubeId;
 use crate::rowset::RowSet;
@@ -246,10 +250,12 @@ impl CeilingsView<'_> {
 
 /// One worker's contribution, merged canonically by [`merge_results`].
 pub(crate) struct WorkerResult {
-    /// Canonical best over this worker's greedy rows (always complete).
-    greedy_best: Option<Rectangle>,
-    /// Canonical best over this worker's explored column sets.
-    explore_best: Option<Rectangle>,
+    /// Canonical top-K over this worker's greedy rows (always complete —
+    /// rule 3's truncation fallback).
+    greedy: TopK,
+    /// Canonical top-K over everything this worker found: greedy finds
+    /// plus explored column sets.
+    found: TopK,
     /// Expansions completed (reported in [`SearchStats::visited`]).
     expansions: u64,
     /// Subtrees this worker cut with the shared bound (including whole
@@ -286,17 +292,17 @@ pub(crate) fn search(
     row_full_value: &[i64],
     col_sets: &[RowSet],
     init_best: Option<Rectangle>,
-) -> (Option<Rectangle>, SearchStats) {
+) -> (Vec<Rectangle>, SearchStats) {
     let tasks = admissible_tasks(m, cfg, col_sets);
     if tasks.is_empty() {
         // No admissible leftmost column ⇒ the greedy sweep (whose rows
         // need an admissible leftmost column too) finds nothing either.
-        return (init_best, SearchStats::default());
+        return (init_best.into_iter().collect(), SearchStats::default());
     }
     let nthreads = cfg.par_threads.min(tasks.len()).max(1);
     let greedy_rows = if cfg.greedy_seed { m.rows().len() } else { 0 };
     let queue = Queue::new(&tasks, nthreads, greedy_rows);
-    let sync = AtomicSync::new(init_best.as_ref().map_or(0, |b| b.value));
+    let sync = AtomicSync::new(init_bound(cfg, init_best.as_ref()));
 
     // One worker runs inline on the calling thread: `par_threads = 1`
     // then costs no spawn at all, and N threads cost N − 1 spawns.
@@ -339,53 +345,59 @@ pub(crate) fn search(
         results
     });
 
-    let (best, stats, _) = merge_results(results, init_best, sync.is_truncated());
+    let (best, stats, _) = merge_results(results, init_best, sync.is_truncated(), cfg.topk);
     (best, stats)
 }
 
+/// The sound initial shared bound. The re-validated seed's value lower-
+/// bounds the best rectangle, but with `topk > 1` only the K-th best
+/// value may prune — one known rectangle says nothing about it, so the
+/// bound starts at 0.
+pub(crate) fn init_bound(cfg: &SearchConfig, seed: Option<&Rectangle>) -> i64 {
+    if cfg.topk <= 1 {
+        seed.map_or(0, |b| b.value)
+    } else {
+        0
+    }
+}
+
 /// Canonical reduction over per-worker results: rule-3 greedy fallback
-/// on truncation, otherwise the (value, cols, rows) merge over greedy
-/// and explore bests. Also concatenates the workers' fresh ceilings
-/// (meaningful only to the pooled executor, and only when the pass
-/// completed).
+/// on truncation, otherwise the (value, cols, rows) top-K merge over
+/// everything the workers found. Also concatenates the workers' fresh
+/// ceilings (meaningful only to the pooled executor, and only when the
+/// pass completed).
 pub(crate) fn merge_results(
     results: Vec<WorkerResult>,
     init_best: Option<Rectangle>,
     truncated: bool,
-) -> (Option<Rectangle>, SearchStats, Vec<(ColIdx, i64)>) {
-    // Rule 3: greedy tasks all completed, so this merge is deterministic
-    // even when the budget truncated exploration.
-    let mut greedy_best = init_best;
-    for r in &results {
-        if let Some(c) = &r.greedy_best {
-            if greedy_best.as_ref().is_none_or(|b| canonical_better(c, b)) {
-                greedy_best = Some(c.clone());
-            }
-        }
-    }
+    topk: usize,
+) -> (Vec<Rectangle>, SearchStats, Vec<(ColIdx, i64)>) {
     let stats = SearchStats {
         visited: results.iter().map(|r| r.expansions).sum(),
         budget_exhausted: truncated,
         pruned: results.iter().map(|r| r.pruned).sum(),
         bound_updates: results.iter().map(|r| r.bound_updates).sum(),
     };
+    let mut acc = TopK::new(topk);
+    if let Some(b) = init_best {
+        acc.insert(b);
+    }
     if truncated {
-        // The explored set is interleaving-dependent; discard it. The
+        // Rule 3: the explored set is interleaving-dependent; discard it
+        // and merge only the (always complete) greedy lists. The
         // recorded ceilings are incomplete too — the caller must not
         // commit them (the pool invalidates everything on truncation).
-        return (greedy_best, stats, Vec::new());
+        for r in results {
+            acc.merge(r.greedy);
+        }
+        return (acc.into_vec(), stats, Vec::new());
     }
-    let mut best = greedy_best;
     let mut ceil_out = Vec::new();
     for r in results {
-        if let Some(c) = r.explore_best {
-            if best.as_ref().is_none_or(|b| canonical_better(&c, b)) {
-                best = Some(c);
-            }
-        }
+        acc.merge(r.found);
         ceil_out.extend(r.ceil_out);
     }
-    (best, stats, ceil_out)
+    (acc.into_vec(), stats, ceil_out)
 }
 
 /// One worker's pass: greedy phase over its row chunks, then
@@ -405,10 +417,13 @@ pub(crate) fn run_worker<S: PassSync>(
     ceil: Option<&CeilingsView<'_>>,
 ) -> WorkerResult {
     // Phase 1: greedy rows. Never aborted — rule 3 needs the complete
-    // greedy result even when another worker trips the budget. Each find
-    // is published to the shared bound immediately so phase-2 workers
-    // prune against it as early as possible.
-    let mut greedy_best: Option<Rectangle> = None;
+    // greedy result even when another worker trips the budget. The local
+    // K-th best (the list threshold) is published to the shared bound
+    // immediately so phase-2 workers prune against it as early as
+    // possible; with `topk = 1` that is exactly the old per-find value
+    // publish.
+    let mut greedy = TopK::new(cfg.topk);
+    let mut found = TopK::new(cfg.topk);
     let mut bound_updates = 0u64;
     loop {
         let start = queue.greedy_next.fetch_add(queue.greedy_chunk, Relaxed);
@@ -418,14 +433,9 @@ pub(crate) fn run_worker<S: PassSync>(
         let end = (start + queue.greedy_chunk).min(queue.greedy_rows);
         for r in start..end {
             if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut ws.greedy) {
-                if sync.raise_bound(rect.value) {
+                greedy.insert(rect.clone());
+                if found.insert(rect) && sync.raise_bound(found.threshold()) {
                     bound_updates += 1;
-                }
-                if greedy_best
-                    .as_ref()
-                    .is_none_or(|b| canonical_better(&rect, b))
-                {
-                    greedy_best = Some(rect);
                 }
             }
         }
@@ -446,7 +456,7 @@ pub(crate) fn run_worker<S: PassSync>(
         pruned: 0,
         bound_updates: 0,
         task_ceil: 0,
-        best: None,
+        found: &mut found,
         cols: &mut ws.cols,
         scratch: &mut ws.depths,
         cand: &mut ws.cand,
@@ -488,12 +498,15 @@ pub(crate) fn run_worker<S: PassSync>(
         }
     }
     ws.root = root;
+    let expansions = search.expansions;
+    let pruned = search.pruned;
+    let explore_updates = search.bound_updates;
     WorkerResult {
-        greedy_best,
-        explore_best: search.best,
-        expansions: search.expansions,
-        pruned: search.pruned,
-        bound_updates: bound_updates + search.bound_updates,
+        greedy,
+        found,
+        expansions,
+        pruned,
+        bound_updates: bound_updates + explore_updates,
         ceil_out,
     }
 }
@@ -523,8 +536,9 @@ struct ParSearch<'a, S: PassSync> {
     /// bound-arrival timing — that is what makes it reusable as a
     /// cross-pass ceiling.
     task_ceil: i64,
-    /// Local canonical best; merged across workers by the caller.
-    best: Option<Rectangle>,
+    /// Local canonical top-K (shared with the greedy phase); merged
+    /// across workers by the caller.
+    found: &'a mut TopK,
     cols: &'a mut Vec<ColIdx>,
     scratch: &'a mut Vec<RowSet>,
     /// Per-depth candidate-column bitsets (universe = column count).
@@ -563,15 +577,13 @@ impl<S: PassSync> ParSearch<'_, S> {
                 if let Some(rect) =
                     evaluate_with(self.m, self.model, self.cols, self.rows_buf, self.seen)
                 {
-                    if self.sync.raise_bound(rect.value) {
+                    // Publish the local K-th best, never the raw value:
+                    // an arbitrary rectangle's value can exceed the
+                    // global K-th best and would over-prune. The local
+                    // threshold is witnessed by K real rectangles, so it
+                    // never does.
+                    if self.found.insert(rect) && self.sync.raise_bound(self.found.threshold()) {
                         self.bound_updates += 1;
-                    }
-                    if self
-                        .best
-                        .as_ref()
-                        .is_none_or(|b| canonical_better(&rect, b))
-                    {
-                        self.best = Some(rect);
                     }
                 }
             }

@@ -406,7 +406,7 @@ pub(crate) fn pool_search(
     col_sets: &[crate::rowset::RowSet],
     init_best: Option<Rectangle>,
     update: CeilingUpdate<'_>,
-) -> (Option<Rectangle>, SearchStats) {
+) -> (Vec<Rectangle>, SearchStats) {
     let ncols = m.cols().len();
     // Ceiling prologue: decide whether this pass consults and records
     // ceilings, and apply the caller-declared invalidation.
@@ -441,12 +441,12 @@ pub(crate) fn pool_search(
 
     let tasks = admissible_tasks(m, cfg, col_sets);
     if tasks.is_empty() {
-        return (init_best, SearchStats::default());
+        return (init_best.into_iter().collect(), SearchStats::default());
     }
     let nthreads = cfg.par_threads.min(tasks.len()).max(1);
     let greedy_rows = if cfg.greedy_seed { m.rows().len() } else { 0 };
     let queue = Queue::new(&tasks, nthreads, greedy_rows);
-    let init_bound = init_best.as_ref().map_or(0, |b| b.value);
+    let init_bound = crate::par_search::init_bound(cfg, init_best.as_ref());
 
     // Move the ceilings out of the pool so `run_pass(&mut pool)` and
     // the read-only view can coexist.
@@ -477,7 +477,7 @@ pub(crate) fn pool_search(
             view.as_ref(),
         );
         let truncated = sync.is_truncated();
-        let (best, stats, ceil_out) = merge_results(vec![result], init_best, truncated);
+        let (best, stats, ceil_out) = merge_results(vec![result], init_best, truncated, cfg.topk);
         (best, stats, ceil_out, truncated)
     } else {
         let sync = AtomicSync::new(init_bound);
@@ -503,7 +503,7 @@ pub(crate) fn pool_search(
             .map(|s| s.into_inner().expect("every pass worker reports"))
             .collect();
         let truncated = sync.is_truncated();
-        let (best, stats, ceil_out) = merge_results(results, init_best, truncated);
+        let (best, stats, ceil_out) = merge_results(results, init_best, truncated, cfg.topk);
         (best, stats, ceil_out, truncated)
     };
 
@@ -535,7 +535,7 @@ pub(crate) fn pool_search_seeded(
     cfg: &SearchConfig,
     seed: Option<&Rectangle>,
     update: CeilingUpdate<'_>,
-) -> (Option<Rectangle>, SearchStats) {
+) -> (Vec<Rectangle>, SearchStats) {
     let row_full_value = row_full_values(m, model);
     let col_sets = m.col_row_sets();
     let best = seed.and_then(|s| revalidate_seed(m, model, cfg, s));

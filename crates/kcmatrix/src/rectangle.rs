@@ -64,6 +64,134 @@ pub(crate) fn canonical_better(a: &Rectangle, b: &Rectangle) -> bool {
     }
 }
 
+/// Bounded canonical-best list: at most `k` distinct rectangles, sorted
+/// best-first under [`canonical_better`]. The pruning threshold is the
+/// K-th (worst kept) value once full — any subtree whose bound is
+/// strictly below it provably holds no top-K member. Equal rectangles
+/// are deduplicated at insert (the greedy sweep and the exact search can
+/// find the same rectangle).
+#[derive(Clone, Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    /// Sorted best-first; `items.len() <= k`; all distinct.
+    items: Vec<Rectangle>,
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        TopK {
+            k: k.max(1),
+            items: Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.items.len() >= self.k
+    }
+
+    /// The pruning threshold: the K-th best value when full, else 0 (any
+    /// positive rectangle is still wanted).
+    pub(crate) fn threshold(&self) -> i64 {
+        if self.is_full() {
+            self.items.last().expect("full list is non-empty").value
+        } else {
+            0
+        }
+    }
+
+    /// Offers a rectangle; returns whether the list changed. Duplicates
+    /// and rectangles worse than a full list's tail are rejected. `k` is
+    /// small (a batch size), so the scan is linear.
+    pub(crate) fn insert(&mut self, rect: Rectangle) -> bool {
+        let mut pos = self.items.len();
+        for (i, it) in self.items.iter().enumerate() {
+            if *it == rect {
+                return false;
+            }
+            if canonical_better(&rect, it) {
+                pos = i;
+                break;
+            }
+        }
+        if pos >= self.k {
+            return false;
+        }
+        self.items.insert(pos, rect);
+        self.items.truncate(self.k);
+        true
+    }
+
+    /// Canonical merge: offers every item of `other`.
+    pub(crate) fn merge(&mut self, other: TopK) {
+        for it in other.items {
+            self.insert(it);
+        }
+    }
+
+    /// The kept rectangles, best-first.
+    pub(crate) fn into_vec(self) -> Vec<Rectangle> {
+        self.items
+    }
+}
+
+/// What one search run collects. Two implementations: [`BestOne`]
+/// replicates the classic engine's first-maximum-in-enumeration-order
+/// rule exactly (monomorphized, so `topk = 1` stays byte-identical), and
+/// [`TopK`] keeps the canonical top-K with the bound keyed to the K-th
+/// value.
+pub(crate) trait Collect {
+    /// Whether a candidate whose duplicate-blind upper bound is `approx`
+    /// deserves the exact (allocating) evaluation pass.
+    fn admits(&self, approx: i64) -> bool;
+    /// Offers an exactly-evaluated rectangle; whether it was kept.
+    fn offer(&mut self, rect: Rectangle) -> bool;
+    /// Whether a subtree with admissible bound `ub` is provably dead.
+    fn prunes(&self, ub: i64) -> bool;
+}
+
+/// Classic best-only collector: keeps the *first* maximum-value
+/// rectangle in enumeration order (strictly-greater acceptance).
+pub(crate) struct BestOne(pub(crate) Option<Rectangle>);
+
+impl BestOne {
+    fn value(&self) -> i64 {
+        self.0.as_ref().map_or(0, |b| b.value)
+    }
+}
+
+impl Collect for BestOne {
+    fn admits(&self, approx: i64) -> bool {
+        approx > self.value()
+    }
+    fn offer(&mut self, rect: Rectangle) -> bool {
+        if rect.value > self.value() {
+            self.0 = Some(rect);
+            true
+        } else {
+            false
+        }
+    }
+    fn prunes(&self, ub: i64) -> bool {
+        ub <= self.value()
+    }
+}
+
+impl Collect for TopK {
+    fn admits(&self, approx: i64) -> bool {
+        // `>=`: a tie on value can still be canonically better (smaller
+        // cols/rows), and an under-full list takes anything positive.
+        approx > 0 && approx >= self.threshold()
+    }
+    fn offer(&mut self, rect: Rectangle) -> bool {
+        self.insert(rect)
+    }
+    fn prunes(&self, ub: i64) -> bool {
+        // Strict below the K-th value: a subtree that could tie it might
+        // hold a canonically smaller member.
+        ub <= 0 || (self.is_full() && ub < self.threshold())
+    }
+}
+
 /// Search options.
 #[derive(Clone, Debug)]
 pub struct SearchConfig {
@@ -87,6 +215,13 @@ pub struct SearchConfig {
     /// pruning bound, and a canonical (value, cols, rows) tie-break so
     /// the result is identical for any thread count (including 1).
     pub par_threads: usize,
+    /// How many rectangles one pass collects. `1` (the default) keeps
+    /// the classic best-only semantics byte-for-byte. `> 1` collects the
+    /// canonical top-K (under the (value, cols, rows) order) with the
+    /// pruning bound keyed to the K-th best value — identical for any
+    /// thread count, including the sequential engine. Top-K batches feed
+    /// [`crate::conflict`] selection in the extraction drivers.
+    pub topk: usize,
 }
 
 impl Default for SearchConfig {
@@ -97,6 +232,7 @@ impl Default for SearchConfig {
             min_cols: 2,
             greedy_seed: true,
             par_threads: 0,
+            topk: 1,
         }
     }
 }
@@ -206,35 +342,100 @@ pub fn best_rectangle_with_seed(
     cfg: &SearchConfig,
     seed: Option<&Rectangle>,
 ) -> (Option<Rectangle>, SearchStats) {
+    let (rects, stats) = best_rectangles_with_seed(m, model, cfg, seed);
+    (rects.into_iter().next(), stats)
+}
+
+/// The canonically best `k` of `candidates` (deduplicated, best-first
+/// under the (value, cols, rows) order). The replicated driver uses this
+/// to merge per-stripe top-K lists into the global top-K — every global
+/// top-K member is in its own stripe's top-K, so the merged result is
+/// independent of how many stripes contributed.
+pub fn canonical_top_k(candidates: &[Rectangle], k: usize) -> Vec<Rectangle> {
+    let mut acc = TopK::new(k);
+    for r in candidates {
+        acc.insert(r.clone());
+    }
+    acc.into_vec()
+}
+
+/// Plural [`best_rectangle_seeded`]: collects up to `cfg.topk`
+/// rectangles, best-first. See [`best_rectangles_with_seed`].
+pub fn best_rectangles_seeded(
+    m: &KcMatrix,
+    value_of: &(dyn Fn(CubeId) -> u32 + Sync),
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+) -> (Vec<Rectangle>, SearchStats) {
+    let model = CostModel::area(value_of);
+    best_rectangles_with_seed(m, &model, cfg, seed)
+}
+
+/// Plural [`best_rectangle_with_seed`]: collects up to `cfg.topk`
+/// rectangles per pass, returned best-first under the canonical
+/// (value, cols, rows) order. With `topk = 1` the sequential engine
+/// keeps its classic first-maximum semantics (byte-identical to
+/// [`best_rectangle_with_seed`]); with `topk > 1` both the sequential
+/// and the parallel engine return exactly the canonical top-K of all
+/// positive rectangles, independent of thread count.
+pub fn best_rectangles_with_seed(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+) -> (Vec<Rectangle>, SearchStats) {
     let row_full_value = row_full_values(m, model);
     let col_sets = m.col_row_sets();
 
-    let mut best = seed.and_then(|s| revalidate_seed(m, model, cfg, s));
+    let seed_rect = seed.and_then(|s| revalidate_seed(m, model, cfg, s));
 
     if cfg.par_threads >= 1 {
         // The parallel engine runs the greedy sweep itself, striped
         // across its workers (it dominates the sequential prologue once
         // exploration is well-pruned).
-        return crate::par_search::search(m, model, cfg, &row_full_value, &col_sets, best);
+        return crate::par_search::search(m, model, cfg, &row_full_value, &col_sets, seed_rect);
     }
 
+    if cfg.topk <= 1 {
+        let mut acc = BestOne(seed_rect);
+        let stats = sequential_search(m, model, cfg, &row_full_value, &col_sets, &mut acc);
+        (acc.0.into_iter().collect(), stats)
+    } else {
+        let mut acc = TopK::new(cfg.topk);
+        if let Some(s) = seed_rect {
+            acc.insert(s);
+        }
+        let stats = sequential_search(m, model, cfg, &row_full_value, &col_sets, &mut acc);
+        (acc.into_vec(), stats)
+    }
+}
+
+/// Classic sequential branch and bound over column sets ordered by
+/// leftmost column, generic over the collector (monomorphized, so the
+/// best-only path compiles to exactly the pre-top-K engine).
+fn sequential_search<C: Collect>(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    row_full_value: &[i64],
+    col_sets: &[RowSet],
+    acc: &mut C,
+) -> SearchStats {
     if cfg.greedy_seed {
-        greedy_sweep(m, model, cfg, &col_sets, &mut best);
+        greedy_sweep(m, model, cfg, col_sets, acc);
     }
 
-    // Classic sequential branch and bound over column sets ordered by
-    // leftmost column.
     let mut state = Search {
         m,
         model,
         cfg,
-        row_full_value: &row_full_value,
-        col_sets: &col_sets,
+        row_full_value,
+        col_sets,
         visited: 0,
         truncated: false,
         pruned: 0,
         bound_updates: 0,
-        best,
+        acc,
         cols: Vec::new(),
         scratch: Vec::new(),
         cand: Vec::new(),
@@ -255,13 +456,12 @@ pub fn best_rectangle_with_seed(
         root.copy_from(cset);
         state.root = state.explore(0, root);
     }
-    let stats = SearchStats {
+    SearchStats {
         visited: state.visited,
         budget_exhausted: state.truncated,
         pruned: state.pruned,
         bound_updates: state.bound_updates,
-    };
-    (state.best, stats)
+    }
 }
 
 /// [`best_rectangle_seeded`] executed on a persistent [`SearchPool`]
@@ -291,6 +491,34 @@ pub fn best_rectangle_pooled_with(
     pool: &mut SearchPool,
     update: CeilingUpdate<'_>,
 ) -> (Option<Rectangle>, SearchStats) {
+    let (rects, stats) = crate::pool::pool_search_seeded(pool, m, model, cfg, seed, update);
+    (rects.into_iter().next(), stats)
+}
+
+/// Plural [`best_rectangle_pooled`]: up to `cfg.topk` rectangles,
+/// best-first, on the persistent pool. See [`best_rectangles_with_seed`]
+/// for the top-K semantics.
+pub fn best_rectangles_pooled(
+    m: &KcMatrix,
+    value_of: &(dyn Fn(CubeId) -> u32 + Sync),
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+    pool: &mut SearchPool,
+    update: CeilingUpdate<'_>,
+) -> (Vec<Rectangle>, SearchStats) {
+    let model = CostModel::area(value_of);
+    best_rectangles_pooled_with(m, &model, cfg, seed, pool, update)
+}
+
+/// [`best_rectangles_pooled`] under an explicit [`CostModel`].
+pub fn best_rectangles_pooled_with(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    seed: Option<&Rectangle>,
+    pool: &mut SearchPool,
+    update: CeilingUpdate<'_>,
+) -> (Vec<Rectangle>, SearchStats) {
     crate::pool::pool_search_seeded(pool, m, model, cfg, seed, update)
 }
 
@@ -320,7 +548,7 @@ pub(crate) fn row_full_values(m: &KcMatrix, model: &CostModel<'_>) -> Vec<i64> {
     out
 }
 
-struct Search<'a> {
+struct Search<'a, C: Collect> {
     m: &'a KcMatrix,
     model: &'a CostModel<'a>,
     cfg: &'a SearchConfig,
@@ -332,9 +560,9 @@ struct Search<'a> {
     truncated: bool,
     /// Subtrees cut by the admissible bound.
     pruned: u64,
-    /// Times `best` was replaced by a strictly better rectangle.
+    /// Times the collector accepted a rectangle.
     bound_updates: u64,
-    best: Option<Rectangle>,
+    acc: &'a mut C,
     /// Current column set (shared across the recursion as a stack).
     cols: Vec<ColIdx>,
     /// Per-depth row-support buffers, reused between branches.
@@ -349,11 +577,7 @@ struct Search<'a> {
     root: RowSet,
 }
 
-impl Search<'_> {
-    fn best_value(&self) -> i64 {
-        self.best.as_ref().map_or(0, |b| b.value)
-    }
-
+impl<C: Collect> Search<'_, C> {
     /// Expands the current column set (`self.cols`) whose supporting
     /// rows are `rows`. `depth` indexes the scratch pool. Returns the
     /// `rows` buffer so the caller can pool it.
@@ -367,9 +591,9 @@ impl Search<'_> {
         if self.cols.len() >= self.cfg.min_cols {
             // Cheap gate first: the duplicate-blind value is an upper
             // bound on the exact value, so the exact (allocating) pass
-            // only runs on candidates that could beat the best.
+            // only runs on candidates the collector could still keep.
             let approx = approx_value(self.m, self.model, &self.cols, &rows);
-            if approx > self.best_value() {
+            if self.acc.admits(approx) {
                 self.rows_buf.clear();
                 rows.collect_into(&mut self.rows_buf);
                 self.seen.clear();
@@ -380,8 +604,7 @@ impl Search<'_> {
                     &self.rows_buf,
                     &mut self.seen,
                 ) {
-                    if rect.value > self.best_value() {
-                        self.best = Some(rect);
+                    if self.acc.offer(rect) {
                         self.bound_updates += 1;
                     }
                 }
@@ -415,7 +638,7 @@ impl Search<'_> {
             // Admissible bound: every surviving row can contribute at
             // most its full-row value; column costs only grow.
             let ub: i64 = shared.iter().map(|r| self.row_full_value[r].max(0)).sum();
-            if ub <= self.best_value() {
+            if self.acc.prunes(ub) {
                 self.pruned += 1;
                 self.scratch[depth] = shared;
                 continue;
@@ -517,6 +740,23 @@ pub(crate) fn evaluate_with(
     })
 }
 
+/// Re-validates a rectangle against the *current* matrix: recomputes the
+/// maximal support of its column set and the exact value. Returns `None`
+/// when the columns vanished, the support is empty, or the value is no
+/// longer positive. Besides seeding the next pass's pruning bound, this
+/// is how the batched drivers drain conflict-rejected candidates after a
+/// batch apply without paying another search pass — the returned
+/// rectangle is exact for the present matrix, so it can be re-selected
+/// and applied directly.
+pub fn revalidate_rectangle(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    rect: &Rectangle,
+) -> Option<Rectangle> {
+    revalidate_seed(m, model, cfg, rect)
+}
+
 /// Re-validates a previous-pass rectangle against the *current* matrix:
 /// recomputes the support of its column set and the exact value. Returns
 /// `None` when the columns vanished, the support is empty, or the value
@@ -589,23 +829,21 @@ pub(crate) fn greedy_row(
     evaluate_with(m, model, &bufs.cols, &bufs.rows_buf, &mut bufs.seen)
 }
 
-/// Greedy seed: [`greedy_row`] over every row, keeping the first
-/// strictly better rectangle. O(rows × cols); seeds the branch-and-bound
-/// with a strong lower bound and is the fallback answer when the budget
-/// dies.
-fn greedy_sweep(
+/// Greedy seed: [`greedy_row`] over every row, offered to the collector
+/// (first-strictly-better for [`BestOne`], canonical insert for
+/// [`TopK`]). O(rows × cols); seeds the branch-and-bound with a strong
+/// lower bound and is the fallback answer when the budget dies.
+fn greedy_sweep<C: Collect>(
     m: &KcMatrix,
     model: &CostModel<'_>,
     cfg: &SearchConfig,
     col_sets: &[RowSet],
-    best: &mut Option<Rectangle>,
+    acc: &mut C,
 ) {
     let mut bufs = GreedyBufs::default();
     for r in 0..m.rows().len() {
         if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut bufs) {
-            if rect.value > best.as_ref().map_or(0, |b| b.value) {
-                *best = Some(rect);
-            }
+            acc.offer(rect);
         }
     }
 }
@@ -951,6 +1189,76 @@ mod tests {
             }
             prior = Some(best);
         }
+    }
+
+    #[test]
+    fn topk_collects_canonically_sorted_distinct_rectangles() {
+        let (m, _reg, w) = paper_matrix();
+        let value_of = |id: CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            topk: 4,
+            ..SearchConfig::default()
+        };
+        let (rects, stats) = best_rectangles_seeded(&m, &value_of, &cfg, None);
+        assert!(!stats.budget_exhausted);
+        assert!(rects.len() > 1, "paper matrix holds several rectangles");
+        assert!(rects.len() <= 4);
+        // Best-first under the canonical order, all distinct.
+        for w in rects.windows(2) {
+            assert!(canonical_better(&w[0], &w[1]));
+        }
+        assert_eq!(rects[0].value, 8, "head is the global best");
+    }
+
+    #[test]
+    fn topk_is_thread_count_independent_and_matches_sequential() {
+        let (m, _reg, w) = paper_matrix();
+        let value_of = |id: CubeId| w[id as usize];
+        for k in [2usize, 4, 16] {
+            let seq_cfg = SearchConfig {
+                topk: k,
+                ..SearchConfig::default()
+            };
+            let (seq_rects, _) = best_rectangles_seeded(&m, &value_of, &seq_cfg, None);
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = SearchConfig {
+                    topk: k,
+                    par_threads: threads,
+                    ..SearchConfig::default()
+                };
+                let (par_rects, _) = best_rectangles_seeded(&m, &value_of, &cfg, None);
+                assert_eq!(par_rects, seq_rects, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn plural_with_k1_matches_singular_exactly() {
+        let (m, _reg, w) = paper_matrix();
+        let value_of = |id: CubeId| w[id as usize];
+        for threads in [0usize, 1, 4] {
+            let cfg = SearchConfig {
+                par_threads: threads,
+                ..SearchConfig::default()
+            };
+            let (single, _) = best_rectangle_seeded(&m, &value_of, &cfg, None);
+            let (plural, _) = best_rectangles_seeded(&m, &value_of, &cfg, None);
+            assert_eq!(plural.len(), 1);
+            assert_eq!(plural[0], single.unwrap(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn topk_seed_joins_the_batch() {
+        let (m, _reg, w) = paper_matrix();
+        let value_of = |id: CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            topk: 4,
+            ..SearchConfig::default()
+        };
+        let (unseeded, _) = best_rectangles_seeded(&m, &value_of, &cfg, None);
+        let (seeded, _) = best_rectangles_seeded(&m, &value_of, &cfg, Some(&unseeded[0]));
+        assert_eq!(seeded, unseeded, "re-validated seed dedups into the batch");
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! Table 5 under arbitrary operation sequences.
 
 use pf_kcmatrix::{
-    best_rectangle, best_rectangle_pooled, reference, CeilingUpdate, CubeRegistry, CubeState,
-    CubeStates, KcMatrix, LabelGen, SearchConfig, SearchPool,
+    best_rectangle, best_rectangle_pooled, best_rectangles_seeded, conflicts, reference,
+    select_nonconflicting, CeilingUpdate, CubeRegistry, CubeState, CubeStates, KcMatrix, LabelGen,
+    SearchConfig, SearchPool,
 };
 use pf_sop::kernel::KernelConfig;
 use pf_sop::{Cube, Lit, Sop};
@@ -321,6 +322,61 @@ proptest! {
             &m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Dirty(&dirty),
         );
         prop_assert_eq!(&ceiled, &fresh, "threads={}", threads);
+    }
+
+    /// The plural search at topk = 1 is the singular search: same
+    /// rectangle, byte for byte, for any stripe and thread count.
+    #[test]
+    fn topk1_plural_search_is_the_singular_search(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4),
+        striped in any::<bool>(),
+        proc in 0u32..3,
+        nprocs in 1u32..3,
+        threads in 0usize..3,
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            stripe: striped.then_some((proc % nprocs, nprocs)),
+            par_threads: threads,
+            topk: 1,
+            ..SearchConfig::default()
+        };
+        let (single, _) = best_rectangle(&m, &value_of, &cfg);
+        let (plural, _) = best_rectangles_seeded(&m, &value_of, &cfg, None);
+        prop_assert_eq!(plural.first(), single.as_ref());
+        prop_assert!(plural.len() <= 1);
+    }
+
+    /// A batch selected from top-K candidates is genuinely conflict-free
+    /// (pairwise) and maximal: every rejected candidate conflicts with
+    /// at least one selected rectangle.
+    #[test]
+    fn selected_batch_is_conflict_free_and_maximal(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4),
+        topk in 2usize..12,
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let cfg = SearchConfig { topk, ..SearchConfig::default() };
+        let (cands, _) = best_rectangles_seeded(&m, &value_of, &cfg, None);
+        let selected = select_nonconflicting(&m, &cands, usize::MAX);
+        for (i, a) in selected.iter().enumerate() {
+            for b in &selected[i + 1..] {
+                prop_assert!(!conflicts(&m, a, b), "selected pair conflicts");
+                prop_assert!(!conflicts(&m, b, a), "conflict must be symmetric here");
+            }
+        }
+        for c in cands.iter().filter(|c| !selected.contains(c)) {
+            prop_assert!(
+                selected.iter().any(|s| conflicts(&m, s, c)),
+                "rejected candidate conflicts with nothing — selection not maximal"
+            );
+        }
+        // The canonical best candidate is always selected first.
+        if let Some(first) = cands.first() {
+            prop_assert_eq!(selected.first(), Some(first));
+        }
     }
 
     /// Tombstoning a node's rows leaves the matrix consistent.

@@ -124,6 +124,12 @@ pub fn encode_sub_request(job: &SubJob, faults: Option<(&str, u64)>) -> Json {
             ),
         ),
     ];
+    if job.extract.search.topk > 1 {
+        members.push((
+            "batch_rects".to_string(),
+            Json::u64(job.extract.search.topk as u64),
+        ));
+    }
     if let Some((spec, seed)) = faults {
         members.push(("fault_plan".to_string(), Json::str(spec)));
         members.push(("fault_seed".to_string(), Json::u64(seed)));
@@ -315,6 +321,12 @@ fn run_sub(request: &Json) -> Result<Json, String> {
         _ => return Err("missing \"targets\"".into()),
     };
     let mut extract = ExtractConfig::default();
+    if let Some(k) = request.get("batch_rects").and_then(Json::as_u64) {
+        if k == 0 {
+            return Err("\"batch_rects\" must be at least 1".into());
+        }
+        extract.search.topk = k as usize;
+    }
     if let Some(spec) = request.get("fault_plan").and_then(Json::as_str) {
         let seed = request
             .get("fault_seed")

@@ -75,6 +75,11 @@ pub struct JobSpec {
     /// (`SearchConfig::par_threads`). `0` keeps the classic sequential
     /// search. Clamped to the host's parallelism at submit time.
     pub par_threads: usize,
+    /// Rectangles collected per search pass (`SearchConfig::topk`).
+    /// `1` keeps the classic one-rectangle-per-pass engine; larger
+    /// values enable conflict-aware batching. Result-affecting, unlike
+    /// `par_threads`, so it participates in the cache key.
+    pub batch_rects: usize,
     /// Per-job deadline; expiry (including time spent queued) turns the
     /// job into a structured timeout response.
     pub deadline: Option<Duration>,
@@ -94,6 +99,7 @@ impl JobSpec {
             workload: workload.into(),
             procs: 2,
             par_threads: 0,
+            batch_rects: 1,
             deadline: None,
             delta_from: None,
         }
@@ -122,12 +128,19 @@ impl JobSpec {
     /// only for the parallel drivers (`seq` ignores it), and
     /// `par_threads` / `deadline` are result-invariant per the repo's
     /// determinism tests (a timed-out run is never admitted anyway).
+    /// `batch_rects` *is* result-affecting (batched extraction may pick
+    /// a slightly different cover), so any K > 1 gets its own key —
+    /// keyed only when > 1 so existing K=1 cache entries stay valid.
     pub fn cache_param_digest(&self) -> Digest {
         let mut b = DigestBuilder::new();
         b.write_str("cache-key");
         b.write_str(self.algorithm.as_str());
         if self.algorithm != Algorithm::Seq {
             b.write_u64(self.procs as u64);
+        }
+        if self.batch_rects > 1 {
+            b.write_str("batch-rects");
+            b.write_u64(self.batch_rects as u64);
         }
         b.finish()
     }
@@ -422,6 +435,26 @@ mod tests {
         rep8.procs = 8;
         assert_ne!(rep.cache_param_digest(), rep8.cache_param_digest());
         assert_ne!(seq.cache_param_digest(), rep.cache_param_digest());
+    }
+
+    #[test]
+    fn cache_params_track_batch_rects_for_every_driver() {
+        // K=1 must hash like a spec that predates the field (cache
+        // entries from classic runs stay valid); any K>1 is its own key.
+        for alg in ALGORITHMS {
+            let classic = JobSpec::new(alg, "gen:dalu@0.2");
+            let mut k1 = classic.clone();
+            k1.batch_rects = 1;
+            assert_eq!(classic.cache_param_digest(), k1.cache_param_digest());
+            let mut k4 = classic.clone();
+            k4.batch_rects = 4;
+            let mut k16 = classic.clone();
+            k16.batch_rects = 16;
+            assert_ne!(classic.cache_param_digest(), k4.cache_param_digest());
+            assert_ne!(k4.cache_param_digest(), k16.cache_param_digest());
+            // Fingerprint (poison identity) still ignores it.
+            assert_eq!(classic.fingerprint(), k16.fingerprint());
+        }
     }
 
     #[test]

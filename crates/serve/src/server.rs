@@ -560,6 +560,16 @@ fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
         None => 0,
         Some(v) => checked_count(v, "par_threads")?,
     };
+    let batch_rects = match request.get("batch_rects") {
+        None => 1,
+        Some(v) => {
+            let k = checked_count(v, "batch_rects")?;
+            if k == 0 {
+                return Err("\"batch_rects\" must be at least 1".into());
+            }
+            k
+        }
+    };
     let deadline = match request.get("deadline_ms") {
         None | Some(Json::Null) => None,
         Some(v) => Some(Duration::from_millis(
@@ -579,6 +589,7 @@ fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
         workload,
         procs,
         par_threads,
+        batch_rects,
         deadline,
         delta_from,
     })
@@ -787,6 +798,31 @@ mod tests {
         assert_eq!(ok.get("status").and_then(Json::as_str), Some("completed"));
         let bad = parse(&responses[1]).unwrap();
         assert_eq!(bad.get("status").and_then(Json::as_str), Some("rejected"));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn submit_with_batch_rects_parses_and_completes() {
+        let (addr, handle) = start_server(ServiceConfig::default());
+        let responses = request_lines(
+            addr,
+            &[
+                concat!(
+                    r#"{"op":"submit","algorithm":"seq","#,
+                    r#""workload":"gen:misex3@0.05","batch_rects":8}"#
+                )
+                .to_string(),
+                r#"{"op":"submit","algorithm":"seq","workload":"gen:misex3@0.05","batch_rects":0}"#
+                    .to_string(),
+                r#"{"op":"shutdown"}"#.to_string(),
+            ],
+        )
+        .expect("protocol round-trip");
+        let ok = parse(&responses[0]).unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("completed"));
+        let bad = parse(&responses[1]).unwrap();
+        assert_eq!(bad.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(bad.get("reason").and_then(Json::as_str), Some("invalid"));
         handle.join().unwrap();
     }
 

@@ -198,6 +198,10 @@ impl Client {
         }
         // 0 is meaningful (classic sequential search), so only clamp.
         spec.par_threads = spec.par_threads.min(self.inner.max_procs.max(1));
+        if spec.batch_rects == 0 {
+            m.rejected_invalid.inc();
+            return Err(Rejection::Invalid("batch_rects must be at least 1".into()));
+        }
         if let Some(base) = &spec.delta_from {
             if let Err(msg) = self.validate_delta(&spec, base) {
                 m.rejected_invalid.inc();

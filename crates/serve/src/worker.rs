@@ -61,6 +61,7 @@ pub fn run_extraction(
         ..ExtractConfig::default()
     };
     extract.search.par_threads = spec.par_threads;
+    extract.search.topk = spec.batch_rects.max(1);
     let handle = cache.map(|c| {
         let content = network_digest(&nw);
         CacheHandle {
@@ -294,6 +295,29 @@ mod tests {
                 JobOutcome::Completed(jr) => {
                     assert!(jr.report.lc_after <= jr.report.lc_before, "{alg:?}");
                     assert!(jr.run_time > Duration::ZERO);
+                }
+                other => panic!("{alg:?}: unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_jobs_complete_and_report_pass_counters() {
+        for alg in ALGORITHMS {
+            let spec = JobSpec {
+                procs: 2,
+                batch_rects: 8,
+                ..JobSpec::new(alg, "gen:misex3@0.05")
+            };
+            match execute(&spec, &RunCtl::new(), Duration::ZERO) {
+                JobOutcome::Completed(jr) => {
+                    assert!(jr.report.lc_after <= jr.report.lc_before, "{alg:?}");
+                    assert!(jr.report.passes >= 1, "{alg:?}");
+                    assert_eq!(
+                        jr.report.batch_candidates,
+                        jr.report.batch_accepted + jr.report.batch_rejected,
+                        "{alg:?}"
+                    );
                 }
                 other => panic!("{alg:?}: unexpected outcome {other:?}"),
             }

@@ -8,17 +8,18 @@
 //!                   [--cache-entries N] [--cache-ttl-secs N]
 //!                   [--fault-plan SPEC] [--fault-seed N] [--worker]
 //! parafactor submit [--addr A] [-a ALG] [-p N] [--par-threads N]
-//!                   [--deadline-ms N] [--retries N]
+//!                   [--batch-rects K] [--deadline-ms N] [--retries N]
 //!                   [--delta-from BASE] <WORKLOAD>
 //! parafactor dist   [--workers N | --peers A,B,…] [--parts N]
 //!                   [--no-recovery] [--lease-timeout-ms N]
 //!                   [--fault-plan SPEC] [--fault-seed N] <WORKLOAD>
 //! parafactor bench-json [--quick] [--out FILE]
 //!                   [--assert-pooled-overhead PCT]
+//!                   [--assert-pass-reduction PCT]
 //!                   [--assert-cache-identical]
 //!                   [--partition] [--assert-gap-closed PCT]
-//! parafactor profile [-a ALG] [-p N] [--par-threads N] [--seed N]
-//!                   [-o FILE] <INPUT>
+//! parafactor profile [-a ALG] [-p N] [--par-threads N] [--batch-rects K]
+//!                   [--seed N] [-o FILE] <INPUT>
 //!
 //! INPUT                 circuit file (.blif, or the native text format),
 //!                       or gen:<profile>[@scale] for a synthetic circuit
@@ -29,6 +30,9 @@
 //! -p, --procs N         processors / partitions            [default: 4]
 //!     --par-threads N   intra-matrix search threads per worker; 0 keeps
 //!                       the classic sequential search      [default: 0]
+//!     --batch-rects K   rectangles collected per search pass; conflict-
+//!                       free subsets are applied in one batch. 1 keeps
+//!                       the classic one-per-pass engine    [default: 1]
 //! -o, --output FILE     write the optimized circuit (format by extension:
 //!                       .blif or anything else = native text)
 //!     --objective OBJ   area | timing | power               [default: area]
@@ -63,8 +67,11 @@
 //! the four drivers end to end and writes BENCH_rect.json (--quick
 //! shrinks scales/reps for CI; --assert-pooled-overhead PCT exits
 //! non-zero when the pooled one-thread median exceeds the sequential
-//! engine's by more than PCT percent; --assert-cache-identical exits
-//! non-zero unless the warm cache-served network is byte-identical to
+//! engine's by more than PCT percent, skipped with a warning on a
+//! single-core host; --assert-pass-reduction PCT exits non-zero when
+//! batching at K=16 cuts the seq driver's pass count by less than PCT
+//! percent; --assert-cache-identical exits non-zero unless the warm
+//! cache-served network is byte-identical to
 //! the cold run's). bench-json --partition instead measures distributed
 //! partition extraction and writes BENCH_partition.json: the sequential
 //! oracle's literal count against the recovery-off (Algorithm-I
@@ -110,6 +117,7 @@ struct Options {
     algorithm: String,
     procs: usize,
     par_threads: usize,
+    batch_rects: usize,
     output: Option<String>,
     objective: String,
     run_cx: bool,
@@ -139,6 +147,7 @@ fn parse_args() -> Options {
         algorithm: "seq".into(),
         procs: 4,
         par_threads: 0,
+        batch_rects: 1,
         output: None,
         objective: "area".into(),
         run_cx: false,
@@ -167,6 +176,16 @@ fn parse_args() -> Options {
                     eprintln!("error: --par-threads must be a non-negative integer");
                     usage()
                 })
+            }
+            "--batch-rects" => {
+                opts.batch_rects = need("--batch-rects")
+                    .parse()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --batch-rects must be a positive integer");
+                        usage()
+                    })
             }
             "-o" | "--output" => opts.output = Some(need("--output")),
             "--objective" => opts.objective = need("--objective"),
@@ -328,6 +347,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut algorithm = "seq".to_string();
     let mut procs = 2usize;
     let mut par_threads = 0usize;
+    let mut batch_rects = 1usize;
     let mut deadline_ms: Option<u64> = None;
     let mut retries = 4u32;
     let mut delta_from: Option<String> = None;
@@ -355,6 +375,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             "--par-threads" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => par_threads = n,
                 None => return bad("--par-threads must be a non-negative integer".into()),
+            },
+            "--batch-rects" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => batch_rects = n,
+                _ => return bad("--batch-rects must be a positive integer".into()),
             },
             "--deadline-ms" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) => deadline_ms = Some(n),
@@ -398,6 +422,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         ("workload".to_string(), Json::str(workload)),
         ("procs".to_string(), Json::u64(procs as u64)),
         ("par_threads".to_string(), Json::u64(par_threads as u64)),
+        ("batch_rects".to_string(), Json::u64(batch_rects as u64)),
     ];
     if let Some(ms) = deadline_ms {
         request.push(("deadline_ms".to_string(), Json::u64(ms)));
@@ -530,6 +555,7 @@ fn cmd_dist(args: &[String]) -> ExitCode {
         algorithm: "dist".into(),
         procs: workers.max(1),
         par_threads: 0,
+        batch_rects: 1,
         output: None,
         objective: "area".into(),
         run_cx: false,
@@ -588,6 +614,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         algorithm: "seq".into(),
         procs: 4,
         par_threads: 0,
+        batch_rects: 1,
         output: None,
         objective: "area".into(),
         run_cx: false,
@@ -614,6 +641,10 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             "--par-threads" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => opts.par_threads = n,
                 None => return bad("--par-threads must be a non-negative integer".into()),
+            },
+            "--batch-rects" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.batch_rects = n,
+                _ => return bad("--batch-rects must be a positive integer".into()),
             },
             "-o" | "--output" => match value(i) {
                 Some(v) => opts.output = Some(v.clone()),
@@ -657,6 +688,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         ..ExtractConfig::default()
     };
     extract_cfg.search.par_threads = opts.par_threads;
+    extract_cfg.search.topk = opts.batch_rects;
     let report = match opts.algorithm.as_str() {
         "seq" => extract_kernels(&mut work, &[], &extract_cfg),
         "replicated" => replicated_extract(
@@ -750,6 +782,19 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         trace.lanes.len(),
         report.extractions,
         report.elapsed,
+    );
+    eprintln!(
+        "profile: {} search passes, {:.2} rects/pass{}",
+        report.passes,
+        report.rects_per_pass(),
+        if report.batch_candidates > 0 {
+            format!(
+                ", batch: {} candidates, {} accepted, {} rejected",
+                report.batch_candidates, report.batch_accepted, report.batch_rejected
+            )
+        } else {
+            String::new()
+        }
     );
     if trace.dropped > 0 {
         eprintln!(
@@ -873,6 +918,7 @@ fn main() -> ExitCode {
         ..ExtractConfig::default()
     };
     extract_cfg.search.par_threads = opts.par_threads;
+    extract_cfg.search.topk = opts.batch_rects;
 
     let report = match opts.algorithm.as_str() {
         "seq" => extract_kernels(&mut work, &[], &extract_cfg),
@@ -947,12 +993,21 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{}: LC {} -> {} ({} extractions, {:.3?}{})",
+        "{}: LC {} -> {} ({} extractions, {:.3?}{}{})",
         opts.algorithm,
         report.lc_before,
         work.literal_count(),
         report.extractions,
         report.elapsed,
+        if opts.batch_rects > 1 {
+            format!(
+                ", {} passes at {:.2} rects/pass",
+                report.passes,
+                report.rects_per_pass()
+            )
+        } else {
+            String::new()
+        },
         if report.shipped_rectangles > 0 {
             format!(", {} partial rectangles shipped", report.shipped_rectangles)
         } else {

@@ -1,0 +1,147 @@
+//! Property tests for conflict-aware batched extraction: for any K and
+//! thread count the batched cover stays functionally equivalent and
+//! within tolerance of the one-per-pass quality oracle, never takes
+//! more passes, and K = 1 is byte-identical to the classic engine.
+
+use parafactor::core::{extract_kernels, ExtractConfig};
+use parafactor::network::io::write_network;
+use parafactor::network::sim::{equivalent_random, EquivConfig};
+use parafactor::network::Network;
+use parafactor::sop::{Cube, Lit, Sop};
+use proptest::prelude::*;
+
+/// A random multi-level network (same shape as tests/props.rs).
+fn arb_network(
+    n_inputs: usize,
+    n_nodes: usize,
+    max_cubes: usize,
+) -> impl Strategy<Value = Network> {
+    let cube = prop::collection::btree_set(0..(n_inputs + n_nodes) as u32, 1..=3usize);
+    let node = prop::collection::vec(cube, 1..=max_cubes);
+    prop::collection::vec(node, 1..=n_nodes).prop_map(move |specs| {
+        let mut nw = Network::new();
+        let inputs: Vec<u32> = (0..n_inputs)
+            .map(|i| nw.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let mut nodes: Vec<u32> = Vec::new();
+        for (k, spec) in specs.into_iter().enumerate() {
+            let cubes: Vec<Cube> = spec
+                .into_iter()
+                .map(|srcs| {
+                    Cube::from_lits(srcs.into_iter().map(|s| {
+                        let pool_len = inputs.len() + nodes.len();
+                        let idx = (s as usize) % pool_len;
+                        let var = if idx < inputs.len() {
+                            inputs[idx]
+                        } else {
+                            nodes[idx - inputs.len()]
+                        };
+                        Lit::pos(var)
+                    }))
+                })
+                .collect();
+            let id = nw
+                .add_node(format!("n{k}"), Sop::from_cubes(cubes))
+                .unwrap();
+            nodes.push(id);
+        }
+        let fo = nw.fanout_map();
+        for &n in &nodes {
+            if fo[n as usize].is_empty() {
+                nw.mark_output(n).unwrap();
+            }
+        }
+        nw
+    })
+}
+
+fn run(
+    nw: &Network,
+    topk: usize,
+    par_threads: usize,
+) -> (Network, parafactor::core::ExtractReport) {
+    let mut work = nw.clone();
+    let mut cfg = ExtractConfig::default();
+    cfg.search.topk = topk;
+    cfg.search.par_threads = par_threads;
+    let report = extract_kernels(&mut work, &[], &cfg);
+    (work, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched extraction at any K and thread count keeps the global
+    /// invariants and lands within tolerance of the one-per-pass oracle
+    /// — in no more passes.
+    #[test]
+    fn batched_extraction_tracks_the_oracle(
+        nw in arb_network(6, 8, 6),
+        topk in 2usize..17,
+        threads in 0usize..3,
+    ) {
+        let (oracle_nw, oracle) = run(&nw, 1, 0);
+        prop_assert!(oracle_nw.validate().is_ok());
+        let (opt, r) = run(&nw, topk, threads);
+        prop_assert!(opt.validate().is_ok());
+        prop_assert!(equivalent_random(&nw, &opt, &EquivConfig::default()).unwrap());
+        prop_assert!(r.lc_after <= r.lc_before);
+        prop_assert_eq!(r.lc_before as i64 - r.lc_after as i64, r.total_value);
+        // Quality tolerance: within 1% (rounded up) of the oracle.
+        let tol = oracle.lc_after + oracle.lc_after.div_ceil(100);
+        prop_assert!(
+            r.lc_after <= tol,
+            "topk={} threads={}: lc {} vs oracle {}",
+            topk, threads, r.lc_after, oracle.lc_after
+        );
+        prop_assert!(
+            r.passes <= oracle.passes,
+            "batching took more passes ({} vs {})", r.passes, oracle.passes
+        );
+        // Counter discipline: every candidate is accepted or rejected,
+        // and accepted candidates are exactly the extractions.
+        prop_assert_eq!(r.batch_candidates, r.batch_accepted + r.batch_rejected);
+        prop_assert_eq!(r.batch_accepted, r.extractions);
+    }
+
+    /// K = 1 through the batch plumbing is byte-identical to the classic
+    /// one-per-pass engine: same network dump, same report counters.
+    #[test]
+    fn topk1_is_byte_identical_to_classic(
+        nw in arb_network(6, 8, 6),
+        threads in 0usize..3,
+    ) {
+        let (classic_nw, classic) = run(&nw, 1, threads);
+        let (batch_nw, batch) = {
+            // Explicitly exercise the same config the CLI builds for
+            // --batch-rects 1.
+            let mut work = nw.clone();
+            let mut cfg = ExtractConfig::default();
+            cfg.search.topk = 1;
+            cfg.search.par_threads = threads;
+            let report = extract_kernels(&mut work, &[], &cfg);
+            (work, report)
+        };
+        prop_assert_eq!(write_network(&classic_nw), write_network(&batch_nw));
+        prop_assert_eq!(classic.lc_after, batch.lc_after);
+        prop_assert_eq!(classic.extractions, batch.extractions);
+        prop_assert_eq!(classic.total_value, batch.total_value);
+        prop_assert_eq!(classic.passes, batch.passes);
+    }
+
+    /// The batched result is deterministic in the thread count: the
+    /// parallel searches feed the same canonical top-K, so the final
+    /// network must not depend on par_threads.
+    #[test]
+    fn batched_extraction_is_thread_count_invariant(
+        nw in arb_network(6, 8, 6),
+        topk in 2usize..9,
+    ) {
+        let (a, ra) = run(&nw, topk, 0);
+        let (b, rb) = run(&nw, topk, 2);
+        prop_assert_eq!(write_network(&a), write_network(&b));
+        prop_assert_eq!(ra.lc_after, rb.lc_after);
+        prop_assert_eq!(ra.extractions, rb.extractions);
+        prop_assert_eq!(ra.passes, rb.passes);
+    }
+}
