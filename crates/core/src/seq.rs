@@ -16,7 +16,8 @@ use pf_kcmatrix::rectangle::CostModel;
 use pf_kcmatrix::{
     best_rectangle_pooled, best_rectangle_pooled_with, best_rectangle_seeded,
     best_rectangle_with_seed, best_rectangles_pooled, best_rectangles_pooled_with,
-    best_rectangles_seeded, best_rectangles_with_seed, revalidate_rectangle, select_nonconflicting,
+    best_rectangles_seeded, best_rectangles_with_seed, revalidate_rectangle,
+    select_prefix_nonconflicting,
     CeilingSnapshot, CeilingUpdate, ColIdx, CubeRegistry, KcMatrix, LabelGen, Rectangle,
     SearchConfig, SearchPool, SearchStats,
 };
@@ -280,6 +281,15 @@ impl Engine {
         self.pool.take()
     }
 
+    /// The pool's `tile` phase counters: full panel (re)builds and
+    /// incrementally re-encoded columns so far. `(0, 0)` for a pool-less
+    /// engine or `tile_width == 0`.
+    pub fn tile_counters(&self) -> (u64, u64) {
+        self.pool
+            .as_ref()
+            .map_or((0, 0), |p| (p.tile_rebuilds(), p.tile_synced_cols()))
+    }
+
     /// The matrix (for inspection / rendering).
     pub fn matrix(&self) -> &KcMatrix {
         &self.matrix
@@ -407,11 +417,20 @@ impl Engine {
         }
     }
 
-    /// Greedy maximal non-conflicting subset of `candidates` against the
+    /// Canonical non-conflicting *prefix* of `candidates` against the
     /// engine's current matrix (see [`pf_kcmatrix::conflict`]), at most
     /// `max` rectangles, in canonical order.
+    ///
+    /// This is the batched cover's wave selection: it stops at the first
+    /// conflict rather than skipping over it, because the callers
+    /// re-validate and re-rank the survivors before the next wave.
+    /// Skip-over selection (`select_nonconflicting`) applied stale
+    /// post-conflict candidates and inflated the extraction count over
+    /// the one-per-pass engine (e.g. gen:dalu@1 with `topk 16`: 22
+    /// extractions / LC 2131 vs the singular 18 / 2130; the prefix rule
+    /// restores 18 / 2130 at 4.5 rectangles per search pass).
     pub fn select_batch(&self, candidates: &[Rectangle], max: usize) -> Vec<Rectangle> {
-        select_nonconflicting(&self.matrix, candidates, max)
+        select_prefix_nonconflicting(&self.matrix, candidates, max)
     }
 
     /// Re-validates a candidate's column set against the current matrix
@@ -758,13 +777,25 @@ pub(crate) fn extract_kernels_warm(
             report.batch_candidates += cands.len();
             let cands_len = cands.len();
             let mut accepted_this_pass = 0usize;
-            // Apply in waves: select the greedy maximal non-conflicting
-            // subset, apply it, then *re-validate* the rejected
+            // Apply in waves: select the canonical non-conflicting
+            // *prefix*, apply it, then *re-validate* the surviving
             // candidates against the updated matrix (their column sets
             // survive; supports and values are recomputed exactly) and
             // select again — all without paying another search. The
             // wave loop terminates because each wave applies at least
             // one rectangle and removes it from the pool.
+            //
+            // The prefix rule (stop at the first conflict, instead of
+            // skipping over it) is what keeps the extraction count
+            // honest: the conflict winner's apply rewrites the loser's
+            // rows, which can shrink every candidate ranked below it, so
+            // applying post-conflict candidates blind re-extracts
+            // already-covered kernels as small flat extractions the
+            // one-per-pass engine never makes. With the prefix rule each
+            // wave's applies are ranked against a fully re-validated
+            // pool, and the batched cover reproduces the one-per-pass
+            // trajectory while still applying several rectangles per
+            // search.
             let mut wave = cands;
             while !wave.is_empty() && engine.extractions() < cfg.max_extractions {
                 let remaining = cfg.max_extractions - engine.extractions();
@@ -828,6 +859,19 @@ pub(crate) fn extract_kernels_warm(
         }
     }
     lane.end(cover_span);
+    // `tile` phase counters: how the resident panel mirror was kept in
+    // sync across the cover's passes (full rebuilds vs incrementally
+    // re-encoded columns). Emitted once per run — the counters are
+    // cumulative over the pool's passes.
+    if cfg.search.tile_width > 0 {
+        let (rebuilds, synced_cols) = engine.tile_counters();
+        lane.event("tile", || {
+            vec![
+                ("rebuilds", rebuilds as i64),
+                ("synced_cols", synced_cols as i64),
+            ]
+        });
+    }
     *pool = engine.take_pool();
     report.lc_after = nw.literal_count();
     report.elapsed = start.elapsed();
@@ -1140,6 +1184,46 @@ mod tests {
     }
 
     #[test]
+    fn batched_extractions_never_inflate_over_singular() {
+        // Regression: the wave-drain loop used to re-validate conflict
+        // losers whose kernel columns an earlier wave of the same pass
+        // had already extracted. A loser could come back with a smaller
+        // live support and positive value, re-extracting an
+        // already-covered kernel into a duplicate node — more
+        // extractions than the one-per-pass path for the same (or
+        // worse) final literal count. With the applied-column dedupe,
+        // batching can only merge passes, never invent extractions.
+        for seed in [7u64, 13, 29] {
+            let mut profile = pf_workloads::scale_profile(
+                &pf_workloads::profile_by_name("dalu").expect("dalu profile exists"),
+                0.35,
+            );
+            profile.seed = seed;
+            let mut nw1 = pf_workloads::generate(&profile);
+            let oracle = extract_kernels(&mut nw1, &[], &ExtractConfig::default());
+            for topk in [4usize, 16] {
+                let mut cfg = ExtractConfig::default();
+                cfg.search.topk = topk;
+                let mut nwb = pf_workloads::generate(&profile);
+                let report = extract_kernels(&mut nwb, &[], &cfg);
+                assert!(
+                    report.extractions <= oracle.extractions,
+                    "seed={seed} topk={topk}: batched {} extractions vs singular {}",
+                    report.extractions,
+                    oracle.extractions
+                );
+                assert!(
+                    report.lc_after <= oracle.lc_after,
+                    "seed={seed} topk={topk}: batched lc {} vs singular {}",
+                    report.lc_after,
+                    oracle.lc_after
+                );
+                assert!(nwb.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
     fn batched_max_extractions_still_caps() {
         let (mut nw, _) = example_1_1();
         let mut cfg = ExtractConfig {
@@ -1222,3 +1306,4 @@ mod tests {
     use pf_network::Network;
     use pf_sop::{Cube, Sop};
 }
+

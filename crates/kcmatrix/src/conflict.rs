@@ -106,6 +106,59 @@ pub fn select_nonconflicting(m: &KcMatrix, candidates: &[Rectangle], max: usize)
     selected
 }
 
+/// The canonical non-conflicting *prefix* of `candidates`: walk the
+/// canonical (value, cols, rows) order and stop at the first candidate
+/// that conflicts with an earlier pick, at most `max` rectangles.
+///
+/// Prefer this over [`select_nonconflicting`] when the rejected
+/// candidates will be *re-validated and re-ranked* before further use
+/// (the batched cover's wave drain). The first conflict is evidence the
+/// ranking below it is stale: the winner's apply rewrites the loser's
+/// rows, which can shrink the loser and every candidate ranked after it,
+/// so skipping over the conflict and applying lower-ranked candidates
+/// blind inflates the extraction count with small flat extractions the
+/// one-per-pass engine never makes. Stopping at the conflict keeps every
+/// applied rectangle ranked against a fresh pool. Like
+/// [`select_nonconflicting`], the input is sorted canonically first and
+/// the result is deterministic; the canonical best is always selected.
+pub fn select_prefix_nonconflicting(
+    m: &KcMatrix,
+    candidates: &[Rectangle],
+    max: usize,
+) -> Vec<Rectangle> {
+    if candidates.is_empty() || max == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<&Rectangle> = candidates.iter().collect();
+    order.sort_by(|a, b| {
+        if a == b {
+            std::cmp::Ordering::Equal
+        } else if canonical_better(a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+
+    let mut selected: Vec<Rectangle> = Vec::new();
+    let mut nodes: FxHashSet<u32> = FxHashSet::default();
+    let mut cols: FxHashSet<usize> = FxHashSet::default();
+    for cand in order {
+        if selected.len() >= max {
+            break;
+        }
+        if cand.cols.iter().any(|c| cols.contains(c))
+            || cand.rows.iter().any(|&r| nodes.contains(&m.rows()[r].node))
+        {
+            break;
+        }
+        cols.extend(cand.cols.iter().copied());
+        nodes.extend(cand.rows.iter().map(|&r| m.rows()[r].node));
+        selected.push(cand.clone());
+    }
+    selected
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +309,39 @@ mod tests {
         assert_eq!(capped[0], sel[0]);
         assert!(select_nonconflicting(&m, &cands, 0).is_empty());
         assert!(select_nonconflicting(&m, &[], usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn prefix_selection_stops_at_the_first_conflict() {
+        let (m, w) = paper_matrix();
+        let cfg = SearchConfig {
+            topk: 8,
+            ..SearchConfig::default()
+        };
+        let (cands, _) = best_rectangles_seeded(&m, &|id| w[id as usize], &cfg, None);
+        assert!(cands.len() > 1);
+        let prefix = select_prefix_nonconflicting(&m, &cands, usize::MAX);
+        let greedy = select_nonconflicting(&m, &cands, usize::MAX);
+        // The canonical best is always selected, and the prefix is a
+        // prefix of the skip-over greedy selection.
+        assert!(!prefix.is_empty());
+        assert_eq!(prefix[0], cands[0]);
+        assert!(prefix.len() <= greedy.len());
+        assert_eq!(&greedy[..prefix.len()], &prefix[..]);
+        // It really is the canonical prefix: the candidate right after
+        // the last pick (in canonical order) conflicts with a pick.
+        if prefix.len() < cands.len() {
+            let next = cands
+                .iter()
+                .find(|c| !prefix.contains(c))
+                .expect("a rejected candidate exists");
+            assert!(prefix.iter().any(|s| conflicts(&m, s, next)));
+        }
+        // Capping and empty input behave like the greedy variant.
+        let capped = select_prefix_nonconflicting(&m, &cands, 1);
+        assert_eq!(capped, vec![cands[0].clone()]);
+        assert!(select_prefix_nonconflicting(&m, &cands, 0).is_empty());
+        assert!(select_prefix_nonconflicting(&m, &[], usize::MAX).is_empty());
     }
 
     #[test]

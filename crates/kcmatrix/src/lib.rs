@@ -23,6 +23,9 @@
 //!   [`rowset::RowSet`] bitsets, and `SearchConfig::par_threads` turns
 //!   on the deterministic parallel engine ([`par_search`]); the original
 //!   sorted-vec search survives as the [`reference`] oracle.
+//!   `SearchConfig::tile_width` swaps the hot intersection loop for the
+//!   cache-blocked tiled kernel over column-major panels ([`tiles`]) —
+//!   byte-identical results, linear streaming.
 
 pub mod conflict;
 pub mod cube_matrix;
@@ -34,8 +37,9 @@ pub mod rectangle;
 pub mod reference;
 pub mod registry;
 pub mod rowset;
+pub mod tiles;
 
-pub use conflict::{conflicts, select_nonconflicting};
+pub use conflict::{conflicts, select_nonconflicting, select_prefix_nonconflicting};
 pub use cube_matrix::{CommonCube, CubeLitMatrix};
 pub use digest::{cube_digest, network_digest, sop_digest, Digest, DigestBuilder};
 pub use matrix::{ColIdx, KcCol, KcMatrix, KcRow, LabelGen, RowIdx};
@@ -48,3 +52,4 @@ pub use rectangle::{
 };
 pub use registry::{CubeId, CubeRegistry, CubeState, CubeStates, ProcId};
 pub use rowset::RowSet;
+pub use tiles::{TilePanels, TiledSupport};

@@ -58,11 +58,12 @@
 
 use crate::matrix::{ColIdx, KcMatrix, RowIdx};
 use crate::rectangle::{
-    approx_value, evaluate_with, greedy_row, stripe_admits, CostModel, GreedyBufs, Rectangle,
-    SearchConfig, SearchStats, TopK,
+    approx_value, approx_value_rows, evaluate_with, greedy_row, greedy_row_tiled, stripe_admits,
+    CostModel, GreedyBufs, Rectangle, SearchConfig, SearchStats, TopK,
 };
 use crate::registry::CubeId;
 use crate::rowset::RowSet;
+use crate::tiles::{TilePanels, TiledSupport};
 use pf_sop::fx::FxHashSet;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering::Relaxed};
@@ -224,10 +225,15 @@ pub(crate) struct WorkerScratch {
     greedy: GreedyBufs,
     cols: Vec<ColIdx>,
     depths: Vec<RowSet>,
+    /// Per-depth tiled-support pool — the tiled kernel's twin of
+    /// `depths`, retained across passes just the same.
+    tdepths: Vec<TiledSupport>,
     cand: Vec<RowSet>,
     rows_buf: Vec<RowIdx>,
     seen: FxHashSet<CubeId>,
     root: RowSet,
+    /// Tiled twin of `root`.
+    troot: TiledSupport,
 }
 
 /// Read-only view of the surviving per-column ceilings for one pass
@@ -292,6 +298,7 @@ pub(crate) fn search(
     row_full_value: &[i64],
     col_sets: &[RowSet],
     init_best: Option<Rectangle>,
+    panel: Option<&TilePanels>,
 ) -> (Vec<Rectangle>, SearchStats) {
     let tasks = admissible_tasks(m, cfg, col_sets);
     if tasks.is_empty() {
@@ -321,6 +328,7 @@ pub(crate) fn search(
                         &sync,
                         &mut ws,
                         None,
+                        panel,
                     )
                 })
             })
@@ -336,6 +344,7 @@ pub(crate) fn search(
             &sync,
             &mut ws,
             None,
+            panel,
         )];
         results.extend(
             handles
@@ -415,13 +424,16 @@ pub(crate) fn run_worker<S: PassSync>(
     sync: &S,
     ws: &mut WorkerScratch,
     ceil: Option<&CeilingsView<'_>>,
+    panel: Option<&TilePanels>,
 ) -> WorkerResult {
     // Phase 1: greedy rows. Never aborted — rule 3 needs the complete
     // greedy result even when another worker trips the budget. The local
     // K-th best (the list threshold) is published to the shared bound
     // immediately so phase-2 workers prune against it as early as
     // possible; with `topk = 1` that is exactly the old per-find value
-    // publish.
+    // publish. Offers go by reference — both lists clone only what they
+    // actually keep, so a rejected row costs no allocation (the pooled
+    // 1-thread overhead budget lives and dies here).
     let mut greedy = TopK::new(cfg.topk);
     let mut found = TopK::new(cfg.topk);
     let mut bound_updates = 0u64;
@@ -432,8 +444,19 @@ pub(crate) fn run_worker<S: PassSync>(
         }
         let end = (start + queue.greedy_chunk).min(queue.greedy_rows);
         for r in start..end {
-            if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut ws.greedy) {
-                greedy.insert(rect.clone());
+            // Tiled rows gate their exact evaluation on `found` — in
+            // this phase `found` and `greedy` hold identical contents,
+            // so the gate is conservative for both lists and the
+            // rule-3 merge stays exact (a gated-out row is strictly
+            // below the list threshold it would have been offered to).
+            let rect = match panel {
+                Some(p) => {
+                    greedy_row_tiled(m, model, cfg, p, row_full_value, r, &mut ws.greedy, &found)
+                }
+                None => greedy_row(m, model, cfg, col_sets, r, &mut ws.greedy),
+            };
+            if let Some(rect) = rect {
+                greedy.insert_ref(&rect);
                 if found.insert(rect) && sync.raise_bound(found.threshold()) {
                     bound_updates += 1;
                 }
@@ -443,6 +466,7 @@ pub(crate) fn run_worker<S: PassSync>(
 
     // Phase 2: branch-and-bound explore tasks.
     let mut root = std::mem::take(&mut ws.root);
+    let mut troot = std::mem::take(&mut ws.troot);
     let mut ceil_out: Vec<(ColIdx, i64)> = Vec::new();
     let mut search = ParSearch {
         m,
@@ -450,6 +474,7 @@ pub(crate) fn run_worker<S: PassSync>(
         cfg,
         row_full_value,
         col_sets,
+        panel,
         sync,
         stopped: false,
         expansions: 0,
@@ -459,6 +484,7 @@ pub(crate) fn run_worker<S: PassSync>(
         found: &mut found,
         cols: &mut ws.cols,
         scratch: &mut ws.depths,
+        tscratch: &mut ws.tdepths,
         cand: &mut ws.cand,
         rows_buf: &mut ws.rows_buf,
         seen: &mut ws.seen,
@@ -488,8 +514,13 @@ pub(crate) fn run_worker<S: PassSync>(
             search.task_ceil = 0;
             search.cols.clear();
             search.cols.push(c0);
-            root.copy_from(&col_sets[c0]);
-            root = search.explore(0, root);
+            if let Some(p) = panel {
+                troot.load_col(p, c0);
+                troot = search.explore_tiled(0, troot);
+            } else {
+                root.copy_from(&col_sets[c0]);
+                root = search.explore(0, root);
+            }
             if ceil.is_some() && !search.stopped {
                 // Task completed: its running ceiling is a sound upper
                 // bound on the whole subtree, fresh for the next pass.
@@ -498,6 +529,7 @@ pub(crate) fn run_worker<S: PassSync>(
         }
     }
     ws.root = root;
+    ws.troot = troot;
     let expansions = search.expansions;
     let pruned = search.pruned;
     let explore_updates = search.bound_updates;
@@ -517,6 +549,8 @@ struct ParSearch<'a, S: PassSync> {
     cfg: &'a SearchConfig,
     row_full_value: &'a [i64],
     col_sets: &'a [RowSet],
+    /// Column-major tile mirror; `Some` selects the tiled kernel.
+    panel: Option<&'a TilePanels>,
     /// Shared bound / budget tickets / truncation flag for this pass.
     sync: &'a S,
     /// Local mirror of the truncation flag: once set, unwind without
@@ -541,6 +575,8 @@ struct ParSearch<'a, S: PassSync> {
     found: &'a mut TopK,
     cols: &'a mut Vec<ColIdx>,
     scratch: &'a mut Vec<RowSet>,
+    /// Per-depth tiled-support pool (the tiled kernel's `scratch`).
+    tscratch: &'a mut Vec<TiledSupport>,
     /// Per-depth candidate-column bitsets (universe = column count).
     cand: &'a mut Vec<RowSet>,
     rows_buf: &'a mut Vec<RowIdx>,
@@ -622,6 +658,81 @@ impl<S: PassSync> ParSearch<'_, S> {
             self.cols.push(c);
             let buf = self.explore(depth + 1, shared);
             self.scratch[depth] = buf;
+            self.cols.pop();
+            if self.stopped {
+                // Terminal unwind — skip restoring the candidate pool.
+                return rows;
+            }
+        }
+        self.cand[depth] = cand;
+        rows
+    }
+
+    /// [`ParSearch::explore`] over the tiled kernel — the worker-side
+    /// twin of the sequential `explore_tiled`: same budget tickets,
+    /// same `task_ceil` accounting, same strict prune and admission
+    /// gates. Only the support representation and the fused
+    /// intersect+bound pass differ, and both produce the exact scalar
+    /// values, so results stay byte-identical.
+    fn explore_tiled(&mut self, depth: usize, rows: TiledSupport) -> TiledSupport {
+        if self.sync.is_truncated() {
+            self.stopped = true;
+            return rows;
+        }
+        let ticket = self.sync.ticket();
+        if ticket >= self.cfg.budget {
+            self.sync.set_truncated();
+            self.stopped = true;
+            return rows;
+        }
+        self.expansions += 1;
+
+        if self.cols.len() >= self.cfg.min_cols {
+            let approx = approx_value_rows(self.m, self.model, self.cols, rows.iter());
+            self.task_ceil = self.task_ceil.max(approx);
+            if approx > 0 && approx >= self.sync.bound() {
+                self.rows_buf.clear();
+                rows.collect_into(self.rows_buf);
+                self.seen.clear();
+                if let Some(rect) =
+                    evaluate_with(self.m, self.model, self.cols, self.rows_buf, self.seen)
+                {
+                    if self.found.insert(rect) && self.sync.raise_bound(self.found.threshold()) {
+                        self.bound_updates += 1;
+                    }
+                }
+            }
+        }
+
+        let from = self.cols.last().copied().unwrap_or(0) + 1;
+        if self.tscratch.len() <= depth {
+            self.tscratch.resize_with(depth + 1, TiledSupport::default);
+        }
+        if self.cand.len() <= depth {
+            self.cand.resize_with(depth + 1, RowSet::new);
+        }
+        let mut cand = std::mem::take(&mut self.cand[depth]);
+        cand.reset(self.m.cols().len());
+        for r in &rows {
+            for &(c, _) in &self.m.rows()[r].entries {
+                if c >= from {
+                    cand.insert(c);
+                }
+            }
+        }
+        let panel = self.panel.expect("tiled explore requires a panel");
+        for c in &cand {
+            let mut shared = std::mem::take(&mut self.tscratch[depth]);
+            let ub = shared.and_ub_from(&rows, panel, c, self.row_full_value);
+            if ub <= 0 || ub < self.sync.bound() {
+                self.pruned += 1;
+                self.task_ceil = self.task_ceil.max(ub);
+                self.tscratch[depth] = shared;
+                continue;
+            }
+            self.cols.push(c);
+            let buf = self.explore_tiled(depth + 1, shared);
+            self.tscratch[depth] = buf;
             self.cols.pop();
             if self.stopped {
                 // Terminal unwind — skip restoring the candidate pool.

@@ -68,6 +68,7 @@ use crate::par_search::{
 use crate::rectangle::{
     revalidate_seed, row_full_values, CostModel, Rectangle, SearchConfig, SearchStats,
 };
+use crate::tiles::TilePanels;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -183,6 +184,15 @@ pub struct SearchPool {
     spawned: u64,
     passes: u64,
     ceil: Ceilings,
+    /// Resident tile-panel mirror for `SearchConfig::tile_width > 0`
+    /// passes, kept in sync across passes by the same dirty-column
+    /// bookkeeping that drives the ceilings (see [`crate::tiles`]).
+    panel: Option<TilePanels>,
+    /// `tile` phase counters: full panel (re)builds and in-place
+    /// column re-encodes, for observability (`tile_rebuilds` /
+    /// `tile_synced_cols`).
+    tile_rebuilds: u64,
+    tile_synced_cols: u64,
 }
 
 impl Default for SearchPool {
@@ -215,6 +225,9 @@ impl SearchPool {
             spawned: 0,
             passes: 0,
             ceil: Ceilings::default(),
+            panel: None,
+            tile_rebuilds: 0,
+            tile_synced_cols: 0,
         }
     }
 
@@ -239,6 +252,20 @@ impl SearchPool {
     /// Search passes executed through this pool.
     pub fn passes(&self) -> u64 {
         self.passes
+    }
+
+    /// `tile` phase counter: full panel (re)builds this pool performed
+    /// for the tiled kernel. A steady-state incremental run should pin
+    /// this at 1 (the first pass) — a climbing count means the dirty
+    /// contract keeps forcing rebuilds.
+    pub fn tile_rebuilds(&self) -> u64 {
+        self.tile_rebuilds
+    }
+
+    /// `tile` phase counter: columns re-encoded in place (dirty or
+    /// appended) across all incremental panel syncs.
+    pub fn tile_synced_cols(&self) -> u64 {
+        self.tile_synced_cols
     }
 
     /// Drops all stored ceilings (e.g. before reusing the pool on a
@@ -408,6 +435,25 @@ pub(crate) fn pool_search(
     update: CeilingUpdate<'_>,
 ) -> (Vec<Rectangle>, SearchStats) {
     let ncols = m.cols().len();
+    // Panel prologue: keep the resident tile mirror in sync with the
+    // matrix. The caller's `update` carries exactly the information the
+    // panel needs — `Dirty` lists every column that gained or lost a
+    // row since the previous pass (the `Engine::apply` contract), so an
+    // incremental re-encode suffices; anything else rebuilds.
+    if cfg.tile_width == 0 {
+        pool.panel = None;
+    } else if let (Some(panel), CeilingUpdate::Dirty(dirty)) = (&mut pool.panel, &update) {
+        let appended = col_sets.len().saturating_sub(panel.ncols());
+        if panel.sync(m.rows().len(), col_sets, cfg.tile_width, dirty) {
+            pool.tile_rebuilds += 1;
+        } else {
+            pool.tile_synced_cols += (appended + dirty.len()) as u64;
+        }
+    } else {
+        pool.panel = Some(TilePanels::build(m.rows().len(), col_sets, cfg.tile_width));
+        pool.tile_rebuilds += 1;
+    }
+
     // Ceiling prologue: decide whether this pass consults and records
     // ceilings, and apply the caller-declared invalidation.
     let enabled = match update {
@@ -448,9 +494,11 @@ pub(crate) fn pool_search(
     let queue = Queue::new(&tasks, nthreads, greedy_rows);
     let init_bound = crate::par_search::init_bound(cfg, init_best.as_ref());
 
-    // Move the ceilings out of the pool so `run_pass(&mut pool)` and
-    // the read-only view can coexist.
+    // Move the ceilings (and the panel) out of the pool so
+    // `run_pass(&mut pool)` and the read-only views can coexist.
     let mut ceil = std::mem::take(&mut pool.ceil);
+    let panel = std::mem::take(&mut pool.panel);
+    let panel_ref = panel.as_ref();
     let view = if enabled {
         Some(CeilingsView {
             vals: &ceil.vals,
@@ -475,6 +523,7 @@ pub(crate) fn pool_search(
             &sync,
             &mut pool.solo,
             view.as_ref(),
+            panel_ref,
         );
         let truncated = sync.is_truncated();
         let (best, stats, ceil_out) = merge_results(vec![result], init_best, truncated, cfg.topk);
@@ -495,6 +544,7 @@ pub(crate) fn pool_search(
                 &sync,
                 ws,
                 view_ref,
+                panel_ref,
             );
             *slots[idx].lock() = Some(r);
         });
@@ -522,6 +572,9 @@ pub(crate) fn pool_search(
         }
     }
     pool.ceil = ceil;
+    // The panel stays valid regardless of truncation — it mirrors
+    // matrix *content*, not search state.
+    pool.panel = panel;
 
     (best, stats)
 }

@@ -31,6 +31,7 @@ use crate::matrix::{ColIdx, KcMatrix, RowIdx};
 use crate::pool::{CeilingUpdate, SearchPool};
 use crate::registry::CubeId;
 use crate::rowset::RowSet;
+use crate::tiles::{TilePanels, TiledSupport};
 use pf_sop::fx::FxHashSet;
 use pf_sop::Sop;
 
@@ -99,26 +100,59 @@ impl TopK {
         }
     }
 
-    /// Offers a rectangle; returns whether the list changed. Duplicates
-    /// and rectangles worse than a full list's tail are rejected. `k` is
-    /// small (a batch size), so the scan is linear.
-    pub(crate) fn insert(&mut self, rect: Rectangle) -> bool {
+    /// Where `rect` would land, or `None` when it is rejected (a
+    /// duplicate, or worse than a full list's tail). `k` is small (a
+    /// batch size), so the scan is linear. The cheap value comparison
+    /// runs first — the common reject (a rectangle worse than the
+    /// current tail) costs two integer compares and never touches the
+    /// row/column vectors.
+    fn position(&self, rect: &Rectangle) -> Option<usize> {
         let mut pos = self.items.len();
         for (i, it) in self.items.iter().enumerate() {
-            if *it == rect {
-                return false;
-            }
-            if canonical_better(&rect, it) {
+            if canonical_better(rect, it) {
                 pos = i;
                 break;
             }
+            // Not canonically better ⇒ an equal rectangle can only be
+            // this very item (later items are strictly worse).
+            if it.value == rect.value && *it == *rect {
+                return None;
+            }
         }
         if pos >= self.k {
-            return false;
+            None
+        } else {
+            Some(pos)
         }
-        self.items.insert(pos, rect);
-        self.items.truncate(self.k);
-        true
+    }
+
+    /// Offers a rectangle; returns whether the list changed. Duplicates
+    /// and rectangles worse than a full list's tail are rejected.
+    pub(crate) fn insert(&mut self, rect: Rectangle) -> bool {
+        match self.position(&rect) {
+            Some(pos) => {
+                self.items.insert(pos, rect);
+                self.items.truncate(self.k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// [`TopK::insert`] by reference: the rectangle is cloned only when
+    /// it is actually kept. The greedy phase offers every row's
+    /// rectangle to two lists — cloning up front allocated two vectors
+    /// per *rejected* offer, which is exactly the pooled 1-thread
+    /// overhead the bench gate guards.
+    pub(crate) fn insert_ref(&mut self, rect: &Rectangle) -> bool {
+        match self.position(rect) {
+            Some(pos) => {
+                self.items.insert(pos, rect.clone());
+                self.items.truncate(self.k);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Canonical merge: offers every item of `other`.
@@ -222,6 +256,14 @@ pub struct SearchConfig {
     /// thread count, including the sequential engine. Top-K batches feed
     /// [`crate::conflict`] selection in the extraction drivers.
     pub topk: usize,
+    /// Words per tile of the cache-blocked search kernel
+    /// ([`crate::tiles`]). `0` (the default) keeps the scalar
+    /// [`RowSet`] intersection path; `>= 1` mirrors the matrix into
+    /// column-major panels of `tile_width`-word tiles and runs the hot
+    /// intersection/bound loop over them. Results are byte-identical
+    /// for every width — only the memory access pattern changes — so
+    /// this knob is result-invariant (it never joins cache keys).
+    pub tile_width: usize,
 }
 
 impl Default for SearchConfig {
@@ -233,6 +275,7 @@ impl Default for SearchConfig {
             greedy_seed: true,
             par_threads: 0,
             topk: 1,
+            tile_width: 0,
         }
     }
 }
@@ -386,6 +429,10 @@ pub fn best_rectangles_with_seed(
 ) -> (Vec<Rectangle>, SearchStats) {
     let row_full_value = row_full_values(m, model);
     let col_sets = m.col_row_sets();
+    // Per-call panel mirror for the tiled kernel; the resident pool
+    // keeps its panel across passes instead (see [`crate::pool`]).
+    let panel = (cfg.tile_width > 0)
+        .then(|| TilePanels::build(m.rows().len(), &col_sets, cfg.tile_width));
 
     let seed_rect = seed.and_then(|s| revalidate_seed(m, model, cfg, s));
 
@@ -393,36 +440,50 @@ pub fn best_rectangles_with_seed(
         // The parallel engine runs the greedy sweep itself, striped
         // across its workers (it dominates the sequential prologue once
         // exploration is well-pruned).
-        return crate::par_search::search(m, model, cfg, &row_full_value, &col_sets, seed_rect);
+        return crate::par_search::search(
+            m,
+            model,
+            cfg,
+            &row_full_value,
+            &col_sets,
+            seed_rect,
+            panel.as_ref(),
+        );
     }
 
     if cfg.topk <= 1 {
         let mut acc = BestOne(seed_rect);
-        let stats = sequential_search(m, model, cfg, &row_full_value, &col_sets, &mut acc);
+        let stats =
+            sequential_search(m, model, cfg, &row_full_value, &col_sets, panel.as_ref(), &mut acc);
         (acc.0.into_iter().collect(), stats)
     } else {
         let mut acc = TopK::new(cfg.topk);
         if let Some(s) = seed_rect {
             acc.insert(s);
         }
-        let stats = sequential_search(m, model, cfg, &row_full_value, &col_sets, &mut acc);
+        let stats =
+            sequential_search(m, model, cfg, &row_full_value, &col_sets, panel.as_ref(), &mut acc);
         (acc.into_vec(), stats)
     }
 }
 
 /// Classic sequential branch and bound over column sets ordered by
 /// leftmost column, generic over the collector (monomorphized, so the
-/// best-only path compiles to exactly the pre-top-K engine).
+/// best-only path compiles to exactly the pre-top-K engine). With a
+/// panel the per-task recursion runs [`Search::explore_tiled`] instead
+/// of [`Search::explore`] — same enumeration order, same prune/admit
+/// decisions, byte-identical results.
 fn sequential_search<C: Collect>(
     m: &KcMatrix,
     model: &CostModel<'_>,
     cfg: &SearchConfig,
     row_full_value: &[i64],
     col_sets: &[RowSet],
+    panel: Option<&TilePanels>,
     acc: &mut C,
 ) -> SearchStats {
     if cfg.greedy_seed {
-        greedy_sweep(m, model, cfg, col_sets, acc);
+        greedy_sweep(m, model, cfg, row_full_value, col_sets, panel, acc);
     }
 
     let mut state = Search {
@@ -431,6 +492,7 @@ fn sequential_search<C: Collect>(
         cfg,
         row_full_value,
         col_sets,
+        panel,
         visited: 0,
         truncated: false,
         pruned: 0,
@@ -438,10 +500,12 @@ fn sequential_search<C: Collect>(
         acc,
         cols: Vec::new(),
         scratch: Vec::new(),
+        tscratch: Vec::new(),
         cand: Vec::new(),
         rows_buf: Vec::new(),
         seen: FxHashSet::default(),
         root: RowSet::new(),
+        troot: TiledSupport::default(),
     };
     for (c0, cset) in col_sets.iter().enumerate() {
         if !stripe_admits(cfg, c0) || cset.is_empty() {
@@ -452,9 +516,15 @@ fn sequential_search<C: Collect>(
         }
         state.cols.clear();
         state.cols.push(c0);
-        let mut root = std::mem::take(&mut state.root);
-        root.copy_from(cset);
-        state.root = state.explore(0, root);
+        if let Some(p) = state.panel {
+            let mut troot = std::mem::take(&mut state.troot);
+            troot.load_col(p, c0);
+            state.troot = state.explore_tiled(0, troot);
+        } else {
+            let mut root = std::mem::take(&mut state.root);
+            root.copy_from(cset);
+            state.root = state.explore(0, root);
+        }
     }
     SearchStats {
         visited: state.visited,
@@ -554,6 +624,8 @@ struct Search<'a, C: Collect> {
     cfg: &'a SearchConfig,
     row_full_value: &'a [i64],
     col_sets: &'a [RowSet],
+    /// Column-major tile mirror; `Some` selects the tiled kernel.
+    panel: Option<&'a TilePanels>,
     /// Column sets fully expanded so far.
     visited: u64,
     /// Set when an expansion was denied by the budget.
@@ -567,6 +639,9 @@ struct Search<'a, C: Collect> {
     cols: Vec<ColIdx>,
     /// Per-depth row-support buffers, reused between branches.
     scratch: Vec<RowSet>,
+    /// Per-depth tiled-support buffers (the tiled kernel's twin of
+    /// `scratch`).
+    tscratch: Vec<TiledSupport>,
     /// Per-depth candidate-column bitsets (universe = column count).
     cand: Vec<RowSet>,
     /// Reusable row-index buffer for exact evaluation.
@@ -575,6 +650,8 @@ struct Search<'a, C: Collect> {
     seen: FxHashSet<CubeId>,
     /// Reusable root support buffer for the leftmost-column loop.
     root: RowSet,
+    /// Tiled twin of `root`.
+    troot: TiledSupport,
 }
 
 impl<C: Collect> Search<'_, C> {
@@ -655,6 +732,76 @@ impl<C: Collect> Search<'_, C> {
         self.cand[depth] = cand;
         rows
     }
+
+    /// [`Search::explore`] over the tiled kernel: the support is a
+    /// [`TiledSupport`] and the per-candidate intersection+bound is the
+    /// fused [`TiledSupport::and_ub_from`] pass over the parent's live
+    /// tiles. Enumeration order, budget accounting and every
+    /// prune/admit decision match the scalar body exactly.
+    fn explore_tiled(&mut self, depth: usize, rows: TiledSupport) -> TiledSupport {
+        if self.visited >= self.cfg.budget {
+            self.truncated = true;
+            return rows;
+        }
+        self.visited += 1;
+
+        if self.cols.len() >= self.cfg.min_cols {
+            let approx = approx_value_rows(self.m, self.model, &self.cols, rows.iter());
+            if self.acc.admits(approx) {
+                self.rows_buf.clear();
+                rows.collect_into(&mut self.rows_buf);
+                self.seen.clear();
+                if let Some(rect) = evaluate_with(
+                    self.m,
+                    self.model,
+                    &self.cols,
+                    &self.rows_buf,
+                    &mut self.seen,
+                ) {
+                    if self.acc.offer(rect) {
+                        self.bound_updates += 1;
+                    }
+                }
+            }
+        }
+
+        let from = self.cols.last().copied().unwrap_or(0) + 1;
+        if self.tscratch.len() <= depth {
+            self.tscratch.resize_with(depth + 1, TiledSupport::default);
+        }
+        if self.cand.len() <= depth {
+            self.cand.resize_with(depth + 1, RowSet::new);
+        }
+        let mut cand = std::mem::take(&mut self.cand[depth]);
+        cand.reset(self.m.cols().len());
+        for r in &rows {
+            for &(c, _) in &self.m.rows()[r].entries {
+                if c >= from {
+                    cand.insert(c);
+                }
+            }
+        }
+        let panel = self.panel.expect("tiled explore requires a panel");
+        for c in &cand {
+            let mut shared = std::mem::take(&mut self.tscratch[depth]);
+            let ub = shared.and_ub_from(&rows, panel, c, self.row_full_value);
+            if self.acc.prunes(ub) {
+                self.pruned += 1;
+                self.tscratch[depth] = shared;
+                continue;
+            }
+            self.cols.push(c);
+            let buf = self.explore_tiled(depth + 1, shared);
+            self.tscratch[depth] = buf;
+            self.cols.pop();
+            if self.truncated {
+                // Terminal unwind — skip restoring the candidate pool.
+                return rows;
+            }
+        }
+        self.cand[depth] = cand;
+        rows
+    }
 }
 
 /// Duplicate-blind value of `(cols, rows)`: per-row contributions
@@ -666,6 +813,19 @@ pub(crate) fn approx_value(
     model: &CostModel<'_>,
     cols: &[ColIdx],
     rows: &RowSet,
+) -> i64 {
+    approx_value_rows(m, model, cols, rows.iter())
+}
+
+/// [`approx_value`] over any ascending row iterator — shared by the
+/// scalar ([`RowSet`]) and tiled ([`TiledSupport`]) supports. The sum
+/// is order-independent, so both paths produce the same value bit for
+/// bit.
+pub(crate) fn approx_value_rows(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cols: &[ColIdx],
+    rows: impl IntoIterator<Item = RowIdx>,
 ) -> i64 {
     let col_cost: i64 = cols
         .iter()
@@ -791,6 +951,9 @@ pub(crate) struct GreedyBufs {
     support: RowSet,
     rows_buf: Vec<RowIdx>,
     cols: Vec<ColIdx>,
+    /// Ping-pong tiled supports for [`greedy_row_tiled`].
+    ta: TiledSupport,
+    tb: TiledSupport,
 }
 
 /// One step of the greedy sweep: takes row `r`'s full column set as the
@@ -829,6 +992,66 @@ pub(crate) fn greedy_row(
     evaluate_with(m, model, &bufs.cols, &bufs.rows_buf, &mut bufs.seen)
 }
 
+/// [`greedy_row`] over the tiled kernel. The support intersection runs
+/// the fused [`TiledSupport::and_ub_from`] pass, whose by-product — the
+/// admissible bound `Σ max(row_full_value, 0)` over the survivors —
+/// gates the exact evaluation against the collector: a row whose bound
+/// (minus column costs) fails [`Collect::admits`] cannot change the
+/// collector's state (both collectors' `admits` are conservative on
+/// ties), so its collect + hash-dedup evaluation is skipped outright.
+/// The greedy sweep dominates search wall time on well-pruned matrices,
+/// and most rows die at this gate once the first strong rows set the
+/// bar — this is where the tiled kernel's speedup lives. Results are
+/// byte-identical to the scalar sweep by the admissibility argument;
+/// only the work done changes.
+pub(crate) fn greedy_row_tiled<C: Collect>(
+    m: &KcMatrix,
+    model: &CostModel<'_>,
+    cfg: &SearchConfig,
+    panel: &TilePanels,
+    row_full_value: &[i64],
+    r: RowIdx,
+    bufs: &mut GreedyBufs,
+    acc: &C,
+) -> Option<Rectangle> {
+    let row = &m.rows()[r];
+    if !row.alive || row.entries.len() < cfg.min_cols {
+        return None;
+    }
+    bufs.cols.clear();
+    bufs.cols.extend(row.entries.iter().map(|&(c, _)| c));
+    if !stripe_admits(cfg, bufs.cols[0]) {
+        return None;
+    }
+    bufs.ta.load_col(panel, bufs.cols[0]);
+    // The root bound walk only pays off when there is no intersection to
+    // fuse it into (single-column rows, `min_cols == 1`).
+    let mut ub = if bufs.cols.len() == 1 {
+        bufs.ta.bound(row_full_value)
+    } else {
+        0
+    };
+    for &c in &bufs.cols[1..] {
+        ub = bufs.tb.and_ub_from(&bufs.ta, panel, c, row_full_value);
+        std::mem::swap(&mut bufs.ta, &mut bufs.tb);
+        if bufs.ta.is_empty() {
+            return None;
+        }
+    }
+    let col_cost: i64 = bufs
+        .cols
+        .iter()
+        .map(|&c| (model.col_cost)(&m.cols()[c].cube))
+        .sum();
+    if !acc.admits(ub - col_cost) {
+        return None;
+    }
+    bufs.rows_buf.clear();
+    bufs.ta.collect_into(&mut bufs.rows_buf);
+    bufs.seen.clear();
+    evaluate_with(m, model, &bufs.cols, &bufs.rows_buf, &mut bufs.seen)
+}
+
 /// Greedy seed: [`greedy_row`] over every row, offered to the collector
 /// (first-strictly-better for [`BestOne`], canonical insert for
 /// [`TopK`]). O(rows × cols); seeds the branch-and-bound with a strong
@@ -837,12 +1060,18 @@ fn greedy_sweep<C: Collect>(
     m: &KcMatrix,
     model: &CostModel<'_>,
     cfg: &SearchConfig,
+    row_full_value: &[i64],
     col_sets: &[RowSet],
+    panel: Option<&TilePanels>,
     acc: &mut C,
 ) {
     let mut bufs = GreedyBufs::default();
     for r in 0..m.rows().len() {
-        if let Some(rect) = greedy_row(m, model, cfg, col_sets, r, &mut bufs) {
+        let rect = match panel {
+            Some(p) => greedy_row_tiled(m, model, cfg, p, row_full_value, r, &mut bufs, &*acc),
+            None => greedy_row(m, model, cfg, col_sets, r, &mut bufs),
+        };
+        if let Some(rect) = rect {
             acc.offer(rect);
         }
     }

@@ -94,6 +94,13 @@ impl RowSet {
         }
     }
 
+    /// The backing words, least-significant row first. The final word
+    /// may cover rows past the universe; those bits are always zero.
+    /// [`crate::tiles::TilePanels`] mirrors columns from this slice.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterates the member rows in ascending order.
     pub fn iter(&self) -> SetBits<'_> {
         SetBits {

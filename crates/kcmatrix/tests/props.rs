@@ -6,7 +6,7 @@
 use pf_kcmatrix::{
     best_rectangle, best_rectangle_pooled, best_rectangles_seeded, conflicts, reference,
     select_nonconflicting, CeilingUpdate, CubeRegistry, CubeState, CubeStates, KcMatrix, LabelGen,
-    SearchConfig, SearchPool,
+    RowSet, SearchConfig, SearchPool, TilePanels,
 };
 use pf_sop::kernel::KernelConfig;
 use pf_sop::{Cube, Lit, Sop};
@@ -154,7 +154,10 @@ proptest! {
 
     /// The bitset engine is a drop-in replacement for the legacy vec
     /// search: identical rectangle, value, and stats on arbitrary
-    /// matrices, with and without stripes, for min_cols ∈ {1, 2}.
+    /// matrices, with and without stripes, for min_cols ∈ {1, 2} — and
+    /// the tiled kernel (any `tile_width`) is a drop-in replacement for
+    /// the scalar bitset engine against the same oracle, budget
+    /// truncation included.
     #[test]
     fn bitset_search_equals_vec_search(
         funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4),
@@ -164,12 +167,14 @@ proptest! {
         min_cols in 1usize..3,
         tight_budget in any::<bool>(),
         budget in 1u64..40,
+        tile_width in 0usize..6,
     ) {
         let (m, w) = build_matrix(&funcs);
         let cfg = SearchConfig {
             stripe: striped.then_some((proc % nprocs, nprocs)),
             min_cols,
             budget: if tight_budget { budget } else { SearchConfig::default().budget },
+            tile_width,
             ..SearchConfig::default()
         };
         let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
@@ -178,6 +183,169 @@ proptest! {
         prop_assert_eq!(bit, vec);
         prop_assert_eq!(bit_stats.visited, vec_stats.visited);
         prop_assert_eq!(bit_stats.budget_exhausted, vec_stats.budget_exhausted);
+    }
+
+    /// The tiled kernel is byte-identical to the scalar engine for any
+    /// tile width × thread count × topk: same rectangles in the same
+    /// order, and (sequentially, where the schedule is deterministic)
+    /// the same enumeration statistics.
+    #[test]
+    fn tiled_search_is_byte_identical_to_scalar(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 1..4),
+        tile_width in 1usize..9,
+        topk in 1usize..5,
+        threads in 0usize..3,
+        min_cols in 1usize..3,
+    ) {
+        let (m, w) = build_matrix(&funcs);
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let scalar_cfg = SearchConfig {
+            min_cols,
+            topk,
+            par_threads: threads,
+            ..SearchConfig::default()
+        };
+        let tiled_cfg = SearchConfig { tile_width, ..scalar_cfg.clone() };
+        let (scalar, scalar_stats) = best_rectangles_seeded(&m, &value_of, &scalar_cfg, None);
+        let (tiled, tiled_stats) = best_rectangles_seeded(&m, &value_of, &tiled_cfg, None);
+        prop_assert_eq!(&tiled, &scalar, "width={} topk={} threads={}", tile_width, topk, threads);
+        if threads == 0 {
+            prop_assert_eq!(tiled_stats.visited, scalar_stats.visited);
+            prop_assert_eq!(tiled_stats.pruned, scalar_stats.pruned);
+            prop_assert_eq!(tiled_stats.budget_exhausted, scalar_stats.budget_exhausted);
+        }
+    }
+
+    /// The pooled tiled kernel survives matrix mutation through the
+    /// dirty-column panel sync: after tombstoning the winner's rows, a
+    /// warm tiled pass told only those rows' columns are dirty matches
+    /// a fresh scalar search on the new matrix exactly.
+    #[test]
+    fn tiled_pool_dirty_sync_matches_scalar(
+        funcs in prop::collection::vec(arb_sop(8, 4, 8), 2..4),
+        tile_width in 1usize..6,
+        threads in 1usize..4,
+    ) {
+        let (mut m, w) = build_matrix(&funcs);
+        let value_of = |id: pf_kcmatrix::CubeId| w[id as usize];
+        let cfg = SearchConfig {
+            par_threads: threads,
+            tile_width,
+            ..SearchConfig::default()
+        };
+        let mut pool = SearchPool::new();
+        let (first, _) =
+            best_rectangle_pooled(&m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Reset);
+        prop_assert_eq!(pool.tile_rebuilds(), 1, "first pass builds the panel once");
+        let Some(rect) = first else { return Ok(()) };
+        let mut dirty: Vec<pf_kcmatrix::ColIdx> = rect
+            .rows
+            .iter()
+            .flat_map(|&r| m.rows()[r].entries.iter().map(|&(c, _)| c))
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &r in &rect.rows {
+            m.tombstone_row(r);
+        }
+        let scalar_cfg = SearchConfig { tile_width: 0, ..cfg.clone() };
+        let (fresh, _) = best_rectangle(&m, &value_of, &scalar_cfg);
+        let (warm, _) = best_rectangle_pooled(
+            &m, &value_of, &cfg, None, &mut pool, CeilingUpdate::Dirty(&dirty),
+        );
+        prop_assert_eq!(&warm, &fresh, "width={} threads={}", tile_width, threads);
+        prop_assert_eq!(pool.tile_rebuilds(), 1, "dirty pass syncs in place");
+    }
+
+    /// RowSet is exact on the trailing partial word: for universes that
+    /// are not multiples of 64, construction, intersection (both the
+    /// in-place and three-address forms), iteration, and `len` all agree
+    /// with the reference BTreeSet semantics, and no stray bits survive
+    /// past the universe.
+    #[test]
+    fn rowset_trailing_word_is_exact(
+        universe in 1usize..200,
+        xs in prop::collection::vec(0usize..4096, 0..48),
+        ys in prop::collection::vec(0usize..4096, 0..48),
+    ) {
+        use std::collections::BTreeSet;
+        let xs: BTreeSet<usize> = xs.iter().map(|i| i % universe).collect();
+        let ys: BTreeSet<usize> = ys.iter().map(|i| i % universe).collect();
+        let sa = RowSet::from_indices(xs.iter().copied(), universe);
+        let sb = RowSet::from_indices(ys.iter().copied(), universe);
+        prop_assert_eq!(sa.iter().collect::<Vec<_>>(), xs.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(sa.len(), xs.len());
+        for probe in universe.saturating_sub(3)..universe {
+            prop_assert_eq!(sa.contains(probe), xs.contains(&probe));
+        }
+        let expect: Vec<usize> = xs.intersection(&ys).copied().collect();
+        let mut inplace = sa.clone();
+        inplace.and_with(&sb);
+        prop_assert_eq!(inplace.iter().collect::<Vec<_>>(), expect.clone());
+        prop_assert_eq!(inplace.len(), expect.len());
+        let mut out = RowSet::zeroed(universe);
+        out.assign_and(&sa, &sb);
+        prop_assert_eq!(out.iter().collect::<Vec<_>>(), expect.clone());
+        // Words are canonical: rebuilding from the iterator reproduces
+        // them bit for bit, i.e. nothing leaked into the slack bits of
+        // the final word.
+        let rebuilt = RowSet::from_indices(expect.iter().copied(), universe);
+        prop_assert_eq!(out.as_words(), rebuilt.as_words());
+    }
+
+    /// Tile panels stay a faithful mirror of the matrix across
+    /// tombstone/append sequences when synced through the dirty-column
+    /// contract: tombstoned rows' columns plus appended rows' columns.
+    #[test]
+    fn tile_panels_survive_mutation(
+        funcs in prop::collection::vec(arb_sop(8, 3, 7), 2..4),
+        extra in arb_sop(8, 3, 6),
+        width in 1usize..6,
+        kills in prop::collection::vec(0usize..4096, 1..6),
+    ) {
+        let reg = CubeRegistry::new();
+        let mut m = KcMatrix::new();
+        let mut rl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        let mut cl = LabelGen::new(0, LabelGen::DEFAULT_OFFSET);
+        for (i, f) in funcs.iter().enumerate() {
+            m.add_node_kernels(i as u32, f, &KernelConfig::default(), &reg, &mut rl, &mut cl);
+        }
+        if m.rows().is_empty() {
+            return Ok(());
+        }
+        let mut panel = TilePanels::build(m.rows().len(), &m.col_row_sets(), width);
+        // Round 1: tombstone some rows, sync with their columns dirty.
+        let mut dirty: Vec<usize> = Vec::new();
+        for k in &kills {
+            let r = k % m.rows().len();
+            if !m.rows()[r].alive {
+                continue;
+            }
+            dirty.extend(m.rows()[r].entries.iter().map(|&(c, _)| c));
+            m.tombstone_row(r);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        let rebuilt = panel.sync(m.rows().len(), &m.col_row_sets(), width, &dirty);
+        prop_assert!(!rebuilt, "tombstones never force a rebuild");
+        for (c, set) in m.col_row_sets().iter().enumerate() {
+            prop_assert_eq!(panel.col_words(c), set.as_words(), "col {} after tombstones", c);
+        }
+        // Round 2: append a node, sync with the new rows' columns dirty.
+        let before = m.rows().len();
+        m.add_node_kernels(
+            funcs.len() as u32, &extra, &KernelConfig::default(), &reg, &mut rl, &mut cl,
+        );
+        let mut dirty: Vec<usize> = m.rows()[before..]
+            .iter()
+            .flat_map(|row| row.entries.iter().map(|&(c, _)| c))
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        panel.sync(m.rows().len(), &m.col_row_sets(), width, &dirty);
+        for (c, set) in m.col_row_sets().iter().enumerate() {
+            prop_assert_eq!(panel.col_words(c), set.as_words(), "col {} after append", c);
+        }
     }
 
     /// The parallel engine returns the same `Rectangle` no matter the

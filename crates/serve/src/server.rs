@@ -570,6 +570,10 @@ fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
             k
         }
     };
+    let tile_width = match request.get("tile_width") {
+        None => 0,
+        Some(v) => checked_count(v, "tile_width")?,
+    };
     let deadline = match request.get("deadline_ms") {
         None | Some(Json::Null) => None,
         Some(v) => Some(Duration::from_millis(
@@ -590,6 +594,7 @@ fn spec_from_json(request: &Json) -> Result<JobSpec, String> {
         procs,
         par_threads,
         batch_rects,
+        tile_width,
         deadline,
         delta_from,
     })

@@ -9,7 +9,10 @@
 //! baseline; refresh it with `parafactor bench-json` after touching the
 //! search core. `--quick` shrinks scales and reps so CI can smoke the
 //! subcommand in seconds. `--assert-pass-reduction PCT` gates on K=16
-//! batching cutting the seq pass count by at least PCT percent.
+//! batching cutting the seq pass count by at least PCT percent, and
+//! `--assert-tile-speedup PCT` gates on the tiled panel kernel
+//! (`--tile-width`) beating the scalar word loop by at least PCT
+//! percent at the biggest measured scale (the `tiles` section).
 //!
 //! `--partition` switches to the distributed-extraction snapshot
 //! (`BENCH_partition.json`): the sequential oracle's literal count, the
@@ -45,6 +48,9 @@ pub struct BenchJsonOptions {
     /// Fail (exit non-zero) unless the warm cache-served network is
     /// byte-identical to the cold run's.
     pub assert_cache_identical: bool,
+    /// Fail (exit non-zero) unless the best tiled width beats the scalar
+    /// search by at least this percentage at the biggest measured scale.
+    pub assert_tile_speedup: Option<f64>,
     /// Measure the distributed-partition snapshot instead of the
     /// rectangle-search one (`BENCH_partition.json` by default).
     pub partition: bool,
@@ -62,6 +68,7 @@ impl Default for BenchJsonOptions {
             assert_pooled_overhead: None,
             assert_pass_reduction: None,
             assert_cache_identical: false,
+            assert_tile_speedup: None,
             partition: false,
             assert_gap_closed: None,
         }
@@ -105,14 +112,33 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// Minimum wall time of `reps` runs of `f`, in nanoseconds. Scheduler
+/// noise on a shared host is strictly additive, so the minimum is the
+/// robust estimator for pure-CPU search kernels — a median of a few
+/// dozen microsecond-scale samples can swing tens of percent run to
+/// run, which flaked the overhead and tile-speedup CI gates. Wall-time
+/// sections (end-to-end extraction, cache) keep the median: they
+/// allocate and fault pages, so their minimum is unrepresentative.
+fn min_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap_or(0)
+}
+
 /// One full search over `m` with the given thread count (0 = classic
-/// sequential engine).
-fn timed_search(m: &KcMatrix, w: &[u32], par_threads: usize, reps: usize) -> u64 {
+/// sequential engine) and tile width (0 = scalar word loop).
+fn timed_search(m: &KcMatrix, w: &[u32], par_threads: usize, tile_width: usize, reps: usize) -> u64 {
     let cfg = SearchConfig {
         par_threads,
+        tile_width,
         ..SearchConfig::default()
     };
-    median_ns(reps, || {
+    min_ns(reps, || {
         let (best, _) = best_rectangle(m, &|id| w[id as usize], &cfg);
         std::hint::black_box(best);
     })
@@ -181,24 +207,55 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
     eprintln!("bench-json: rect_search micro @ dalu scale {micro_scale}");
     let (m, w) = dalu_matrix(micro_scale);
     let cfg = SearchConfig::default();
-    let vec_ns = median_ns(micro_reps, || {
+    let vec_ns = min_ns(micro_reps, || {
         let (best, _) = reference::best_rectangle(&m, &|id| w[id as usize], &cfg);
         std::hint::black_box(best);
     });
-    let bitset_ns = timed_search(&m, &w, 0, micro_reps);
+    let bitset_ns = timed_search(&m, &w, 0, 0, micro_reps);
     let speedup = vec_ns as f64 / bitset_ns.max(1) as f64;
     eprintln!("bench-json:   vec {vec_ns} ns, bitset {bitset_ns} ns ({speedup:.2}x)");
 
     // Threads: the parallel engine on the big matrix. The seq / pooled-t1
-    // pair backs the overhead gate, so it gets extra repetitions — a
-    // noisy median there would flake the CI assertion.
-    let overhead_reps = thread_reps.max(25);
+    // pair backs the overhead gate, so it is measured *interleaved* —
+    // one seq sample, one pooled sample, repeat, minimum of each. Either
+    // side measured alone drifts with host load over the seconds the
+    // sections take, and the gate compares the two: a few percent of
+    // drift between separate measurement windows reads as pool overhead
+    // that is not there.
+    let overhead_reps = thread_reps.max(50);
     eprintln!("bench-json: parallel search @ dalu scale {big_scale}");
     let (mb, wb) = dalu_matrix(big_scale);
-    let seq_ns = timed_search(&mb, &wb, 0, overhead_reps);
+    let (seq_ns, pooled_t1_ns) = {
+        let seq_cfg = SearchConfig::default();
+        let t1_cfg = SearchConfig {
+            par_threads: 1,
+            ..SearchConfig::default()
+        };
+        let mut pool = SearchPool::new();
+        pool.warm(1);
+        let (mut seq_min, mut pooled_min) = (u64::MAX, u64::MAX);
+        for _ in 0..overhead_reps {
+            let t = Instant::now();
+            let (best, _) = best_rectangle(&mb, &|id| wb[id as usize], &seq_cfg);
+            std::hint::black_box(best);
+            seq_min = seq_min.min(t.elapsed().as_nanos() as u64);
+            let t = Instant::now();
+            let (best, _) = best_rectangle_pooled(
+                &mb,
+                &|id| wb[id as usize],
+                &t1_cfg,
+                None,
+                &mut pool,
+                CeilingUpdate::Off,
+            );
+            std::hint::black_box(best);
+            pooled_min = pooled_min.min(t.elapsed().as_nanos() as u64);
+        }
+        (seq_min, pooled_min)
+    };
     let mut thread_members: Vec<(String, Json)> = vec![("seq_ns".to_string(), Json::u64(seq_ns))];
     for t in [1usize, 2, 4, 8] {
-        let ns = timed_search(&mb, &wb, t, thread_reps);
+        let ns = timed_search(&mb, &wb, t, 0, thread_reps);
         eprintln!("bench-json:   {t} thread(s): {ns} ns");
         thread_members.push((format!("t{t}_ns"), Json::u64(ns)));
     }
@@ -207,30 +264,30 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
     // before the clock, ceilings off so every pass does identical work —
     // this isolates pool overhead from cross-pass ceiling wins).
     let mut pooled_members: Vec<(String, Json)> = Vec::new();
-    let mut pooled_t1_ns = 0u64;
     for t in [1usize, 2, 4, 8] {
-        let cfg = SearchConfig {
-            par_threads: t,
-            ..SearchConfig::default()
+        // t = 1 comes from the interleaved gate pair above.
+        let ns = if t == 1 {
+            pooled_t1_ns
+        } else {
+            let cfg = SearchConfig {
+                par_threads: t,
+                ..SearchConfig::default()
+            };
+            let mut pool = SearchPool::new();
+            pool.warm(t);
+            min_ns(thread_reps, || {
+                let (best, _) = best_rectangle_pooled(
+                    &mb,
+                    &|id| wb[id as usize],
+                    &cfg,
+                    None,
+                    &mut pool,
+                    CeilingUpdate::Off,
+                );
+                std::hint::black_box(best);
+            })
         };
-        let mut pool = SearchPool::new();
-        pool.warm(t);
-        let reps = if t == 1 { overhead_reps } else { thread_reps };
-        let ns = median_ns(reps, || {
-            let (best, _) = best_rectangle_pooled(
-                &mb,
-                &|id| wb[id as usize],
-                &cfg,
-                None,
-                &mut pool,
-                CeilingUpdate::Off,
-            );
-            std::hint::black_box(best);
-        });
         eprintln!("bench-json:   pooled {t} thread(s): {ns} ns");
-        if t == 1 {
-            pooled_t1_ns = ns;
-        }
         pooled_members.push((format!("t{t}_ns"), Json::u64(ns)));
     }
     let pooled_overhead_t1_pct =
@@ -243,6 +300,51 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
         "pooled_overhead_t1_pct".to_string(),
         Json::num(pooled_overhead_t1_pct),
     ));
+
+    // Tiled kernel: the cache-blocked panel engine against the scalar
+    // word loop (sequential search, byte-identical results), per tile
+    // width. The last scale's best-width speedup backs the
+    // --assert-tile-speedup gate, so every row uses `overhead_reps`
+    // minima. Quick mode measures a dedicated dalu@0.35 matrix: the
+    // 0.08 smoke matrix is so small that panel setup dominates and the
+    // tiled kernel genuinely loses there, which would make the quick
+    // gate assert the wrong thing.
+    let tile_widths: [usize; 3] = [2, 4, 8];
+    let mut tiles_members: Vec<(String, Json)> = Vec::new();
+    let mut tile_speedup_pct = 0.0f64;
+    let quick_tile = if opts.quick { Some(dalu_matrix(0.35)) } else { None };
+    let tile_tables: Vec<(f64, &KcMatrix, &[u32], u64, usize)> = if let Some((qm, qw)) =
+        quick_tile.as_ref()
+    {
+        let scalar_ns = timed_search(qm, qw, 0, 0, overhead_reps);
+        vec![(0.35, qm, qw, scalar_ns, overhead_reps)]
+    } else {
+        vec![
+            (micro_scale, &m, &w, bitset_ns, overhead_reps),
+            (big_scale, &mb, &wb, seq_ns, overhead_reps),
+        ]
+    };
+    for (scale, tm, tw, scalar_ns, reps) in tile_tables {
+        eprintln!("bench-json: tiled search @ dalu scale {scale}");
+        let mut rows: Vec<(String, Json)> =
+            vec![("scalar_ns".to_string(), Json::u64(scalar_ns))];
+        let mut best_pct = f64::NEG_INFINITY;
+        let mut best_width = 0usize;
+        for width in tile_widths {
+            let ns = timed_search(tm, tw, 0, width, reps);
+            let pct = (scalar_ns as f64 / ns.max(1) as f64 - 1.0) * 100.0;
+            eprintln!("bench-json:   w{width}: {ns} ns ({pct:+.1}% vs scalar)");
+            if pct > best_pct {
+                best_pct = pct;
+                best_width = width;
+            }
+            rows.push((format!("w{width}_ns"), Json::u64(ns)));
+        }
+        rows.push(("best_width".to_string(), Json::u64(best_width as u64)));
+        rows.push(("speedup_best_pct".to_string(), Json::num(best_pct)));
+        tile_speedup_pct = best_pct;
+        tiles_members.push((format!("scale_{scale}"), Json::Obj(rows)));
+    }
 
     // Cache: one cold extraction vs an exact-hit replay through the
     // extraction cache — the repeat-submit path a resident service
@@ -429,6 +531,10 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
                 ("pooled", Json::Obj(pooled_members)),
             ]),
         ),
+        ("tiles", Json::Obj(tiles_members)),
+        // Best-width tiled speedup over scalar at the biggest measured
+        // scale, the --assert-tile-speedup gate value.
+        ("tile_speedup_pct", Json::num(tile_speedup_pct)),
         ("cache", cache_members),
         ("extract_e2e_ms", Json::Obj(e2e_members)),
         ("batch", Json::Obj(batch_members)),
@@ -615,6 +721,16 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
                 opts.assert_cache_identical = true;
                 i += 1;
             }
+            "--assert-tile-speedup" => {
+                let pct = args
+                    .get(i + 1)
+                    .ok_or("--assert-tile-speedup needs a percentage")?;
+                opts.assert_tile_speedup = Some(
+                    pct.parse::<f64>()
+                        .map_err(|e| format!("bad --assert-tile-speedup {pct:?}: {e}"))?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown bench-json option {other:?}")),
         }
     }
@@ -624,11 +740,12 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
     if opts.partition
         && (opts.assert_pooled_overhead.is_some()
             || opts.assert_cache_identical
-            || opts.assert_pass_reduction.is_some())
+            || opts.assert_pass_reduction.is_some()
+            || opts.assert_tile_speedup.is_some())
     {
         return Err(
-            "--assert-pooled-overhead/--assert-cache-identical/--assert-pass-reduction \
-             only apply without --partition"
+            "--assert-pooled-overhead/--assert-cache-identical/--assert-pass-reduction/\
+             --assert-tile-speedup only apply without --partition"
                 .to_string(),
         );
     }
@@ -643,29 +760,36 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
     println!("{text}");
     eprintln!("bench-json: wrote {}", opts.out);
     if let Some(limit) = opts.assert_pooled_overhead {
-        let cores = doc.get("cpu_cores").and_then(Json::as_u64).unwrap_or(1);
-        if cores <= 1 {
-            // On one core the pooled engine's coordination cost has no
-            // parallel speedup to hide behind; the measurement is real
-            // but the gate would only certify the host, not the code.
-            eprintln!(
-                "bench-json: warning: skipping --assert-pooled-overhead \
-                 (host has {cores} CPU core; the gate needs a multi-core run)"
-            );
-        } else {
-            let got = doc
-                .get("par_search")
-                .and_then(|p| p.get("pooled"))
-                .and_then(|p| p.get("pooled_overhead_t1_pct"))
-                .and_then(Json::as_f64)
-                .ok_or("pooled_overhead_t1_pct missing from the document")?;
-            if got > limit {
-                return Err(format!(
-                    "pooled one-thread overhead {got:.2}% exceeds the {limit}% limit"
-                ));
-            }
-            eprintln!("bench-json: pooled t1 overhead {got:.2}% within {limit}% limit");
+        // The one-thread overhead compares two single-threaded runs
+        // (pooled worker-0-inline vs the spawn-free sequential engine),
+        // so it is meaningful on any host, 1-core CI runners included —
+        // skipping there let a 25.9% pooled regression ship unnoticed.
+        // Only comparisons that need real parallel speedup may be
+        // host-gated on core count.
+        let got = doc
+            .get("par_search")
+            .and_then(|p| p.get("pooled"))
+            .and_then(|p| p.get("pooled_overhead_t1_pct"))
+            .and_then(Json::as_f64)
+            .ok_or("pooled_overhead_t1_pct missing from the document")?;
+        if got > limit {
+            return Err(format!(
+                "pooled one-thread overhead {got:.2}% exceeds the {limit}% limit"
+            ));
         }
+        eprintln!("bench-json: pooled t1 overhead {got:.2}% within {limit}% limit");
+    }
+    if let Some(min) = opts.assert_tile_speedup {
+        let got = doc
+            .get("tile_speedup_pct")
+            .and_then(Json::as_f64)
+            .ok_or("tile_speedup_pct missing from the document")?;
+        if got < min {
+            return Err(format!(
+                "tiled search beat scalar by only {got:.1}%, below the {min}% floor"
+            ));
+        }
+        eprintln!("bench-json: tiled search beat scalar by {got:.1}% (floor {min}%)");
     }
     if let Some(min) = opts.assert_pass_reduction {
         let got = doc
@@ -745,6 +869,26 @@ mod tests {
         }
         assert!(pooled
             .get("pooled_overhead_t1_pct")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .is_finite());
+        // Tiles section: scalar + per-width minima. Quick mode measures
+        // a dedicated dalu@0.35 matrix (0.08 is too small for tiling).
+        let tiles = doc
+            .get("tiles")
+            .and_then(|t| t.get("scale_0.35"))
+            .expect("tiles section present");
+        for key in ["scalar_ns", "w2_ns", "w4_ns", "w8_ns"] {
+            assert!(tiles.get(key).and_then(Json::as_u64).unwrap() > 0, "{key}");
+        }
+        assert!(tiles.get("best_width").and_then(Json::as_u64).unwrap() > 0);
+        assert!(tiles
+            .get("speedup_best_pct")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .is_finite());
+        assert!(doc
+            .get("tile_speedup_pct")
             .and_then(Json::as_f64)
             .unwrap()
             .is_finite());

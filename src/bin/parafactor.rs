@@ -8,18 +8,19 @@
 //!                   [--cache-entries N] [--cache-ttl-secs N]
 //!                   [--fault-plan SPEC] [--fault-seed N] [--worker]
 //! parafactor submit [--addr A] [-a ALG] [-p N] [--par-threads N]
-//!                   [--batch-rects K] [--deadline-ms N] [--retries N]
-//!                   [--delta-from BASE] <WORKLOAD>
+//!                   [--batch-rects K] [--tile-width W] [--deadline-ms N]
+//!                   [--retries N] [--delta-from BASE] <WORKLOAD>
 //! parafactor dist   [--workers N | --peers A,B,…] [--parts N]
 //!                   [--no-recovery] [--lease-timeout-ms N]
 //!                   [--fault-plan SPEC] [--fault-seed N] <WORKLOAD>
 //! parafactor bench-json [--quick] [--out FILE]
 //!                   [--assert-pooled-overhead PCT]
 //!                   [--assert-pass-reduction PCT]
+//!                   [--assert-tile-speedup PCT]
 //!                   [--assert-cache-identical]
 //!                   [--partition] [--assert-gap-closed PCT]
 //! parafactor profile [-a ALG] [-p N] [--par-threads N] [--batch-rects K]
-//!                   [--seed N] [-o FILE] <INPUT>
+//!                   [--tile-width W] [--seed N] [-o FILE] <INPUT>
 //!
 //! INPUT                 circuit file (.blif, or the native text format),
 //!                       or gen:<profile>[@scale] for a synthetic circuit
@@ -33,6 +34,9 @@
 //!     --batch-rects K   rectangles collected per search pass; conflict-
 //!                       free subsets are applied in one batch. 1 keeps
 //!                       the classic one-per-pass engine    [default: 1]
+//!     --tile-width W    u64 words per tile in the cache-blocked search
+//!                       kernel (byte-identical results); 0 keeps the
+//!                       scalar word loop                   [default: 0]
 //! -o, --output FILE     write the optimized circuit (format by extension:
 //!                       .blif or anything else = native text)
 //!     --objective OBJ   area | timing | power               [default: area]
@@ -118,6 +122,7 @@ struct Options {
     procs: usize,
     par_threads: usize,
     batch_rects: usize,
+    tile_width: usize,
     output: Option<String>,
     objective: String,
     run_cx: bool,
@@ -148,6 +153,7 @@ fn parse_args() -> Options {
         procs: 4,
         par_threads: 0,
         batch_rects: 1,
+        tile_width: 0,
         output: None,
         objective: "area".into(),
         run_cx: false,
@@ -186,6 +192,12 @@ fn parse_args() -> Options {
                         eprintln!("error: --batch-rects must be a positive integer");
                         usage()
                     })
+            }
+            "--tile-width" => {
+                opts.tile_width = need("--tile-width").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --tile-width must be a non-negative integer");
+                    usage()
+                })
             }
             "-o" | "--output" => opts.output = Some(need("--output")),
             "--objective" => opts.objective = need("--objective"),
@@ -348,6 +360,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut procs = 2usize;
     let mut par_threads = 0usize;
     let mut batch_rects = 1usize;
+    let mut tile_width = 0usize;
     let mut deadline_ms: Option<u64> = None;
     let mut retries = 4u32;
     let mut delta_from: Option<String> = None;
@@ -379,6 +392,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             "--batch-rects" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => batch_rects = n,
                 _ => return bad("--batch-rects must be a positive integer".into()),
+            },
+            "--tile-width" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => tile_width = n,
+                None => return bad("--tile-width must be a non-negative integer".into()),
             },
             "--deadline-ms" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) => deadline_ms = Some(n),
@@ -423,6 +440,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         ("procs".to_string(), Json::u64(procs as u64)),
         ("par_threads".to_string(), Json::u64(par_threads as u64)),
         ("batch_rects".to_string(), Json::u64(batch_rects as u64)),
+        ("tile_width".to_string(), Json::u64(tile_width as u64)),
     ];
     if let Some(ms) = deadline_ms {
         request.push(("deadline_ms".to_string(), Json::u64(ms)));
@@ -556,6 +574,7 @@ fn cmd_dist(args: &[String]) -> ExitCode {
         procs: workers.max(1),
         par_threads: 0,
         batch_rects: 1,
+        tile_width: 0,
         output: None,
         objective: "area".into(),
         run_cx: false,
@@ -615,6 +634,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         procs: 4,
         par_threads: 0,
         batch_rects: 1,
+        tile_width: 0,
         output: None,
         objective: "area".into(),
         run_cx: false,
@@ -645,6 +665,10 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             "--batch-rects" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => opts.batch_rects = n,
                 _ => return bad("--batch-rects must be a positive integer".into()),
+            },
+            "--tile-width" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => opts.tile_width = n,
+                None => return bad("--tile-width must be a non-negative integer".into()),
             },
             "-o" | "--output" => match value(i) {
                 Some(v) => opts.output = Some(v.clone()),
@@ -689,6 +713,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
     };
     extract_cfg.search.par_threads = opts.par_threads;
     extract_cfg.search.topk = opts.batch_rects;
+    extract_cfg.search.tile_width = opts.tile_width;
     let report = match opts.algorithm.as_str() {
         "seq" => extract_kernels(&mut work, &[], &extract_cfg),
         "replicated" => replicated_extract(
@@ -919,6 +944,7 @@ fn main() -> ExitCode {
     };
     extract_cfg.search.par_threads = opts.par_threads;
     extract_cfg.search.topk = opts.batch_rects;
+    extract_cfg.search.tile_width = opts.tile_width;
 
     let report = match opts.algorithm.as_str() {
         "seq" => extract_kernels(&mut work, &[], &extract_cfg),
