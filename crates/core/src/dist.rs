@@ -13,18 +13,28 @@
 //! unit that exhausts its attempts runs inline on the coordinator so a
 //! distributed run never does worse than the single-process driver.
 //!
-//! After every partition lands, a **boundary-recovery** phase re-runs
-//! extraction over the frontier nodes the partitioner cut (plus the
-//! nodes the partition phase created) and follows it with an algebraic
-//! resubstitution pass over the whole merged network — the rectangles
-//! Algorithm I drops mostly survive the merge as *duplicated* factor
-//! nodes (each part extracted its half of a cross-partition kernel
-//! separately), which resub collapses back onto one representative; a
-//! coordinator-side sweep then clears the dead duplicates. Recovery is
-//! itself a leased sub-job; if it dies or times out past its retry
-//! budget, the coordinator keeps the already-correct
+//! After every partition lands, a **boundary-recovery** stage runs in
+//! two sharded, leased phases. The *frontier* phase re-extracts over the
+//! nodes the partitioner cut (plus the nodes the partition phase
+//! created), split into [`DistConfig::recovery_shards`] disjoint target
+//! shards. The *resub* phase then collapses Algorithm I's duplicated
+//! factor nodes: the duplicate candidates (frontier ∪ created nodes)
+//! are sharded as *divisor* sets, each lease runs a divisor-restricted
+//! incremental resubstitution (`pf_network::resub`) against the same
+//! merged snapshot, and the coordinator applies the shard rewrites in
+//! deterministic lease order (first claim wins, cycle-guarded) before a
+//! seeded local fixpoint catches cross-shard chains; a sweep then clears
+//! the dead duplicates. Recovery shards ride the same lease machinery as
+//! partitions (heartbeats, expiry failover, inline fallback, exactly one
+//! admitted result per lease); `recovery_shards = 1` is the legacy
+//! serial path. If any recovery shard dies past its retry budget the
+//! whole stage aborts: the coordinator keeps the already-correct
 //! Algorithm-I-quality result (no resub, no sweep) and records
 //! [`ExtractReport::degraded`] instead of failing the job.
+//!
+//! Recovery is skipped outright — no leases, no resub, no sweep — when
+//! the frontier is empty (single effective partition): nothing was cut,
+//! so there is nothing to recover.
 //!
 //! ## Fault sites
 //!
@@ -32,7 +42,8 @@
 //! |------|-------|
 //! | `dist:pickup:LEASE` | worker pickup, *outside* panic isolation — a `panic` rule kills the worker thread ([`DistEvent::WorkerDied`]) |
 //! | `dist:work` | inside a partition sub-job's panic isolation — a `panic` rule fails that lease only |
-//! | `dist:recover` | inside the recovery sub-job's panic isolation |
+//! | `dist:recover:frontier` | inside a frontier-recovery shard's panic isolation (a `dist:recover` rule prefix-matches both recovery sites) |
+//! | `dist:recover:resub` | inside a resub-recovery shard's panic isolation |
 //! | `dist:send:wW` | coordinator → worker W: `drop` loses the job, `dup` dispatches it twice, `stall:MS` delays it |
 //! | `dist:recv:wW` | worker W → coordinator: `drop` loses the result, `dup` delivers it twice, `stall:MS` delays it |
 //!
@@ -45,11 +56,12 @@ use crate::fault::{splitmix64, FaultKind, FaultPlan};
 use crate::merge::{merge_worker_results, remap_sop, NewNode, WorkerResult};
 use crate::report::{ExtractReport, PhaseTiming};
 use crate::seq::{extract_kernels, ExtractConfig};
-use pf_network::resub::resubstitute;
+use pf_network::resub::{resubstitute_scoped, ResubScope};
 use pf_network::transform::sweep;
 use pf_network::{Network, SignalId};
 use pf_partition::{partition_network, Partition, PartitionConfig};
 use pf_sop::fx::FxHashMap;
+use pf_sop::fx::FxHashSet;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,8 +70,60 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One leased unit of work: extract kernels from `targets` against a
-/// snapshot of the network.
+/// What a leased sub-job does with its targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubKind {
+    /// Partition extraction: extract kernels from the unit's targets.
+    Extract,
+    /// Frontier-recovery shard: re-extract over a disjoint slice of the
+    /// frontier ∪ created nodes the partition phase left behind.
+    Frontier,
+    /// Resub-recovery shard: divisor-restricted incremental
+    /// resubstitution — `targets` is the shard's divisor set; any node
+    /// of the snapshot may be rewritten.
+    Resub,
+}
+
+impl SubKind {
+    /// Whether this kind belongs to the boundary-recovery stage (its
+    /// abandonment degrades quality instead of falling back inline).
+    pub fn is_recovery(self) -> bool {
+        !matches!(self, SubKind::Extract)
+    }
+
+    /// The fault-injection site evaluated inside the sub-job's panic
+    /// isolation. A `dist:recover` rule prefix-matches both recovery
+    /// kinds.
+    pub fn fault_site(self) -> &'static str {
+        match self {
+            SubKind::Extract => "dist:work",
+            SubKind::Frontier => "dist:recover:frontier",
+            SubKind::Resub => "dist:recover:resub",
+        }
+    }
+
+    /// Stable wire name (the `sub` op's `kind` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SubKind::Extract => "extract",
+            SubKind::Frontier => "frontier",
+            SubKind::Resub => "resub",
+        }
+    }
+
+    /// Parses a wire name back; rejects unknown kinds.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "extract" => Some(SubKind::Extract),
+            "frontier" => Some(SubKind::Frontier),
+            "resub" => Some(SubKind::Resub),
+            _ => None,
+        }
+    }
+}
+
+/// One leased unit of work: extract kernels from (or resubstitute the
+/// divisors in) `targets` against a snapshot of the network.
 #[derive(Clone)]
 pub struct SubJob {
     /// Lease id — unique per dispatch attempt, never reused. Also keys
@@ -67,15 +131,15 @@ pub struct SubJob {
     /// re-dispatched or split unit can never collide with a stale
     /// attempt in the merge.
     pub lease: u64,
-    /// The nodes this unit optimizes.
+    /// The nodes this unit optimizes (divisors for [`SubKind::Resub`]).
     pub targets: Arc<Vec<SignalId>>,
     /// Snapshot the worker clones and optimizes locally.
     pub base: Arc<Network>,
     /// Extraction options (the name prefix is extended with the lease
     /// id automatically).
     pub extract: ExtractConfig,
-    /// Whether this is the boundary-recovery sub-job.
-    pub recovery: bool,
+    /// What the sub-job does with its targets.
+    pub kind: SubKind,
 }
 
 impl std::fmt::Debug for SubJob {
@@ -83,7 +147,7 @@ impl std::fmt::Debug for SubJob {
         f.debug_struct("SubJob")
             .field("lease", &self.lease)
             .field("targets", &self.targets.len())
-            .field("recovery", &self.recovery)
+            .field("kind", &self.kind)
             .finish()
     }
 }
@@ -159,11 +223,15 @@ pub struct DistStats {
     /// Units whose optimization was abandoned past the retry budget
     /// (the result stays correct; quality degrades).
     pub degraded_jobs: u64,
-    /// Rectangles recovered by the boundary-recovery sub-job.
+    /// Rectangles recovered by the boundary-recovery frontier shards.
     pub recovery_rects: u64,
     /// Results that arrived for a lease no longer active (late after
     /// expiry, or duplicated by the message plane) and were ignored.
     pub stale_results: u64,
+    /// Shard rewrites the recovery merge dropped because another shard
+    /// already claimed the node or applying them would close a cycle
+    /// (the coordinator's seeded fixpoint re-derives what still helps).
+    pub recovery_conflicts: u64,
 }
 
 impl DistStats {
@@ -196,6 +264,10 @@ pub struct DistConfig {
     pub split_after: u32,
     /// Whether to run the boundary-recovery phase.
     pub recovery: bool,
+    /// Recovery shards per recovery phase (0 = one per transport
+    /// worker, capped at the host's available parallelism). `1`
+    /// reproduces the legacy serial recovery lease.
+    pub recovery_shards: usize,
     /// Base backoff before a failover re-dispatch (jittered up to 2x).
     pub retry_backoff: Duration,
     /// Seed for the failover jitter.
@@ -213,6 +285,7 @@ impl Default for DistConfig {
             max_attempts: 3,
             split_after: 2,
             recovery: true,
+            recovery_shards: 0,
             retry_backoff: Duration::from_millis(2),
             seed: 0xD15_7EA5E,
         }
@@ -242,43 +315,60 @@ pub fn frontier_nodes(p: &Partition) -> Vec<SignalId> {
     out
 }
 
-/// Runs one sub-job the way a worker does: clone the snapshot, extract
-/// kernels from the unit's targets, and diff the clone back into a
-/// [`WorkerResult`] in the lease's private id space. Shared by the
-/// in-process transport, the coordinator's inline fallback, and
-/// `pf-serve`'s remote worker mode.
+/// Runs one sub-job the way a worker does: clone the snapshot, run the
+/// kind's optimization, and diff the clone back into a [`WorkerResult`]
+/// in the lease's private id space. Shared by the in-process transport,
+/// the coordinator's inline fallback, and `pf-serve`'s remote worker
+/// mode.
 ///
-/// A recovery sub-job additionally runs an algebraic resubstitution
-/// pass over its clone: the kernels the partitioner cut were usually
-/// extracted *separately* by each part (Algorithm I's duplicated
-/// kernels), so after the merge the dropped cross-partition rectangles
-/// live as duplicate factor nodes, not as unextracted kernels — resub
-/// collapses the duplicates and rewrites the rows that one part left
-/// unfactored over the other part's factor node. Because resub may
-/// rewrite any node, a recovery result diffs the whole snapshot, not
-/// just its targets.
+/// [`SubKind::Extract`] and [`SubKind::Frontier`] extract kernels from
+/// the unit's targets and diff targets plus new nodes. A
+/// [`SubKind::Resub`] shard instead runs a divisor-restricted
+/// incremental resubstitution: the kernels the partitioner cut were
+/// usually extracted *separately* by each part (Algorithm I's
+/// duplicated kernels), so after the merge the dropped cross-partition
+/// rectangles live as duplicate factor nodes, not as unextracted
+/// kernels — resub collapses the duplicates and rewrites the rows one
+/// part left unfactored over the other part's factor node. Because
+/// resub may rewrite any node, a resub result diffs the whole snapshot
+/// (it never creates nodes).
 pub fn execute_sub_job(job: &SubJob) -> (WorkerResult, ExtractReport) {
-    job.extract.ctl.fault_point(if job.recovery {
-        "dist:recover"
-    } else {
-        "dist:work"
-    });
+    job.extract.ctl.fault_point(job.kind.fault_site());
     let mut local = (*job.base).clone();
     let n0 = local.num_signals() as u32;
-    let worker_cfg = ExtractConfig {
-        name_prefix: format!("d{}_{}", job.lease, job.extract.name_prefix),
-        ..job.extract.clone()
+    let report = match job.kind {
+        SubKind::Extract | SubKind::Frontier => {
+            let worker_cfg = ExtractConfig {
+                name_prefix: format!("d{}_{}", job.lease, job.extract.name_prefix),
+                ..job.extract.clone()
+            };
+            extract_kernels(&mut local, &job.targets, &worker_cfg)
+        }
+        SubKind::Resub => {
+            let start = Instant::now();
+            let lc_before = local.literal_count();
+            let scope = ResubScope {
+                divisors: Some(job.targets.as_ref()),
+                seeds: None,
+            };
+            let resub = resubstitute_scoped(&mut local, &scope).unwrap_or_default();
+            ExtractReport {
+                lc_before,
+                lc_after: local.literal_count(),
+                elapsed: start.elapsed(),
+                resub_pairs_considered: resub.pairs_considered,
+                resub_pairs_divided: resub.pairs_divided,
+                resub_worklist_rounds: resub.worklist_rounds,
+                ..ExtractReport::default()
+            }
+        }
     };
-    let report = extract_kernels(&mut local, &job.targets, &worker_cfg);
-    if job.recovery {
-        let _ = resubstitute(&mut local);
-    }
     let base = block_base_for(job.lease);
     let id_map: FxHashMap<u32, u32> = (n0..local.num_signals() as u32)
         .map(|id| (id, base + (id - n0)))
         .collect();
     let mut wr = WorkerResult::default();
-    let diff_nodes: Vec<SignalId> = if job.recovery {
+    let diff_nodes: Vec<SignalId> = if job.kind == SubKind::Resub {
         job.base.node_ids().collect()
     } else {
         job.targets.as_ref().clone()
@@ -564,12 +654,11 @@ fn worker_loop(
 // ---------------------------------------------------------------------
 
 /// One leasable unit of work: a target set over a shared base network,
-/// flagged as either a partition extraction or the boundary-recovery
-/// pass.
+/// tagged with what the worker should do with it.
 struct Unit {
     targets: Arc<Vec<SignalId>>,
     base: Arc<Network>,
-    recovery: bool,
+    kind: SubKind,
 }
 
 struct LeaseInfo {
@@ -578,7 +667,7 @@ struct LeaseInfo {
     worker: usize,
     deadline: Instant,
     attempt: u32,
-    recovery: bool,
+    kind: SubKind,
 }
 
 struct Coordinator<'a> {
@@ -640,7 +729,7 @@ impl<'a> Coordinator<'a> {
             targets: unit.targets,
             base: unit.base,
             extract: self.cfg.extract.clone(),
-            recovery: unit.recovery,
+            kind: unit.kind,
         };
         match catch_unwind(AssertUnwindSafe(|| execute_sub_job(&job))) {
             Ok((wr, report)) => {
@@ -667,7 +756,7 @@ impl<'a> Coordinator<'a> {
             // Retry budget exhausted: recovery degrades (the merged
             // network is already correct); partition units fall back to
             // the coordinator so quality survives total worker loss.
-            if unit.recovery {
+            if unit.kind.is_recovery() {
                 self.stats.degraded_jobs += 1;
                 self.unit_abandoned = true;
             } else {
@@ -691,7 +780,7 @@ impl<'a> Coordinator<'a> {
             targets: Arc::clone(&unit.targets),
             base: Arc::clone(&unit.base),
             extract: self.cfg.extract.clone(),
-            recovery: unit.recovery,
+            kind: unit.kind,
         };
         match self.transport.dispatch(w, job) {
             Ok(()) => {
@@ -703,7 +792,7 @@ impl<'a> Coordinator<'a> {
                         worker: w,
                         deadline: Instant::now() + self.cfg.lease_timeout,
                         attempt,
-                        recovery: unit.recovery,
+                        kind: unit.kind,
                     },
                 );
             }
@@ -736,7 +825,7 @@ impl<'a> Coordinator<'a> {
     ) {
         self.stats.failovers += 1;
         let attempt = l.attempt + 1;
-        if !l.recovery && attempt >= self.cfg.split_after && l.targets.len() > 1 {
+        if l.kind == SubKind::Extract && attempt >= self.cfg.split_after && l.targets.len() > 1 {
             // Work stealing: the unit keeps expiring, so split it in
             // two and lease the halves separately (attempt count
             // carries over; a 1-target unit can no longer split).
@@ -744,12 +833,12 @@ impl<'a> Coordinator<'a> {
             let lo = Unit {
                 targets: Arc::new(l.targets[..mid].to_vec()),
                 base: Arc::clone(&l.base),
-                recovery: false,
+                kind: SubKind::Extract,
             };
             let hi = Unit {
                 targets: Arc::new(l.targets[mid..].to_vec()),
                 base: l.base,
-                recovery: false,
+                kind: SubKind::Extract,
             };
             self.stats.leases_stolen += 2;
             self.issue(lo, attempt, Some(l.worker), active, done);
@@ -761,7 +850,7 @@ impl<'a> Coordinator<'a> {
         let unit = Unit {
             targets: l.targets,
             base: l.base,
-            recovery: l.recovery,
+            kind: l.kind,
         };
         self.issue(unit, attempt, Some(l.worker), active, done);
     }
@@ -785,15 +874,37 @@ impl<'a> Coordinator<'a> {
     /// or was abandoned. Results come back ordered by lease id, so the
     /// downstream merge is deterministic regardless of completion order.
     fn run_phase(&mut self, units: Vec<Unit>) -> Vec<(WorkerResult, ExtractReport)> {
+        self.run_phase_opts(units, false)
+    }
+
+    /// [`Self::run_phase`] with optional abort-on-abandon: when one unit
+    /// burns its retry budget (`unit_abandoned`), the remaining units of
+    /// the phase are not issued and outstanding leases expire. Recovery
+    /// phases use this — a partially-applied recovery stage would not be
+    /// the clean Algorithm-I-quality fallback the degraded contract
+    /// promises, so the first abandonment aborts the whole stage.
+    fn run_phase_opts(
+        &mut self,
+        units: Vec<Unit>,
+        abort_on_abandon: bool,
+    ) -> Vec<(WorkerResult, ExtractReport)> {
         let mut active: HashMap<u64, LeaseInfo> = HashMap::new();
         let mut done: BTreeMap<u64, (WorkerResult, ExtractReport)> = BTreeMap::new();
         for unit in units {
             if unit.targets.is_empty() {
                 continue;
             }
+            if abort_on_abandon && self.unit_abandoned {
+                break;
+            }
             self.issue(unit, 0, None, &mut active, &mut done);
         }
         while !active.is_empty() {
+            if abort_on_abandon && self.unit_abandoned {
+                self.stats.leases_expired += active.len() as u64;
+                active.clear();
+                break;
+            }
             if self.check_stop() {
                 // Wind down: outstanding leases expire so the balance
                 // identity holds at quiescence; their late results (if
@@ -891,7 +1002,7 @@ pub fn distributed_extract(
         .map(|t| Unit {
             targets: Arc::new(t),
             base: Arc::clone(&base),
-            recovery: false,
+            kind: SubKind::Extract,
         })
         .collect();
     let results = co.run_phase(units);
@@ -925,31 +1036,60 @@ pub fn distributed_extract(
         .elapsed()
         .saturating_sub(partition_elapsed + extract_elapsed);
 
-    // Boundary recovery: one more leased sub-job over only the frontier
-    // the partitioner cut (plus the nodes the partition phase created),
-    // which is where every dropped cross-partition rectangle lives.
+    // Boundary recovery, in two sharded leased phases over only the
+    // frontier the partitioner cut (plus the nodes the partition phase
+    // created) — which is where every dropped cross-partition rectangle
+    // lives. An empty frontier means nothing was cut (single effective
+    // partition): recovery would re-extract zero rectangles and collapse
+    // zero duplicates, so it is skipped without issuing a single lease.
     let mut recovery_rects = 0usize;
     let mut degraded = false;
-    if cfg.recovery && !co.check_stop() {
-        let span = lane.start("recovery");
-        let mut targets: BTreeSet<SignalId> = frontier_nodes(&partition).into_iter().collect();
+    let mut frontier_elapsed = Duration::ZERO;
+    let mut resub_elapsed = Duration::ZERO;
+    let mut resub_pairs_considered = 0usize;
+    let mut resub_pairs_divided = 0usize;
+    let mut resub_worklist_rounds = 0usize;
+    let frontier = if cfg.recovery {
+        frontier_nodes(&partition)
+    } else {
+        Vec::new()
+    };
+    if cfg.recovery && !frontier.is_empty() && !co.check_stop() {
+        // Default shard count: one per worker, but never more than the
+        // host has cores — each shard pays a fixed O(network) cost
+        // (snapshot clone, divisor-index build), and on an oversubscribed
+        // host extra shards are pure overhead with no concurrency to buy.
+        let shards = if cfg.recovery_shards == 0 {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            transport.workers().min(cores).max(1)
+        } else {
+            cfg.recovery_shards
+        };
+        let before = co.unit_abandoned;
+        co.unit_abandoned = false;
+
+        // Phase 1 — frontier re-extraction, sharded by disjoint targets.
+        let t_frontier = Instant::now();
+        let span = lane.start("recovery:frontier");
+        let mut targets: BTreeSet<SignalId> = frontier.iter().copied().collect();
         targets.extend(created.iter().copied());
-        if !targets.is_empty() {
-            let before = co.unit_abandoned;
-            co.unit_abandoned = false;
-            let rbase = Arc::new(nw.clone());
-            let units = vec![Unit {
-                targets: Arc::new(targets.into_iter().collect::<Vec<_>>()),
-                base: rbase,
-                recovery: true,
-            }];
-            let rresults = co.run_phase(units);
-            if co.unit_abandoned || rresults.is_empty() {
-                degraded = true;
-            }
-            co.unit_abandoned |= before;
-            let mut merged_recovery = false;
-            for (wr, rep) in rresults {
+        let targets: Vec<SignalId> = targets.into_iter().collect();
+        let rbase = Arc::new(nw.clone());
+        let units: Vec<Unit> = shard_targets(&targets, shards)
+            .into_iter()
+            .map(|t| Unit {
+                targets: Arc::new(t),
+                base: Arc::clone(&rbase),
+                kind: SubKind::Frontier,
+            })
+            .collect();
+        let fresults = co.run_phase_opts(units, true);
+        if co.unit_abandoned || fresults.is_empty() {
+            degraded = true;
+        }
+        let mut created2: Vec<SignalId> = Vec::new();
+        if !degraded {
+            for (wr, rep) in fresults {
                 extractions += rep.extractions;
                 total_value += rep.total_value;
                 budget_exhausted |= rep.budget_exhausted;
@@ -958,26 +1098,105 @@ pub fn distributed_extract(
                 batch_accepted += rep.batch_accepted;
                 batch_rejected += rep.batch_rejected;
                 recovery_rects += rep.extractions;
-                merge_worker_results(nw, vec![wr]).expect("dist merge of recovery result");
-                merged_recovery = true;
-            }
-            // The recovery resub turns duplicated factor nodes into
-            // dead logic and pass-through wires; sweep them out. Skipped
-            // on degraded runs so the result stays exactly the
-            // Algorithm-I-quality network the parts produced.
-            if merged_recovery && !degraded {
-                let _ = sweep(nw);
+                let new_ids =
+                    merge_worker_results(nw, vec![wr]).expect("dist merge of frontier shard");
+                created2.extend(new_ids);
             }
         }
-        lane.end_with(span, || vec![("rects", recovery_rects as i64)]);
+        lane.end_with(span, || {
+            vec![("rects", recovery_rects as i64), ("shards", shards as i64)]
+        });
+        frontier_elapsed = t_frontier.elapsed();
+
+        // Phase 2 — duplicate collapse: the duplicate candidates
+        // (frontier ∪ every node recovery or the partition phase
+        // created) are sharded as divisor sets; each lease resubstitutes
+        // its divisors into the same merged snapshot. The coordinator
+        // applies shard rewrites in lease order (first claim per node
+        // wins, cycle-guarded), then runs a seeded incremental fixpoint
+        // to catch chains that crossed shard boundaries.
+        if !degraded && !co.check_stop() {
+            let t_resub = Instant::now();
+            let span = lane.start("recovery:resub");
+            let mut divisors: BTreeSet<SignalId> = frontier.iter().copied().collect();
+            divisors.extend(created.iter().copied());
+            divisors.extend(created2.iter().copied());
+            let divisors: Vec<SignalId> = divisors
+                .into_iter()
+                .filter(|&d| !nw.func(d).is_zero())
+                .collect();
+            if !divisors.is_empty() {
+                let rbase = Arc::new(nw.clone());
+                let units: Vec<Unit> = shard_targets(&divisors, shards)
+                    .into_iter()
+                    .map(|t| Unit {
+                        targets: Arc::new(t),
+                        base: Arc::clone(&rbase),
+                        kind: SubKind::Resub,
+                    })
+                    .collect();
+                let rresults = co.run_phase_opts(units, true);
+                if co.unit_abandoned || rresults.is_empty() {
+                    degraded = true;
+                } else {
+                    let mut claimed: FxHashSet<SignalId> = FxHashSet::default();
+                    let mut seeds: Vec<SignalId> = Vec::new();
+                    for (wr, rep) in rresults {
+                        resub_pairs_considered += rep.resub_pairs_considered;
+                        resub_pairs_divided += rep.resub_pairs_divided;
+                        resub_worklist_rounds += rep.resub_worklist_rounds;
+                        let (changed, conflicted) = apply_resub_shard(
+                            nw,
+                            wr,
+                            &mut claimed,
+                            &mut co.stats.recovery_conflicts,
+                        );
+                        seeds.extend(changed);
+                        seeds.extend(conflicted);
+                    }
+                    if !seeds.is_empty() {
+                        let scope = ResubScope {
+                            divisors: None,
+                            seeds: Some(&seeds),
+                        };
+                        if let Ok(rep) = resubstitute_scoped(nw, &scope) {
+                            resub_pairs_considered += rep.pairs_considered;
+                            resub_pairs_divided += rep.pairs_divided;
+                            resub_worklist_rounds += rep.worklist_rounds;
+                        }
+                    }
+                }
+            }
+            lane.end_with(span, || {
+                vec![
+                    ("pairs", resub_pairs_considered as i64),
+                    ("divided", resub_pairs_divided as i64),
+                ]
+            });
+            resub_elapsed = t_resub.elapsed();
+        }
+
+        // The recovery resub turns duplicated factor nodes into dead
+        // logic and pass-through wires; sweep them out. Skipped on
+        // degraded runs so the result stays exactly the
+        // Algorithm-I-quality network the parts produced.
+        if !degraded {
+            let span = lane.start("recovery:sweep");
+            let _ = sweep(nw);
+            lane.end(span);
+        }
+        co.unit_abandoned |= before;
     }
     co.stats.recovery_rects = recovery_rects as u64;
     degraded |= co.unit_abandoned;
     co.cancelled |= cfg.extract.ctl.is_cancelled();
 
     let elapsed = start.elapsed();
-    let recovery_elapsed =
-        elapsed.saturating_sub(partition_elapsed + extract_elapsed + merge_elapsed);
+    // The sweep phase absorbs the remainder (trailing bookkeeping
+    // included) so the per-phase breakdown still sums to `elapsed`.
+    let sweep_elapsed = elapsed.saturating_sub(
+        partition_elapsed + extract_elapsed + merge_elapsed + frontier_elapsed + resub_elapsed,
+    );
     let report = ExtractReport {
         lc_before,
         lc_after: nw.literal_count(),
@@ -994,15 +1213,98 @@ pub fn distributed_extract(
         batch_candidates,
         batch_accepted,
         batch_rejected,
+        resub_pairs_considered,
+        resub_pairs_divided,
+        resub_worklist_rounds,
         setup: partition_elapsed,
         phases: vec![
             PhaseTiming::new("partition", partition_elapsed),
             PhaseTiming::new("extract", extract_elapsed),
             PhaseTiming::new("merge", merge_elapsed),
-            PhaseTiming::new("recovery", recovery_elapsed),
+            PhaseTiming::new("frontier", frontier_elapsed),
+            PhaseTiming::new("resub", resub_elapsed),
+            PhaseTiming::new("sweep", sweep_elapsed),
         ],
     };
     (report, co.stats)
+}
+
+/// Splits an id-sorted target list into at most `shards` contiguous,
+/// disjoint, non-empty chunks — deterministic for a fixed list and
+/// shard count.
+fn shard_targets(targets: &[SignalId], shards: usize) -> Vec<Vec<SignalId>> {
+    let shards = shards.max(1).min(targets.len().max(1));
+    let chunk = targets.len().div_ceil(shards);
+    targets.chunks(chunk.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Applies one resub shard's rewrites to the merged network in lease
+/// order: the first shard to claim a node wins (later claims count as
+/// conflicts), and a rewrite that would close a cycle — possible only
+/// when another shard's substitution created the path — is rolled back.
+/// Returns `(changed, conflicted)`: the nodes actually rewritten and
+/// the nodes whose rewrite was dropped. Both seed the coordinator's
+/// cross-shard fixpoint — a dropped rewrite still marks a node whose
+/// division opportunity exists in the merged network, and the seeded
+/// resub re-derives it against the full divisor index instead of
+/// silently losing the literals.
+fn apply_resub_shard(
+    nw: &mut Network,
+    wr: WorkerResult,
+    claimed: &mut FxHashSet<SignalId>,
+    conflicts: &mut u64,
+) -> (Vec<SignalId>, Vec<SignalId>) {
+    let mut changed = Vec::new();
+    let mut conflicted = Vec::new();
+    // Batch-apply the shard's unclaimed rewrites, then run ONE cycle
+    // check for the whole shard: the per-rewrite `topo_order` it
+    // replaces cost O(network) per rewritten node, which dominated the
+    // recovery resub phase. Cycles are the cross-shard exception, not
+    // the rule, so the common case pays a single validation.
+    let mut applied: Vec<SignalId> = Vec::new();
+    let mut snapshots = Vec::new();
+    for (node, func) in wr.rewritten {
+        if !claimed.insert(node) {
+            *conflicts += 1;
+            conflicted.push(node);
+            continue;
+        }
+        let snapshot = nw.func(node).clone();
+        if nw.set_func(node, func).is_err() {
+            *conflicts += 1;
+            conflicted.push(node);
+            continue;
+        }
+        applied.push(node);
+        snapshots.push((node, snapshot));
+    }
+    if nw.topo_order().is_ok() {
+        changed.extend(applied);
+        return (changed, conflicted);
+    }
+    // Slow path: some rewrite closed a cycle. Roll the shard back and
+    // re-apply one rewrite at a time with per-step checks so only the
+    // culprits are dropped.
+    let rewrites: Vec<_> = applied.iter().map(|&n| (n, nw.func(n).clone())).collect();
+    for (node, snapshot) in snapshots.into_iter().rev() {
+        let _ = nw.set_func(node, snapshot);
+    }
+    for (node, func) in rewrites {
+        let snapshot = nw.func(node).clone();
+        if nw.set_func(node, func).is_err() {
+            *conflicts += 1;
+            conflicted.push(node);
+            continue;
+        }
+        if nw.topo_order().is_err() {
+            let _ = nw.set_func(node, snapshot);
+            *conflicts += 1;
+            conflicted.push(node);
+            continue;
+        }
+        changed.push(node);
+    }
+    (changed, conflicted)
 }
 
 #[cfg(test)]
@@ -1055,11 +1357,13 @@ mod tests {
         assert!(!report.degraded);
         assert!(report.completed());
         assert!(stats.balanced(), "{stats:?}");
-        assert_eq!(stats.leases_resolved as usize, {
-            // two partition leases + one recovery lease (if the frontier
-            // was non-empty, which it is on this circuit)
-            3
-        });
+        // Two partition leases, then recovery sharded across the two
+        // workers: two frontier shards + up to two resub shards (the
+        // frontier is non-empty on this circuit).
+        assert!(
+            (4..=6).contains(&(stats.leases_resolved as usize)),
+            "{stats:?}"
+        );
         assert!(nw.validate().is_ok());
         assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
     }
@@ -1307,6 +1611,143 @@ mod tests {
         assert!(stats.balanced(), "{stats:?}");
         assert!(nw.validate().is_ok());
         assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn single_partition_skips_recovery_entirely() {
+        // Satellite of ROADMAP item 4: with one part the frontier is
+        // empty, so recovery has nothing to recover — no recovery
+        // leases, no resub, no sweep, zero recovery phase time.
+        let mut nw = bigger_network();
+        let t = LocalTransport::new(1);
+        let cfg = DistConfig {
+            parts: 1,
+            ..fast_cfg()
+        };
+        let (report, stats) = distributed_extract(&mut nw, &t, &cfg);
+        assert!(report.completed());
+        assert!(!report.degraded);
+        assert_eq!(stats.leases_issued, 1, "only the partition lease");
+        assert_eq!(report.recovery_rects, 0);
+        assert_eq!(report.phase("frontier"), Some(Duration::ZERO));
+        assert_eq!(report.phase("resub"), Some(Duration::ZERO));
+        assert_eq!(report.resub_pairs_considered, 0);
+        assert!(stats.balanced(), "{stats:?}");
+    }
+
+    #[test]
+    fn sharded_recovery_matches_serial_quality() {
+        // The sharded recovery (one shard per worker) must land on the
+        // same literal count as the legacy serial recovery lease.
+        let base = bigger_network();
+        let run = |shards: usize| {
+            let mut nw = base.clone();
+            let t = LocalTransport::new(2);
+            let cfg = DistConfig {
+                recovery_shards: shards,
+                ..fast_cfg()
+            };
+            let (report, stats) = distributed_extract(&mut nw, &t, &cfg);
+            assert!(report.completed() && !report.degraded);
+            assert!(stats.balanced(), "{stats:?}");
+            assert!(nw.validate().is_ok());
+            (report.lc_after, nw)
+        };
+        let (lc_serial, _) = run(1);
+        let (lc_sharded, nw) = run(2);
+        assert_eq!(lc_sharded, lc_serial, "sharding must not cost quality");
+        let original = base.clone();
+        assert!(equivalent_random(&original, &nw, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn sharded_recovery_reports_resub_counters() {
+        let mut nw = bigger_network();
+        let t = LocalTransport::new(2);
+        let (report, _) = distributed_extract(&mut nw, &t, &fast_cfg());
+        assert!(!report.degraded);
+        // The recovery resub ran: it examined pairs, and every division
+        // it performed is included in the considered count.
+        assert!(report.resub_worklist_rounds >= 1);
+        assert!(report.resub_pairs_considered >= report.resub_pairs_divided);
+    }
+
+    #[test]
+    fn resub_shard_death_fails_over_and_converges() {
+        quiet_injected_panics();
+        let base = bigger_network();
+        // Oracle: the same sharded run without faults.
+        let mut clean = base.clone();
+        let t0 = LocalTransport::new(2);
+        let cfg0 = DistConfig {
+            recovery_shards: 2,
+            ..fast_cfg()
+        };
+        let (rep_clean, _) = distributed_extract(&mut clean, &t0, &cfg0);
+
+        // Kill the first resub shard attempt mid-recovery; the lease
+        // must fail over to a surviving worker and converge un-degraded.
+        let mut nw = base.clone();
+        let ctl = crate::RunCtl::new().with_faults(Arc::new(
+            FaultPlan::new(5).with_rule(FaultRule::panic_at("dist:recover:resub").max_hits(1)),
+        ));
+        let cfg = DistConfig {
+            extract: ExtractConfig {
+                ctl,
+                ..ExtractConfig::default()
+            },
+            recovery_shards: 2,
+            ..fast_cfg()
+        };
+        let t = LocalTransport::new(2);
+        let (report, stats) = distributed_extract(&mut nw, &t, &cfg);
+        assert!(report.completed());
+        assert!(!report.degraded, "one shard death is survivable");
+        assert!(stats.failovers >= 1, "{stats:?}");
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(report.lc_after, rep_clean.lc_after);
+        assert!(nw.validate().is_ok());
+        assert!(equivalent_random(&base, &nw, &EquivConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn every_resub_shard_dying_degrades_once() {
+        quiet_injected_panics();
+        let base = bigger_network();
+        let mut plain = base.clone();
+        let t0 = LocalTransport::new(2);
+        let cfg_plain = DistConfig {
+            recovery: false,
+            ..fast_cfg()
+        };
+        let (rep_plain, _) = distributed_extract(&mut plain, &t0, &cfg_plain);
+
+        // Frontier recovery succeeds; every resub shard attempt panics
+        // until the retry budget is gone → the stage aborts, degraded
+        // is recorded exactly once, and the network stays at (or under —
+        // the frontier shards may still have extracted) Algorithm-I
+        // quality while remaining valid and equivalent.
+        let mut nw = base.clone();
+        let ctl = crate::RunCtl::new().with_faults(Arc::new(
+            FaultPlan::new(5).with_rule(FaultRule::panic_at("dist:recover:resub")),
+        ));
+        let cfg = DistConfig {
+            extract: ExtractConfig {
+                ctl,
+                ..ExtractConfig::default()
+            },
+            max_attempts: 2,
+            recovery_shards: 2,
+            ..fast_cfg()
+        };
+        let t = LocalTransport::new(2);
+        let (report, stats) = distributed_extract(&mut nw, &t, &cfg);
+        assert!(report.degraded, "total resub loss must be recorded");
+        assert_eq!(stats.degraded_jobs, 1, "abort counts one degradation");
+        assert!(stats.balanced(), "{stats:?}");
+        assert!(report.lc_after <= rep_plain.lc_after);
+        assert!(nw.validate().is_ok());
+        assert!(equivalent_random(&base, &nw, &EquivConfig::default()).unwrap());
     }
 
     #[test]

@@ -170,6 +170,9 @@ pub fn independent_extract(nw: &mut Network, cfg: &IndependentConfig) -> Extract
         batch_candidates,
         batch_accepted,
         batch_rejected,
+        resub_pairs_considered: 0,
+        resub_pairs_divided: 0,
+        resub_worklist_rounds: 0,
         setup: partition_elapsed,
         phases: vec![
             PhaseTiming::new("partition", partition_elapsed),

@@ -69,7 +69,7 @@ pub use ctl::{RunCtl, StopReason};
 pub use cx::{extract_common_cubes, independent_extract_cubes, CubeExtractConfig};
 pub use dist::{
     block_base_for, distributed_extract, execute_sub_job, frontier_nodes, DistConfig, DistEvent,
-    DistStats, DistTransport, LocalTransport, SubJob,
+    DistStats, DistTransport, LocalTransport, SubJob, SubKind,
 };
 pub use fault::{FaultKind, FaultPlan, FaultRule};
 pub use independent::{independent_extract, IndependentConfig};

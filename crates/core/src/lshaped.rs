@@ -881,6 +881,9 @@ pub fn lshaped_extract(nw: &mut Network, cfg: &LShapedConfig) -> ExtractReport {
         batch_candidates: batch_counts[0],
         batch_accepted: batch_counts[1],
         batch_rejected: batch_counts[2],
+        resub_pairs_considered: 0,
+        resub_pairs_divided: 0,
+        resub_worklist_rounds: 0,
         setup: setup_elapsed,
         phases: vec![
             PhaseTiming::new("setup", setup_elapsed),

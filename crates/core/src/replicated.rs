@@ -277,6 +277,9 @@ pub fn replicated_extract(nw: &mut Network, cfg: &ReplicatedConfig) -> ExtractRe
         batch_candidates: batch_candidates.load(Ordering::Relaxed),
         batch_accepted: batch_accepted.load(Ordering::Relaxed),
         batch_rejected: batch_rejected.load(Ordering::Relaxed),
+        resub_pairs_considered: 0,
+        resub_pairs_divided: 0,
+        resub_worklist_rounds: 0,
         setup,
         phases: vec![
             PhaseTiming::new("replicate", setup),

@@ -54,7 +54,10 @@ pub struct ExtractReport {
     /// the Algorithm-I-quality merge.
     pub degraded: bool,
     /// Rectangles recovered by the distributed driver's boundary-recovery
-    /// phase (0 for every single-process driver, and for degraded runs).
+    /// frontier shards (0 for every single-process driver, and for runs
+    /// that degraded before any frontier shard merged; a run that
+    /// degrades later — in the resub stage — keeps the frontier
+    /// rectangles it already merged).
     pub recovery_rects: usize,
     /// Search→reduce→apply rounds executed (the final empty-handed
     /// search included). With batching (`batch_rects > 1`) several
@@ -72,6 +75,15 @@ pub struct ExtractReport {
     /// Candidates dropped by conflict selection (shared column/node with
     /// an earlier pick, or past the remaining extraction budget).
     pub batch_rejected: usize,
+    /// Divisor/target pairs the recovery resubstitution examined after
+    /// the dirty-worklist gate (0 outside the distributed driver). Sums
+    /// the sharded recovery passes and the coordinator's seeded cleanup.
+    pub resub_pairs_considered: usize,
+    /// Pairs that passed every candidate filter and ran the division.
+    pub resub_pairs_divided: usize,
+    /// Worklist rounds the resubstitution fixpoints took, summed over
+    /// shards and the coordinator cleanup.
+    pub resub_worklist_rounds: usize,
     /// Time spent before concurrent extraction began: partitioning,
     /// matrix generation and the B_ij exchange (Algorithm L), or replica
     /// construction (Algorithm R). Part of `elapsed`.

@@ -17,9 +17,8 @@ use pf_kcmatrix::{
     best_rectangle_pooled, best_rectangle_pooled_with, best_rectangle_seeded,
     best_rectangle_with_seed, best_rectangles_pooled, best_rectangles_pooled_with,
     best_rectangles_seeded, best_rectangles_with_seed, revalidate_rectangle,
-    select_prefix_nonconflicting,
-    CeilingSnapshot, CeilingUpdate, ColIdx, CubeRegistry, KcMatrix, LabelGen, Rectangle,
-    SearchConfig, SearchPool, SearchStats,
+    select_prefix_nonconflicting, CeilingSnapshot, CeilingUpdate, ColIdx, CubeRegistry, KcMatrix,
+    LabelGen, Rectangle, SearchConfig, SearchPool, SearchStats,
 };
 use pf_network::{Network, SignalId};
 use pf_sop::fx::{FxHashMap, FxHashSet};
@@ -1306,4 +1305,3 @@ mod tests {
     use pf_network::Network;
     use pf_sop::{Cube, Sop};
 }
-

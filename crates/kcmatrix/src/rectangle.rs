@@ -431,8 +431,8 @@ pub fn best_rectangles_with_seed(
     let col_sets = m.col_row_sets();
     // Per-call panel mirror for the tiled kernel; the resident pool
     // keeps its panel across passes instead (see [`crate::pool`]).
-    let panel = (cfg.tile_width > 0)
-        .then(|| TilePanels::build(m.rows().len(), &col_sets, cfg.tile_width));
+    let panel =
+        (cfg.tile_width > 0).then(|| TilePanels::build(m.rows().len(), &col_sets, cfg.tile_width));
 
     let seed_rect = seed.and_then(|s| revalidate_seed(m, model, cfg, s));
 
@@ -453,16 +453,30 @@ pub fn best_rectangles_with_seed(
 
     if cfg.topk <= 1 {
         let mut acc = BestOne(seed_rect);
-        let stats =
-            sequential_search(m, model, cfg, &row_full_value, &col_sets, panel.as_ref(), &mut acc);
+        let stats = sequential_search(
+            m,
+            model,
+            cfg,
+            &row_full_value,
+            &col_sets,
+            panel.as_ref(),
+            &mut acc,
+        );
         (acc.0.into_iter().collect(), stats)
     } else {
         let mut acc = TopK::new(cfg.topk);
         if let Some(s) = seed_rect {
             acc.insert(s);
         }
-        let stats =
-            sequential_search(m, model, cfg, &row_full_value, &col_sets, panel.as_ref(), &mut acc);
+        let stats = sequential_search(
+            m,
+            model,
+            cfg,
+            &row_full_value,
+            &col_sets,
+            panel.as_ref(),
+            &mut acc,
+        );
         (acc.into_vec(), stats)
     }
 }
@@ -1004,6 +1018,7 @@ pub(crate) fn greedy_row(
 /// bar — this is where the tiled kernel's speedup lives. Results are
 /// byte-identical to the scalar sweep by the admissibility argument;
 /// only the work done changes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn greedy_row_tiled<C: Collect>(
     m: &KcMatrix,
     model: &CostModel<'_>,

@@ -113,8 +113,8 @@ impl TilePanels {
         let old_ncols = self.ncols;
         self.ncols = col_sets.len();
         self.data.resize(self.ncols * self.stride, 0);
-        for c in old_ncols..self.ncols {
-            self.encode_col(c, &col_sets[c]);
+        for (c, cols) in col_sets.iter().enumerate().skip(old_ncols) {
+            self.encode_col(c, cols);
         }
         for &c in dirty {
             if c < old_ncols {

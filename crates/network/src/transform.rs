@@ -72,17 +72,30 @@ pub fn eliminate_node(nw: &mut Network, victim: SignalId) -> Result<bool, Networ
     if nw.kind(victim) != SignalKind::Node {
         return Err(NetworkError::NotANode(victim));
     }
+    let fanouts: Vec<SignalId> = nw.fanout_map()[victim as usize].clone();
+    eliminate_into(nw, victim, &fanouts)
+}
+
+/// The composition core of [`eliminate_node`], taking the victim's
+/// fanout list from the caller. The list may contain stale entries —
+/// nodes that no longer reference the victim compose with a zero
+/// quotient, a no-op — but must not be missing any real fanout, or the
+/// victim's literal would dangle after its function is cleared.
+fn eliminate_into(
+    nw: &mut Network,
+    victim: SignalId,
+    fanouts: &[SignalId],
+) -> Result<bool, NetworkError> {
     let vpos = nw.var(victim).lit();
     let vneg = vpos.complement();
-    let fanouts: Vec<SignalId> = nw.fanout_map()[victim as usize].clone();
     // Refuse if any fanout uses the complemented literal.
-    for &fo in &fanouts {
+    for &fo in fanouts {
         if nw.func(fo).lit_occurrences(vneg) > 0 {
             return Ok(false);
         }
     }
     let g = nw.func(victim).clone();
-    for &fo in &fanouts {
+    for &fo in fanouts {
         let f = nw.func(fo).clone();
         let div = pf_sop::divide_by_cube(&f, &pf_sop::Cube::single(vpos));
         let composed = div.quotient.product(&g).sum(&div.remainder);
@@ -149,22 +162,75 @@ pub fn simplify_all(nw: &mut Network) -> Result<usize, NetworkError> {
 /// Repeats to a fixpoint. Returns the number of nodes swept.
 pub fn sweep(nw: &mut Network) -> Result<usize, NetworkError> {
     let mut swept = 0usize;
+    // Output membership as a bitmask: the per-node `Vec::contains` scan
+    // it replaces made sweep O(nodes × outputs) per round, which
+    // dominated distributed recovery on merged networks full of dead
+    // duplicate chains. Outputs never change during a sweep.
+    let mut is_output = vec![false; nw.num_signals()];
+    for &o in nw.outputs() {
+        is_output[o as usize] = true;
+    }
     loop {
+        // Dead logic first, as a cascade over fanout counts: clearing a
+        // node may orphan its fanins, so a chain of dead duplicates
+        // collapses in one O(edges) pass instead of one whole-network
+        // round per link (the shape recovery resub leaves behind).
+        let mut fo_count: Vec<usize> = nw.fanout_map().iter().map(Vec::len).collect();
+        let mut queue: Vec<SignalId> = nw
+            .node_ids()
+            .filter(|&n| {
+                !is_output[n as usize] && fo_count[n as usize] == 0 && !nw.func(n).is_zero()
+            })
+            .collect();
+        while let Some(node) = queue.pop() {
+            let fanins = nw.fanins(node);
+            nw.set_func(node, Sop::zero())?;
+            swept += 1;
+            for fi in fanins {
+                fo_count[fi as usize] -= 1;
+                if fo_count[fi as usize] == 0
+                    && !is_output[fi as usize]
+                    && nw.kind(fi) == SignalKind::Node
+                    && !nw.func(fi).is_zero()
+                {
+                    queue.push(fi);
+                }
+            }
+        }
+        // Then pass-through wires, against a fanout map maintained
+        // in place: eliminating a wire re-points its fanouts at the
+        // wire's fanins, which is reflected by *adding* those edges
+        // (`eliminate_into` tolerates stale extras — zero quotient,
+        // no-op — but a missing edge would dangle the literal). This
+        // keeps a round at one O(edges) map build where calling
+        // `eliminate_node` per wire paid one build per elimination.
         let mut changed = false;
-        let fo_map = nw.fanout_map();
-        let outputs: Vec<SignalId> = nw.outputs().to_vec();
+        let mut fo_map = nw.fanout_map();
         for node in nw.node_ids().collect::<Vec<_>>() {
-            if outputs.contains(&node) {
+            if is_output[node as usize] || nw.func(node).is_zero() {
                 continue;
             }
-            let is_dead = fo_map[node as usize].is_empty() && !nw.func(node).is_zero();
             let is_wire = nw.func(node).num_cubes() == 1
                 && nw.func(node).literal_count() <= 1
                 && !fo_map[node as usize].is_empty();
-            if is_dead || (is_wire && eliminate_node(nw, node)?) {
-                nw.set_func(node, Sop::zero())?;
-                swept += 1;
-                changed = true;
+            if !is_wire {
+                continue;
+            }
+            let fanins = nw.fanins(node);
+            let fanouts = std::mem::take(&mut fo_map[node as usize]);
+            if !eliminate_into(nw, node, &fanouts)? {
+                fo_map[node as usize] = fanouts;
+                continue;
+            }
+            nw.set_func(node, Sop::zero())?;
+            swept += 1;
+            changed = true;
+            for &fi in &fanins {
+                for &fo in &fanouts {
+                    if !fo_map[fi as usize].contains(&fo) {
+                        fo_map[fi as usize].push(fo);
+                    }
+                }
             }
         }
         if !changed {

@@ -138,6 +138,23 @@ proptest! {
         prop_assert!(equivalent_random(&nw, &modified, &EquivConfig::default()).unwrap());
     }
 
+    /// The indexed worklist engine is byte-identical to the all-pairs
+    /// reference: same substitution count, same literals saved, and the
+    /// exact same resulting network (textually).
+    #[test]
+    fn resub_indexed_matches_reference(nw in arb_network(5, 8)) {
+        use pf_network::resub::{reference, resubstitute};
+        let mut indexed = nw.clone();
+        let mut oracle = nw;
+        let ri = resubstitute(&mut indexed).unwrap();
+        let rr = reference::resubstitute(&mut oracle).unwrap();
+        prop_assert_eq!(ri.substitutions, rr.substitutions);
+        prop_assert_eq!(ri.saved, rr.saved);
+        prop_assert!(ri.pairs_divided >= ri.substitutions);
+        prop_assert!(ri.pairs_considered >= ri.pairs_divided);
+        prop_assert_eq!(write_network(&indexed), write_network(&oracle));
+    }
+
     /// Division + recomposition via extract/eliminate is the identity on
     /// node functions.
     #[test]

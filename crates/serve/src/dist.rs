@@ -41,7 +41,7 @@ use pf_core::merge::{NewNode, WorkerResult};
 use pf_core::seq::ExtractConfig;
 use pf_core::{
     block_base_for, execute_sub_job, DistConfig, DistEvent, DistStats, DistTransport, FaultPlan,
-    LocalTransport, SubJob,
+    LocalTransport, SubJob, SubKind,
 };
 use pf_network::io::{read_network, write_network};
 use pf_network::SignalId;
@@ -112,7 +112,7 @@ pub fn encode_sub_request(job: &SubJob, faults: Option<(&str, u64)>) -> Json {
     let mut members = vec![
         ("op".to_string(), Json::str("sub")),
         ("lease".to_string(), Json::u64(job.lease)),
-        ("recovery".to_string(), Json::Bool(job.recovery)),
+        ("kind".to_string(), Json::str(job.kind.as_str())),
         ("network".to_string(), Json::str(write_network(&job.base))),
         (
             "targets".to_string(),
@@ -171,6 +171,18 @@ fn encode_sub_result(job: &SubJob, wr: &WorkerResult, report: &pf_core::ExtractR
                 ("budget_exhausted", Json::Bool(report.budget_exhausted)),
                 ("timed_out", Json::Bool(report.timed_out)),
                 ("cancelled", Json::Bool(report.cancelled)),
+                (
+                    "resub_pairs_considered",
+                    Json::u64(report.resub_pairs_considered as u64),
+                ),
+                (
+                    "resub_pairs_divided",
+                    Json::u64(report.resub_pairs_divided as u64),
+                ),
+                (
+                    "resub_worklist_rounds",
+                    Json::u64(report.resub_worklist_rounds as u64),
+                ),
             ]),
         ),
         (
@@ -281,6 +293,9 @@ pub fn decode_sub_response(
         budget_exhausted: get_b("budget_exhausted"),
         timed_out: get_b("timed_out"),
         cancelled: get_b("cancelled"),
+        resub_pairs_considered: get_u("resub_pairs_considered") as usize,
+        resub_pairs_divided: get_u("resub_pairs_divided") as usize,
+        resub_worklist_rounds: get_u("resub_worklist_rounds") as usize,
         ..Default::default()
     };
     Ok((wr, report))
@@ -306,10 +321,10 @@ fn run_sub(request: &Json) -> Result<Json, String> {
         .get("lease")
         .and_then(Json::as_u64)
         .ok_or("missing \"lease\"")?;
-    let recovery = request
-        .get("recovery")
-        .and_then(Json::as_bool)
-        .unwrap_or(false);
+    let kind = match request.get("kind").and_then(Json::as_str) {
+        Some(s) => SubKind::parse(s).ok_or_else(|| format!("unknown sub kind {s:?}"))?,
+        None => SubKind::Extract,
+    };
     let text = request
         .get("network")
         .and_then(Json::as_str)
@@ -349,7 +364,7 @@ fn run_sub(request: &Json) -> Result<Json, String> {
         targets: Arc::new(targets),
         base: Arc::new(base),
         extract,
-        recovery,
+        kind,
     };
     match std::panic::catch_unwind(AssertUnwindSafe(|| execute_sub_job(&job))) {
         Ok((wr, report)) => Ok(encode_sub_result(&job, &wr, &report)),
@@ -589,6 +604,10 @@ fn run_dist(request: &Json, client: &Client) -> Result<Json, String> {
     if let Some(r) = request.get("recovery").and_then(Json::as_bool) {
         cfg.recovery = r;
     }
+    if let Some(s) = request.get("recovery_shards").and_then(Json::as_u64) {
+        cfg.recovery_shards =
+            usize::try_from(s).map_err(|_| "\"recovery_shards\" out of range".to_string())?;
+    }
     if let Some(ms) = request.get("lease_timeout_ms").and_then(Json::as_u64) {
         cfg.lease_timeout = Duration::from_millis(ms);
     }
@@ -677,6 +696,18 @@ pub fn dist_response(report: &pf_core::ExtractReport, stats: &DistStats) -> Json
                 ("extractions", Json::u64(report.extractions as u64)),
                 ("degraded", Json::Bool(report.degraded)),
                 ("recovery_rects", Json::u64(report.recovery_rects as u64)),
+                (
+                    "resub_pairs_considered",
+                    Json::u64(report.resub_pairs_considered as u64),
+                ),
+                (
+                    "resub_pairs_divided",
+                    Json::u64(report.resub_pairs_divided as u64),
+                ),
+                (
+                    "resub_worklist_rounds",
+                    Json::u64(report.resub_worklist_rounds as u64),
+                ),
                 ("run_us", Json::u64(report.elapsed.as_micros() as u64)),
                 (
                     "phases",
@@ -700,6 +731,7 @@ pub fn dist_response(report: &pf_core::ExtractReport, stats: &DistStats) -> Json
                 ("failovers", Json::u64(stats.failovers)),
                 ("degraded_jobs", Json::u64(stats.degraded_jobs)),
                 ("recovery_rects", Json::u64(stats.recovery_rects)),
+                ("recovery_conflicts", Json::u64(stats.recovery_conflicts)),
                 ("stale_results", Json::u64(stats.stale_results)),
                 ("balanced", Json::Bool(stats.balanced())),
             ]),
@@ -759,7 +791,7 @@ mod tests {
             targets: Arc::new(targets),
             base: Arc::new(base),
             extract: ExtractConfig::default(),
-            recovery: false,
+            kind: SubKind::Extract,
         }
     }
 

@@ -285,6 +285,10 @@ pub struct Metrics {
     pub degraded_jobs: Counter,
     /// Rectangles recovered by boundary-recovery sub-jobs.
     pub recovery_rects: Counter,
+    /// Recovery-shard resubstitution rewrites the coordinator dropped at
+    /// merge time (claim conflict between shards, or a cycle the shard
+    /// could not see).
+    pub recovery_conflicts: Counter,
     /// Sub-job results that arrived for an inactive lease (late after
     /// expiry, or duplicated in flight) and were ignored.
     pub stale_results: Counter,
@@ -326,6 +330,7 @@ impl Metrics {
         self.failovers.add(stats.failovers);
         self.degraded_jobs.add(stats.degraded_jobs);
         self.recovery_rects.add(stats.recovery_rects);
+        self.recovery_conflicts.add(stats.recovery_conflicts);
         self.stale_results.add(stats.stale_results);
     }
 
@@ -360,6 +365,10 @@ impl Metrics {
             ("failovers", Json::u64(self.failovers.get())),
             ("degraded_jobs", Json::u64(self.degraded_jobs.get())),
             ("recovery_rects", Json::u64(self.recovery_rects.get())),
+            (
+                "recovery_conflicts",
+                Json::u64(self.recovery_conflicts.get()),
+            ),
             ("stale_results", Json::u64(self.stale_results.get())),
             ("queue_depth", Json::u64(queue_depth as u64)),
             (
@@ -510,6 +519,7 @@ mod tests {
             failovers: 1,
             degraded_jobs: 0,
             recovery_rects: 5,
+            recovery_conflicts: 2,
             stale_results: 1,
         };
         m.record_dist(&stats);
@@ -518,6 +528,7 @@ mod tests {
         assert_eq!(j.get("leases_issued").and_then(Json::as_u64), Some(4));
         assert_eq!(j.get("failovers").and_then(Json::as_u64), Some(1));
         assert_eq!(j.get("recovery_rects").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("recovery_conflicts").and_then(Json::as_u64), Some(2));
         assert_eq!(j.get("stale_results").and_then(Json::as_u64), Some(1));
     }
 

@@ -15,12 +15,15 @@
 //! percent at the biggest measured scale (the `tiles` section).
 //!
 //! `--partition` switches to the distributed-extraction snapshot
-//! (`BENCH_partition.json`): the sequential oracle's literal count, the
+//! (`BENCH_partition.json`): per scale in the sweep (`--scales`,
+//! default 0.5/2/4), the sequential oracle's literal count, the
 //! Algorithm-I-quality result (distributed, boundary recovery off), and
-//! the recovered result at 1/2/4 workers, with wall times and the share
-//! of the partition quality gap that boundary recovery closed.
+//! the recovered result at 1/2/4 workers, with wall times, the share of
+//! the partition quality gap that boundary recovery closed, and the
+//! share of the recovered wall the recovery stage consumed.
 //! `--assert-gap-closed PCT` turns the worst per-worker-count closure
-//! into a CI gate.
+//! (scales below 2) into a CI gate; `--assert-recovery-share PCT` caps
+//! recovery's wall share at scales ≥ 2, where extraction must dominate.
 
 use pf_kcmatrix::{
     best_rectangle, best_rectangle_pooled, reference, CeilingUpdate, CubeRegistry, KcMatrix,
@@ -56,8 +59,20 @@ pub struct BenchJsonOptions {
     pub partition: bool,
     /// Fail (exit non-zero) unless boundary recovery closes at least
     /// this percentage of the Algorithm-I literal-count gap at every
-    /// multi-worker count. Implies `--partition`.
+    /// multi-worker count (small scales — below 1 — only; large scales
+    /// are wall-clock-focused and gated by `assert_recovery_share`).
+    /// Implies `--partition`.
     pub assert_gap_closed: Option<f64>,
+    /// Workload scale factors for the partition sweep (`--scales`).
+    /// `None` picks the defaults: `[0.2]` in quick mode, `[0.5, 2, 4]`
+    /// otherwise — the large scales are where extraction, not recovery,
+    /// must own the wall clock.
+    pub scales: Option<Vec<f64>>,
+    /// Fail (exit non-zero) when the recovery stage (frontier + resub +
+    /// sweep phases) takes more than this percentage of the recovered
+    /// run's wall time at any multi-worker count on any scale ≥ 2.
+    /// Implies `--partition`.
+    pub assert_recovery_share: Option<f64>,
 }
 
 impl Default for BenchJsonOptions {
@@ -71,6 +86,8 @@ impl Default for BenchJsonOptions {
             assert_tile_speedup: None,
             partition: false,
             assert_gap_closed: None,
+            scales: None,
+            assert_recovery_share: None,
         }
     }
 }
@@ -132,7 +149,13 @@ fn min_ns(reps: usize, mut f: impl FnMut()) -> u64 {
 
 /// One full search over `m` with the given thread count (0 = classic
 /// sequential engine) and tile width (0 = scalar word loop).
-fn timed_search(m: &KcMatrix, w: &[u32], par_threads: usize, tile_width: usize, reps: usize) -> u64 {
+fn timed_search(
+    m: &KcMatrix,
+    w: &[u32],
+    par_threads: usize,
+    tile_width: usize,
+    reps: usize,
+) -> u64 {
     let cfg = SearchConfig {
         par_threads,
         tile_width,
@@ -312,22 +335,24 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
     let tile_widths: [usize; 3] = [2, 4, 8];
     let mut tiles_members: Vec<(String, Json)> = Vec::new();
     let mut tile_speedup_pct = 0.0f64;
-    let quick_tile = if opts.quick { Some(dalu_matrix(0.35)) } else { None };
-    let tile_tables: Vec<(f64, &KcMatrix, &[u32], u64, usize)> = if let Some((qm, qw)) =
-        quick_tile.as_ref()
-    {
-        let scalar_ns = timed_search(qm, qw, 0, 0, overhead_reps);
-        vec![(0.35, qm, qw, scalar_ns, overhead_reps)]
+    let quick_tile = if opts.quick {
+        Some(dalu_matrix(0.35))
     } else {
-        vec![
-            (micro_scale, &m, &w, bitset_ns, overhead_reps),
-            (big_scale, &mb, &wb, seq_ns, overhead_reps),
-        ]
+        None
     };
+    let tile_tables: Vec<(f64, &KcMatrix, &[u32], u64, usize)> =
+        if let Some((qm, qw)) = quick_tile.as_ref() {
+            let scalar_ns = timed_search(qm, qw, 0, 0, overhead_reps);
+            vec![(0.35, qm, qw, scalar_ns, overhead_reps)]
+        } else {
+            vec![
+                (micro_scale, &m, &w, bitset_ns, overhead_reps),
+                (big_scale, &mb, &wb, seq_ns, overhead_reps),
+            ]
+        };
     for (scale, tm, tw, scalar_ns, reps) in tile_tables {
         eprintln!("bench-json: tiled search @ dalu scale {scale}");
-        let mut rows: Vec<(String, Json)> =
-            vec![("scalar_ns".to_string(), Json::u64(scalar_ns))];
+        let mut rows: Vec<(String, Json)> = vec![("scalar_ns".to_string(), Json::u64(scalar_ns))];
         let mut best_pct = f64::NEG_INFINITY;
         let mut best_width = 0usize;
         for width in tile_widths {
@@ -543,124 +568,189 @@ pub fn run(opts: &BenchJsonOptions) -> Json {
 }
 
 /// Runs the distributed-partition measurements and renders the JSON
-/// document: the sequential oracle, then for each worker count the
-/// recovery-off run (Algorithm-I quality — cut rectangles are simply
-/// lost) against the recovery-on run, with the share of the literal
-/// gap that boundary recovery closed.
+/// document: for each scale in the sweep, the sequential oracle, then
+/// for each worker count the recovery-off run (Algorithm-I quality —
+/// cut rectangles are simply lost) against the recovery-on run, with
+/// the share of the literal gap that boundary recovery closed and the
+/// share of the recovered wall the recovery stage (frontier + resub +
+/// sweep) consumed. Small scales (< 1) back the quality gate
+/// (`--assert-gap-closed`); large scales (≥ 2) back the wall-clock gate
+/// (`--assert-recovery-share`) — there extraction, not recovery, must
+/// own the run.
 pub fn run_partition(opts: &BenchJsonOptions) -> Json {
     use pf_core::{
         distributed_extract, extract_kernels, DistConfig, DistStats, ExtractConfig, LocalTransport,
     };
 
-    let (scale, reps) = if opts.quick { (0.2, 1) } else { (0.5, 3) };
-    let nw = generate(&scale_profile(
-        &profile_by_name("dalu").expect("dalu profile exists"),
-        scale,
-    ));
-    eprintln!("bench-json: partition quality/scaling @ dalu scale {scale}");
-
-    // Sequential oracle: the quality ceiling every partitioned run is
-    // measured against.
-    let mut lc_seq = 0u64;
-    let seq_ns = median_ns(reps, || {
-        let mut work = nw.clone();
-        extract_kernels(&mut work, &[], &ExtractConfig::default());
-        lc_seq = work.literal_count() as u64;
-    });
-    eprintln!(
-        "bench-json:   seq oracle: lc {lc_seq}, {:.1} ms",
-        seq_ns as f64 / 1e6
-    );
-
-    let dist_run = |workers: usize, recovery: bool| {
-        let mut lc = 0u64;
-        let mut stats = DistStats::default();
-        let mut extract_ns = 0u64;
-        let ns = median_ns(reps, || {
-            let mut work = nw.clone();
-            let transport = LocalTransport::new(workers);
-            let cfg = DistConfig {
-                recovery,
-                ..DistConfig::default()
-            };
-            let (report, s) = distributed_extract(&mut work, &transport, &cfg);
-            assert!(
-                report.completed() && !report.degraded,
-                "fault-free benchmark run must land at full quality"
-            );
-            lc = work.literal_count() as u64;
-            extract_ns = report
-                .phases
-                .iter()
-                .find(|p| p.name == "extract")
-                .map_or(0, |p| p.elapsed.as_nanos() as u64);
-            stats = s;
-        });
-        (lc, ns, extract_ns, stats)
+    let scales: Vec<f64> = match &opts.scales {
+        Some(s) => s.clone(),
+        None if opts.quick => vec![0.2],
+        None => vec![0.5, 2.0, 4.0],
     };
 
-    let mut dist_rows: Vec<(String, Json)> = Vec::new();
+    let mut scale_members: Vec<(String, Json)> = Vec::new();
     let mut worst_gap_closed = f64::INFINITY;
-    for workers in [1usize, 2, 4] {
-        let (lc_ind, ind_ns, _, _) = dist_run(workers, false);
-        let (lc_rec, rec_ns, extract_ns, stats) = dist_run(workers, true);
-        // Parts default to one per worker, so a single worker has no cut
-        // boundary and no gap; a zero gap counts as fully closed.
-        let gap = lc_ind as i64 - lc_seq as i64;
-        let gap_closed_pct = if gap <= 0 {
-            100.0
-        } else {
-            (lc_ind as i64 - lc_rec as i64) as f64 / gap as f64 * 100.0
-        };
-        if workers > 1 {
-            worst_gap_closed = worst_gap_closed.min(gap_closed_pct);
-        }
+    let mut worst_recovery_share = f64::NEG_INFINITY;
+    for &scale in &scales {
+        // Quality medians want repetition; the large scales run long
+        // enough that one observation is the honest budget.
+        let reps = if opts.quick || scale >= 1.0 { 1 } else { 3 };
+        let nw = generate(&scale_profile(
+            &profile_by_name("dalu").expect("dalu profile exists"),
+            scale,
+        ));
+        eprintln!("bench-json: partition quality/scaling @ dalu scale {scale}");
+
+        // Sequential oracle: the quality ceiling every partitioned run
+        // is measured against.
+        let mut lc_seq = 0u64;
+        let seq_ns = median_ns(reps, || {
+            let mut work = nw.clone();
+            extract_kernels(&mut work, &[], &ExtractConfig::default());
+            lc_seq = work.literal_count() as u64;
+        });
         eprintln!(
-            "bench-json:   w{workers}: independent lc {lc_ind} ({:.1} ms), \
-             recovered lc {lc_rec} ({:.1} ms), gap closed {gap_closed_pct:.1}%",
-            ind_ns as f64 / 1e6,
-            rec_ns as f64 / 1e6,
+            "bench-json:   seq oracle: lc {lc_seq}, {:.1} ms",
+            seq_ns as f64 / 1e6
         );
-        dist_rows.push((
-            format!("w{workers}"),
+
+        let dist_run = |workers: usize, recovery: bool| {
+            let mut lc = 0u64;
+            let mut stats = DistStats::default();
+            let mut extract_ns = 0u64;
+            let mut recovery_ns = 0u64;
+            let ns = median_ns(reps, || {
+                let mut work = nw.clone();
+                let transport = LocalTransport::new(workers);
+                let cfg = DistConfig {
+                    recovery,
+                    ..DistConfig::default()
+                };
+                let (report, s) = distributed_extract(&mut work, &transport, &cfg);
+                assert!(
+                    report.completed() && !report.degraded,
+                    "fault-free benchmark run must land at full quality"
+                );
+                lc = work.literal_count() as u64;
+                let phase_ns = |name: &str| {
+                    report
+                        .phases
+                        .iter()
+                        .find(|p| p.name == name)
+                        .map_or(0, |p| p.elapsed.as_nanos() as u64)
+                };
+                extract_ns = phase_ns("extract");
+                recovery_ns = phase_ns("frontier") + phase_ns("resub") + phase_ns("sweep");
+                stats = s;
+            });
+            (lc, ns, extract_ns, recovery_ns, stats)
+        };
+
+        let mut dist_rows: Vec<(String, Json)> = Vec::new();
+        let mut scale_gap_closed = f64::INFINITY;
+        let mut scale_recovery_share = f64::NEG_INFINITY;
+        for workers in [1usize, 2, 4] {
+            let (lc_ind, ind_ns, _, _, _) = dist_run(workers, false);
+            let (lc_rec, rec_ns, extract_ns, recovery_ns, stats) = dist_run(workers, true);
+            // Parts default to one per worker, so a single worker has no
+            // cut boundary and no gap; a zero gap counts as fully closed.
+            let gap = lc_ind as i64 - lc_seq as i64;
+            let gap_closed_pct = if gap <= 0 {
+                100.0
+            } else {
+                (lc_ind as i64 - lc_rec as i64) as f64 / gap as f64 * 100.0
+            };
+            // Recovery's bite out of the recovered run's wall clock: the
+            // frontier + resub + sweep phases against total elapsed.
+            let recovery_share_pct = recovery_ns as f64 / rec_ns.max(1) as f64 * 100.0;
+            if workers > 1 {
+                scale_gap_closed = scale_gap_closed.min(gap_closed_pct);
+                scale_recovery_share = scale_recovery_share.max(recovery_share_pct);
+            }
+            eprintln!(
+                "bench-json:   w{workers}: independent lc {lc_ind} ({:.1} ms), \
+                 recovered lc {lc_rec} ({:.1} ms), gap closed {gap_closed_pct:.1}%, \
+                 recovery share {recovery_share_pct:.1}%",
+                ind_ns as f64 / 1e6,
+                rec_ns as f64 / 1e6,
+            );
+            dist_rows.push((
+                format!("w{workers}"),
+                Json::obj([
+                    ("workers", Json::u64(workers as u64)),
+                    ("lc_independent", Json::u64(lc_ind)),
+                    ("lc_recovered", Json::u64(lc_rec)),
+                    ("wall_ms_independent", Json::num(ind_ns as f64 / 1e6)),
+                    ("wall_ms_recovered", Json::num(rec_ns as f64 / 1e6)),
+                    // The leased-extraction phase alone — the part of
+                    // the wall that spreads across workers.
+                    ("wall_ms_extract_phase", Json::num(extract_ns as f64 / 1e6)),
+                    // The sharded recovery stage: frontier re-extraction
+                    // + divisor resubstitution + the final sweep.
+                    (
+                        "wall_ms_recovery_phases",
+                        Json::num(recovery_ns as f64 / 1e6),
+                    ),
+                    ("recovery_share_pct", Json::num(recovery_share_pct)),
+                    ("recovery_rects", Json::u64(stats.recovery_rects)),
+                    ("leases_issued", Json::u64(stats.leases_issued)),
+                    ("gap_closed_pct", Json::num(gap_closed_pct)),
+                ]),
+            ));
+        }
+        if !scale_gap_closed.is_finite() {
+            scale_gap_closed = 100.0;
+        }
+        if !scale_recovery_share.is_finite() {
+            scale_recovery_share = 0.0;
+        }
+        // The quality gate reads small scales; the wall-clock gate reads
+        // the ≥ 2 scales where extraction dominates.
+        if scale < 2.0 {
+            worst_gap_closed = worst_gap_closed.min(scale_gap_closed);
+        }
+        if scale >= 2.0 {
+            worst_recovery_share = worst_recovery_share.max(scale_recovery_share);
+        }
+        scale_members.push((
+            format!("scale_{scale}"),
             Json::obj([
-                ("workers", Json::u64(workers as u64)),
-                ("lc_independent", Json::u64(lc_ind)),
-                ("lc_recovered", Json::u64(lc_rec)),
-                ("wall_ms_independent", Json::num(ind_ns as f64 / 1e6)),
-                ("wall_ms_recovered", Json::num(rec_ns as f64 / 1e6)),
-                // The leased-extraction phase alone — the part of the
-                // wall that spreads across workers (recovery is one
-                // serial lease, so total wall includes a fixed tail).
-                ("wall_ms_extract_phase", Json::num(extract_ns as f64 / 1e6)),
-                ("recovery_rects", Json::u64(stats.recovery_rects)),
-                ("leases_issued", Json::u64(stats.leases_issued)),
-                ("gap_closed_pct", Json::num(gap_closed_pct)),
+                ("scale", Json::num(scale)),
+                (
+                    "seq",
+                    Json::obj([
+                        ("lc", Json::u64(lc_seq)),
+                        ("wall_ms", Json::num(seq_ns as f64 / 1e6)),
+                    ]),
+                ),
+                ("dist", Json::Obj(dist_rows)),
+                ("gap_closed_pct_min", Json::num(scale_gap_closed)),
+                ("recovery_share_pct_max", Json::num(scale_recovery_share)),
             ]),
         ));
     }
     if !worst_gap_closed.is_finite() {
         worst_gap_closed = 100.0;
     }
+    if !worst_recovery_share.is_finite() {
+        worst_recovery_share = 0.0;
+    }
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     Json::obj([
-        ("schema", Json::str("parafactor/bench_partition/v1")),
+        ("schema", Json::str("parafactor/bench_partition/v2")),
         ("workload", Json::str("gen:dalu")),
-        ("scale", Json::num(scale)),
+        (
+            "scales_measured",
+            Json::Arr(scales.iter().map(|&s| Json::num(s)).collect()),
+        ),
         ("quick", Json::Bool(opts.quick)),
         // Wall-time scaling across worker counts is only meaningful
         // relative to this.
         ("cpu_cores", Json::u64(cores as u64)),
-        (
-            "seq",
-            Json::obj([
-                ("lc", Json::u64(lc_seq)),
-                ("wall_ms", Json::num(seq_ns as f64 / 1e6)),
-            ]),
-        ),
-        ("dist", Json::Obj(dist_rows)),
+        ("scales", Json::Obj(scale_members)),
         ("gap_closed_pct_min", Json::num(worst_gap_closed)),
+        ("recovery_share_pct_max", Json::num(worst_recovery_share)),
     ])
 }
 
@@ -693,6 +783,44 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
                 opts.assert_gap_closed = Some(
                     pct.parse::<f64>()
                         .map_err(|e| format!("bad --assert-gap-closed {pct:?}: {e}"))?,
+                );
+                opts.partition = true;
+                i += 2;
+            }
+            "--scales" => {
+                let list = args
+                    .get(i + 1)
+                    .ok_or("--scales needs a comma-separated list (e.g. 0.5,2,4)")?;
+                let parsed: Result<Vec<f64>, String> = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("bad --scales entry {s:?}: {e}"))
+                            .and_then(|v| {
+                                if v > 0.0 && v.is_finite() {
+                                    Ok(v)
+                                } else {
+                                    Err(format!("--scales entry {s:?} must be positive"))
+                                }
+                            })
+                    })
+                    .collect();
+                let parsed = parsed?;
+                if parsed.is_empty() {
+                    return Err("--scales needs at least one factor".to_string());
+                }
+                opts.scales = Some(parsed);
+                opts.partition = true;
+                i += 2;
+            }
+            "--assert-recovery-share" => {
+                let pct = args
+                    .get(i + 1)
+                    .ok_or("--assert-recovery-share needs a percentage")?;
+                opts.assert_recovery_share = Some(
+                    pct.parse::<f64>()
+                        .map_err(|e| format!("bad --assert-recovery-share {pct:?}: {e}"))?,
                 );
                 opts.partition = true;
                 i += 2;
@@ -830,6 +958,38 @@ pub fn cmd_bench_json(args: &[String]) -> Result<(), String> {
         }
         eprintln!("bench-json: recovery closed >= {got:.1}% of the gap (floor {min}%)");
     }
+    if let Some(limit) = opts.assert_recovery_share {
+        let measured_big_scale = doc
+            .get("scales_measured")
+            .and_then(|s| match s {
+                Json::Arr(items) => {
+                    Some(items.iter().any(|v| v.as_f64().is_some_and(|f| f >= 2.0)))
+                }
+                _ => None,
+            })
+            .unwrap_or(false);
+        if !measured_big_scale {
+            eprintln!(
+                "bench-json: WARNING --assert-recovery-share skipped: \
+                 no scale >= 2 in the sweep"
+            );
+        } else {
+            let got = doc
+                .get("recovery_share_pct_max")
+                .and_then(Json::as_f64)
+                .ok_or("recovery_share_pct_max missing from the document")?;
+            if got > limit {
+                return Err(format!(
+                    "recovery stage took {got:.1}% of the recovered wall at \
+                     scale >= 2, above the {limit}% ceiling"
+                ));
+            }
+            eprintln!(
+                "bench-json: recovery stage took <= {got:.1}% of the recovered \
+                 wall (ceiling {limit}%)"
+            );
+        }
+    }
     Ok(())
 }
 
@@ -941,13 +1101,19 @@ mod tests {
         });
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("parafactor/bench_partition/v1")
+            Some("parafactor/bench_partition/v2")
         );
-        let seq = doc.get("seq").expect("seq oracle present");
+        let row_for = |scale: &str| {
+            doc.get("scales")
+                .and_then(|s| s.get(scale))
+                .unwrap_or_else(|| panic!("scale row {scale} present"))
+        };
+        let sc = row_for("scale_0.2");
+        let seq = sc.get("seq").expect("seq oracle present");
         let lc_seq = seq.get("lc").and_then(Json::as_u64).unwrap();
         assert!(lc_seq > 0);
         for w in ["w1", "w2", "w4"] {
-            let row = doc
+            let row = sc
                 .get("dist")
                 .and_then(|d| d.get(w))
                 .unwrap_or_else(|| panic!("dist row {w} present"));
@@ -963,11 +1129,54 @@ mod tests {
                 .and_then(Json::as_f64)
                 .unwrap()
                 .is_finite());
+            let share = row
+                .get("recovery_share_pct")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!((0.0..=100.0).contains(&share), "{w}: share {share}");
         }
-        assert!(doc
-            .get("gap_closed_pct_min")
-            .and_then(Json::as_f64)
-            .unwrap()
-            .is_finite());
+        // A single worker has one partition, no frontier, and — with the
+        // recovery-skip fast path — zero recovery wall.
+        let w1 = sc.get("dist").and_then(|d| d.get("w1")).unwrap();
+        assert_eq!(
+            w1.get("recovery_rects").and_then(Json::as_u64),
+            Some(0),
+            "single partition must skip recovery"
+        );
+        for key in ["gap_closed_pct_min", "recovery_share_pct_max"] {
+            assert!(
+                sc.get(key).and_then(Json::as_f64).unwrap().is_finite(),
+                "{key}"
+            );
+            assert!(
+                doc.get(key).and_then(Json::as_f64).unwrap().is_finite(),
+                "top-level {key}"
+            );
+        }
+        // No scale >= 2 in the quick default: the wall-clock gate value
+        // degrades to 0 rather than going missing.
+        assert_eq!(
+            doc.get("recovery_share_pct_max").and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn partition_sweep_honours_explicit_scales() {
+        let doc = run_partition(&BenchJsonOptions {
+            quick: true,
+            partition: true,
+            scales: Some(vec![0.1, 0.15]),
+            ..BenchJsonOptions::default()
+        });
+        let scales = doc.get("scales").expect("scales table");
+        assert!(scales.get("scale_0.1").is_some());
+        assert!(scales.get("scale_0.15").is_some());
+        assert!(scales.get("scale_0.2").is_none());
+        let measured = doc.get("scales_measured").unwrap();
+        let Json::Arr(items) = measured else {
+            panic!("scales_measured must be an array")
+        };
+        assert_eq!(items.len(), 2);
     }
 }

@@ -11,14 +11,17 @@
 //!                   [--batch-rects K] [--tile-width W] [--deadline-ms N]
 //!                   [--retries N] [--delta-from BASE] <WORKLOAD>
 //! parafactor dist   [--workers N | --peers A,B,…] [--parts N]
-//!                   [--no-recovery] [--lease-timeout-ms N]
+//!                   [--no-recovery] [--recovery-shards N]
+//!                   [--lease-timeout-ms N]
 //!                   [--fault-plan SPEC] [--fault-seed N] <WORKLOAD>
 //! parafactor bench-json [--quick] [--out FILE]
 //!                   [--assert-pooled-overhead PCT]
 //!                   [--assert-pass-reduction PCT]
 //!                   [--assert-tile-speedup PCT]
 //!                   [--assert-cache-identical]
-//!                   [--partition] [--assert-gap-closed PCT]
+//!                   [--partition] [--scales F,F,…]
+//!                   [--assert-gap-closed PCT]
+//!                   [--assert-recovery-share PCT]
 //! parafactor profile [-a ALG] [-p N] [--par-threads N] [--batch-rects K]
 //!                   [--tile-width W] [--seed N] [-o FILE] <INPUT>
 //!
@@ -77,19 +80,26 @@
 //! percent; --assert-cache-identical exits non-zero unless the warm
 //! cache-served network is byte-identical to
 //! the cold run's). bench-json --partition instead measures distributed
-//! partition extraction and writes BENCH_partition.json: the sequential
-//! oracle's literal count against the recovery-off (Algorithm-I
-//! quality) and recovery-on distributed runs at 1/2/4 workers;
-//! --assert-gap-closed PCT exits non-zero when boundary recovery closes
-//! less than PCT percent of the partition literal gap.
+//! partition extraction and writes BENCH_partition.json: per workload
+//! scale (--scales, default 0.5,2,4) the sequential oracle's literal
+//! count against the recovery-off (Algorithm-I quality) and recovery-on
+//! distributed runs at 1/2/4 workers; --assert-gap-closed PCT exits
+//! non-zero when boundary recovery closes less than PCT percent of the
+//! partition literal gap (scales below 2), and --assert-recovery-share
+//! PCT exits non-zero when the recovery stage (frontier + resub +
+//! sweep) takes more than PCT percent of the recovered wall at any
+//! scale >= 2.
 //! dist runs fault-tolerant distributed partition extraction from this
 //! process as the coordinator: the workload is partitioned, each part is
 //! dispatched as a leased sub-job to in-process workers (--workers) or
 //! to remote --peers running `serve --worker`, expired leases fail over
-//! with jittered backoff, and a boundary-recovery pass re-extracts the
-//! rectangles the partition cut (skipped by --no-recovery; if the
-//! recovery lease exhausts its retries the result degrades to
-//! Algorithm-I quality and the report says so). Prints the same JSON the
+//! with jittered backoff, and a sharded boundary-recovery stage
+//! re-extracts the rectangles the partition cut and resubstitutes the
+//! recovered divisors (skipped by --no-recovery; --recovery-shards caps
+//! the recovery units, 0 = one per worker and 1 = the legacy serial
+//! pass; if a recovery shard exhausts its retries the result degrades
+//! to the quality already merged and the report says so). Prints the
+//! same JSON the
 //! `dist` op answers, including the lease ledger (docs/SERVICE.md
 //! "Distributed extraction").
 //! profile runs one extraction with span tracing armed and writes the
@@ -542,6 +552,15 @@ fn cmd_dist(args: &[String]) -> ExitCode {
                 i += 1;
                 continue;
             }
+            "--recovery-shards" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => cfg.recovery_shards = n,
+                None => {
+                    return bad(
+                        "--recovery-shards must be an integer (0 = one per worker, 1 = serial)"
+                            .into(),
+                    )
+                }
+            },
             "--fault-plan" => match value(i) {
                 Some(v) => fault_spec = Some(v.clone()),
                 None => return bad("--fault-plan needs a value".into()),

@@ -167,10 +167,15 @@ fn dist_op_fails_over_a_killed_worker_and_balances_the_books() {
     handle.join().unwrap();
 }
 
-/// Killing the recovery worker (every recovery attempt panics until the
-/// retry budget is gone) degrades gracefully: the `dist` op still
+/// Killing the recovery workers (every recovery attempt panics until
+/// the retry budget is gone) degrades gracefully: the `dist` op still
 /// completes, flags `degraded`, reports zero recovery rectangles, and
-/// keeps the ledger balanced.
+/// keeps the ledger balanced. The workload must present a non-empty
+/// frontier (misex3's PLA profile partitions cleanly and would take the
+/// skip-recovery fast path, leaving the fault site unvisited), so dalu
+/// — real multi-level sharing — is the subject. The `dist:recover`
+/// site prefix matches both sharded stages (`dist:recover:frontier`
+/// and `dist:recover:resub`).
 #[test]
 fn dist_op_degrades_gracefully_when_the_recovery_worker_dies() {
     quiet_injected_panics();
@@ -178,7 +183,7 @@ fn dist_op_degrades_gracefully_when_the_recovery_worker_dies() {
     let responses = request_lines(
         addr,
         &[concat!(
-            r#"{"op":"dist","workload":"gen:misex3@0.1","workers":2,"#,
+            r#"{"op":"dist","workload":"gen:dalu@0.1","workers":2,"#,
             r#""fault_plan":"dist:recover=panic","fault_seed":3}"#
         )
         .to_string()],
@@ -203,6 +208,55 @@ fn dist_op_degrades_gracefully_when_the_recovery_worker_dies() {
     let dist = r.get("dist").expect("dist stats");
     assert_lease_ledger(dist);
     assert_eq!(dist.get("degraded_jobs").and_then(Json::as_u64), Some(1));
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+/// One recovery shard dying once fails over instead of degrading: the
+/// request pins `recovery_shards`, a single resub-shard lease panics
+/// (`#1` caps the fault at one hit), the coordinator re-leases the
+/// shard, and the run lands at full quality with the new resub
+/// counters populated in the metrics block.
+#[test]
+fn dist_op_fails_over_a_dying_recovery_shard_without_degrading() {
+    quiet_injected_panics();
+    let (addr, handle) = start_server(ServerConfig::default());
+    let responses = request_lines(
+        addr,
+        &[concat!(
+            r#"{"op":"dist","workload":"gen:dalu@0.1","workers":2,"recovery_shards":2,"#,
+            r#""lease_timeout_ms":400,"fault_plan":"dist:recover:resub=panic#1","fault_seed":7}"#
+        )
+        .to_string()],
+    )
+    .expect("dist round-trip");
+    let r = parse(&responses[0]).expect("dist response is json");
+    assert_eq!(
+        r.get("status").and_then(Json::as_str),
+        Some("completed"),
+        "{r}"
+    );
+    let metrics = r.get("metrics").expect("metrics");
+    assert_eq!(
+        metrics.get("degraded").and_then(Json::as_bool),
+        Some(false),
+        "one shard death within budget must not degrade: {r}"
+    );
+    assert!(
+        metrics
+            .get("resub_pairs_considered")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0,
+        "recovery resub ran and counted its pairs: {r}"
+    );
+    let dist = r.get("dist").expect("dist stats");
+    assert_lease_ledger(dist);
+    assert!(
+        dist.get("failovers").and_then(Json::as_u64).unwrap() >= 1,
+        "the shard panic never failed over: {dist}"
+    );
+    assert_eq!(dist.get("degraded_jobs").and_then(Json::as_u64), Some(0));
     shutdown(addr);
     handle.join().unwrap();
 }
